@@ -1,0 +1,78 @@
+"""E13 — the steady-state relaxation's foundation (Sections 1-2).
+
+Two classical results the paper builds on, made measurable:
+
+1. **Cluster equivalence** (Section 2): a star cluster is equivalent to
+   a single processor whose speed comes from closed-form DLT — we
+   compare the one-port bandwidth-centric value against the multi-port
+   fluid value used by the platform model.
+2. **Asymptotic optimality of steady state** (Section 1's justification,
+   following Bertsimas-Gamarnik and [8]): makespan-optimal multi-round
+   throughput converges to the steady-state bound as the load grows;
+   single-round scheduling stays strictly below it.
+"""
+
+import numpy as np
+
+from repro.dlt import (
+    StarNetwork,
+    multi_round_makespan,
+    single_round_makespan,
+    steady_state_throughput_multi_port,
+    steady_state_throughput_one_port,
+)
+
+from benchmarks.conftest import banner, full_scale
+
+
+def _convergence(star: StarNetwork, schedule):
+    bound = steady_state_throughput_one_port(star)
+    rows = []
+    for W, R in schedule:
+        T1, _ = single_round_makespan(star, float(W))
+        Tm = multi_round_makespan(star, float(W), rounds=R, proportions="steady-state")
+        rows.append(
+            {
+                "W": W,
+                "R": R,
+                "single": W / T1,
+                "multi": W / Tm,
+                "bound": bound,
+            }
+        )
+    return rows
+
+
+def test_dlt_asymptotics(benchmark):
+    star = StarNetwork(
+        master_speed=2.0,
+        worker_speeds=(3.0, 5.0, 2.0, 4.0),
+        worker_bandwidths=(6.0, 2.0, 4.0, 3.0),
+    )
+    schedule = (
+        ((10, 2), (100, 8), (1000, 30), (10_000, 100), (100_000, 320))
+        if full_scale()
+        else ((10, 2), (100, 8), (1000, 30), (10_000, 100))
+    )
+    rows = benchmark.pedantic(_convergence, args=(star, schedule), rounds=1, iterations=1)
+
+    banner(
+        "E13 / foundations - cluster equivalence + steady-state asymptotics",
+        "makespan-optimal throughput -> steady-state optimum as W grows; "
+        "one-port (bandwidth-centric) <= multi-port fluid equivalent speed",
+    )
+    one = steady_state_throughput_one_port(star)
+    multi = steady_state_throughput_multi_port(star)
+    print(f"equivalent speed: one-port = {one:.3f}, multi-port fluid = {multi:.3f}")
+    print(f"{'W':>8} {'rounds':>7} {'1-round thpt':>13} {'multi thpt':>11} {'bound':>7}")
+    for r in rows:
+        print(
+            f"{r['W']:>8} {r['R']:>7} {r['single']:>13.3f} "
+            f"{r['multi']:>11.3f} {r['bound']:>7.3f}"
+        )
+    assert one <= multi + 1e-12
+    gaps = [r["bound"] - r["multi"] for r in rows]
+    assert all(g >= -1e-9 for g in gaps)  # bound never beaten
+    assert gaps[-1] < gaps[0]  # converging
+    assert rows[-1]["multi"] >= 0.9 * rows[-1]["bound"]
+    assert all(r["single"] <= r["multi"] + 1e-9 for r in rows[1:])

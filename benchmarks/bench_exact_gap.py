@@ -1,0 +1,66 @@
+"""E8 — extension: true optimality gaps via exact MILP.
+
+The paper could not solve the mixed program ("takes exponential time;
+consequently we cannot use it in practice and cannot compare our
+heuristics to the optimal", Section 6) and used the rational LP as a
+proxy upper bound. Modern MILP makes small-K instances easy, so this
+benchmark reports what the paper could not: how much of the LP-vs-
+heuristic gap is heuristic suboptimality and how much is integrality gap
+of the bound itself.
+"""
+
+import numpy as np
+
+from repro.core.problem import SteadyStateProblem
+from repro.experiments import sample_settings, spec_for
+from repro.experiments.config import DEFAULT_SCENARIO, payoffs_for
+from repro.heuristics.base import get_heuristic
+from repro.platform.generator import generate_platform
+from repro.util.rng import spawn_rngs
+
+from benchmarks.conftest import banner
+
+
+def _gaps(k_values, settings_per_k: int = 2, seed: int = 31) -> dict:
+    out = {}
+    for k in k_values:
+        settings = sample_settings(settings_per_k, rng=seed + k, k_values=[k])
+        ratios = {"lprg_vs_opt": [], "g_vs_opt": [], "opt_vs_lp": []}
+        for setting, rng in zip(settings, spawn_rngs(seed + k, len(settings))):
+            platform = generate_platform(spec_for(setting), rng=rng)
+            payoffs = payoffs_for(setting, DEFAULT_SCENARIO, rng)
+            problem = SteadyStateProblem(platform, payoffs, objective="maxmin")
+            lp = get_heuristic("lp").run(problem).value
+            opt = get_heuristic("milp").run(problem).value
+            if opt <= 0:
+                continue
+            lprg = get_heuristic("lprg").run(problem).value
+            g = get_heuristic("greedy").run(problem).value
+            ratios["lprg_vs_opt"].append(lprg / opt)
+            ratios["g_vs_opt"].append(g / opt)
+            ratios["opt_vs_lp"].append(opt / lp if lp > 0 else 1.0)
+        out[k] = {key: float(np.mean(v)) for key, v in ratios.items() if v}
+    return out
+
+
+def test_exact_optimality_gap(benchmark, scale):
+    gaps = benchmark.pedantic(
+        _gaps, args=(scale["exact_k"],), rounds=1, iterations=1
+    )
+
+    banner(
+        "E8 / extension - heuristics vs the TRUE optimum (exact MILP)",
+        "not in the paper (infeasible in 2004); LP was only an upper "
+        "bound on the optimum",
+    )
+    print(f"{'K':>4} {'LPRG/OPT':>10} {'G/OPT':>10} {'OPT/LP':>10}")
+    for k, row in gaps.items():
+        print(
+            f"{k:>4} {row['lprg_vs_opt']:>10.3f} {row['g_vs_opt']:>10.3f} "
+            f"{row['opt_vs_lp']:>10.3f}"
+        )
+    for row in gaps.values():
+        assert row["lprg_vs_opt"] <= 1.0 + 1e-6  # optimum dominates
+        assert row["g_vs_opt"] <= 1.0 + 1e-6
+        assert row["opt_vs_lp"] <= 1.0 + 1e-6  # LP is a true upper bound
+        assert row["lprg_vs_opt"] > 0.7  # LPRG is near-optimal at small K

@@ -1,0 +1,50 @@
+"""E3 — Figure 5: LPRG and G relative to the LP bound as K grows.
+
+Paper claims reproduced (shapes, not absolute values):
+* LPRG always achieves higher SUM values than G, with the advantage
+  growing with K; at large K, SUM(LPRG) is very close to the LP bound;
+* MAXMIN(G) degrades markedly as K grows, while MAXMIN(LPRG) stays well
+  above it;
+* both heuristics score lower on MAXMIN than on SUM at large K.
+"""
+
+from repro.experiments import figure5, render_figure
+
+from benchmarks.conftest import banner
+
+
+def test_figure5(benchmark, scale):
+    fig = benchmark.pedantic(
+        figure5,
+        kwargs=dict(
+            k_values=scale["fig5_k"],
+            settings_per_k=scale["fig5_settings_per_k"],
+            platforms_per_setting=scale["fig5_platforms"],
+            rng=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    banner(
+        "E3 / Figure 5 - LPRG and G vs LP bound over K",
+        "SUM(LPRG) -> ~1.0 at large K; MAXMIN(G) decays (0.93 -> ~0.65); "
+        "LPRG >= G nearly everywhere",
+    )
+    print(render_figure(fig))
+
+    series = {name: dict(pts) for name, pts in fig.series.items()}
+    ks = sorted(series["SUM(LPRG)/LP"])
+    first_k, last_k = ks[0], ks[-1]
+    # LPRG beats G on SUM at every K (paper: "always achieves higher").
+    for k in ks:
+        assert series["SUM(LPRG)/LP"][k] >= series["SUM(GREEDY)/LP"][k] - 0.02
+    # SUM(LPRG) close to the bound at the largest K.
+    assert series["SUM(LPRG)/LP"][last_k] > 0.9
+    # MAXMIN(G) degrades from small to large K.
+    assert series["MAXMIN(GREEDY)/LP"][last_k] < series["MAXMIN(GREEDY)/LP"][first_k]
+    # LPRG clearly above G on MAXMIN at large K.
+    assert (
+        series["MAXMIN(LPRG)/LP"][last_k]
+        > series["MAXMIN(GREEDY)/LP"][last_k]
+    )

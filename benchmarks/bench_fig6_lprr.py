@@ -1,0 +1,38 @@
+"""E4 — Figure 6: LPRR vs G relative to the LP bound (80 topologies).
+
+Paper claims reproduced: "LPRR achieves objective values very close to
+the upper bound" on both objectives, clearly above G on MAXMIN — at the
+cost of ~K^2 LP solves (timed in E5/Figure 7).
+"""
+
+from repro.experiments import figure6, render_figure
+
+from benchmarks.conftest import banner
+
+
+def test_figure6(benchmark, scale):
+    fig = benchmark.pedantic(
+        figure6,
+        kwargs=dict(
+            k_values=scale["fig6_k"],
+            settings_per_k=scale["fig6_settings_per_k"],
+            platforms_per_setting=scale["fig6_platforms"],
+            rng=13,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    banner(
+        "E4 / Figure 6 - LPRR and G vs LP bound (small-K topology subset)",
+        "LPRR very close to the LP bound on both objectives; well above "
+        "G on MAXMIN (paper used 80 topologies, K in {15, 20, 25})",
+    )
+    print(render_figure(fig))
+
+    series = {name: dict(pts) for name, pts in fig.series.items()}
+    for k, v in series["MAXMIN(LPRR)/LP"].items():
+        assert v > 0.75, (k, v)  # close to the bound
+        assert v >= series["MAXMIN(GREEDY)/LP"][k] - 0.05
+    for k, v in series["SUM(LPRR)/LP"].items():
+        assert v > 0.8, (k, v)

@@ -1,0 +1,45 @@
+"""E5 — Figure 7: running time of G, LPR, LPRG, LPRR vs K (log scale).
+
+Paper claims reproduced (a Pentium III 800MHz produced the absolute
+numbers; we compare orderings and growth):
+* G is significantly faster than every LP-based heuristic;
+* LP, LPR and LPRG cluster together (one LP solve + cheap rounding);
+* LPRR is slower by a factor that grows like K^2 (it solves ~K^2 LPs) —
+  the paper measured ~1000x at K = 40.
+"""
+
+import numpy as np
+
+from repro.experiments import figure7, render_figure
+
+from benchmarks.conftest import banner
+
+
+def test_figure7(benchmark, scale):
+    fig = benchmark.pedantic(
+        figure7,
+        kwargs=dict(k_values=scale["fig7_k"], rng=5),
+        rounds=1,
+        iterations=1,
+    )
+
+    banner(
+        "E5 / Figure 7 - heuristic running times vs K (log scale)",
+        "G << LPR ~ LPRG << LPRR; LPRR/LPRG grows ~K^2 (~1000x at K=40 "
+        "on the paper's hardware)",
+    )
+    print(render_figure(fig))
+
+    series = {name: dict(pts) for name, pts in fig.series.items()}
+    ks = sorted(series["GREEDY"])
+    for k in ks:
+        assert series["GREEDY"][k] <= series["LPRG"][k]
+        assert series["LPRG"][k] < series["LPRR"][k]
+    # LPRR's disadvantage grows with K (the K^2 LP-solve count).
+    ratio = fig.notes["lprr_over_lprg"]
+    assert ratio[ks[-1]] > ratio[ks[0]] * 0.8  # monotone-ish growth
+    assert ratio[ks[-1]] > 10  # orders of magnitude, already at small K
+    print(
+        f"LPRR/LPRG slowdown: {ratio[ks[0]]:.0f}x at K={ks[0]} -> "
+        f"{ratio[ks[-1]]:.0f}x at K={ks[-1]}"
+    )

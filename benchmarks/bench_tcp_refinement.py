@@ -1,0 +1,73 @@
+"""E12 — Section 7 refinement: RTT-aware TCP bandwidth model.
+
+The paper's future work: "we will strive to use an even more realistic
+network model, which would include link latencies, TCP bandwidth sharing
+behaviors according to round-trip times". This benchmark implements that
+refinement and measures its effect: per-connection bandwidth becomes
+min(window/RTT, bottleneck bw), so multi-hop (high-latency) routes carry
+less per connection, the LP bound tightens, and the value of opening
+*parallel* connections (the beta machinery the model is built around)
+increases on long paths.
+"""
+
+import numpy as np
+
+from repro.core.problem import SteadyStateProblem
+from repro.experiments import sample_settings, spec_for
+from repro.experiments.config import DEFAULT_SCENARIO, payoffs_for
+from repro.heuristics.base import get_heuristic
+from repro.platform.generator import generate_platform
+from repro.platform.tcp import TcpModel, apply_tcp_model
+from repro.util.rng import spawn_rngs
+
+from benchmarks.conftest import banner, full_scale
+
+
+def _compare(n_settings: int, k: int, seed: int = 23):
+    settings = sample_settings(n_settings, rng=seed, k_values=[k])
+    rows = []
+    for setting, rng in zip(settings, spawn_rngs(seed, len(settings))):
+        base = generate_platform(spec_for(setting), rng=rng)
+        payoffs = payoffs_for(setting, DEFAULT_SCENARIO, rng)
+        # Latency proportional to nothing platform-specific: a flat 1.0
+        # per hop; window sized so ~2-hop routes become window-limited.
+        refined = apply_tcp_model(
+            base, TcpModel(window=2.0 * setting.mean_bw, default_latency=1.0)
+        )
+        record = {}
+        for label, platform in (("paper", base), ("rtt", refined)):
+            problem = SteadyStateProblem(platform, payoffs, objective="maxmin")
+            lp = get_heuristic("lp").run(problem).value
+            lprg = get_heuristic("lprg").run(problem)
+            record[label] = {
+                "lp": lp,
+                "lprg": lprg.value,
+                "connections": lprg.allocation.total_connections(),
+            }
+        rows.append(record)
+    return rows
+
+
+def test_tcp_refinement(benchmark):
+    n_settings = 8 if full_scale() else 4
+    k = 15 if full_scale() else 10
+    rows = benchmark.pedantic(_compare, args=(n_settings, k), rounds=1, iterations=1)
+
+    banner(
+        "E12 / Section 7 - RTT-aware TCP bandwidth refinement",
+        "future work in the paper: latencies + TCP throughput ~ window/RTT",
+    )
+    lp_drop = [r["rtt"]["lp"] / r["paper"]["lp"] for r in rows if r["paper"]["lp"] > 0]
+    conn_paper = float(np.mean([r["paper"]["connections"] for r in rows]))
+    conn_rtt = float(np.mean([r["rtt"]["connections"] for r in rows]))
+    print(f"LP bound under RTT model / paper model: {np.mean(lp_drop):.3f} (mean)")
+    print(f"connections opened by LPRG: paper-model={conn_paper:.1f}, rtt-model={conn_rtt:.1f}")
+    for i, r in enumerate(rows):
+        print(
+            f"  platform {i}: LP {r['paper']['lp']:.1f} -> {r['rtt']['lp']:.1f}, "
+            f"LPRG {r['paper']['lprg']:.1f} -> {r['rtt']['lprg']:.1f}"
+        )
+    # Latency can only remove capacity, never add it.
+    assert all(ratio <= 1.0 + 1e-9 for ratio in lp_drop)
+    # The refined platform is still schedulable with valid allocations.
+    assert all(r["rtt"]["lprg"] <= r["rtt"]["lp"] + 1e-6 for r in rows)

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Adaptability: re-computing the periodic schedule as resources drift.
+
+The paper's third argument for steady-state scheduling (Section 1):
+"Because the schedule is periodic, it is possible to dynamically record
+the observed performance during the current period, and to inject this
+information into the algorithm that will compute the optimal schedule
+for the next period. This makes it possible to react on the fly to
+resource availability variations, which is the common case on
+non-dedicated Grid platforms."
+
+This example simulates exactly that: cluster speeds and local-link
+capacities follow a random walk (external load on a shared platform);
+an *adaptive* scheduler re-runs LPRG every epoch on the observed
+capacities, while a *static* scheduler keeps the epoch-0 allocation and
+scales it down just enough to stay feasible. The adaptive schedule
+consistently recovers most of the per-epoch LP bound; the static one
+decays as the platform drifts away from its assumptions.
+
+Run:  python examples/adaptive_rescheduling.py
+"""
+
+import numpy as np
+
+from repro import (
+    Cluster,
+    Platform,
+    PlatformSpec,
+    SteadyStateProblem,
+    generate_platform,
+    solve,
+)
+from repro.core.allocation import Allocation
+from repro.util.tables import TextTable
+
+
+def perturb(platform: Platform, rng: np.random.Generator, drift: float = 0.25) -> Platform:
+    """One epoch of resource drift: speeds and g wander multiplicatively."""
+    clusters = []
+    for c in platform.clusters:
+        factor_s = float(np.exp(rng.normal(0.0, drift)))
+        factor_g = float(np.exp(rng.normal(0.0, drift)))
+        clusters.append(
+            Cluster(c.name, speed=c.speed * factor_s, g=c.g * factor_g, router=c.router)
+        )
+    return Platform(
+        clusters,
+        platform.routers,
+        list(platform.links.values()),
+        routes={pair: platform.route(*pair) for pair in platform.routed_pairs()},
+    )
+
+
+def feasible_scaling(platform: Platform, alloc: Allocation) -> float:
+    """Largest theta such that theta * alpha (same betas) is valid.
+
+    Connections are unchanged, so only the linear capacity constraints
+    (compute, local links, route bandwidth) bind; theta is the minimum
+    capacity/usage ratio.
+    """
+    theta = 1.0
+    speeds = platform.speeds
+    g = platform.local_capacities
+    for k in range(platform.n_clusters):
+        load = alloc.compute_load(k)
+        if load > 0:
+            theta = min(theta, speeds[k] / load)
+        traffic = alloc.link_traffic(k)
+        if traffic > 0:
+            theta = min(theta, g[k] / traffic)
+    for k, l, amount, n_conn in alloc.remote_transfers():
+        route = platform.route(k, l)
+        if route.links and amount > 0:
+            theta = min(theta, n_conn * route.bandwidth / amount)
+    return max(0.0, theta)
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    spec = PlatformSpec(
+        n_clusters=8, connectivity=0.5, heterogeneity=0.5,
+        mean_g=250.0, mean_bw=40.0, mean_max_connect=10.0,
+        speed_heterogeneity=0.5,
+    )
+    platform = generate_platform(spec, rng=rng)
+    payoffs = rng.uniform(0.8, 1.2, 8)
+
+    # Epoch 0: both strategies start from the same LPRG schedule.
+    problem0 = SteadyStateProblem(platform, payoffs, objective="maxmin")
+    static_alloc = solve(problem0, "lprg").allocation
+
+    table = TextTable(
+        ["epoch", "LP bound", "adaptive LPRG", "static (scaled)",
+         "adaptive %", "static %"],
+        float_fmt=".1f",
+    )
+    adaptive_total = static_total = bound_total = 0.0
+    current = platform
+    for epoch in range(8):
+        problem = SteadyStateProblem(current, payoffs, objective="maxmin")
+        bound = solve(problem, "lp").value
+        adaptive = solve(problem, "lprg").value
+        theta = feasible_scaling(current, static_alloc)
+        scaled = Allocation(static_alloc.alpha * theta, static_alloc.beta.copy())
+        assert problem.check(scaled).ok
+        static_value = problem.objective_value(scaled)
+
+        table.add_row(
+            [
+                epoch, bound, adaptive, static_value,
+                100.0 * adaptive / bound if bound else 0.0,
+                100.0 * static_value / bound if bound else 0.0,
+            ]
+        )
+        adaptive_total += adaptive
+        static_total += static_value
+        bound_total += bound
+        current = perturb(current, rng)
+
+    print(table.render())
+    print()
+    print(
+        f"cumulative payoff: adaptive {adaptive_total:.0f} "
+        f"({100 * adaptive_total / bound_total:.1f}% of the moving bound), "
+        f"static {static_total:.0f} "
+        f"({100 * static_total / bound_total:.1f}%)"
+    )
+    print()
+    print("Re-solving each period costs one LP (milliseconds, Figure 7)")
+    print("and keeps the schedule near the bound; a frozen schedule decays")
+    print("as the platform drifts - the paper's adaptability argument.")
+
+
+if __name__ == "__main__":
+    main()

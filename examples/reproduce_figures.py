@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figures 5-7 and Section-6 headline numbers.
+
+A compact driver over :mod:`repro.experiments`: runs laptop-scale
+versions of the paper's sweeps and renders each figure as a numeric
+table plus an ASCII plot. Pass ``--full`` for larger sweeps (several
+minutes).
+
+Run:  python examples/reproduce_figures.py [--full]
+"""
+
+import argparse
+import sys
+
+from repro.experiments import figure5, figure6, figure7, render_figure
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="larger sweeps (closer to the paper)"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.full:
+        fig5_kwargs = dict(k_values=(5, 15, 25, 35, 45), settings_per_k=5,
+                           platforms_per_setting=4)
+        fig6_kwargs = dict(k_values=(15, 20, 25), settings_per_k=4,
+                           platforms_per_setting=5)
+        fig7_kwargs = dict(k_values=(10, 20, 30, 40),)
+    else:
+        fig5_kwargs = dict(k_values=(5, 15, 25), settings_per_k=2,
+                           platforms_per_setting=2)
+        fig6_kwargs = dict(k_values=(10, 15), settings_per_k=1,
+                           platforms_per_setting=2)
+        fig7_kwargs = dict(k_values=(8, 12, 16),)
+
+    print("#" * 72)
+    print("# Figure 5 (paper: LPRG/G vs LP bound over K, both objectives)")
+    print("#" * 72)
+    print(render_figure(figure5(rng=args.seed, **fig5_kwargs)))
+    print()
+
+    print("#" * 72)
+    print("# Figure 6 (paper: LPRR close to the LP bound, 80 topologies)")
+    print("#" * 72)
+    print(render_figure(figure6(rng=args.seed, **fig6_kwargs)))
+    print()
+
+    print("#" * 72)
+    print("# Figure 7 (paper: running times, log scale; LPRR ~ K^2 slower)")
+    print("#" * 72)
+    print(render_figure(figure7(rng=args.seed, **fig7_kwargs)))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,7 @@
+"""Setup shim: lets legacy tooling (and offline environments without the
+``wheel`` package) install the project; configuration lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

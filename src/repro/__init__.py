@@ -1,0 +1,105 @@
+"""repro — steady-state scheduling of multiple divisible-load applications
+on large-scale platforms.
+
+A full reproduction of L. Marchal, Y. Yang, H. Casanova, Y. Robert,
+*A realistic network/application model for scheduling divisible loads on
+large-scale platforms* (IPDPS 2005 / INRIA RR-5197): the multi-cluster
+platform model with realistic bandwidth sharing, the steady-state linear
+program with SUM and MAXMIN objectives, the NP-completeness reduction,
+the G / LPR / LPRG / LPRR heuristics, periodic-schedule reconstruction,
+a flow-level simulator, and the full Section-6 evaluation harness.
+
+Quickstart
+----------
+>>> from repro import PlatformSpec, generate_platform, SteadyStateProblem, solve
+>>> platform = generate_platform(
+...     PlatformSpec(n_clusters=6, connectivity=0.5, heterogeneity=0.4,
+...                  mean_g=250, mean_bw=30, mean_max_connect=10),
+...     rng=42)
+>>> problem = SteadyStateProblem(platform, objective="maxmin")
+>>> result = solve(problem, method="lprg")
+>>> result.value > 0
+True
+"""
+
+from repro.core import (
+    Allocation,
+    Application,
+    MAXMIN,
+    SUM,
+    SteadyStateProblem,
+    ViolationReport,
+    allocation_violations,
+    applications_for_platform,
+    available_methods,
+    get_objective,
+    solve,
+    validate_allocation,
+)
+from repro.platform import (
+    BackboneLink,
+    CapacityLedger,
+    Cluster,
+    Platform,
+    PlatformSpec,
+    Route,
+    fully_connected_platform,
+    generate_platform,
+    line_platform,
+    load_platform,
+    save_platform,
+    star_platform,
+)
+from repro.util.errors import (
+    InfeasibleError,
+    PlatformError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+    SimulationError,
+    SolverError,
+    UnboundedError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Allocation",
+    "Application",
+    "MAXMIN",
+    "SUM",
+    "SteadyStateProblem",
+    "ViolationReport",
+    "allocation_violations",
+    "applications_for_platform",
+    "available_methods",
+    "get_objective",
+    "solve",
+    "validate_allocation",
+    # platform
+    "BackboneLink",
+    "CapacityLedger",
+    "Cluster",
+    "Platform",
+    "PlatformSpec",
+    "Route",
+    "fully_connected_platform",
+    "generate_platform",
+    "line_platform",
+    "load_platform",
+    "save_platform",
+    "star_platform",
+    # errors
+    "InfeasibleError",
+    "PlatformError",
+    "ReproError",
+    "RoutingError",
+    "ScheduleError",
+    "SimulationError",
+    "SolverError",
+    "UnboundedError",
+    "ValidationError",
+]

@@ -1,0 +1,39 @@
+"""Section-4 NP-completeness machinery.
+
+The paper proves STEADY-STATE-DIVISIBLE-LOAD NP-complete by reduction
+from MAXIMUM-INDEPENDENT-SET. This package makes the proof executable:
+
+* :mod:`repro.complexity.independent_set` — exact and greedy MIS solvers
+  over plain edge-list graphs;
+* :mod:`repro.complexity.reduction` — the instance construction I1 → I2
+  (Figure 4), the solution mappings in both directions, and a numeric
+  check of Lemma 1.
+
+Tests close the loop numerically: on random small graphs, the exact
+MILP optimum of the reduced platform equals the maximum independent set
+size.
+"""
+
+from repro.complexity.independent_set import (
+    exact_max_independent_set,
+    greedy_independent_set,
+    is_independent_set,
+)
+from repro.complexity.reduction import (
+    ReducedInstance,
+    reduce_mis_to_scheduling,
+    allocation_from_independent_set,
+    independent_set_from_allocation,
+    verify_lemma1,
+)
+
+__all__ = [
+    "exact_max_independent_set",
+    "greedy_independent_set",
+    "is_independent_set",
+    "ReducedInstance",
+    "reduce_mis_to_scheduling",
+    "allocation_from_independent_set",
+    "independent_set_from_allocation",
+    "verify_lemma1",
+]

@@ -1,0 +1,103 @@
+"""Maximum-independent-set solvers over edge-list graphs.
+
+MAXIMUM-INDEPENDENT-SET is the NP-complete source problem of the
+paper's reduction. The exact solver is a branch-and-bound on the
+standard dichotomy "either v is excluded, or v is included and its
+neighbourhood excluded", good for the small graphs the tests and the
+E10 benchmark use; the greedy min-degree heuristic provides a fast
+lower bound (and mirrors what the greedy scheduling heuristic G
+implicitly computes on reduced instances).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _adjacency(n: int, edges: Iterable[tuple[int, int]]) -> list[set[int]]:
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) out of range for {n} vertices")
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u}")
+        adj[u].add(v)
+        adj[v].add(u)
+    return adj
+
+
+def is_independent_set(
+    n: int, edges: Iterable[tuple[int, int]], vertices: Iterable[int]
+) -> bool:
+    """True when ``vertices`` is an independent set of the graph."""
+    selected = set(vertices)
+    if any(not (0 <= v < n) for v in selected):
+        return False
+    return all(not (u in selected and v in selected) for u, v in edges)
+
+
+def greedy_independent_set(n: int, edges: Iterable[tuple[int, int]]) -> set[int]:
+    """Min-degree greedy: repeatedly take a minimum-degree vertex and
+    delete its closed neighbourhood. A classic 1/(d+1) approximation."""
+    adj = _adjacency(n, edges)
+    alive = set(range(n))
+    chosen: set[int] = set()
+    while alive:
+        v = min(alive, key=lambda u: (len(adj[u] & alive), u))
+        chosen.add(v)
+        alive.discard(v)
+        alive -= adj[v]
+    return chosen
+
+
+def exact_max_independent_set(
+    n: int, edges: Iterable[tuple[int, int]], max_nodes: int = 1_000_000
+) -> set[int]:
+    """Exact maximum independent set by branch-and-bound.
+
+    Branches on a maximum-degree vertex (exclude it / include it and
+    drop its neighbourhood); prunes with the trivial ``|alive|`` bound.
+    Intended for the small graphs of tests and benchmarks.
+    """
+    edges = list(edges)
+    adj = _adjacency(n, edges)
+    best: set[int] = greedy_independent_set(n, edges)
+    budget = [max_nodes]
+
+    def search(alive: set[int], chosen: set[int]) -> None:
+        nonlocal best
+        if budget[0] <= 0:
+            raise RuntimeError(f"exceeded branch-and-bound budget {max_nodes}")
+        budget[0] -= 1
+        if len(chosen) + len(alive) <= len(best):
+            return  # cannot beat the incumbent
+        if not alive:
+            if len(chosen) > len(best):
+                best = set(chosen)
+            return
+        # Vertices of degree 0 within `alive` are always taken.
+        isolated = {v for v in alive if not (adj[v] & alive)}
+        if isolated:
+            search(alive - isolated, chosen | isolated)
+            return
+        v = max(alive, key=lambda u: (len(adj[u] & alive), -u))
+        # Branch 1: include v (and exclude its neighbourhood).
+        search(alive - {v} - adj[v], chosen | {v})
+        # Branch 2: exclude v.
+        search(alive - {v}, chosen)
+
+    search(set(range(n)), set())
+    assert is_independent_set(n, edges, best)
+    return best
+
+
+def random_graph_edges(
+    n: int, p: float, rng
+) -> list[tuple[int, int]]:
+    """Erdős–Rényi G(n, p) edge list (used by tests and benchmarks)."""
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                edges.append((u, v))
+    return edges

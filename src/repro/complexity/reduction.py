@@ -1,0 +1,223 @@
+"""The reduction I1 (MAXIMUM-INDEPENDENT-SET) -> I2 (STEADY-STATE-
+DIVISIBLE-LOAD) of Section 4, made executable.
+
+Given a graph ``G = (V, E)`` with ``n`` vertices and a bound ``B``, the
+construction (Figure 4 of the paper) builds a platform with ``n + 1``
+clusters:
+
+* ``C^0`` holds the only participating application (``pi_0 = 1``), has
+  ``g_0 = n`` and **zero** computing speed, so all of its work must be
+  delegated;
+* every vertex ``V_i`` becomes a cluster ``C^i`` with ``g_i = s_i = 1``
+  and ``pi_i = 0``;
+* every edge ``e_k = (V_i, V_j)`` becomes a *shared* backbone link
+  ``lcommon_k`` (bw = 1, max-connect = 1) between two fresh routers
+  ``Qa_k`` / ``Qb_k``; the pinned route from ``C^0`` to ``C^i`` chains
+  through the shared links of every edge incident to ``V_i``
+  (Equation 8), so two routes share a backbone link **iff** the
+  corresponding vertices are adjacent (Lemma 1).
+
+Consequently a throughput of ``B`` is achievable iff ``G`` has an
+independent set of size ``B``: each unit of throughput needs a dedicated
+route to a distinct unit-speed cluster, and max-connect = 1 forbids two
+routes through a common link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.problem import SteadyStateProblem
+from repro.platform.cluster import Cluster
+from repro.platform.links import BackboneLink
+from repro.platform.routing import Route
+from repro.platform.topology import Platform
+from repro.complexity.independent_set import is_independent_set
+
+
+@dataclass
+class ReducedInstance:
+    """The scheduling instance produced from a MIS instance.
+
+    Attributes
+    ----------
+    platform:
+        The constructed platform (explicit pinned routes).
+    payoffs:
+        ``pi_0 = 1``, all others 0.
+    rho:
+        The throughput bound (= the MIS cardinality bound ``B``).
+    n_vertices, edges:
+        The original graph, kept for solution mapping.
+    """
+
+    platform: Platform
+    payoffs: np.ndarray
+    rho: float
+    n_vertices: int
+    edges: tuple[tuple[int, int], ...]
+
+    def problem(self, objective: str = "maxmin") -> SteadyStateProblem:
+        """The scheduling problem (MAXMIN over the single active app)."""
+        return SteadyStateProblem(self.platform, self.payoffs, objective=objective)
+
+
+def reduce_mis_to_scheduling(
+    n_vertices: int,
+    edges: Iterable[tuple[int, int]],
+    bound: int,
+) -> ReducedInstance:
+    """Construct instance I2 from the MIS instance ``(G, B)``."""
+    edges = tuple(tuple(sorted(e)) for e in edges)
+    n = n_vertices
+
+    # Route(i): indices of edges incident to V_i, in edge order.
+    route_sets: list[list[int]] = [[] for _ in range(n)]
+    for k, (i, j) in enumerate(edges):
+        route_sets[i].append(k)
+        route_sets[j].append(k)
+
+    routers: list[str] = ["RC0"] + [f"RC{i + 1}" for i in range(n)]
+    links: list[BackboneLink] = []
+
+    # Shared per-edge routers and common links.
+    for k in range(len(edges)):
+        routers += [f"Qa{k}", f"Qb{k}"]
+        links.append(
+            BackboneLink(
+                name=f"lcommon{k}", ends=(f"Qa{k}", f"Qb{k}"), bw=1.0, max_connect=1
+            )
+        )
+
+    # Per-vertex chain links and pinned routes C^0 -> C^i.
+    routes: dict[tuple[int, int], Route] = {}
+    for i in range(n):
+        ks = route_sets[i]
+        router_path: list[str] = ["RC0"]
+        link_path: list[str] = []
+        if not ks:
+            # Isolated vertex: a direct private link.
+            name = f"l{i}_1"
+            links.append(
+                BackboneLink(name=name, ends=("RC0", f"RC{i + 1}"), bw=1.0, max_connect=1)
+            )
+            router_path.append(f"RC{i + 1}")
+            link_path.append(name)
+        else:
+            # l^i_1 = (C0, Qa_{k1})
+            name = f"l{i}_1"
+            links.append(
+                BackboneLink(
+                    name=name, ends=("RC0", f"Qa{ks[0]}"), bw=1.0, max_connect=1
+                )
+            )
+            link_path.append(name)
+            router_path += [f"Qa{ks[0]}", f"Qb{ks[0]}"]
+            link_path.append(f"lcommon{ks[0]}")
+            for j in range(1, len(ks)):
+                # l^i_{j+1} = (Qb_{k_j}, Qa_{k_{j+1}})
+                name = f"l{i}_{j + 1}"
+                links.append(
+                    BackboneLink(
+                        name=name,
+                        ends=(f"Qb{ks[j - 1]}", f"Qa{ks[j]}"),
+                        bw=1.0,
+                        max_connect=1,
+                    )
+                )
+                link_path.append(name)
+                router_path += [f"Qa{ks[j]}", f"Qb{ks[j]}"]
+                link_path.append(f"lcommon{ks[j]}")
+            # l^i_{|Route(i)|+1} = (Qb_{k_last}, C^i)
+            name = f"l{i}_{len(ks) + 1}"
+            links.append(
+                BackboneLink(
+                    name=name,
+                    ends=(f"Qb{ks[-1]}", f"RC{i + 1}"),
+                    bw=1.0,
+                    max_connect=1,
+                )
+            )
+            link_path.append(name)
+            router_path.append(f"RC{i + 1}")
+        routes[(0, i + 1)] = Route(
+            routers=tuple(router_path),
+            links=tuple(link_path),
+            bandwidth=1.0,
+            connection_cap=1,
+        )
+
+    clusters = [Cluster(name="C0", speed=0.0, g=float(n), router="RC0")]
+    clusters += [
+        Cluster(name=f"C{i + 1}", speed=1.0, g=1.0, router=f"RC{i + 1}")
+        for i in range(n)
+    ]
+    platform = Platform(
+        clusters=clusters, routers=routers, backbone_links=links, routes=routes
+    )
+    payoffs = np.zeros(n + 1)
+    payoffs[0] = 1.0
+    return ReducedInstance(
+        platform=platform,
+        payoffs=payoffs,
+        rho=float(bound),
+        n_vertices=n,
+        edges=edges,
+    )
+
+
+def allocation_from_independent_set(
+    instance: ReducedInstance, vertices: Iterable[int]
+) -> Allocation:
+    """The paper's forward mapping: a valid allocation of throughput
+    ``|V'|`` from an independent set ``V'``."""
+    vertices = set(vertices)
+    if not is_independent_set(instance.n_vertices, instance.edges, vertices):
+        raise ValueError(f"{sorted(vertices)} is not an independent set")
+    K = instance.n_vertices + 1
+    alloc = Allocation.zeros(K)
+    for v in vertices:
+        alloc.alpha[0, v + 1] = 1.0
+        alloc.beta[0, v + 1] = 1
+    return alloc
+
+
+def independent_set_from_allocation(
+    instance: ReducedInstance, alloc: Allocation, min_load: float = 1e-9
+) -> set[int]:
+    """The paper's backward mapping: vertices whose clusters receive work.
+
+    For any *valid* allocation the result is an independent set, because
+    two routes with positive beta cannot share a max-connect-1 link.
+    """
+    used = {
+        v
+        for v in range(instance.n_vertices)
+        if alloc.alpha[0, v + 1] > min_load and alloc.beta[0, v + 1] >= 1
+    }
+    if not is_independent_set(instance.n_vertices, instance.edges, used):
+        raise ValueError(
+            "allocation maps to a non-independent set - it must violate "
+            "the connection constraints"
+        )
+    return used
+
+
+def verify_lemma1(instance: ReducedInstance) -> bool:
+    """Check Lemma 1: routes (C0, Ci) and (C0, Cj) share a backbone link
+    iff (Vi, Vj) is an edge of the original graph."""
+    platform = instance.platform
+    edge_set = {frozenset(e) for e in instance.edges}
+    for i in range(instance.n_vertices):
+        for j in range(i + 1, instance.n_vertices):
+            links_i = set(platform.route(0, i + 1).links)
+            links_j = set(platform.route(0, j + 1).links)
+            shares = bool(links_i & links_j)
+            adjacent = frozenset((i, j)) in edge_set
+            if shares != adjacent:
+                return False
+    return True

@@ -1,0 +1,182 @@
+"""The allocation ``(alpha, beta)`` — a candidate steady-state solution.
+
+``alpha[k, l]`` is the amount of load of application ``A_k`` that is
+sent by ``C^k`` and computed on ``C^l`` per time unit (``alpha[k, k]``
+is the locally processed part). ``beta[k, l]`` is the integer number of
+connections ``C^k`` opens towards ``C^l`` to carry it. Following the
+paper, a *valid allocation* is an ``(alpha, beta)`` pair satisfying
+Equations (7); validity checking lives in
+:mod:`repro.core.constraints`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+class Allocation:
+    """Dense ``(alpha, beta)`` matrices for ``K`` clusters.
+
+    The class is a thin algebraic wrapper: it stores the matrices,
+    computes per-application throughputs and objective values, and
+    supports copy/merge operations used by the composite heuristics
+    (LPRG merges an LPR base with a greedy refinement).
+    """
+
+    __slots__ = ("alpha", "beta")
+
+    def __init__(self, alpha: np.ndarray, beta: np.ndarray):
+        alpha = np.asarray(alpha, dtype=float)
+        beta = np.asarray(beta, dtype=np.int64)
+        if alpha.ndim != 2 or alpha.shape[0] != alpha.shape[1]:
+            raise ValidationError([f"alpha must be square, got shape {alpha.shape}"])
+        if beta.shape != alpha.shape:
+            raise ValidationError(
+                [f"beta shape {beta.shape} differs from alpha shape {alpha.shape}"]
+            )
+        self.alpha = alpha
+        self.beta = beta
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, n_clusters: int) -> "Allocation":
+        """The empty allocation (all ``alpha = beta = 0``)."""
+        return cls(
+            np.zeros((n_clusters, n_clusters), dtype=float),
+            np.zeros((n_clusters, n_clusters), dtype=np.int64),
+        )
+
+    def copy(self) -> "Allocation":
+        return Allocation(self.alpha.copy(), self.beta.copy())
+
+    # ------------------------------------------------------------------
+    # throughput and objectives
+    # ------------------------------------------------------------------
+    @property
+    def n_clusters(self) -> int:
+        return self.alpha.shape[0]
+
+    @property
+    def throughputs(self) -> np.ndarray:
+        """``alpha_k = sum_l alpha[k, l]`` for every application ``k``."""
+        return self.alpha.sum(axis=1)
+
+    def throughput(self, k: int) -> float:
+        """Load processed per time unit for application ``A_k``."""
+        return float(self.alpha[k, :].sum())
+
+    def sum_value(self, payoffs: "Sequence[float] | np.ndarray") -> float:
+        """SUM objective (Eq. 5): total payoff ``sum_k pi_k * alpha_k``."""
+        payoffs = np.asarray(payoffs, dtype=float)
+        return float(np.dot(payoffs, self.throughputs))
+
+    def maxmin_value(self, payoffs: "Sequence[float] | np.ndarray") -> float:
+        """MAXMIN objective (Eq. 6): ``min_k pi_k * alpha_k`` over
+        participating applications (``pi_k > 0``); 0.0 if none participate.
+        """
+        payoffs = np.asarray(payoffs, dtype=float)
+        active = payoffs > 0
+        if not np.any(active):
+            return 0.0
+        return float(np.min(payoffs[active] * self.throughputs[active]))
+
+    def objective_value(self, objective: str, payoffs) -> float:
+        """Dispatch on objective name (``"sum"`` or ``"maxmin"``)."""
+        if objective == "sum":
+            return self.sum_value(payoffs)
+        if objective == "maxmin":
+            return self.maxmin_value(payoffs)
+        raise ValueError(f"unknown objective {objective!r}")
+
+    # ------------------------------------------------------------------
+    # traffic accounting (used by constraint checks and the simulator)
+    # ------------------------------------------------------------------
+    def compute_load(self, l: int) -> float:
+        """Total load executed on cluster ``C^l`` per time unit (Eq. 1 LHS)."""
+        return float(self.alpha[:, l].sum())
+
+    def link_traffic(self, k: int) -> float:
+        """Traffic through ``C^k``'s serial link per time unit (Eq. 2 LHS):
+        outgoing remote load plus incoming remote load."""
+        outgoing = self.alpha[k, :].sum() - self.alpha[k, k]
+        incoming = self.alpha[:, k].sum() - self.alpha[k, k]
+        return float(outgoing + incoming)
+
+    def remote_transfers(self) -> Iterator[tuple[int, int, float, int]]:
+        """Yield ``(k, l, alpha_kl, beta_kl)`` for all remote pairs where
+        either quantity is non-zero."""
+        K = self.n_clusters
+        for k in range(K):
+            for l in range(K):
+                if k == l:
+                    continue
+                a = float(self.alpha[k, l])
+                b = int(self.beta[k, l])
+                if a != 0.0 or b != 0:
+                    yield k, l, a, b
+
+    def total_connections(self) -> int:
+        """Total number of opened connections ``sum_{k != l} beta[k, l]``."""
+        off_diag = self.beta.sum() - np.trace(self.beta)
+        return int(off_diag)
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    def merged_with(self, other: "Allocation") -> "Allocation":
+        """Element-wise sum of two allocations (LPR base + greedy top-up).
+
+        The caller is responsible for re-validating the merged result.
+        """
+        if other.n_clusters != self.n_clusters:
+            raise ValidationError(
+                [
+                    f"cannot merge allocations of sizes {self.n_clusters} "
+                    f"and {other.n_clusters}"
+                ]
+            )
+        return Allocation(self.alpha + other.alpha, self.beta + other.beta)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def is_zero(self, tol: float = 0.0) -> bool:
+        """True when no load is allocated anywhere."""
+        return bool(np.all(np.abs(self.alpha) <= tol) and np.all(self.beta == 0))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.alpha, other.alpha)
+            and np.array_equal(self.beta, other.beta)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Allocation(K={self.n_clusters}, total_load={self.throughputs.sum():.4g}, "
+            f"connections={self.total_connections()})"
+        )
+
+    def describe(self, payoffs=None) -> str:
+        """Readable per-application summary of the allocation."""
+        lines = [repr(self)]
+        for k in range(self.n_clusters):
+            local = self.alpha[k, k]
+            remote = self.throughput(k) - local
+            lines.append(
+                f"  A{k}: throughput={self.throughput(k):.4g} "
+                f"(local={local:.4g}, exported={remote:.4g})"
+            )
+        if payoffs is not None:
+            lines.append(
+                f"  SUM={self.sum_value(payoffs):.4g} "
+                f"MAXMIN={self.maxmin_value(payoffs):.4g}"
+            )
+        return "\n".join(lines)

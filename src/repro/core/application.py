@@ -1,0 +1,78 @@
+"""Divisible-load applications and their payoff factors (Section 3.1).
+
+Application ``A_k`` originates at cluster ``C^k``, which initially holds
+all of its input data. The payoff factor ``pi_k`` quantifies the relative
+worth of one unit of ``A_k``'s load: computing one unit for an
+application with payoff 2 is twice as worthwhile as for one with payoff
+1. Setting ``pi_k = 0`` marks a cluster that does not wish to run an
+application: it still contributes resources but is excluded from the
+objectives and never selected by the greedy heuristic (interpretation
+note 2 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import PlatformError
+
+
+@dataclass(frozen=True, slots=True)
+class Application:
+    """One divisible-load application.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    payoff:
+        The payoff factor ``pi_k >= 0``.
+    """
+
+    name: str
+    payoff: float = 1.0
+
+    def __post_init__(self):
+        if self.payoff < 0:
+            raise PlatformError(
+                f"application {self.name!r}: payoff must be >= 0, got {self.payoff}"
+            )
+
+    @property
+    def participates(self) -> bool:
+        """True when the application competes for resources (``pi_k > 0``)."""
+        return self.payoff > 0
+
+
+def applications_for_platform(
+    n_clusters: int, payoffs: "Sequence[float] | float | None" = None
+) -> tuple[Application, ...]:
+    """One application per cluster (the paper's canonical setting).
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``K``; application ``k`` originates at ``C^k``.
+    payoffs:
+        ``None`` (all 1.0), a scalar applied to every application, or a
+        length-``K`` sequence.
+    """
+    if payoffs is None:
+        values = [1.0] * n_clusters
+    elif isinstance(payoffs, (int, float)):
+        values = [float(payoffs)] * n_clusters
+    else:
+        values = [float(p) for p in payoffs]
+        if len(values) != n_clusters:
+            raise PlatformError(
+                f"got {len(values)} payoffs for {n_clusters} clusters"
+            )
+    return tuple(Application(name=f"A{k}", payoff=values[k]) for k in range(n_clusters))
+
+
+def payoff_vector(applications: Sequence[Application]) -> np.ndarray:
+    """Stack application payoffs into a float vector."""
+    return np.array([app.payoff for app in applications], dtype=float)

@@ -1,0 +1,174 @@
+"""The steady-state equations (1)-(4) as checkable predicates.
+
+``validate_allocation`` verifies that an :class:`~repro.core.allocation.
+Allocation` is a *valid allocation* in the paper's sense, i.e. satisfies
+the constraint system (7):
+
+* (7b) compute capacity:   ``sum_l alpha[l, k] <= s_k``
+* (7c) local link:         ``outgoing_k + incoming_k <= g_k``
+* (7d) connection counts:  ``sum_{routes through li} beta <= max_connect(li)``
+* (7e) route bandwidth:    ``alpha[k, l] <= beta[k, l] * min bw on route``
+* (7f/g) signs and integrality, plus "no traffic without a route".
+
+All checks are tolerance-based because LP backends return floats; the
+default ``tol`` is scaled appropriately for HiGHS output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.platform.topology import Platform
+from repro.util.errors import ValidationError
+
+#: default absolute tolerance for float constraint checks
+DEFAULT_TOL = 1e-6
+
+
+@dataclass
+class ViolationReport:
+    """Outcome of validating an allocation against a platform.
+
+    Attributes
+    ----------
+    violations:
+        One human-readable string per violated constraint; empty when the
+        allocation is valid.
+    """
+
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    def raise_if_invalid(self) -> None:
+        if self.violations:
+            raise ValidationError(self.violations)
+
+    def __bool__(self) -> bool:  # truthiness == validity
+        return self.ok
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"ViolationReport({state})"
+
+
+def _check_signs_and_routes(
+    platform: Platform, alloc: Allocation, tol: float, report: ViolationReport
+) -> None:
+    """(7f), (7g) and structural sanity: no traffic on route-less pairs."""
+    K = platform.n_clusters
+    if alloc.n_clusters != K:
+        report.add(
+            f"allocation is for {alloc.n_clusters} clusters, platform has {K}"
+        )
+        return
+    if np.any(alloc.alpha < -tol):
+        bad = np.argwhere(alloc.alpha < -tol)[0]
+        report.add(
+            f"alpha[{bad[0]}, {bad[1]}] = {alloc.alpha[tuple(bad)]:g} is negative"
+        )
+    if np.any(alloc.beta < 0):
+        bad = np.argwhere(alloc.beta < 0)[0]
+        report.add(f"beta[{bad[0]}, {bad[1]}] = {alloc.beta[tuple(bad)]} is negative")
+    for k in range(K):
+        for l in range(K):
+            if k == l or platform.has_route(k, l):
+                continue
+            if abs(alloc.alpha[k, l]) > tol or alloc.beta[k, l] != 0:
+                report.add(
+                    f"traffic alpha={alloc.alpha[k, l]:g}, beta={alloc.beta[k, l]} "
+                    f"between unconnected clusters {k} -> {l}"
+                )
+
+
+def _check_compute(
+    platform: Platform, alloc: Allocation, tol: float, report: ViolationReport
+) -> None:
+    """Equation (1)/(7b): no cluster computes more than its speed."""
+    speeds = platform.speeds
+    loads = alloc.alpha.sum(axis=0)
+    for k in np.nonzero(loads > speeds + tol)[0]:
+        report.add(
+            f"Eq.(1) violated at C^{k}: load {loads[k]:g} > speed {speeds[k]:g}"
+        )
+
+
+def _check_local_links(
+    platform: Platform, alloc: Allocation, tol: float, report: ViolationReport
+) -> None:
+    """Equation (2)/(7c): serial-link traffic within ``g_k``."""
+    g = platform.local_capacities
+    for k in range(platform.n_clusters):
+        traffic = alloc.link_traffic(k)
+        if traffic > g[k] + tol:
+            report.add(
+                f"Eq.(2) violated at C^{k}: link traffic {traffic:g} > g={g[k]:g}"
+            )
+
+
+def _check_connections(
+    platform: Platform, alloc: Allocation, report: ViolationReport
+) -> None:
+    """Equation (3)/(7d): per-backbone connection counts."""
+    for name, link in platform.links.items():
+        used = sum(int(alloc.beta[k, l]) for (k, l) in platform.routes_through(name))
+        if used > link.max_connect:
+            report.add(
+                f"Eq.(3) violated on link {name!r}: {used} connections "
+                f"> max_connect={link.max_connect}"
+            )
+
+
+def _check_route_bandwidth(
+    platform: Platform, alloc: Allocation, tol: float, report: ViolationReport
+) -> None:
+    """Equation (4)/(7e): ``alpha <= beta * min bw`` on every routed pair.
+
+    Pairs connected through the *same* router (empty backbone route) are
+    only constrained by the local links, so (7e) does not apply there.
+    """
+    for (k, l) in platform.routed_pairs():
+        route = platform.route(k, l)
+        if not route.links:
+            continue
+        limit = alloc.beta[k, l] * route.bandwidth
+        if alloc.alpha[k, l] > limit + tol:
+            report.add(
+                f"Eq.(4) violated on {k} -> {l}: alpha={alloc.alpha[k, l]:g} > "
+                f"beta*bw = {alloc.beta[k, l]} * {route.bandwidth:g} = {limit:g}"
+            )
+
+
+def allocation_violations(
+    platform: Platform, alloc: Allocation, tol: float = DEFAULT_TOL
+) -> ViolationReport:
+    """Check all steady-state constraints; never raises."""
+    report = ViolationReport()
+    _check_signs_and_routes(platform, alloc, tol, report)
+    if report.violations and report.violations[0].startswith("allocation is for"):
+        return report  # size mismatch: nothing else is meaningful
+    _check_compute(platform, alloc, tol, report)
+    _check_local_links(platform, alloc, tol, report)
+    _check_connections(platform, alloc, report)
+    _check_route_bandwidth(platform, alloc, tol, report)
+    return report
+
+
+def validate_allocation(
+    platform: Platform, alloc: Allocation, tol: float = DEFAULT_TOL
+) -> ViolationReport:
+    """Validate and *raise* :class:`ValidationError` on any violation.
+
+    Returns the (empty) report for call-chaining convenience.
+    """
+    report = allocation_violations(platform, alloc, tol)
+    report.raise_if_invalid()
+    return report

@@ -1,0 +1,82 @@
+"""The two scheduling objectives of Section 3.1.
+
+* :data:`SUM` — maximize total payoff ``sum_k pi_k alpha_k`` (Eq. 5);
+  risks starving low-payoff applications.
+* :data:`MAXMIN` — maximize ``min_k pi_k alpha_k`` over participating
+  applications (Eq. 6); the MAX-MIN fairness strategy of Bertsekas &
+  Gallager with coefficients ``pi_k``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class Objective:
+    """Base objective: maps per-application throughputs to a scalar score
+    (to be maximised)."""
+
+    name: str = "abstract"
+
+    def value(
+        self,
+        throughputs: "Sequence[float] | np.ndarray",
+        payoffs: "Sequence[float] | np.ndarray",
+    ) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"Objective({self.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Objective) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class SumObjective(Objective):
+    """Total weighted throughput (Eq. 5)."""
+
+    name = "sum"
+
+    def value(self, throughputs, payoffs) -> float:
+        throughputs = np.asarray(throughputs, dtype=float)
+        payoffs = np.asarray(payoffs, dtype=float)
+        return float(np.dot(payoffs, throughputs))
+
+
+class MaxMinObjective(Objective):
+    """Weighted max-min fairness (Eq. 6) over applications with
+    ``pi_k > 0``; applications with zero payoff do not participate."""
+
+    name = "maxmin"
+
+    def value(self, throughputs, payoffs) -> float:
+        throughputs = np.asarray(throughputs, dtype=float)
+        payoffs = np.asarray(payoffs, dtype=float)
+        active = payoffs > 0
+        if not np.any(active):
+            return 0.0
+        return float(np.min(payoffs[active] * throughputs[active]))
+
+
+#: singleton instances — compare with ``is`` or ``==`` freely
+SUM = SumObjective()
+MAXMIN = MaxMinObjective()
+
+_BY_NAME = {SUM.name: SUM, MAXMIN.name: MAXMIN}
+
+
+def get_objective(objective: "str | Objective") -> Objective:
+    """Resolve an objective given by name or instance."""
+    if isinstance(objective, Objective):
+        return objective
+    try:
+        return _BY_NAME[objective.lower()]
+    except (KeyError, AttributeError):
+        raise ValueError(
+            f"unknown objective {objective!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

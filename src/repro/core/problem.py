@@ -1,0 +1,98 @@
+"""The steady-state multi-application scheduling problem (program (7)).
+
+A :class:`SteadyStateProblem` bundles a platform, one application per
+cluster (the paper's canonical setting: ``A_k`` originates at ``C^k``)
+and an objective. It is the single argument every solver and heuristic
+takes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.application import Application, applications_for_platform, payoff_vector
+from repro.core.allocation import Allocation
+from repro.core.constraints import (
+    DEFAULT_TOL,
+    ViolationReport,
+    allocation_violations,
+)
+from repro.core.objectives import MAXMIN, Objective, get_objective
+from repro.platform.topology import Platform
+from repro.util.errors import PlatformError
+
+
+class SteadyStateProblem:
+    """Platform + applications + objective.
+
+    Parameters
+    ----------
+    platform:
+        The target platform.
+    applications:
+        One :class:`Application` per cluster (application ``k`` holds its
+        input data on ``C^k``). ``None`` gives every cluster a payoff-1
+        application; a sequence of floats is shorthand for payoffs.
+    objective:
+        ``"sum"``, ``"maxmin"`` or an :class:`Objective` instance
+        (default MAXMIN, the paper's fairness objective).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        applications: "Sequence[Application] | Sequence[float] | None" = None,
+        objective: "str | Objective" = MAXMIN,
+    ):
+        self.platform = platform
+        K = platform.n_clusters
+        if applications is None:
+            self.applications = applications_for_platform(K)
+        elif all(isinstance(a, Application) for a in applications):
+            apps = tuple(applications)
+            if len(apps) != K:
+                raise PlatformError(
+                    f"got {len(apps)} applications for {K} clusters; the "
+                    "canonical formulation requires exactly one per cluster"
+                )
+            self.applications = apps
+        else:
+            self.applications = applications_for_platform(K, list(applications))
+        self.objective = get_objective(objective)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_clusters(self) -> int:
+        return self.platform.n_clusters
+
+    @property
+    def payoffs(self) -> np.ndarray:
+        """Vector of payoff factors ``pi_k``."""
+        return payoff_vector(self.applications)
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask of participating applications (``pi_k > 0``)."""
+        return self.payoffs > 0
+
+    def with_objective(self, objective: "str | Objective") -> "SteadyStateProblem":
+        """Same platform/applications under a different objective."""
+        return SteadyStateProblem(self.platform, self.applications, objective)
+
+    # ------------------------------------------------------------------
+    def objective_value(self, alloc: Allocation) -> float:
+        """Score an allocation under this problem's objective."""
+        return self.objective.value(alloc.throughputs, self.payoffs)
+
+    def check(self, alloc: Allocation, tol: float = DEFAULT_TOL) -> ViolationReport:
+        """Validate an allocation against this problem's platform."""
+        return allocation_violations(self.platform, alloc, tol)
+
+    def __repr__(self) -> str:
+        active = int(self.active_mask.sum())
+        return (
+            f"SteadyStateProblem(K={self.n_clusters}, active_apps={active}, "
+            f"objective={self.objective.name})"
+        )

@@ -1,0 +1,60 @@
+"""One-call façade over every solver and heuristic in the library.
+
+``solve(problem, method="lprg")`` dispatches to the Section-5 heuristics
+(``"greedy"``/``"g"``, ``"lpr"``, ``"lprg"``, ``"lprr"``), the rational
+LP upper bound (``"lp"``) or the exact mixed-integer optimum
+(``"milp"``, ``"bnb"``). Heuristics are imported lazily to keep the
+core package import-light.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.problem import SteadyStateProblem
+    from repro.heuristics.base import HeuristicResult
+
+
+def available_methods() -> tuple[str, ...]:
+    """Names accepted by :func:`solve`."""
+    from repro.heuristics.base import registry
+
+    return tuple(sorted(registry().keys()))
+
+
+def solve(
+    problem: "SteadyStateProblem",
+    method: str = "lprg",
+    rng: "int | None" = None,
+    **kwargs,
+) -> "HeuristicResult":
+    """Solve a steady-state problem with the requested method.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.core.problem.SteadyStateProblem` to solve.
+    method:
+        One of :func:`available_methods` (case-insensitive). Defaults to
+        LPRG, the paper's best practical heuristic.
+    rng:
+        Seed for stochastic methods (only LPRR uses randomness).
+    **kwargs:
+        Forwarded to the heuristic (e.g. ``backend=`` for LP-based
+        methods).
+
+    Returns
+    -------
+    HeuristicResult
+        Allocation + objective value + timing metadata; the allocation is
+        guaranteed valid (checked before returning).
+    """
+    from repro.heuristics.base import get_heuristic
+
+    heuristic = get_heuristic(method)
+    result = heuristic.run(problem, rng=rng, **kwargs)
+    # Defensive: every public entry point re-validates.
+    if result.allocation is not None:
+        problem.check(result.allocation).raise_if_invalid()
+    return result

@@ -1,0 +1,31 @@
+"""Classical divisible-load theory substrate.
+
+Section 2 of the paper collapses each cluster to "a single processor
+whose speed ``s_k`` can be determined by classical formulas from
+divisible load theory" (citing Robertazzi's processor equivalence,
+Bataineh's closed forms and Banino et al.'s steady-state star results).
+This package makes those classical formulas executable:
+
+* :mod:`repro.dlt.star` — one-round and multi-round makespan scheduling
+  on a heterogeneous star, the one-port *bandwidth-centric* steady-state
+  throughput, and the multi-port fluid bound;
+* the asymptotic link between the two worlds — makespan-optimal
+  throughput converges to the steady-state bound as the load grows —
+  which is the justification for the paper's steady-state relaxation.
+"""
+
+from repro.dlt.star import (
+    StarNetwork,
+    single_round_makespan,
+    multi_round_makespan,
+    steady_state_throughput_one_port,
+    steady_state_throughput_multi_port,
+)
+
+__all__ = [
+    "StarNetwork",
+    "single_round_makespan",
+    "multi_round_makespan",
+    "steady_state_throughput_one_port",
+    "steady_state_throughput_multi_port",
+]

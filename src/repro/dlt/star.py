@@ -1,0 +1,238 @@
+"""Divisible-load scheduling on a heterogeneous star network.
+
+The classical single-application setting behind the paper's cluster
+model: a master ``P_0`` (speed ``s_0``) holds ``W`` load units and is
+connected to ``p`` workers, worker ``i`` having compute speed ``s_i``
+and link bandwidth ``bw_i`` from the master. Communication is one-port
+(the master serialises its sends); computation overlaps communication;
+workers receive their whole chunk before computing (no store-and-forward
+within a chunk).
+
+Implemented results:
+
+* :func:`single_round_makespan` — the closed-form optimal one-round
+  distribution [Bharadwaj et al. 1996]: with a fixed participation
+  order, optimality is reached when all participants finish together,
+  giving a triangular linear system solved here in closed form
+  (``alpha_{i} = alpha_{i-1} * s_{i-1}^{-1} / (s_i^{-1} + bw_i^{-1})``).
+* :func:`multi_round_makespan` — R equal rounds pipelined through the
+  one-port master (simulation, not closed form): communication of round
+  ``r+1`` overlaps computation of round ``r``.
+* :func:`steady_state_throughput_one_port` — Banino et al.'s
+  *bandwidth-centric* steady-state optimum: maximise ``sum x_i`` s.t.
+  ``x_i <= s_i`` and ``sum x_i / bw_i <= 1`` — workers are greedily
+  saturated in order of *decreasing bandwidth*, regardless of their
+  compute speed.
+* :func:`steady_state_throughput_multi_port` — the fluid multi-port
+  bound ``s_0 + sum min(s_i, bw_i)`` (what
+  :func:`repro.platform.cluster.equivalent_star_speed` uses).
+
+The asymptotic theorem the paper's relaxation rests on — makespan-
+optimal throughput tends to the steady-state optimum as ``W`` grows —
+is checked numerically in the tests and benchmark E13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class StarNetwork:
+    """A master with ``p`` workers.
+
+    Parameters
+    ----------
+    master_speed:
+        Compute speed ``s_0`` of the master itself.
+    worker_speeds, worker_bandwidths:
+        Per-worker compute speeds ``s_i`` and link bandwidths ``bw_i``.
+    """
+
+    master_speed: float
+    worker_speeds: tuple
+    worker_bandwidths: tuple
+
+    def __post_init__(self):
+        if len(self.worker_speeds) != len(self.worker_bandwidths):
+            raise PlatformError("worker speed/bandwidth lists differ in length")
+        if self.master_speed < 0:
+            raise PlatformError("negative master speed")
+        if any(s <= 0 for s in self.worker_speeds):
+            raise PlatformError("worker speeds must be positive")
+        if any(b <= 0 for b in self.worker_bandwidths):
+            raise PlatformError("worker bandwidths must be positive")
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.worker_speeds)
+
+
+def single_round_makespan(
+    star: StarNetwork, load: float, order: "list[int] | None" = None
+) -> tuple[float, np.ndarray]:
+    """Optimal one-round distribution for a fixed participation order.
+
+    Returns ``(makespan, chunks)`` where ``chunks[0]`` is the master's
+    share and ``chunks[1:]`` the workers' shares in *input* order.
+
+    With sends serialised in ``order`` and simultaneous completion
+    (the classical optimality condition), the chunk ratios follow the
+    closed-form recurrence; the makespan then scales linearly with the
+    load. Workers whose closed-form share would be non-positive cannot
+    occur here (all speeds/bandwidths positive).
+    """
+    if load < 0:
+        raise PlatformError(f"negative load {load}")
+    p = star.n_workers
+    if order is None:
+        # The classical heuristic order: decreasing bandwidth.
+        order = sorted(
+            range(p), key=lambda i: -star.worker_bandwidths[i]
+        )
+    if sorted(order) != list(range(p)):
+        raise PlatformError(f"order {order} is not a permutation of 0..{p - 1}")
+    if load == 0:
+        return 0.0, np.zeros(p + 1)
+
+    s = [star.worker_speeds[i] for i in order]
+    bw = [star.worker_bandwidths[i] for i in order]
+
+    # Unit-T solution: take T = 1 and compute relative chunk sizes.
+    #   first worker:  a_1 * (1/s_1 + 1/bw_1) = 1
+    #   recurrence:    a_i * (1/s_i + 1/bw_i) = a_{i-1} / s_{i-1}
+    #   master:        a_0 = s_0 * 1
+    rel = np.zeros(p)
+    if p:
+        rel[0] = 1.0 / (1.0 / s[0] + 1.0 / bw[0])
+        for i in range(1, p):
+            rel[i] = rel[i - 1] * (1.0 / s[i - 1]) / (1.0 / s[i] + 1.0 / bw[i])
+    master_rel = star.master_speed  # a_0 for T = 1
+
+    total_rel = master_rel + float(rel.sum())
+    if total_rel <= 0:
+        raise PlatformError("star has no compute capacity at all")
+    makespan = load / total_rel
+
+    chunks = np.zeros(p + 1)
+    chunks[0] = master_rel * makespan
+    for pos, i in enumerate(order):
+        chunks[1 + i] = rel[pos] * makespan
+    return float(makespan), chunks
+
+
+def _steady_state_chunks(star: StarNetwork, round_load: float) -> np.ndarray:
+    """Per-round chunks proportional to the bandwidth-centric rates."""
+    budget = 1.0
+    x = np.zeros(star.n_workers)
+    for i in sorted(range(star.n_workers), key=lambda i: -star.worker_bandwidths[i]):
+        if budget <= 0:
+            break
+        x[i] = min(star.worker_speeds[i], budget * star.worker_bandwidths[i])
+        budget -= x[i] / star.worker_bandwidths[i]
+    rates = np.concatenate(([star.master_speed], x))
+    total = rates.sum()
+    if total <= 0:
+        raise PlatformError("star has no compute capacity at all")
+    return rates / total * round_load
+
+
+def multi_round_makespan(
+    star: StarNetwork,
+    load: float,
+    rounds: int,
+    order: "list[int] | None" = None,
+    proportions: str = "single-round",
+) -> float:
+    """Makespan of R equal pipelined rounds (one-port master).
+
+    Each round distributes ``load / rounds``; round ``r+1``'s sends
+    start as soon as the one-port master finished round ``r``'s sends,
+    and each worker computes its chunks back to back.
+
+    Parameters
+    ----------
+    proportions:
+        ``"single-round"`` reuses the one-round closed-form chunk ratios
+        (the textbook uniform multi-round scheme); ``"steady-state"``
+        splits each round proportionally to the bandwidth-centric
+        steady-state rates, which is the mix whose pipelined throughput
+        converges to :func:`steady_state_throughput_one_port` as the
+        load and round count grow — the asymptotic-optimality theorem
+        the paper's relaxation rests on.
+    """
+    if rounds < 1:
+        raise PlatformError(f"need at least one round, got {rounds}")
+    if load == 0:
+        return 0.0
+    p = star.n_workers
+    if order is None:
+        order = sorted(range(p), key=lambda i: -star.worker_bandwidths[i])
+    if proportions == "single-round":
+        _, chunks = single_round_makespan(star, load / rounds, order)
+    elif proportions == "steady-state":
+        chunks = _steady_state_chunks(star, load / rounds)
+    else:
+        raise PlatformError(
+            f"unknown proportions {proportions!r}; "
+            "use 'single-round' or 'steady-state'"
+        )
+
+    bw = star.worker_bandwidths
+    s = star.worker_speeds
+
+    port_free = 0.0  # when the master's port is next available
+    worker_free = np.zeros(p)  # when each worker finishes computing
+    master_done = (
+        (chunks[0] * rounds) / star.master_speed if star.master_speed > 0 else 0.0
+    )
+    for _ in range(rounds):
+        t = port_free
+        for i in order:
+            if chunks[1 + i] <= 0:
+                continue
+            arrive = t + chunks[1 + i] / bw[i]
+            start = max(arrive, worker_free[i])
+            worker_free[i] = start + chunks[1 + i] / s[i]
+            t = arrive
+        port_free = t
+    finish = max(float(worker_free.max(initial=0.0)), master_done)
+    return finish
+
+
+def steady_state_throughput_one_port(star: StarNetwork) -> float:
+    """Bandwidth-centric steady-state optimum [Banino et al. 2004].
+
+    Maximise ``s_0 + sum x_i`` subject to ``0 <= x_i <= s_i`` and the
+    one-port constraint ``sum x_i / bw_i <= 1``: saturate workers in
+    decreasing-bandwidth order until the port is fully busy.
+    """
+    budget = 1.0  # fraction of the master's port-time available
+    total = star.master_speed
+    for i in sorted(range(star.n_workers), key=lambda i: -star.worker_bandwidths[i]):
+        if budget <= 0:
+            break
+        s_i = star.worker_speeds[i]
+        bw_i = star.worker_bandwidths[i]
+        # Feeding x_i load/time costs x_i / bw_i port-time per time unit.
+        x = min(s_i, budget * bw_i)
+        total += x
+        budget -= x / bw_i
+    return float(total)
+
+
+def steady_state_throughput_multi_port(star: StarNetwork) -> float:
+    """Fluid multi-port bound: ``s_0 + sum min(s_i, bw_i)``.
+
+    This is what :func:`repro.platform.cluster.equivalent_star_speed`
+    computes; it dominates the one-port value (relaxing the port
+    constraint can only help).
+    """
+    return float(
+        star.master_speed
+        + sum(min(s, b) for s, b in zip(star.worker_speeds, star.worker_bandwidths))
+    )

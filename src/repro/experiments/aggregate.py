@@ -1,0 +1,100 @@
+"""Aggregations over experiment rows: the numbers the paper reports.
+
+* :func:`mean_ratio_by_k` — the y-values of Figures 5/6 (objective value
+  relative to the LP bound, averaged per K);
+* :func:`headline_ratios` — Section 6.1's "the ratio of the objective
+  values achieved by LPRG to that by G is 1.98 for MAXMIN and 1.02 for
+  SUM";
+* :func:`lpr_failure_stats` — Section 6.1's observation that LPR wastes
+  network capacity and sometimes rounds every beta to zero;
+* :func:`runtime_by_k` — the series of Figure 7.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentRow
+
+
+def _group(rows: Sequence[ExperimentRow], method: str, objective: str):
+    return [r for r in rows if r.method == method and r.objective == objective]
+
+
+def mean_ratio_by_k(
+    rows: Sequence[ExperimentRow], method: str, objective: str
+) -> list[tuple[int, float]]:
+    """Average value/LP ratio per K for one method+objective (Fig 5/6)."""
+    buckets: dict[int, list[float]] = defaultdict(list)
+    for r in _group(rows, method, objective):
+        buckets[r.setting.k].append(r.ratio)
+    return [(k, float(np.mean(v))) for k, v in sorted(buckets.items())]
+
+
+def pairwise_value_ratio(
+    rows: Sequence[ExperimentRow],
+    numerator: str,
+    denominator: str,
+    objective: str,
+) -> float:
+    """Mean per-platform ratio ``value(numerator) / value(denominator)``.
+
+    Platforms where the denominator achieved 0 are skipped when the
+    numerator is also 0 (0/0 -> uninformative) and counted as ratio of
+    +inf capped to the numerator's ratio-to-LP otherwise; in practice
+    the greedy never scores 0 when any work is feasible.
+    """
+    num_rows = _group(rows, numerator, objective)
+    den_rows = _group(rows, denominator, objective)
+    if len(num_rows) != len(den_rows):
+        raise ValueError(
+            f"cannot pair {numerator} ({len(num_rows)} rows) with "
+            f"{denominator} ({len(den_rows)} rows); run both in one sweep"
+        )
+    ratios = []
+    for nr, dr in zip(num_rows, den_rows):
+        if nr.setting != dr.setting or nr.replicate != dr.replicate:
+            raise ValueError("row streams out of sync; run both methods in one sweep")
+        if dr.value <= 0:
+            if nr.value > 0:
+                ratios.append(np.inf)
+            continue
+        ratios.append(nr.value / dr.value)
+    finite = [r for r in ratios if np.isfinite(r)]
+    return float(np.mean(finite)) if finite else float("nan")
+
+
+def headline_ratios(rows: Sequence[ExperimentRow]) -> dict[str, float]:
+    """LPRG/G mean value ratios per objective (paper: 1.98 / 1.02)."""
+    return {
+        objective: pairwise_value_ratio(rows, "lprg", "greedy", objective)
+        for objective in ("maxmin", "sum")
+    }
+
+
+def lpr_failure_stats(
+    rows: Sequence[ExperimentRow], zero_tol: float = 1e-9
+) -> dict[str, float]:
+    """How badly LPR underperforms: mean ratio-to-LP and zero-value rate."""
+    lpr_rows = [r for r in rows if r.method == "lpr"]
+    if not lpr_rows:
+        return {"mean_ratio": float("nan"), "zero_fraction": float("nan")}
+    ratios = [r.ratio for r in lpr_rows]
+    zeros = [r.value <= zero_tol for r in lpr_rows]
+    return {
+        "mean_ratio": float(np.mean(ratios)),
+        "zero_fraction": float(np.mean(zeros)),
+    }
+
+
+def runtime_by_k(
+    rows: Sequence[ExperimentRow], method: str, objective: str = "maxmin"
+) -> list[tuple[int, float]]:
+    """Mean wall-clock runtime per K (the series of Figure 7)."""
+    buckets: dict[int, list[float]] = defaultdict(list)
+    for r in _group(rows, method, objective):
+        buckets[r.setting.k].append(r.runtime)
+    return [(k, float(np.mean(v))) for k, v in sorted(buckets.items())]

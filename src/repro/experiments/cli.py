@@ -1,0 +1,137 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Examples
+--------
+::
+
+    python -m repro.experiments figure5 --k 5 15 25 --settings-per-k 3
+    python -m repro.experiments figure6
+    python -m repro.experiments figure7 --k 10 20 30
+    python -m repro.experiments headline --settings 20
+    python -m repro.experiments trends --settings 12
+    python -m repro.experiments grid          # print Table 1
+
+Each subcommand prints the numeric series (and an ASCII plot) to stdout;
+seeds make every run reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.aggregate import headline_ratios, lpr_failure_stats
+from repro.experiments.config import PAPER_GRID, grid_size, sample_settings
+from repro.experiments.figures import figure5, figure6, figure7
+from repro.experiments.report import render_figure
+from repro.experiments.runner import run_sweep
+from repro.experiments.trends import render_trends
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p5 = sub.add_parser("figure5", help="LPRG and G vs LP bound over K")
+    p5.add_argument("--k", type=int, nargs="+", default=[5, 15, 25, 35])
+    p5.add_argument("--settings-per-k", type=int, default=3)
+    p5.add_argument("--platforms", type=int, default=3)
+    _add_common(p5)
+
+    p6 = sub.add_parser("figure6", help="LPRR vs G on small-K topologies")
+    p6.add_argument("--k", type=int, nargs="+", default=[15, 20, 25])
+    p6.add_argument("--settings-per-k", type=int, default=2)
+    p6.add_argument("--platforms", type=int, default=2)
+    _add_common(p6)
+
+    p7 = sub.add_parser("figure7", help="running times over K (log scale)")
+    p7.add_argument("--k", type=int, nargs="+", default=[10, 15, 20, 25])
+    p7.add_argument("--no-lprr", action="store_true")
+    _add_common(p7)
+
+    ph = sub.add_parser("headline", help="Section 6.1 LPRG/G ratios")
+    ph.add_argument("--settings", type=int, default=12)
+    ph.add_argument("--platforms", type=int, default=2)
+    _add_common(ph)
+
+    pt = sub.add_parser("trends", help="Section 6.1 parameter-trend mining")
+    pt.add_argument("--settings", type=int, default=12)
+    pt.add_argument("--platforms", type=int, default=2)
+    pt.add_argument("--objective", choices=["maxmin", "sum"], default="sum")
+    _add_common(pt)
+
+    sub.add_parser("grid", help="print the Table-1 parameter grid")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "figure5":
+        fig = figure5(
+            k_values=tuple(args.k),
+            settings_per_k=args.settings_per_k,
+            platforms_per_setting=args.platforms,
+            rng=args.seed,
+        )
+        print(render_figure(fig))
+    elif args.command == "figure6":
+        fig = figure6(
+            k_values=tuple(args.k),
+            settings_per_k=args.settings_per_k,
+            platforms_per_setting=args.platforms,
+            rng=args.seed,
+        )
+        print(render_figure(fig))
+    elif args.command == "figure7":
+        fig = figure7(
+            k_values=tuple(args.k),
+            include_lprr=not args.no_lprr,
+            rng=args.seed,
+        )
+        print(render_figure(fig))
+    elif args.command == "headline":
+        settings = sample_settings(args.settings, rng=args.seed, k_values=[5, 15, 25])
+        rows = run_sweep(
+            settings,
+            methods=("greedy", "lprg"),
+            objectives=("maxmin", "sum"),
+            n_platforms=args.platforms,
+            rng=args.seed,
+        )
+        ratios = headline_ratios(rows)
+        print("LPRG/G value ratios   [paper: MAXMIN 1.98, SUM 1.02]")
+        print(f"  MAXMIN: {ratios['maxmin']:.3f}")
+        print(f"  SUM:    {ratios['sum']:.3f}")
+    elif args.command == "trends":
+        settings = sample_settings(args.settings, rng=args.seed, k_values=[15])
+        rows = run_sweep(
+            settings,
+            methods=("greedy", "lpr", "lprg"),
+            objectives=(args.objective,),
+            n_platforms=args.platforms,
+            rng=args.seed,
+        )
+        print(render_trends(rows, args.objective))
+        stats = lpr_failure_stats(rows)
+        print(
+            f"\nLPR failure stats: mean ratio {stats['mean_ratio']:.3f}, "
+            f"zero fraction {stats['zero_fraction']:.3f}"
+        )
+    elif args.command == "grid":
+        print("Table 1 parameter grid:")
+        for name, values in PAPER_GRID.items():
+            print(f"  {name:<14} {list(values)}")
+        print(f"  -> {grid_size():,} settings x 10 platforms each")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

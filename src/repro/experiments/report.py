@@ -1,0 +1,47 @@
+"""Terminal rendering of figure reproductions.
+
+``render_figure`` prints the numeric series as a table plus an ASCII
+plot; the output is what EXPERIMENTS.md quotes as "measured" values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureData
+from repro.util.ascii_plot import ascii_series_plot
+from repro.util.tables import TextTable
+
+
+def render_figure(fig: FigureData, width: int = 64, height: int = 16) -> str:
+    """Render a :class:`FigureData` as table + ASCII plot + notes."""
+    lines = [fig.title, ""]
+
+    # Numeric table: one row per x, one column per series.
+    xs = sorted({x for pts in fig.series.values() for x, _ in pts})
+    table = TextTable(["K"] + list(fig.series.keys()), float_fmt=".4g")
+    by_series = {name: dict(pts) for name, pts in fig.series.items()}
+    for x in xs:
+        table.add_row(
+            [int(x)]
+            + [
+                by_series[name].get(x, float("nan"))
+                for name in fig.series
+            ]
+        )
+    lines.append(table.render())
+    lines.append("")
+    lines.append(
+        ascii_series_plot(fig.series, width=width, height=height, logy=fig.logy)
+    )
+    if fig.notes:
+        lines.append("")
+        lines.append("notes:")
+        for key, value in fig.notes.items():
+            if isinstance(value, dict):
+                pretty = ", ".join(
+                    f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in value.items()
+                )
+                lines.append(f"  {key}: {pretty}")
+            else:
+                lines.append(f"  {key}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Trend mining over platform characteristics (Section 6.1, last
+paragraph).
+
+The paper: "We have mined our results to identify potential trends about
+how platform characteristics impact the relative performance of our
+heuristics. No clear trend emerges in the MAXMIN case [...]. The
+relative performance of G and LPRG is more regular in the SUM case, but
+we found that variations in platform parameters besides K (i.e.,
+connectivity, heterogeneity, g, bw, or maxcon) does not lead to
+significant variations in relative performance."
+
+:func:`trend_table` groups the sweep rows by each platform parameter and
+reports the LPRG/G advantage per bucket; :func:`trend_spread` condenses
+each parameter's influence into a single spread number so the "no
+significant variation" claim becomes a measurable assertion.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentRow
+from repro.util.tables import TextTable
+
+#: the Table-1 parameters other than K, with row accessors
+PARAMETERS: dict[str, Callable[[ExperimentRow], float]] = {
+    "connectivity": lambda r: r.setting.connectivity,
+    "heterogeneity": lambda r: r.setting.heterogeneity,
+    "mean_g": lambda r: r.setting.mean_g,
+    "mean_bw": lambda r: r.setting.mean_bw,
+    "mean_maxcon": lambda r: r.setting.mean_maxcon,
+}
+
+
+def _paired_ratios(
+    rows: Sequence[ExperimentRow],
+    numerator: str,
+    denominator: str,
+    objective: str,
+) -> list[tuple[ExperimentRow, float]]:
+    """Per-platform (row, num/den value ratio) pairs for one objective."""
+    num = [r for r in rows if r.method == numerator and r.objective == objective]
+    den = [r for r in rows if r.method == denominator and r.objective == objective]
+    if len(num) != len(den):
+        raise ValueError(
+            f"cannot pair {numerator} ({len(num)} rows) with {denominator} "
+            f"({len(den)} rows); run both methods in one sweep"
+        )
+    out = []
+    for nr, dr in zip(num, den):
+        if nr.setting != dr.setting or nr.replicate != dr.replicate:
+            raise ValueError("row streams out of sync; run both methods in one sweep")
+        if dr.value > 0:
+            out.append((nr, nr.value / dr.value))
+    return out
+
+
+def trend_table(
+    rows: Sequence[ExperimentRow],
+    parameter: str,
+    objective: str,
+    numerator: str = "lprg",
+    denominator: str = "greedy",
+) -> list[tuple[float, float, int]]:
+    """Mean numerator/denominator value ratio per bucket of ``parameter``.
+
+    Returns ``[(parameter_value, mean_ratio, n_samples), ...]`` sorted by
+    parameter value.
+    """
+    try:
+        accessor = PARAMETERS[parameter]
+    except KeyError:
+        raise ValueError(
+            f"unknown parameter {parameter!r}; choose from {sorted(PARAMETERS)}"
+        ) from None
+    buckets: dict[float, list[float]] = defaultdict(list)
+    for row, ratio in _paired_ratios(rows, numerator, denominator, objective):
+        buckets[accessor(row)].append(ratio)
+    return [
+        (value, float(np.mean(ratios)), len(ratios))
+        for value, ratios in sorted(buckets.items())
+    ]
+
+
+def trend_spread(
+    rows: Sequence[ExperimentRow],
+    objective: str,
+    numerator: str = "lprg",
+    denominator: str = "greedy",
+) -> dict[str, float]:
+    """Max-minus-min of per-bucket mean ratios, for every parameter.
+
+    A small spread for a parameter means it does not materially change
+    the heuristics' relative performance — the paper's finding for
+    everything except K.
+    """
+    out = {}
+    for parameter in PARAMETERS:
+        table = trend_table(rows, parameter, objective, numerator, denominator)
+        if table:
+            means = [m for _, m, _ in table]
+            out[parameter] = float(max(means) - min(means))
+        else:
+            out[parameter] = float("nan")
+    return out
+
+
+def render_trends(
+    rows: Sequence[ExperimentRow], objective: str
+) -> str:
+    """Readable multi-parameter trend report (LPRG/G)."""
+    lines = [f"LPRG/G value-ratio trends, objective = {objective.upper()}"]
+    for parameter in PARAMETERS:
+        table = TextTable([parameter, "LPRG/G", "n"], float_fmt=".3f")
+        for value, mean, n in trend_table(rows, parameter, objective):
+            table.add_row([value, mean, n])
+        lines.append("")
+        lines.append(table.render())
+    spread = trend_spread(rows, objective)
+    lines.append("")
+    lines.append(
+        "per-parameter spread of the mean ratio: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in spread.items())
+    )
+    return "\n".join(lines)

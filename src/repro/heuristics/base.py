@@ -1,0 +1,142 @@
+"""Heuristic interface, result record, and registry.
+
+Every algorithm — the four heuristics of Section 5, the LP upper bound
+and the exact solvers — implements :class:`Heuristic` and registers
+itself by name, so the experiment harness can sweep over algorithms
+uniformly and :func:`repro.core.solve.solve` can dispatch by string.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.allocation import Allocation
+    from repro.core.problem import SteadyStateProblem
+
+
+@dataclass
+class HeuristicResult:
+    """Outcome of running one algorithm on one problem.
+
+    Attributes
+    ----------
+    method:
+        Registered algorithm name.
+    objective:
+        Objective name the problem was solved under.
+    value:
+        Objective value achieved. For ``lp`` this is an *upper bound*
+        (the relaxation is generally not realizable), for everything
+        else it is the value of ``allocation``.
+    allocation:
+        The valid integer-beta allocation, or ``None`` for the pure
+        relaxation bound.
+    runtime:
+        Wall-clock seconds spent inside the algorithm.
+    n_lp_solves:
+        Number of LP relaxations solved (0 for the greedy).
+    meta:
+        Algorithm-specific extras (e.g. the raw LP solution).
+    """
+
+    method: str
+    objective: str
+    value: float
+    allocation: "Allocation | None"
+    runtime: float
+    n_lp_solves: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def is_schedule(self) -> bool:
+        """True when the result is realizable (has an allocation)."""
+        return self.allocation is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"HeuristicResult({self.method}, {self.objective}, "
+            f"value={self.value:.6g}, runtime={self.runtime:.4g}s)"
+        )
+
+
+class Heuristic:
+    """Base class: subclasses implement :meth:`_solve` and set ``name``."""
+
+    #: registry key; subclasses must override
+    name: str = "abstract"
+    #: additional lookup aliases
+    aliases: tuple[str, ...] = ()
+
+    def run(
+        self,
+        problem: "SteadyStateProblem",
+        rng: "int | np.random.Generator | None" = None,
+        **kwargs,
+    ) -> HeuristicResult:
+        """Solve ``problem``, timing the algorithm body."""
+        rng = ensure_rng(rng)
+        start = time.perf_counter()
+        result = self._solve(problem, rng, **kwargs)
+        result.runtime = time.perf_counter() - start
+        return result
+
+    def _solve(
+        self, problem: "SteadyStateProblem", rng: np.random.Generator, **kwargs
+    ) -> HeuristicResult:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, Heuristic] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_heuristic(cls: "Callable[[], Heuristic]") -> "Callable[[], Heuristic]":
+    """Class decorator: instantiate and register under name + aliases."""
+    instance = cls()
+    key = instance.name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"duplicate heuristic name {key!r}")
+    _REGISTRY[key] = instance
+    for alias in instance.aliases:
+        _ALIASES[alias.lower()] = key
+    return cls
+
+
+def registry() -> dict[str, Heuristic]:
+    """Name -> instance mapping of all registered algorithms."""
+    _ensure_loaded()
+    return dict(_REGISTRY)
+
+
+def get_heuristic(name: str) -> Heuristic:
+    """Look an algorithm up by name or alias (case-insensitive)."""
+    _ensure_loaded()
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = sorted(set(_REGISTRY) | set(_ALIASES))
+        raise ValueError(f"unknown method {name!r}; known: {known}") from None
+
+
+def _ensure_loaded() -> None:
+    """Import the implementation modules so their decorators run."""
+    from repro.heuristics import (  # noqa: F401
+        bounds,
+        greedy,
+        lpr,
+        lprg,
+        lprg_iterated,
+        lprr,
+    )

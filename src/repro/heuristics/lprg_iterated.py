@@ -1,0 +1,118 @@
+"""Iterated LPRG — an extension heuristic beyond the paper.
+
+LPRG applies round-down once and hands the residual capacity to the
+greedy. The iterated variant closes the loop instead: after charging the
+rounded allocation, it *re-solves the LP on the residual platform*
+(with the already-secured throughput folded into the MAXMIN rows) and
+rounds again, repeating until rounding adds nothing; only then does the
+greedy mop up. Each iteration costs one LP solve, so ``max_iters``
+iterations sit between LPRG (1 solve) and LPRR (~K^2 solves) on the
+cost/quality spectrum of Figure 7 — the natural "what's between LPRG and
+LPRR?" question the paper leaves open.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.problem import SteadyStateProblem
+from repro.heuristics.base import Heuristic, HeuristicResult, register_heuristic
+from repro.heuristics.greedy import greedy_allocate
+from repro.heuristics.lpr import round_down
+from repro.heuristics.lprg import charge_ledger
+from repro.lp.builder import build_lp
+from repro.lp.scipy_backend import solve_lp_scipy
+from repro.platform.cluster import Cluster
+from repro.platform.links import BackboneLink
+from repro.platform.routing import Route
+from repro.platform.topology import CapacityLedger, Platform
+
+#: an iteration that adds less than this much load is considered dry
+_PROGRESS_TOL = 1e-7
+
+
+def residual_platform(ledger: CapacityLedger) -> Platform:
+    """Snapshot the ledger as a platform with residual capacities.
+
+    Clusters keep their names and routers; speeds/local capacities come
+    from the ledger; backbone links keep their bandwidth but their
+    ``max_connect`` becomes the residual connection count. Routes are
+    re-pinned to the original paths with re-derived connection caps, so
+    explicitly-routed platforms (e.g. the NP-hardness family) survive.
+    """
+    base = ledger.platform
+    clusters = [
+        Cluster(c.name, float(ledger.speed[k]), float(ledger.local[k]), c.router)
+        for k, c in enumerate(base.clusters)
+    ]
+    links = [
+        BackboneLink(
+            name=li.name,
+            ends=li.ends,
+            bw=li.bw,
+            max_connect=int(ledger.connections[name]),
+        )
+        for name, li in base.links.items()
+    ]
+    caps = {li.name: li.max_connect for li in links}
+    routes = {}
+    for pair in base.routed_pairs():
+        route = base.route(*pair)
+        routes[pair] = Route(
+            routers=route.routers,
+            links=route.links,
+            bandwidth=route.bandwidth,
+            connection_cap=(
+                min(caps[name] for name in route.links) if route.links else 0
+            ),
+        )
+    return Platform(clusters, base.routers, links, routes=routes)
+
+
+@register_heuristic
+class IteratedLPRGHeuristic(Heuristic):
+    """LP -> round down -> charge -> re-solve on residual -> ... -> greedy."""
+
+    name = "lprg-it"
+    aliases = ("lprgi", "iterated-lprg")
+
+    def _solve(
+        self,
+        problem: SteadyStateProblem,
+        rng: np.random.Generator,
+        max_iters: int = 4,
+        **kwargs,
+    ) -> HeuristicResult:
+        if max_iters < 1:
+            raise ValueError(f"max_iters must be >= 1, got {max_iters}")
+        platform = problem.platform
+        K = platform.n_clusters
+        ledger = CapacityLedger(platform)
+        total = Allocation.zeros(K)
+        n_solves = 0
+
+        for _ in range(max_iters):
+            current = residual_platform(ledger)
+            sub_problem = SteadyStateProblem(
+                current, problem.applications, problem.objective
+            )
+            relaxed = solve_lp_scipy(
+                build_lp(sub_problem, base_throughputs=total.throughputs)
+            )
+            n_solves += 1
+            increment = round_down(sub_problem, relaxed)
+            if increment.throughputs.sum() <= _PROGRESS_TOL:
+                break
+            charge_ledger(ledger, increment)
+            total = total.merged_with(increment)
+
+        alloc = greedy_allocate(problem, ledger=ledger, base=total)
+        return HeuristicResult(
+            method=self.name,
+            objective=problem.objective.name,
+            value=problem.objective_value(alloc),
+            allocation=alloc,
+            runtime=0.0,
+            n_lp_solves=n_solves,
+        )

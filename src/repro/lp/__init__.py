@@ -1,0 +1,35 @@
+"""LP substrate: program (7) in matrix form plus solver backends.
+
+* :mod:`repro.lp.indexing` / :mod:`repro.lp.builder` assemble the
+  steady-state LP (rational relaxation of program (7)) as sparse
+  matrices;
+* :mod:`repro.lp.scipy_backend` solves it with HiGHS
+  (``scipy.optimize.linprog``);
+* :mod:`repro.lp.simplex` is a from-scratch dense two-phase simplex —
+  the stand-in for the paper's ``lp_solve`` package — cross-checked
+  against HiGHS in the test suite;
+* :mod:`repro.lp.milp_backend` and :mod:`repro.lp.branch_and_bound`
+  solve the *mixed* program exactly (HiGHS MILP and our own LP-based
+  branch-and-bound), something the paper could not afford in 2004.
+"""
+
+from repro.lp.indexing import VariableIndex
+from repro.lp.builder import LPInstance, build_lp
+from repro.lp.solution import LPSolution
+from repro.lp.scipy_backend import solve_lp_scipy
+from repro.lp.milp_backend import solve_milp_scipy
+from repro.lp.simplex import SimplexResult, simplex_solve
+from repro.lp.branch_and_bound import BranchAndBoundResult, solve_branch_and_bound
+
+__all__ = [
+    "VariableIndex",
+    "LPInstance",
+    "build_lp",
+    "LPSolution",
+    "solve_lp_scipy",
+    "solve_milp_scipy",
+    "SimplexResult",
+    "simplex_solve",
+    "BranchAndBoundResult",
+    "solve_branch_and_bound",
+]

@@ -1,0 +1,218 @@
+"""Sparse matrix assembly of program (7).
+
+``build_lp`` turns a :class:`~repro.core.problem.SteadyStateProblem`
+into an :class:`LPInstance` in the canonical form
+
+    maximize  obj @ x
+    s.t.      A_ub @ x <= b_ub,     lb <= x <= ub
+
+with rows for Equations (7b) compute capacity, (7c) local links,
+(7d) backbone connection counts, (7e) route bandwidth, and — for the
+MAXMIN objective — the linearisation rows ``t - pi_k * sum_l alpha[k,l]
+<= 0``. The matrix is built in COO triplets and converted to CSR once,
+so assembly stays O(non-zeros) even for large ``K``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.objectives import Objective, get_objective
+from repro.core.problem import SteadyStateProblem
+from repro.lp.indexing import VariableIndex
+
+
+@dataclass
+class LPInstance:
+    """Program (7) in matrix form (maximisation sense).
+
+    Attributes
+    ----------
+    obj:
+        Objective coefficients; the LP maximises ``obj @ x``.
+    A_ub, b_ub:
+        Inequality system ``A_ub @ x <= b_ub`` (CSR sparse matrix).
+    lb, ub:
+        Variable box bounds (``ub`` may contain ``np.inf``).
+    index:
+        The :class:`~repro.lp.indexing.VariableIndex` mapping flat
+        positions back to ``alpha``/``beta`` entries.
+    row_labels:
+        One short label per row of ``A_ub`` (diagnostics and tests).
+    """
+
+    obj: np.ndarray
+    A_ub: sp.csr_matrix
+    b_ub: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    index: VariableIndex
+    row_labels: list = field(default_factory=list)
+
+    @property
+    def n_vars(self) -> int:
+        return self.obj.shape[0]
+
+    @property
+    def n_rows(self) -> int:
+        return self.A_ub.shape[0]
+
+    def bounds_list(self) -> list:
+        """Bounds in the ``[(lo, hi), ...]`` form ``linprog`` expects."""
+        return [
+            (float(lo), None if np.isinf(hi) else float(hi))
+            for lo, hi in zip(self.lb, self.ub)
+        ]
+
+    def with_bounds(self, lb: np.ndarray, ub: np.ndarray) -> "LPInstance":
+        """Copy sharing matrices but with different box bounds (B&B, LPRR)."""
+        return LPInstance(
+            obj=self.obj,
+            A_ub=self.A_ub,
+            b_ub=self.b_ub,
+            lb=np.asarray(lb, dtype=float),
+            ub=np.asarray(ub, dtype=float),
+            index=self.index,
+            row_labels=self.row_labels,
+        )
+
+
+class _COOBuilder:
+    """Accumulate (row, col, value) triplets for one CSR conversion."""
+
+    def __init__(self):
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.vals: list[float] = []
+        self.rhs: list[float] = []
+        self.labels: list[str] = []
+
+    def new_row(self, rhs: float, label: str) -> int:
+        self.rhs.append(float(rhs))
+        self.labels.append(label)
+        return len(self.rhs) - 1
+
+    def set(self, row: int, col: int, value: float) -> None:
+        self.rows.append(row)
+        self.cols.append(col)
+        self.vals.append(float(value))
+
+    def to_csr(self, n_vars: int) -> tuple[sp.csr_matrix, np.ndarray]:
+        matrix = sp.coo_matrix(
+            (self.vals, (self.rows, self.cols)), shape=(len(self.rhs), n_vars)
+        ).tocsr()
+        return matrix, np.asarray(self.rhs, dtype=float)
+
+
+def build_lp(
+    problem: SteadyStateProblem,
+    objective: "str | Objective | None" = None,
+    base_throughputs: "np.ndarray | None" = None,
+) -> LPInstance:
+    """Assemble the rational relaxation of program (7).
+
+    Parameters
+    ----------
+    problem:
+        Platform + applications; the objective defaults to
+        ``problem.objective`` but can be overridden.
+    base_throughputs:
+        Per-application throughput already secured outside this LP
+        (iterated heuristics solve on *residual* capacity). Under MAXMIN
+        the linearisation rows become ``t - pi_k * sum_l alpha[k, l] <=
+        pi_k * base_k`` so ``t`` bounds the combined value; under SUM the
+        base is a constant and changes nothing.
+    """
+    platform = problem.platform
+    obj_fn = get_objective(objective) if objective is not None else problem.objective
+    payoffs = problem.payoffs
+    K = platform.n_clusters
+    if base_throughputs is None:
+        base_throughputs = np.zeros(K)
+    else:
+        base_throughputs = np.asarray(base_throughputs, dtype=float)
+        if base_throughputs.shape != (K,):
+            raise ValueError(
+                f"base_throughputs must have shape ({K},), got "
+                f"{base_throughputs.shape}"
+            )
+
+    index = VariableIndex(platform, with_t=(obj_fn.name == "maxmin"))
+    n = index.n_vars
+    builder = _COOBuilder()
+
+    # (7b) compute capacity: sum_l alpha[l, k] <= s_k
+    speeds = platform.speeds
+    compute_rows = [builder.new_row(speeds[k], f"compute[{k}]") for k in range(K)]
+    # (7c) local link: sum_{l != k} alpha[k, l] + sum_{j != k} alpha[j, k] <= g_k
+    g = platform.local_capacities
+    local_rows = [builder.new_row(g[k], f"local[{k}]") for k in range(K)]
+
+    for (k, l) in index.alpha_pairs:
+        col = index.alpha(k, l)
+        builder.set(compute_rows[l], col, 1.0)
+        if k != l:
+            builder.set(local_rows[k], col, 1.0)
+            builder.set(local_rows[l], col, 1.0)
+
+    # (7d) connection counts per backbone link
+    for name in sorted(platform.links):
+        link = platform.links[name]
+        pairs = [p for p in platform.routes_through(name) if index.has_beta(*p)]
+        if not pairs:
+            continue
+        row = builder.new_row(link.max_connect, f"connect[{name}]")
+        for (k, l) in pairs:
+            builder.set(row, index.beta(k, l), 1.0)
+
+    # (7e) route bandwidth: alpha[k, l] - beta[k, l] * bw_route <= 0
+    for (k, l) in index.beta_pairs:
+        bw = platform.route_bandwidth(k, l)
+        row = builder.new_row(0.0, f"bandwidth[{k},{l}]")
+        builder.set(row, index.alpha(k, l), 1.0)
+        builder.set(row, index.beta(k, l), -bw)
+
+    # MAXMIN linearisation: t - pi_k * alpha_k <= pi_k * base_k for
+    # participating apps (base_k = 0 in the plain formulation).
+    if index.with_t:
+        for k in range(K):
+            if payoffs[k] <= 0:
+                continue
+            row = builder.new_row(payoffs[k] * base_throughputs[k], f"maxmin[{k}]")
+            builder.set(row, index.t_index, 1.0)
+            for l in range(K):
+                if index.has_alpha(k, l):
+                    builder.set(row, index.alpha(k, l), -payoffs[k])
+
+    A_ub, b_ub = builder.to_csr(n)
+
+    # objective (maximisation sense)
+    obj = np.zeros(n, dtype=float)
+    if obj_fn.name == "sum":
+        for (k, l) in index.alpha_pairs:
+            obj[index.alpha(k, l)] = payoffs[k]
+    else:
+        obj[index.t_index] = 1.0
+
+    # box bounds: alpha >= 0 free above; beta in [0, route connection cap]
+    lb = np.zeros(n, dtype=float)
+    ub = np.full(n, np.inf, dtype=float)
+    for (k, l) in index.beta_pairs:
+        ub[index.beta(k, l)] = float(platform.route(k, l).connection_cap)
+    if index.with_t and not np.any(payoffs > 0):
+        # No participating application: the MAXMIN value is 0 by
+        # convention and t has no linearisation row to bound it.
+        ub[index.t_index] = 0.0
+
+    return LPInstance(
+        obj=obj,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        lb=lb,
+        ub=ub,
+        index=index,
+        row_labels=builder.labels,
+    )

@@ -1,0 +1,103 @@
+"""Variable layout of program (7).
+
+The LP vector ``x`` is laid out as::
+
+    [ alpha variables | beta variables | t (MAXMIN only) ]
+
+* one ``alpha`` variable per *allowed* ordered pair: the local pair
+  ``(k, k)`` for every cluster, plus every routed remote pair;
+* one ``beta`` variable per routed remote pair whose route traverses at
+  least one backbone link (pairs sharing a router need no connection
+  bookkeeping: only the local links constrain them);
+* the auxiliary ``t`` variable linearises the MAXMIN objective.
+
+Pairs without a route get no variable at all, which both shrinks the LP
+and encodes constraint "no traffic between disconnected clusters"
+structurally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.topology import Platform
+
+
+class VariableIndex:
+    """Bidirectional mapping between (kind, pair) and flat LP indices."""
+
+    def __init__(self, platform: Platform, with_t: bool):
+        K = platform.n_clusters
+        alpha_pairs: list[tuple[int, int]] = [(k, k) for k in range(K)]
+        beta_pairs: list[tuple[int, int]] = []
+        for (k, l) in platform.routed_pairs():
+            alpha_pairs.append((k, l))
+            if len(platform.route(k, l)) > 0:
+                beta_pairs.append((k, l))
+        alpha_pairs.sort()
+
+        self.platform = platform
+        self.n_clusters = K
+        self.alpha_pairs: tuple[tuple[int, int], ...] = tuple(alpha_pairs)
+        self.beta_pairs: tuple[tuple[int, int], ...] = tuple(beta_pairs)
+        self.n_alpha = len(alpha_pairs)
+        self.n_beta = len(beta_pairs)
+        self.with_t = with_t
+
+        self._alpha_of = {pair: i for i, pair in enumerate(alpha_pairs)}
+        self._beta_of = {
+            pair: self.n_alpha + i for i, pair in enumerate(beta_pairs)
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vars(self) -> int:
+        return self.n_alpha + self.n_beta + (1 if self.with_t else 0)
+
+    @property
+    def t_index(self) -> int:
+        """Flat index of the MAXMIN auxiliary variable ``t``."""
+        if not self.with_t:
+            raise ValueError("this LP has no t variable (SUM objective)")
+        return self.n_alpha + self.n_beta
+
+    def alpha(self, k: int, l: int) -> int:
+        """Flat index of ``alpha[k, l]``; KeyError for disallowed pairs."""
+        return self._alpha_of[(k, l)]
+
+    def beta(self, k: int, l: int) -> int:
+        """Flat index of ``beta[k, l]``; KeyError when the pair has none."""
+        return self._beta_of[(k, l)]
+
+    def has_alpha(self, k: int, l: int) -> bool:
+        return (k, l) in self._alpha_of
+
+    def has_beta(self, k: int, l: int) -> bool:
+        return (k, l) in self._beta_of
+
+    # ------------------------------------------------------------------
+    def alpha_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Scatter the alpha block of ``x`` into a dense (K, K) matrix."""
+        out = np.zeros((self.n_clusters, self.n_clusters), dtype=float)
+        for i, (k, l) in enumerate(self.alpha_pairs):
+            out[k, l] = x[i]
+        return out
+
+    def beta_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Scatter the beta block of ``x`` into a dense (K, K) float matrix."""
+        out = np.zeros((self.n_clusters, self.n_clusters), dtype=float)
+        for i, (k, l) in enumerate(self.beta_pairs):
+            out[k, l] = x[self.n_alpha + i]
+        return out
+
+    def integrality(self) -> np.ndarray:
+        """Integrality flags for :func:`scipy.optimize.milp` (1 = integer)."""
+        flags = np.zeros(self.n_vars, dtype=np.int8)
+        flags[self.n_alpha : self.n_alpha + self.n_beta] = 1
+        return flags
+
+    def __repr__(self) -> str:
+        return (
+            f"VariableIndex(K={self.n_clusters}, alpha={self.n_alpha}, "
+            f"beta={self.n_beta}, t={self.with_t})"
+        )

@@ -1,0 +1,232 @@
+"""A from-scratch dense two-phase primal simplex solver.
+
+The paper solved its linear programs with the ``lp_solve`` package
+(reference [9]); this module is the in-repo stand-in so the whole
+pipeline can run without any external LP library. It is a classical
+tableau implementation with Bland's anti-cycling rule:
+
+* problem form: ``maximize c @ x  s.t.  A @ x <= b,  lb <= x <= ub``
+  (finite lower bounds are shifted out; finite upper bounds become
+  explicit rows);
+* phase 1 introduces artificial variables only for rows whose shifted
+  right-hand side is negative, then minimises their sum;
+* phase 2 optimises the real objective with artificial columns barred
+  from re-entering the basis.
+
+It is deliberately simple and dense — O(m·n) per pivot — which is fine
+for the moderate instances used in tests and the ablation benchmark.
+The HiGHS backend remains the production path; the test-suite
+cross-checks the two on random LPs and on real program-(7) instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import SolverError
+
+#: numerical tolerance for reduced costs / pivot eligibility
+_EPS = 1e-9
+
+
+@dataclass
+class SimplexResult:
+    """Outcome of :func:`simplex_solve`.
+
+    ``status`` is one of ``"optimal"``, ``"infeasible"``, ``"unbounded"``
+    or ``"iteration_limit"``; ``x`` and ``value`` are meaningful only
+    when optimal.
+    """
+
+    status: str
+    x: "np.ndarray | None" = None
+    value: float = float("nan")
+    iterations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "optimal"
+
+
+def _pivot(T: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """Gauss-Jordan pivot of the tableau on (row, col)."""
+    T[row] /= T[row, col]
+    pivot_col = T[:, col].copy()
+    pivot_col[row] = 0.0
+    T -= np.outer(pivot_col, T[row])
+    basis[row] = col
+
+
+def _run_phase(
+    T: np.ndarray,
+    basis: np.ndarray,
+    allowed: np.ndarray,
+    max_iter: int,
+) -> tuple[str, int]:
+    """Drive the tableau to optimality with Bland's rule.
+
+    ``T`` has the objective (reduced-cost) row last; ``allowed`` masks
+    columns permitted to enter the basis. Returns (status, iterations).
+    """
+    m = T.shape[0] - 1
+    for it in range(max_iter):
+        rc = T[-1, :-1]
+        candidates = np.nonzero((rc > _EPS) & allowed)[0]
+        if candidates.size == 0:
+            return "optimal", it
+        col = int(candidates[0])  # Bland: smallest eligible index
+        column = T[:m, col]
+        rhs = T[:m, -1]
+        eligible = column > _EPS
+        if not np.any(eligible):
+            return "unbounded", it
+        ratios = np.full(m, np.inf)
+        ratios[eligible] = rhs[eligible] / column[eligible]
+        best = np.min(ratios)
+        # Bland tie-break: among minimal ratios pick smallest basis index.
+        tied = np.nonzero(np.isclose(ratios, best, rtol=0.0, atol=1e-12))[0]
+        row = int(tied[np.argmin(basis[tied])])
+        _pivot(T, basis, row, col)
+    return "iteration_limit", max_iter
+
+
+def simplex_solve(
+    c: Sequence[float],
+    A_ub: "np.ndarray | Sequence[Sequence[float]]",
+    b_ub: Sequence[float],
+    bounds: "Sequence[tuple[float, float]] | None" = None,
+    max_iter: int = 100_000,
+) -> SimplexResult:
+    """Maximise ``c @ x`` subject to ``A_ub @ x <= b_ub`` and box bounds.
+
+    Parameters
+    ----------
+    bounds:
+        Per-variable ``(lb, ub)``; ``None`` means ``(0, inf)`` for all.
+        Lower bounds must be finite (they are shifted to zero); infinite
+        upper bounds are free of charge, finite ones add a row each.
+    """
+    c = np.asarray(c, dtype=float)
+    A = np.asarray(A_ub, dtype=float)
+    if A.ndim != 2:
+        raise SolverError(f"A_ub must be 2-D, got shape {A.shape}")
+    b = np.asarray(b_ub, dtype=float)
+    n = c.shape[0]
+    if A.shape[1] != n or A.shape[0] != b.shape[0]:
+        raise SolverError(
+            f"inconsistent shapes: c{c.shape}, A{A.shape}, b{b.shape}"
+        )
+
+    if bounds is None:
+        lb = np.zeros(n)
+        ub = np.full(n, np.inf)
+    else:
+        lb = np.array([bo[0] for bo in bounds], dtype=float)
+        ub = np.array(
+            [np.inf if bo[1] is None else bo[1] for bo in bounds], dtype=float
+        )
+    if np.any(~np.isfinite(lb)):
+        raise SolverError("simplex_solve requires finite lower bounds")
+    if np.any(ub < lb - _EPS):
+        return SimplexResult(status="infeasible")
+
+    # Shift x = lb + y with y >= 0; append rows y_i <= ub_i - lb_i.
+    shift = lb
+    b_shifted = b - A @ shift
+    extra_rows = []
+    extra_rhs = []
+    for i in range(n):
+        if np.isfinite(ub[i]):
+            row = np.zeros(n)
+            row[i] = 1.0
+            extra_rows.append(row)
+            extra_rhs.append(ub[i] - lb[i])
+    if extra_rows:
+        A = np.vstack([A, np.array(extra_rows)])
+        b_shifted = np.concatenate([b_shifted, np.array(extra_rhs)])
+
+    m = A.shape[0]
+
+    # Normalise rows so every RHS is >= 0; negative rows get artificials.
+    signs = np.where(b_shifted < 0, -1.0, 1.0)
+    A_norm = A * signs[:, None]
+    b_norm = b_shifted * signs
+    needs_artificial = signs < 0
+
+    n_art = int(np.count_nonzero(needs_artificial))
+    n_cols = n + m + n_art  # structural + slack/surplus + artificial
+    T = np.zeros((m + 1, n_cols + 1))
+    T[:m, :n] = A_norm
+    T[:m, -1] = b_norm
+    basis = np.empty(m, dtype=int)
+    art_cols: list[int] = []
+    next_art = n + m
+    for i in range(m):
+        T[i, n + i] = signs[i]  # slack (+1) or surplus (-1)
+        if needs_artificial[i]:
+            T[i, next_art] = 1.0
+            basis[i] = next_art
+            art_cols.append(next_art)
+            next_art += 1
+        else:
+            basis[i] = n + i
+
+    iterations = 0
+    if art_cols:
+        # Phase 1: maximise -(sum of artificials); start from the basic
+        # representation (objective row = sum of artificial rows).
+        T[-1, :] = 0.0
+        for col in art_cols:
+            T[-1, col] = -1.0
+        for i in range(m):
+            if basis[i] in art_cols:
+                T[-1, :] += T[i, :]
+        allowed = np.ones(n_cols, dtype=bool)
+        status, its = _run_phase(T, basis, allowed, max_iter)
+        iterations += its
+        if status != "optimal":
+            return SimplexResult(status=status, iterations=iterations)
+        if T[-1, -1] > 1e-7:
+            return SimplexResult(status="infeasible", iterations=iterations)
+        # Drive any degenerate artificial out of the basis.
+        art_set = set(art_cols)
+        for i in range(m):
+            if basis[i] in art_set:
+                pivot_candidates = np.nonzero(
+                    np.abs(T[i, : n + m]) > _EPS
+                )[0]
+                if pivot_candidates.size:
+                    _pivot(T, basis, i, int(pivot_candidates[0]))
+                # else: redundant row, artificial stays basic at value 0.
+
+    # Phase 2: real objective. Rebuild the reduced-cost row for the
+    # current basis: rc = c_ext - c_B @ B^{-1} A (tableau already holds
+    # B^{-1}A, so price out basic columns).
+    c_ext = np.zeros(n_cols)
+    c_ext[:n] = c
+    T[-1, :-1] = c_ext
+    T[-1, -1] = float(c @ shift)  # objective offset from the bound shift
+    for i in range(m):
+        coeff = T[-1, basis[i]]
+        if coeff != 0.0:
+            T[-1, :] -= coeff * T[i, :]
+
+    allowed = np.ones(n_cols, dtype=bool)
+    for col in art_cols:
+        allowed[col] = False
+    status, its = _run_phase(T, basis, allowed, max_iter)
+    iterations += its
+    if status != "optimal":
+        return SimplexResult(status=status, iterations=iterations)
+
+    y = np.zeros(n_cols)
+    y[basis] = T[:m, -1]
+    x = y[:n] + shift
+    # The tableau's objective cell tracks -(objective) relative to the
+    # running eliminations; recompute the true value from x for clarity.
+    return SimplexResult(
+        status="optimal", x=x, value=float(c @ x), iterations=iterations
+    )

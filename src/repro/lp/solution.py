@@ -1,0 +1,76 @@
+"""LP solution container and extraction back into allocation space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.lp.indexing import VariableIndex
+
+#: how far a float beta may sit from an integer and still count as integral
+INTEGRALITY_TOL = 1e-6
+
+
+@dataclass
+class LPSolution:
+    """Solution of one (relaxed or mixed) instance of program (7).
+
+    Attributes
+    ----------
+    x:
+        Flat variable vector.
+    value:
+        Objective value in *maximisation* sense.
+    index:
+        The variable layout used to interpret ``x``.
+    is_integral:
+        True when every beta entry is integral (within tolerance), i.e.
+        the solution is directly usable as a valid allocation.
+    """
+
+    x: np.ndarray
+    value: float
+    index: VariableIndex
+
+    @property
+    def alpha(self) -> np.ndarray:
+        """Dense (K, K) alpha matrix (floats, clipped at 0)."""
+        return np.clip(self.index.alpha_matrix(self.x), 0.0, None)
+
+    @property
+    def beta(self) -> np.ndarray:
+        """Dense (K, K) beta matrix — possibly fractional (rational LP)."""
+        return np.clip(self.index.beta_matrix(self.x), 0.0, None)
+
+    @property
+    def is_integral(self) -> bool:
+        beta = self.beta
+        return bool(np.all(np.abs(beta - np.round(beta)) <= INTEGRALITY_TOL))
+
+    def to_allocation(self) -> Allocation:
+        """Convert to an :class:`Allocation` (requires integral betas).
+
+        Raises
+        ------
+        ValueError
+            If any beta is fractional; use the rounding heuristics of
+            :mod:`repro.heuristics` instead.
+        """
+        beta = self.beta
+        if not self.is_integral:
+            worst = np.max(np.abs(beta - np.round(beta)))
+            raise ValueError(
+                f"LP solution has fractional betas (max deviation {worst:.3g}); "
+                "round it with a heuristic first"
+            )
+        return Allocation(self.alpha, np.round(beta).astype(np.int64))
+
+    def throughputs(self) -> np.ndarray:
+        """Per-application throughputs ``alpha_k`` implied by ``x``."""
+        return self.alpha.sum(axis=1)
+
+    def __repr__(self) -> str:
+        kind = "integral" if self.is_integral else "fractional"
+        return f"LPSolution(value={self.value:.6g}, {kind})"

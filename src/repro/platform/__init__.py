@@ -1,0 +1,48 @@
+"""Platform substrate: the paper's Section-2 network/application model.
+
+A :class:`~repro.platform.topology.Platform` is a collection of clusters
+(front-end speed ``s_k`` + local serial link ``g_k``) attached to routers
+that are interconnected by backbone links (per-connection bandwidth
+``bw`` + connection cap ``max-connect``), with fixed shortest-hop routing
+between every pair of clusters.
+"""
+
+from repro.platform.links import BackboneLink, LocalLink
+from repro.platform.cluster import Cluster
+from repro.platform.routing import Route, compute_routes
+from repro.platform.topology import Platform, CapacityLedger
+from repro.platform.generator import (
+    PlatformSpec,
+    generate_platform,
+    star_platform,
+    line_platform,
+    fully_connected_platform,
+)
+from repro.platform.serialization import (
+    platform_to_dict,
+    platform_from_dict,
+    save_platform,
+    load_platform,
+)
+from repro.platform.presets import PRESETS, get_preset
+
+__all__ = [
+    "BackboneLink",
+    "LocalLink",
+    "Cluster",
+    "Route",
+    "compute_routes",
+    "Platform",
+    "CapacityLedger",
+    "PlatformSpec",
+    "generate_platform",
+    "star_platform",
+    "line_platform",
+    "fully_connected_platform",
+    "platform_to_dict",
+    "platform_from_dict",
+    "save_platform",
+    "load_platform",
+    "PRESETS",
+    "get_preset",
+]

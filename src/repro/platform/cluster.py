@@ -1,0 +1,86 @@
+"""Cluster abstraction (Section 2).
+
+Divisible-load theory shows that a star- or tree-structured cluster is
+*equivalent* to a single processor [Bataineh et al. 1994; Barlas 1998],
+so each cluster is characterised by exactly two scalars: its cumulated
+speed ``s_k`` and the capacity ``g_k`` of the serial link that connects
+its front-end to its router.  :func:`equivalent_star_speed` implements
+the classical reduction used to derive ``s_k`` from a concrete star
+cluster, so users with per-node inventories can collapse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.platform.links import LocalLink
+from repro.util.errors import PlatformError
+
+
+@dataclass(frozen=True, slots=True)
+class Cluster:
+    """A cluster reduced to its equivalent front-end processor.
+
+    Parameters
+    ----------
+    name:
+        Unique cluster identifier (``C^k`` in the paper).
+    speed:
+        Cumulated computing speed ``s_k`` (load units / time unit).
+    g:
+        Capacity of the serial cluster <-> router link (``g_k``).
+    router:
+        Name of the router this cluster's front-end is attached to.
+    """
+
+    name: str
+    speed: float
+    g: float
+    router: str
+
+    def __post_init__(self):
+        if self.speed < 0:
+            raise PlatformError(f"cluster {self.name!r}: negative speed {self.speed}")
+        if self.g < 0:
+            raise PlatformError(f"cluster {self.name!r}: negative local capacity {self.g}")
+
+    @property
+    def local_link(self) -> LocalLink:
+        """The shared serial link between front-end and router."""
+        return LocalLink(name=f"local:{self.name}", capacity=self.g)
+
+
+def equivalent_star_speed(
+    master_speed: float,
+    worker_speeds: Sequence[float],
+    worker_bandwidths: Sequence[float],
+) -> float:
+    """Collapse a star cluster into a single equivalent speed.
+
+    Steady-state divisible-load theory for a star network [Banino et al.
+    2004]: the master can compute at ``master_speed`` and simultaneously
+    feed each worker ``i`` at most ``min(worker_speed_i, bandwidth_i)``
+    load units per time unit (a worker cannot compute faster than data
+    arrives). Because the front-end serialises nothing internally in the
+    steady-state model (one-port constraints are absorbed in the local
+    link ``g_k``), the equivalent speed is the sum of these rates.
+
+    Parameters
+    ----------
+    master_speed:
+        Computing speed of the front-end itself.
+    worker_speeds, worker_bandwidths:
+        Per-worker computing speed and link bandwidth from the front-end.
+    """
+    if len(worker_speeds) != len(worker_bandwidths):
+        raise PlatformError(
+            "worker_speeds and worker_bandwidths must have the same length"
+        )
+    if master_speed < 0 or any(s < 0 for s in worker_speeds) or any(
+        b < 0 for b in worker_bandwidths
+    ):
+        raise PlatformError("speeds and bandwidths must be non-negative")
+    return float(master_speed) + float(
+        sum(min(s, b) for s, b in zip(worker_speeds, worker_bandwidths))
+    )

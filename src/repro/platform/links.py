@@ -1,0 +1,80 @@
+"""Link types of the platform model (Section 2 of the paper).
+
+Two kinds of links with *different bandwidth-sharing semantics*:
+
+* :class:`BackboneLink` - a wide-area link. Every connection routed over
+  it receives a fixed bandwidth ``bw`` (TCP flows on a backbone each get
+  the same share), up to ``max_connect`` simultaneous connections in both
+  directions combined, after which no further connection may be opened.
+* :class:`LocalLink` - the serial link between a cluster's front-end and
+  its router. Flows *share* the capacity: the sum of their rates may not
+  exceed ``capacity`` (= ``g_k`` in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import PlatformError
+
+
+@dataclass(frozen=True, slots=True)
+class BackboneLink:
+    """An internet backbone link between two routers.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a platform.
+    ends:
+        Names of the two routers joined by the link (unordered).
+    bw:
+        Bandwidth granted to *each* connection (load units / time unit).
+    max_connect:
+        Maximum number of connections (both directions combined) that the
+        divisible-load applications may open on this link.
+    """
+
+    name: str
+    ends: tuple[str, str]
+    bw: float
+    max_connect: int
+
+    def __post_init__(self):
+        if self.bw < 0:
+            raise PlatformError(f"backbone link {self.name!r}: negative bw {self.bw}")
+        if self.max_connect < 0:
+            raise PlatformError(
+                f"backbone link {self.name!r}: negative max_connect {self.max_connect}"
+            )
+        if len(self.ends) != 2 or self.ends[0] == self.ends[1]:
+            raise PlatformError(
+                f"backbone link {self.name!r}: must join two distinct routers, got {self.ends}"
+            )
+
+    def joins(self, a: str, b: str) -> bool:
+        """True when the link joins routers ``a`` and ``b`` (either order)."""
+        return {a, b} == set(self.ends)
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Aggregate bandwidth if every allowed connection is opened."""
+        return self.bw * self.max_connect
+
+
+@dataclass(frozen=True, slots=True)
+class LocalLink:
+    """The serial cluster <-> router link with shared bandwidth ``g_k``.
+
+    Several connections may share the link; each receives a portion of
+    the capacity and the portions sum to at most ``capacity``.
+    """
+
+    name: str
+    capacity: float
+
+    def __post_init__(self):
+        if self.capacity < 0:
+            raise PlatformError(
+                f"local link {self.name!r}: negative capacity {self.capacity}"
+            )

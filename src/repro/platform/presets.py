@@ -1,0 +1,140 @@
+"""Named realistic testbed topologies.
+
+The paper's future-work list (Section 7) starts with "we will simulate
+platforms and application parameters that are measured from real-world
+testbeds". These presets provide that: hand-built models of three
+research platforms of the paper's era, with cluster speeds, access-link
+capacities and backbone characteristics in realistic proportions (the
+absolute unit is "load units per time unit" as everywhere else; only
+relative values matter for scheduling, as the paper notes).
+
+They are deliberately *models*, not measurements: the value is having
+fixed, named, structurally-diverse topologies for examples, tests and
+benchmarks, instead of only Table-1 random graphs.
+"""
+
+from __future__ import annotations
+
+from repro.platform.cluster import Cluster, equivalent_star_speed
+from repro.platform.links import BackboneLink
+from repro.platform.topology import Platform
+from repro.util.errors import PlatformError
+
+
+def _site(name: str, workers: int, w_speed: float, w_bw: float,
+          master: float, g: float, router: str) -> Cluster:
+    speed = equivalent_star_speed(master, [w_speed] * workers, [w_bw] * workers)
+    return Cluster(name, speed=speed, g=g, router=router)
+
+
+def grid5000_like() -> Platform:
+    """A Grid'5000-flavoured platform: 9 sites on a national backbone.
+
+    Sites are collapsed star clusters of different sizes; the backbone
+    mirrors Renater's ring-plus-chords shape, with generous per-flow
+    bandwidth but bounded connection budgets.
+    """
+    sites = {
+        # name: (workers, worker speed, worker bw, master, g)
+        "grenoble": (96, 2.0, 4.0, 8.0, 350.0),
+        "lyon": (56, 2.2, 4.0, 8.0, 300.0),
+        "paris": (128, 1.8, 3.0, 10.0, 450.0),
+        "rennes": (99, 2.0, 4.0, 8.0, 380.0),
+        "sophia": (72, 2.1, 4.0, 8.0, 320.0),
+        "toulouse": (57, 2.0, 4.0, 6.0, 260.0),
+        "bordeaux": (48, 2.4, 5.0, 6.0, 250.0),
+        "lille": (53, 1.9, 3.5, 6.0, 240.0),
+        "nancy": (47, 2.3, 4.5, 6.0, 230.0),
+    }
+    clusters = [
+        _site(name, *params, router=f"rtr-{name}")
+        for name, params in sites.items()
+    ]
+    routers = [f"rtr-{name}" for name in sites]
+    ring = ["paris", "lille", "nancy", "lyon", "grenoble", "sophia",
+            "toulouse", "bordeaux", "rennes"]
+    links = [
+        BackboneLink(
+            f"renater-{a}-{b}", (f"rtr-{a}", f"rtr-{b}"), bw=35.0, max_connect=16
+        )
+        for a, b in zip(ring, ring[1:] + ring[:1])
+    ]
+    # Chords through Paris and Lyon (the real topology is star-ish).
+    for spoke in ("lyon", "rennes", "toulouse"):
+        links.append(
+            BackboneLink(
+                f"renater-paris-{spoke}", ("rtr-paris", f"rtr-{spoke}"),
+                bw=45.0, max_connect=24,
+            )
+        )
+    return Platform(clusters, routers, links)
+
+
+def das2_like() -> Platform:
+    """A DAS-2-flavoured platform: 5 Dutch sites, one fat university net."""
+    sites = {
+        "vu": (72, 2.0, 6.0, 8.0, 400.0),
+        "leiden": (32, 2.0, 6.0, 6.0, 280.0),
+        "nikhef": (32, 2.0, 6.0, 6.0, 280.0),
+        "delft": (32, 2.0, 6.0, 6.0, 280.0),
+        "utrecht": (32, 2.0, 6.0, 6.0, 280.0),
+    }
+    clusters = [
+        _site(name, *params, router=f"rtr-{name}") for name, params in sites.items()
+    ]
+    routers = [f"rtr-{name}" for name in sites] + ["rtr-surfnet"]
+    links = [
+        BackboneLink(
+            f"surfnet-{name}", (f"rtr-{name}", "rtr-surfnet"), bw=60.0, max_connect=32
+        )
+        for name in sites
+    ]
+    return Platform(clusters, routers, links)
+
+
+def intercontinental_grid() -> Platform:
+    """Three continents behind long, thin, connection-limited pipes.
+
+    The stress-test preset: abundant compute everywhere, but transfers
+    must cross oceans where per-connection bandwidth and the connection
+    budget are both scarce — the regime where the choice of heuristic
+    matters most.
+    """
+    sites = {
+        "chicago": (256, 2.0, 3.0, 12.0, 500.0),
+        "amsterdam": (128, 2.2, 3.5, 10.0, 400.0),
+        "tokyo": (96, 2.5, 4.0, 8.0, 300.0),
+        "sydney": (48, 2.0, 3.0, 6.0, 200.0),
+    }
+    clusters = [
+        _site(name, *params, router=f"rtr-{name}") for name, params in sites.items()
+    ]
+    routers = [f"rtr-{name}" for name in sites]
+    links = [
+        BackboneLink("atlantic", ("rtr-chicago", "rtr-amsterdam"), bw=8.0, max_connect=6),
+        BackboneLink("pacific", ("rtr-chicago", "rtr-tokyo"), bw=6.0, max_connect=4),
+        BackboneLink("asia-oceania", ("rtr-tokyo", "rtr-sydney"), bw=4.0, max_connect=3),
+        BackboneLink("eurasia", ("rtr-amsterdam", "rtr-tokyo"), bw=5.0, max_connect=4),
+    ]
+    return Platform(clusters, routers, links)
+
+
+PRESETS = {
+    "grid5000": grid5000_like,
+    "das2": das2_like,
+    "intercontinental": intercontinental_grid,
+}
+
+
+def get_preset(name: str) -> Platform:
+    """Build a named preset platform.
+
+    >>> get_preset("das2").n_clusters
+    5
+    """
+    try:
+        return PRESETS[name.lower()]()
+    except KeyError:
+        raise PlatformError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

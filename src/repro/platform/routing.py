@@ -1,0 +1,196 @@
+"""Fixed inter-cluster routing (Section 2).
+
+The paper assumes routing between clusters is *fixed*: the routing table
+contains an ordered list ``L_{k,l}`` of backbone links for a connection
+from ``C^k`` to ``C^l``. We realise this with deterministic shortest-hop
+paths over the router graph: among all hop-minimal paths the
+lexicographically smallest router sequence is chosen, so the same
+platform always yields the same routing table regardless of dict
+ordering or hash randomisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.platform.links import BackboneLink
+from repro.util.errors import RoutingError
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """An ordered backbone path between two cluster routers.
+
+    Attributes
+    ----------
+    routers:
+        Router sequence, starting at the source cluster's router and
+        ending at the destination cluster's router.
+    links:
+        Names of the backbone links traversed, in order (``L_{k,l}``).
+    bandwidth:
+        Per-connection bandwidth of the route: ``min_{l in links} bw(l)``.
+    connection_cap:
+        Static cap on connections: ``min_{l in links} max_connect(l)``.
+    """
+
+    routers: tuple[str, ...]
+    links: tuple[str, ...]
+    bandwidth: float
+    connection_cap: int
+
+    def __post_init__(self):
+        if len(self.routers) != len(self.links) + 1:
+            raise RoutingError(
+                f"route has {len(self.routers)} routers but {len(self.links)} links"
+            )
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def reversed(self) -> "Route":
+        """The same physical path traversed in the opposite direction."""
+        return Route(
+            routers=tuple(reversed(self.routers)),
+            links=tuple(reversed(self.links)),
+            bandwidth=self.bandwidth,
+            connection_cap=self.connection_cap,
+        )
+
+
+def _adjacency(
+    routers: Iterable[str], links: Mapping[str, BackboneLink]
+) -> dict[str, list[tuple[str, str]]]:
+    """Sorted adjacency lists: router -> [(neighbour, link_name)]."""
+    adj: dict[str, list[tuple[str, str]]] = {r: [] for r in routers}
+    for link in links.values():
+        a, b = link.ends
+        if a not in adj or b not in adj:
+            raise RoutingError(
+                f"backbone link {link.name!r} references unknown router in {link.ends}"
+            )
+        adj[a].append((b, link.name))
+        adj[b].append((a, link.name))
+    for neighbours in adj.values():
+        neighbours.sort()
+    return adj
+
+
+def shortest_paths_from(
+    source: str,
+    routers: Iterable[str],
+    links: Mapping[str, BackboneLink],
+) -> dict[str, tuple[tuple[str, ...], tuple[str, ...]]]:
+    """Deterministic hop-minimal paths from ``source`` to every router.
+
+    Returns a mapping ``dest -> (router_path, link_path)``. Among equal
+    hop counts the lexicographically smallest predecessor router (then
+    link name) wins, making results independent of iteration order.
+    """
+    adj = _adjacency(routers, links)
+    if source not in adj:
+        raise RoutingError(f"unknown source router {source!r}")
+
+    dist: dict[str, int] = {source: 0}
+    # predecessor: dest -> (router, link_name), chosen lexicographically.
+    pred: dict[str, tuple[str, str]] = {}
+    frontier = [source]
+    while frontier:
+        # Process the frontier in sorted order so that predecessor
+        # assignment is deterministic.
+        frontier.sort()
+        next_frontier: list[str] = []
+        for u in frontier:
+            for v, link_name in adj[u]:
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    pred[v] = (u, link_name)
+                    next_frontier.append(v)
+                elif dist[v] == dist[u] + 1 and (u, link_name) < pred.get(v, ("￿", "")):
+                    pred[v] = (u, link_name)
+        frontier = next_frontier
+
+    out: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {}
+    for dest in dist:
+        router_path: list[str] = [dest]
+        link_path: list[str] = []
+        node = dest
+        while node != source:
+            prev, link_name = pred[node]
+            link_path.append(link_name)
+            router_path.append(prev)
+            node = prev
+        out[dest] = (tuple(reversed(router_path)), tuple(reversed(link_path)))
+    return out
+
+
+def build_route(
+    router_path: Sequence[str],
+    link_path: Sequence[str],
+    links: Mapping[str, BackboneLink],
+) -> Route:
+    """Assemble a :class:`Route`, computing its bandwidth and connection cap."""
+    if link_path:
+        bandwidth = min(links[name].bw for name in link_path)
+        cap = min(links[name].max_connect for name in link_path)
+    else:
+        # Degenerate same-router route: no backbone constraint applies.
+        bandwidth = float("inf")
+        cap = 0
+    return Route(
+        routers=tuple(router_path),
+        links=tuple(link_path),
+        bandwidth=bandwidth,
+        connection_cap=cap,
+    )
+
+
+def compute_routes(
+    cluster_routers: Sequence[str],
+    routers: Iterable[str],
+    links: Mapping[str, BackboneLink],
+) -> dict[tuple[int, int], Route]:
+    """Fixed routing table for every ordered cluster pair with a path.
+
+    Parameters
+    ----------
+    cluster_routers:
+        ``cluster_routers[k]`` is the router of cluster ``k``.
+    routers, links:
+        The full router set and backbone links.
+
+    Returns
+    -------
+    dict
+        ``(k, l) -> Route`` for all ordered pairs ``k != l`` whose routers
+        are connected. Pairs in different components are absent. Two
+        clusters attached to the *same* router get an empty route with
+        infinite bandwidth (intra-site transfer, constrained only by the
+        local links).
+    """
+    router_list = list(routers)
+    routes: dict[tuple[int, int], Route] = {}
+    # BFS once per *distinct* source router, then fan out to clusters.
+    by_router: dict[str, list[int]] = {}
+    for k, r in enumerate(cluster_routers):
+        by_router.setdefault(r, []).append(k)
+    for src_router, sources in by_router.items():
+        paths = shortest_paths_from(src_router, router_list, links)
+        for l, dst_router in enumerate(cluster_routers):
+            if dst_router not in paths:
+                continue
+            router_path, link_path = paths[dst_router]
+            for k in sources:
+                if k == l:
+                    continue
+                if src_router == dst_router:
+                    routes[(k, l)] = Route(
+                        routers=(src_router,),
+                        links=(),
+                        bandwidth=float("inf"),
+                        connection_cap=0,
+                    )
+                else:
+                    routes[(k, l)] = build_route(router_path, link_path, links)
+    return routes

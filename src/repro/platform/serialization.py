@@ -1,0 +1,111 @@
+"""JSON (de)serialization of platforms.
+
+Platforms are plain data, so a JSON round-trip preserves them exactly up
+to float representation. Explicit routing tables are serialized too,
+which matters for the NP-hardness reduction whose routes are pinned by
+construction rather than recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.platform.cluster import Cluster
+from repro.platform.links import BackboneLink
+from repro.platform.routing import Route
+from repro.platform.topology import Platform
+from repro.util.errors import PlatformError
+
+_FORMAT_VERSION = 1
+
+
+def platform_to_dict(platform: Platform, include_routes: bool = True) -> dict:
+    """Serialize ``platform`` into a JSON-compatible dictionary."""
+    data: dict[str, Any] = {
+        "format_version": _FORMAT_VERSION,
+        "routers": sorted(platform.routers),
+        "clusters": [
+            {"name": c.name, "speed": c.speed, "g": c.g, "router": c.router}
+            for c in platform.clusters
+        ],
+        "backbone_links": [
+            {
+                "name": link.name,
+                "ends": list(link.ends),
+                "bw": link.bw,
+                "max_connect": link.max_connect,
+            }
+            for link in sorted(platform.links.values(), key=lambda li: li.name)
+        ],
+    }
+    if include_routes:
+        data["routes"] = [
+            {
+                "from": k,
+                "to": l,
+                "routers": list(platform.route(k, l).routers),
+                "links": list(platform.route(k, l).links),
+            }
+            for (k, l) in platform.routed_pairs()
+        ]
+    return data
+
+
+def platform_from_dict(data: dict) -> Platform:
+    """Rebuild a :class:`Platform` from :func:`platform_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise PlatformError(f"unsupported platform format version {version!r}")
+    clusters = [
+        Cluster(
+            name=c["name"], speed=float(c["speed"]), g=float(c["g"]), router=c["router"]
+        )
+        for c in data["clusters"]
+    ]
+    links = [
+        BackboneLink(
+            name=li["name"],
+            ends=(li["ends"][0], li["ends"][1]),
+            bw=float(li["bw"]),
+            max_connect=int(li["max_connect"]),
+        )
+        for li in data["backbone_links"]
+    ]
+    links_by_name = {li.name: li for li in links}
+    routes = None
+    if "routes" in data:
+        routes = {}
+        for r in data["routes"]:
+            link_path = tuple(r["links"])
+            if link_path:
+                bandwidth = min(links_by_name[name].bw for name in link_path)
+                cap = min(links_by_name[name].max_connect for name in link_path)
+            else:
+                bandwidth = float("inf")
+                cap = 0
+            routes[(int(r["from"]), int(r["to"]))] = Route(
+                routers=tuple(r["routers"]),
+                links=link_path,
+                bandwidth=bandwidth,
+                connection_cap=cap,
+            )
+    return Platform(
+        clusters=clusters,
+        routers=data["routers"],
+        backbone_links=links,
+        routes=routes,
+    )
+
+
+def save_platform(platform: Platform, path: "str | Path") -> None:
+    """Write ``platform`` to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(platform_to_dict(platform), indent=2, sort_keys=True)
+    )
+
+
+def load_platform(path: "str | Path") -> Platform:
+    """Read a platform previously written by :func:`save_platform`."""
+    return platform_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,107 @@
+"""RTT-aware per-connection bandwidth (the paper's Section-7 refinement).
+
+The paper's model grants each backbone connection a fixed bandwidth
+``bw(li)``. Its future-work list proposes "an even more realistic
+network model, which would include link latencies [and] TCP bandwidth
+sharing behaviors according to round-trip times". This module implements
+that refinement in the standard flow-level form:
+
+    tcp_rate(route) = min( window / rtt(route),  min_li bw(li) )
+
+i.e. a TCP connection is *window-limited* on long fat paths (its steady
+throughput is the congestion-window size divided by the round-trip time
+— the classic bandwidth-delay-product argument) and *capacity-limited*
+otherwise. ``rtt(route) = 2 * sum(latency(li))``.
+
+Because program (7) only consumes a route's *per-connection bandwidth*,
+the refinement plugs into everything — LP, heuristics, schedules,
+simulator — by re-deriving routes with :func:`apply_tcp_model`; no other
+code changes. The E12 ablation benchmark measures how rankings shift
+when latency awareness is turned on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.platform.routing import Route
+from repro.platform.topology import Platform
+from repro.util.errors import PlatformError
+
+
+@dataclass(frozen=True, slots=True)
+class TcpModel:
+    """Window-limited TCP throughput model.
+
+    Parameters
+    ----------
+    window:
+        Effective congestion-window size in load units; a connection's
+        rate over a route with round-trip time ``rtt`` is capped at
+        ``window / rtt``.
+    default_latency:
+        One-way latency assumed for links absent from ``latencies``.
+    latencies:
+        Per-backbone-link one-way latency (time units), keyed by link
+        name.
+    """
+
+    window: float
+    default_latency: float = 0.0
+    latencies: "Mapping[str, float] | None" = None
+
+    def __post_init__(self):
+        if self.window <= 0:
+            raise PlatformError(f"TCP window must be positive, got {self.window}")
+        if self.default_latency < 0:
+            raise PlatformError(
+                f"negative default latency {self.default_latency}"
+            )
+        if self.latencies is not None:
+            for name, value in self.latencies.items():
+                if value < 0:
+                    raise PlatformError(f"negative latency for link {name!r}")
+
+    def latency(self, link_name: str) -> float:
+        """One-way latency of one backbone link."""
+        if self.latencies is not None and link_name in self.latencies:
+            return float(self.latencies[link_name])
+        return self.default_latency
+
+    def rtt(self, route: Route) -> float:
+        """Round-trip time of a route (2x the summed one-way latencies)."""
+        return 2.0 * sum(self.latency(name) for name in route.links)
+
+    def connection_bandwidth(self, route: Route) -> float:
+        """Per-connection rate: min(window/rtt, bottleneck bw)."""
+        if not route.links:
+            return route.bandwidth  # same-router: no TCP path at all
+        rtt = self.rtt(route)
+        if rtt <= 0:
+            return route.bandwidth
+        return min(route.bandwidth, self.window / rtt)
+
+
+def apply_tcp_model(platform: Platform, model: TcpModel) -> Platform:
+    """A copy of ``platform`` whose route bandwidths follow ``model``.
+
+    The returned platform has identical clusters, routers, links and
+    paths; only each route's per-connection ``bandwidth`` is re-derived.
+    All schedulers operate on it unchanged.
+    """
+    new_routes = {}
+    for (k, l) in platform.routed_pairs():
+        route = platform.route(k, l)
+        new_routes[(k, l)] = Route(
+            routers=route.routers,
+            links=route.links,
+            bandwidth=model.connection_bandwidth(route),
+            connection_cap=route.connection_cap,
+        )
+    return Platform(
+        clusters=platform.clusters,
+        routers=platform.routers,
+        backbone_links=list(platform.links.values()),
+        routes=new_routes,
+    )

@@ -1,0 +1,339 @@
+"""The :class:`Platform` aggregate and residual-capacity bookkeeping.
+
+A platform bundles clusters, routers, backbone links and the fixed
+routing table. It is immutable after construction; algorithms that
+consume capacity step by step (the greedy heuristic, LPRG's residual
+phase) track their own mutable :class:`CapacityLedger` on top.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.platform.cluster import Cluster
+from repro.platform.links import BackboneLink
+from repro.platform.routing import Route, compute_routes
+from repro.util.errors import PlatformError, RoutingError
+
+
+class Platform:
+    """A multi-cluster Grid platform (Section 2 of the paper).
+
+    Parameters
+    ----------
+    clusters:
+        Sequence of :class:`Cluster`; the position in the sequence is the
+        cluster index ``k`` used everywhere else (``C^k``).
+    routers:
+        Names of all routers, including pass-through routers that no
+        cluster is attached to.
+    backbone_links:
+        The wide-area links interconnecting routers.
+    routes:
+        Optional explicit routing table ``(k, l) -> Route``. When omitted
+        the deterministic shortest-hop routing of
+        :func:`repro.platform.routing.compute_routes` is used. Explicit
+        tables let tests and the NP-hardness reduction pin exact paths.
+    """
+
+    def __init__(
+        self,
+        clusters: Sequence[Cluster],
+        routers: Iterable[str],
+        backbone_links: Iterable[BackboneLink],
+        routes: "Mapping[tuple[int, int], Route] | None" = None,
+    ):
+        self.clusters: tuple[Cluster, ...] = tuple(clusters)
+        self.routers: frozenset[str] = frozenset(routers)
+        self.links: dict[str, BackboneLink] = {}
+        for link in backbone_links:
+            if link.name in self.links:
+                raise PlatformError(f"duplicate backbone link name {link.name!r}")
+            self.links[link.name] = link
+        self._validate_structure()
+        if routes is None:
+            routes = compute_routes(
+                [c.router for c in self.clusters], self.routers, self.links
+            )
+        else:
+            routes = dict(routes)
+            self._validate_routes(routes)
+        self._routes: dict[tuple[int, int], Route] = dict(routes)
+        self._routes_through: dict[str, tuple[tuple[int, int], ...]] = (
+            self._index_routes_by_link()
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _validate_structure(self) -> None:
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise PlatformError(f"duplicate cluster names in {names}")
+        for cluster in self.clusters:
+            if cluster.router not in self.routers:
+                raise PlatformError(
+                    f"cluster {cluster.name!r} attached to unknown router "
+                    f"{cluster.router!r}"
+                )
+        for link in self.links.values():
+            for end in link.ends:
+                if end not in self.routers:
+                    raise PlatformError(
+                        f"backbone link {link.name!r} references unknown router {end!r}"
+                    )
+
+    def _validate_routes(self, routes: Mapping[tuple[int, int], Route]) -> None:
+        K = len(self.clusters)
+        for (k, l), route in routes.items():
+            if not (0 <= k < K and 0 <= l < K) or k == l:
+                raise RoutingError(f"route key {(k, l)} is not a valid ordered pair")
+            if route.routers[0] != self.clusters[k].router:
+                raise RoutingError(
+                    f"route {(k, l)} starts at {route.routers[0]!r}, expected "
+                    f"{self.clusters[k].router!r}"
+                )
+            if route.routers[-1] != self.clusters[l].router:
+                raise RoutingError(
+                    f"route {(k, l)} ends at {route.routers[-1]!r}, expected "
+                    f"{self.clusters[l].router!r}"
+                )
+            for name in route.links:
+                if name not in self.links:
+                    raise RoutingError(
+                        f"route {(k, l)} uses unknown backbone link {name!r}"
+                    )
+
+    def _index_routes_by_link(self) -> dict[str, tuple[tuple[int, int], ...]]:
+        through: dict[str, list[tuple[int, int]]] = {name: [] for name in self.links}
+        for pair, route in self._routes.items():
+            for name in route.links:
+                through[name].append(pair)
+        return {name: tuple(sorted(pairs)) for name, pairs in through.items()}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters ``K``."""
+        return len(self.clusters)
+
+    @property
+    def speeds(self) -> np.ndarray:
+        """Vector of cluster speeds ``s_k`` (length ``K``)."""
+        return np.array([c.speed for c in self.clusters], dtype=float)
+
+    @property
+    def local_capacities(self) -> np.ndarray:
+        """Vector of local-link capacities ``g_k`` (length ``K``)."""
+        return np.array([c.g for c in self.clusters], dtype=float)
+
+    def cluster_index(self, name: str) -> int:
+        """Index of the cluster called ``name``."""
+        for k, cluster in enumerate(self.clusters):
+            if cluster.name == name:
+                return k
+        raise PlatformError(f"no cluster named {name!r}")
+
+    # ------------------------------------------------------------------
+    # routing queries
+    # ------------------------------------------------------------------
+    def has_route(self, k: int, l: int) -> bool:
+        """True when the fixed routing connects ``C^k`` to ``C^l``."""
+        return (k, l) in self._routes
+
+    def route(self, k: int, l: int) -> Route:
+        """The fixed route ``L_{k,l}``; raises :class:`RoutingError` if absent."""
+        try:
+            return self._routes[(k, l)]
+        except KeyError:
+            raise RoutingError(
+                f"no route from cluster {k} to cluster {l} (disconnected platform)"
+            ) from None
+
+    def routed_pairs(self) -> tuple[tuple[int, int], ...]:
+        """All ordered cluster pairs ``(k, l)`` that have a route."""
+        return tuple(sorted(self._routes))
+
+    def route_bandwidth(self, k: int, l: int) -> float:
+        """Per-connection bandwidth ``g_{k,l} = min_{li in L_{k,l}} bw(li)``."""
+        return self.route(k, l).bandwidth
+
+    def routes_through(self, link_name: str) -> tuple[tuple[int, int], ...]:
+        """Ordered cluster pairs whose route traverses ``link_name``."""
+        try:
+            return self._routes_through[link_name]
+        except KeyError:
+            raise PlatformError(f"unknown backbone link {link_name!r}") from None
+
+    # ------------------------------------------------------------------
+    # dunder / reporting
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"Platform(K={self.n_clusters}, routers={len(self.routers)}, "
+            f"backbones={len(self.links)}, routes={len(self._routes)})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [repr(self)]
+        for k, c in enumerate(self.clusters):
+            lines.append(
+                f"  C^{k} {c.name!r}: s={c.speed:g} g={c.g:g} router={c.router!r}"
+            )
+        for link in sorted(self.links.values(), key=lambda li: li.name):
+            lines.append(
+                f"  link {link.name!r}: {link.ends[0]!r}--{link.ends[1]!r} "
+                f"bw={link.bw:g} max_connect={link.max_connect}"
+            )
+        return "\n".join(lines)
+
+
+class CapacityLedger:
+    """Mutable residual capacities on top of an immutable platform.
+
+    Tracks what remains of every resource while an algorithm assigns
+    load: residual speed per cluster, residual local-link capacity per
+    cluster, residual connection count per backbone link. The ``commit``
+    methods implement exactly the update rules of the greedy heuristic
+    (Section 5.1, step 6).
+    """
+
+    #: absolute slack when checking float-resource exhaustion; matches the
+    #: primal feasibility tolerance of the LP backends feeding the ledger
+    TOL = 1e-6
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self.speed = platform.speeds.copy()
+        self.local = platform.local_capacities.copy()
+        self.connections: dict[str, int] = {
+            name: link.max_connect for name, link in platform.links.items()
+        }
+
+    # ------------------------------------------------------------------
+    def can_open_connection(self, k: int, l: int) -> bool:
+        """True if every backbone link on the route has a spare connection."""
+        if not self.platform.has_route(k, l):
+            return False
+        return all(
+            self.connections[name] >= 1 for name in self.platform.route(k, l).links
+        )
+
+    def remote_benefit(self, k: int, m: int) -> float:
+        """``benefit_m = min{g_k, g_{k,m}, g_m, s_m}`` over residual values.
+
+        Zero when no route exists or no connection can be opened.
+        """
+        if k == m:
+            raise ValueError("remote_benefit requires k != m; use speed[k] locally")
+        if not self.can_open_connection(k, m):
+            return 0.0
+        bw = self.platform.route_bandwidth(k, m)
+        return max(
+            0.0, min(self.local[k], bw, self.local[m], self.speed[m])
+        )
+
+    def local_cap(self, k: int) -> float:
+        """Step-5 local allocation cap: the largest amount another
+        application could have executed on ``C^k``.
+
+        ``max_{m != k} min{g_k, g_{k,m}, g_m, s_k}`` over residual values,
+        degenerating to the full residual speed when the maximum is zero
+        or there is no other cluster (interpretation note 3 in DESIGN.md).
+        """
+        s_k = self.speed[k]
+        best = 0.0
+        for m in range(self.platform.n_clusters):
+            if m == k or not self.platform.has_route(k, m):
+                continue
+            bw = self.platform.route_bandwidth(k, m)
+            best = max(best, min(self.local[k], bw, self.local[m], s_k))
+        if best <= self.TOL:
+            return max(0.0, s_k)
+        return max(0.0, best)
+
+    # ------------------------------------------------------------------
+    def commit_local(self, k: int, amount: float) -> None:
+        """Consume ``amount`` units of local compute on ``C^k``."""
+        self._consume_speed(k, amount)
+
+    def commit_remote(self, k: int, l: int, amount: float) -> None:
+        """Open one connection from ``C^k`` to ``C^l`` carrying ``amount``.
+
+        Decrements the target speed, both local links, and one connection
+        on every backbone link of the route (Section 5.1 step 6).
+        """
+        if not self.can_open_connection(k, l):
+            raise PlatformError(
+                f"no spare connection on route {k} -> {l}; cannot commit"
+            )
+        self._consume_speed(l, amount)
+        self._consume_local(k, amount)
+        self._consume_local(l, amount)
+        for name in self.platform.route(k, l).links:
+            self.connections[name] -= 1
+
+    def charge_transfer(self, k: int, l: int, amount: float, n_connections: int) -> None:
+        """Charge an externally computed allocation (LPR warm start).
+
+        Unlike :meth:`commit_remote` this consumes ``n_connections``
+        connections at once and does not insist they all be available one
+        by one - but the residual may not go negative.
+        """
+        self._consume_speed(l, amount)
+        self._consume_local(k, amount)
+        self._consume_local(l, amount)
+        if n_connections:
+            for name in self.platform.route(k, l).links:
+                self.connections[name] -= n_connections
+                if self.connections[name] < 0:
+                    raise PlatformError(
+                        f"connection capacity of link {name!r} over-committed"
+                    )
+
+    # ------------------------------------------------------------------
+    def _consume_speed(self, k: int, amount: float) -> None:
+        if amount < -self.TOL:
+            raise ValueError(f"negative allocation {amount}")
+        if amount > self.speed[k] + self.TOL:
+            raise PlatformError(
+                f"cluster {k}: allocation {amount:g} exceeds residual speed "
+                f"{self.speed[k]:g}"
+            )
+        self.speed[k] = max(0.0, self.speed[k] - amount)
+
+    def _consume_local(self, k: int, amount: float) -> None:
+        if amount > self.local[k] + self.TOL:
+            raise PlatformError(
+                f"cluster {k}: transfer {amount:g} exceeds residual local capacity "
+                f"{self.local[k]:g}"
+            )
+        self.local[k] = max(0.0, self.local[k] - amount)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot (useful in tests and debugging)."""
+        return {
+            "speed": self.speed.copy(),
+            "local": self.local.copy(),
+            "connections": dict(self.connections),
+        }
+
+    def total_residual_speed(self) -> float:
+        return float(np.sum(self.speed))
+
+    def __repr__(self) -> str:
+        used = sum(
+            link.max_connect - self.connections[name]
+            for name, link in self.platform.links.items()
+        )
+        return (
+            f"CapacityLedger(residual_speed={self.total_residual_speed():g}, "
+            f"connections_used={used})"
+        )

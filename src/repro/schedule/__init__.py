@@ -1,0 +1,35 @@
+"""Periodic schedule reconstruction (Section 3.2 of the paper).
+
+Given a valid allocation ``(alpha, beta)``, the paper rebuilds an actual
+periodic schedule: write each ``alpha_{k,l}`` as a fraction ``u/v``, set
+the period ``Tp = lcm(v)``, and within each period have every cluster
+compute the integer loads received during the previous period while
+sending the chunks for the next one. This package implements that
+construction plus the unrolled multi-period timeline (with the special
+first/last periods) consumed by the simulator.
+"""
+
+from repro.schedule.rationalize import (
+    quantize_allocation,
+    rationalize_allocation,
+    QuantizedAllocation,
+)
+from repro.schedule.periodic import PeriodicSchedule, build_periodic_schedule
+from repro.schedule.timeline import (
+    ComputeTask,
+    Transfer,
+    PeriodPlan,
+    unrolled_timeline,
+)
+
+__all__ = [
+    "quantize_allocation",
+    "rationalize_allocation",
+    "QuantizedAllocation",
+    "PeriodicSchedule",
+    "build_periodic_schedule",
+    "ComputeTask",
+    "Transfer",
+    "PeriodPlan",
+    "unrolled_timeline",
+]

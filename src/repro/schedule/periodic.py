@@ -1,0 +1,170 @@
+"""The compact periodic schedule (Section 3.2).
+
+In steady state, during each period of length ``Tp``:
+
+* cluster ``C^k`` **computes** an integer load ``alpha_{l,k} * Tp`` for
+  every application ``A_l`` with a non-zero allocation on it — local
+  data if ``l = k``, data received during the *previous* period
+  otherwise;
+* cluster ``C^k`` **sends** a chunk of size ``alpha_{k,l} * Tp`` towards
+  every ``C^l`` with ``alpha_{k,l} > 0``, to be processed there during
+  the *next* period, and symmetrically receives its inputs.
+
+Equation (1) guarantees the computations fit in the period, Equation (2)
+that the serial link is not oversubscribed. The first period carries
+only communications and the last only computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.platform.topology import Platform
+from repro.schedule.rationalize import QuantizedAllocation, quantize_allocation
+from repro.util.errors import ScheduleError
+from repro.util.tables import TextTable
+
+
+@dataclass
+class PeriodicSchedule:
+    """A reconstructed periodic schedule.
+
+    Attributes
+    ----------
+    platform:
+        The platform the schedule runs on.
+    period:
+        Period length ``Tp`` (time units).
+    loads:
+        Integer matrix: ``loads[k, l]`` load units of application ``A_k``
+        are shipped from ``C^k`` and computed on ``C^l`` per period
+        (``loads[k, k]`` is computed locally).
+    beta:
+        Connections used for each remote transfer (from the allocation).
+    """
+
+    platform: Platform
+    period: int
+    loads: np.ndarray
+    beta: np.ndarray
+
+    # ------------------------------------------------------------------
+    @property
+    def n_clusters(self) -> int:
+        return self.loads.shape[0]
+
+    @property
+    def throughputs(self) -> np.ndarray:
+        """Per-application steady-state throughput ``alpha_k``."""
+        return self.loads.sum(axis=1) / self.period
+
+    def compute_time(self, k: int) -> float:
+        """Time cluster ``C^k`` spends computing within one period."""
+        speed = self.platform.clusters[k].speed
+        total = float(self.loads[:, k].sum())
+        if total == 0.0:
+            return 0.0
+        if speed == 0.0:
+            raise ScheduleError(
+                f"cluster {k} has zero speed but non-zero load {total}"
+            )
+        return total / speed
+
+    def link_time(self, k: int) -> float:
+        """Serial-link busy time of ``C^k`` within one period (lower
+        bound: total traffic divided by ``g_k``)."""
+        g = self.platform.clusters[k].g
+        outgoing = float(self.loads[k, :].sum() - self.loads[k, k])
+        incoming = float(self.loads[:, k].sum() - self.loads[k, k])
+        traffic = outgoing + incoming
+        if traffic == 0.0:
+            return 0.0
+        if g == 0.0:
+            raise ScheduleError(f"cluster {k} has zero g but traffic {traffic}")
+        return traffic / g
+
+    # ------------------------------------------------------------------
+    def validate(self, tol: float = 1e-6) -> None:
+        """Check Equations (1) and (2) at period scale.
+
+        Raises :class:`ScheduleError` on violation.
+        """
+        for k in range(self.n_clusters):
+            if self.compute_time(k) > self.period * (1 + tol) + tol:
+                raise ScheduleError(
+                    f"cluster {k}: compute time {self.compute_time(k):g} exceeds "
+                    f"period {self.period}"
+                )
+            if self.link_time(k) > self.period * (1 + tol) + tol:
+                raise ScheduleError(
+                    f"cluster {k}: link busy time {self.link_time(k):g} exceeds "
+                    f"period {self.period}"
+                )
+        if np.any(self.loads < 0):
+            raise ScheduleError("negative load in schedule")
+
+    # ------------------------------------------------------------------
+    def as_allocation(self) -> Allocation:
+        """The rational allocation realised by this schedule."""
+        return Allocation(self.loads.astype(float) / self.period, self.beta.copy())
+
+    def describe(self) -> str:
+        """Readable per-cluster utilization table."""
+        table = TextTable(
+            ["cluster", "compute load", "compute util", "link traffic", "link util"]
+        )
+        for k in range(self.n_clusters):
+            compute = float(self.loads[:, k].sum())
+            out = float(self.loads[k, :].sum() - self.loads[k, k])
+            inc = float(self.loads[:, k].sum() - self.loads[k, k])
+            table.add_row(
+                [
+                    f"C{k}",
+                    compute,
+                    self.compute_time(k) / self.period if self.period else 0.0,
+                    out + inc,
+                    self.link_time(k) / self.period if self.period else 0.0,
+                ]
+            )
+        return (
+            f"PeriodicSchedule(Tp={self.period}, "
+            f"total={self.loads.sum()} load units/period)\n" + table.render()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PeriodicSchedule(K={self.n_clusters}, Tp={self.period}, "
+            f"load/period={int(self.loads.sum())})"
+        )
+
+
+def build_periodic_schedule(
+    platform: Platform,
+    alloc: Allocation,
+    denominator: int = 10_000,
+    quantized: "QuantizedAllocation | None" = None,
+) -> PeriodicSchedule:
+    """Reconstruct the periodic schedule for a valid allocation.
+
+    Parameters
+    ----------
+    platform, alloc:
+        The platform and a valid allocation on it.
+    denominator:
+        Grid used by :func:`~repro.schedule.rationalize.quantize_allocation`
+        (the period divides it).
+    quantized:
+        Pre-quantized allocation, to skip re-quantization.
+    """
+    q = quantized if quantized is not None else quantize_allocation(alloc, denominator)
+    schedule = PeriodicSchedule(
+        platform=platform,
+        period=q.period,
+        loads=q.loads,
+        beta=q.alloc.beta.copy(),
+    )
+    schedule.validate()
+    return schedule

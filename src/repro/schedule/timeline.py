@@ -1,0 +1,134 @@
+"""Unrolled multi-period timeline of a periodic schedule.
+
+The compact schedule says what happens in a *generic* period; executing
+it for ``n`` periods needs the boundary cases of Section 3.2: "no
+computation takes place during the first period, and no communication
+during the last one". :func:`unrolled_timeline` produces, for every
+period index, the concrete list of transfers started and compute tasks
+executed; the flow-level simulator consumes this plan directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.periodic import PeriodicSchedule
+from repro.util.errors import ScheduleError
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """One chunk shipped during a period.
+
+    The chunk of application ``app`` travels from cluster ``src`` to
+    cluster ``dst`` using ``connections`` parallel connections, and will
+    be computed at ``dst`` during the following period.
+    """
+
+    src: int
+    dst: int
+    app: int
+    volume: float
+    connections: int
+
+
+@dataclass(frozen=True, slots=True)
+class ComputeTask:
+    """One integer load computed on ``cluster`` for application ``app``
+    during a period (data was delivered in the previous one)."""
+
+    cluster: int
+    app: int
+    load: float
+
+
+@dataclass(frozen=True, slots=True)
+class PeriodPlan:
+    """Everything scheduled inside one concrete period."""
+
+    index: int
+    start: float
+    end: float
+    transfers: tuple[Transfer, ...]
+    computations: tuple[ComputeTask, ...]
+
+    @property
+    def total_transferred(self) -> float:
+        return sum(t.volume for t in self.transfers)
+
+    @property
+    def total_computed(self) -> float:
+        return sum(c.load for c in self.computations)
+
+
+def _period_transfers(schedule: PeriodicSchedule) -> tuple[Transfer, ...]:
+    out = []
+    K = schedule.n_clusters
+    for k in range(K):
+        for l in range(K):
+            if k == l:
+                continue
+            volume = float(schedule.loads[k, l])
+            if volume > 0:
+                out.append(
+                    Transfer(
+                        src=k,
+                        dst=l,
+                        app=k,
+                        volume=volume,
+                        connections=max(1, int(schedule.beta[k, l])),
+                    )
+                )
+    return tuple(out)
+
+
+def _period_computations(schedule: PeriodicSchedule) -> tuple[ComputeTask, ...]:
+    out = []
+    K = schedule.n_clusters
+    for l in range(K):
+        for k in range(K):
+            load = float(schedule.loads[k, l])
+            if load > 0:
+                out.append(ComputeTask(cluster=l, app=k, load=load))
+    return tuple(out)
+
+
+def unrolled_timeline(schedule: PeriodicSchedule, n_periods: int) -> list[PeriodPlan]:
+    """Concrete plan for ``n_periods`` periods including boundary cases.
+
+    Exactly as Section 3.2 prescribes: "no computation takes place
+    during the first period, and no communication during the last one".
+    A schedule that keeps its promises therefore computes exactly
+    ``(n_periods - 1) * loads`` per application, which is what
+    :meth:`repro.simulation.engine.SimulationResult.achieved_throughputs`
+    divides by.
+    """
+    if n_periods < 2:
+        raise ScheduleError(f"need at least 2 periods (warm-up + drain), got {n_periods}")
+    transfers = _period_transfers(schedule)
+    computations = _period_computations(schedule)
+
+    plans: list[PeriodPlan] = []
+    Tp = float(schedule.period)
+    for p in range(n_periods):
+        is_first = p == 0
+        is_last = p == n_periods - 1
+        plans.append(
+            PeriodPlan(
+                index=p,
+                start=p * Tp,
+                end=(p + 1) * Tp,
+                transfers=() if is_last else transfers,
+                computations=() if is_first else computations,
+            )
+        )
+    return plans
+
+
+def total_produced(plans: "list[PeriodPlan]", n_apps: int) -> "list[float]":
+    """Total load computed per application across the whole timeline."""
+    out = [0.0] * n_apps
+    for plan in plans:
+        for task in plan.computations:
+            out[task.app] += task.load
+    return out

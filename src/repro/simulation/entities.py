@@ -1,0 +1,88 @@
+"""Mutable runtime entities of the flow-level simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ActiveFlow:
+    """A transfer in flight.
+
+    Attributes
+    ----------
+    src, dst, app:
+        Cluster indices and originating application.
+    remaining:
+        Volume still to deliver (load units).
+    cap:
+        Backbone rate cap (``connections * route bandwidth``).
+    rate:
+        Current max-min fair rate (updated on every re-share).
+    period:
+        Index of the period that launched the flow (lateness metric).
+    """
+
+    src: int
+    dst: int
+    app: int
+    remaining: float
+    cap: float
+    period: int
+    rate: float = 0.0
+
+    @property
+    def eta(self) -> float:
+        """Time to completion at the current rate (inf when stalled)."""
+        if self.remaining <= 0:
+            return 0.0
+        if self.rate <= 0:
+            return float("inf")
+        return self.remaining / self.rate
+
+
+@dataclass
+class ComputeQueue:
+    """Fluid compute state of one cluster.
+
+    Work is processed at the cluster's speed in FIFO order; per-app
+    completed totals are what the throughput metrics read.
+    """
+
+    speed: float
+    tasks: list = field(default_factory=list)  # [(app, remaining), ...]
+
+    @property
+    def backlog(self) -> float:
+        return sum(load for _, load in self.tasks)
+
+    def push(self, app: int, load: float) -> None:
+        if load > 0:
+            self.tasks.append((app, float(load)))
+
+    def advance(self, dt: float, completed: "dict[int, float]") -> float:
+        """Process up to ``speed * dt`` units, crediting ``completed``.
+
+        Returns the amount actually processed (for utilization tracing).
+        """
+        budget = self.speed * dt
+        processed = 0.0
+        while budget > 0 and self.tasks:
+            app, load = self.tasks[0]
+            step = min(load, budget)
+            completed[app] = completed.get(app, 0.0) + step
+            processed += step
+            budget -= step
+            if step >= load:
+                self.tasks.pop(0)
+            else:
+                self.tasks[0] = (app, load - step)
+        return processed
+
+    def time_to_drain(self) -> float:
+        """Time needed to finish the current backlog (inf when stuck)."""
+        if not self.tasks:
+            return 0.0
+        if self.speed <= 0:
+            return float("inf")
+        return self.backlog / self.speed

@@ -1,0 +1,157 @@
+"""Bandwidth sharing: progressive-filling max-min fairness with caps.
+
+The paper's model (Section 2) distinguishes two sharing behaviours:
+
+* **backbone links** grant each connection a fixed bandwidth ``bw(li)``
+  — a flow using ``beta`` connections therefore has a hard *rate cap*
+  of ``beta * min_{li} bw(li)``, independent of other traffic;
+* **local links** are shared: concurrent flows each get a portion of
+  ``g_k`` and the portions sum to at most ``g_k``.
+
+Given the set of simultaneously active flows, the realised rates are the
+classic max-min fair allocation with per-flow caps, computed by
+progressive filling: raise every unfrozen flow's rate at the same speed;
+freeze flows that hit their cap and all flows crossing a local link that
+saturates; repeat until every flow is frozen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class FlowSpec:
+    """A flow for rate computation.
+
+    Attributes
+    ----------
+    src, dst:
+        Cluster indices whose local links the flow crosses. ``src ==
+        dst`` is forbidden (local data never crosses the serial link).
+    cap:
+        Hard rate cap from the backbone (``beta * route bandwidth``);
+        ``inf`` for same-router routes with no backbone segment.
+    """
+
+    src: int
+    dst: int
+    cap: float
+
+    def __post_init__(self):
+        if self.src == self.dst:
+            raise SimulationError("a flow cannot have src == dst")
+        if self.cap < 0:
+            raise SimulationError(f"negative rate cap {self.cap}")
+
+
+def max_min_fair_rates(
+    flows: Sequence[FlowSpec],
+    local_capacities: "Sequence[float] | np.ndarray",
+    max_rounds: "int | None" = None,
+) -> np.ndarray:
+    """Max-min fair rates for ``flows`` over shared local links.
+
+    Parameters
+    ----------
+    flows:
+        Active flows; each consumes its rate on *both* its endpoint
+        links (outgoing at ``src``, incoming at ``dst``), matching
+        Equation (2)'s accounting.
+    local_capacities:
+        ``g_k`` per cluster.
+    max_rounds:
+        Safety bound on filling rounds (default: ``2 * len(flows) + 2``;
+        every round freezes at least one flow).
+
+    Returns
+    -------
+    numpy.ndarray
+        One rate per flow, in input order.
+    """
+    n = len(flows)
+    g = np.asarray(local_capacities, dtype=float)
+    if n == 0:
+        return np.zeros(0)
+    if max_rounds is None:
+        max_rounds = 2 * n + 2
+
+    rates = np.zeros(n)
+    frozen = np.zeros(n, dtype=bool)
+    caps = np.array([f.cap for f in flows], dtype=float)
+    remaining = g.astype(float).copy()
+
+    # incidence[k] = indices of flows crossing local link k
+    incidence: dict[int, list[int]] = {}
+    for i, f in enumerate(flows):
+        incidence.setdefault(f.src, []).append(i)
+        incidence.setdefault(f.dst, []).append(i)
+
+    for _ in range(max_rounds):
+        active = ~frozen
+        if not np.any(active):
+            return rates
+        # Per-link headroom divided by its number of unfrozen flows.
+        link_limit = np.inf
+        for k, flow_ids in incidence.items():
+            count = int(np.count_nonzero(active[flow_ids]))
+            if count:
+                link_limit = min(link_limit, max(0.0, remaining[k]) / count)
+        cap_slack = caps[active] - rates[active]
+        increment = min(link_limit, float(np.min(cap_slack)))
+        if not np.isfinite(increment):
+            raise SimulationError(
+                "unbounded fair-share increment: a flow with infinite cap "
+                "crosses no finite local link"
+            )
+        increment = max(0.0, increment)
+
+        rates[active] += increment
+        for k, flow_ids in incidence.items():
+            count = int(np.count_nonzero(active[flow_ids]))
+            remaining[k] -= increment * count
+
+        # Freeze flows at their cap, then all flows on saturated links.
+        frozen |= rates >= caps - 1e-12
+        for k, flow_ids in incidence.items():
+            if remaining[k] <= 1e-12:
+                for i in flow_ids:
+                    frozen[i] = True
+        if increment == 0.0 and np.any(~frozen):
+            # Zero headroom everywhere: remaining flows are starved.
+            frozen[:] = True
+    if np.any(~frozen):  # pragma: no cover - defensive
+        raise SimulationError("progressive filling failed to converge")
+    return rates
+
+
+def verify_rates(
+    flows: Sequence[FlowSpec],
+    rates: np.ndarray,
+    local_capacities: "Sequence[float] | np.ndarray",
+    tol: float = 1e-9,
+) -> None:
+    """Assert a rate vector respects caps and link capacities.
+
+    Used by tests and as an internal consistency check.
+    """
+    g = np.asarray(local_capacities, dtype=float)
+    usage = np.zeros_like(g)
+    for f, r in zip(flows, rates):
+        if r < -tol:
+            raise SimulationError(f"negative rate {r}")
+        if r > f.cap + tol:
+            raise SimulationError(f"rate {r} exceeds cap {f.cap}")
+        usage[f.src] += r
+        usage[f.dst] += r
+    over = usage > g + tol * np.maximum(1.0, g)
+    if np.any(over):
+        k = int(np.argmax(over))
+        raise SimulationError(
+            f"local link {k} oversubscribed: {usage[k]:g} > {g[k]:g}"
+        )

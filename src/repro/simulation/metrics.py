@@ -1,0 +1,54 @@
+"""Metrics over simulation outcomes: throughput ratios and fairness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.engine import SimulationResult
+
+
+def jain_index(values: "np.ndarray | list[float]") -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    Equals 1 for perfectly equal shares and ``1/n`` when one participant
+    takes everything. The empty vector yields 1 (vacuous fairness).
+    """
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        return 1.0
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(x)) ** 2 / denom
+
+
+def throughput_ratios(
+    result: SimulationResult, nominal: "np.ndarray | list[float]"
+) -> np.ndarray:
+    """Achieved / nominal per-application throughput.
+
+    Applications with zero nominal throughput get ratio 1.0 when they
+    also achieved zero (vacuously on target) and 0.0 otherwise is
+    impossible (nothing can be computed without an allocation), so the
+    convention is harmless.
+    """
+    nominal = np.asarray(nominal, dtype=float)
+    achieved = result.achieved_throughputs()
+    out = np.ones_like(nominal)
+    mask = nominal > 0
+    out[mask] = achieved[mask] / nominal[mask]
+    return out
+
+
+def summarize(result: SimulationResult, nominal: "np.ndarray | list[float]") -> dict:
+    """One-dict summary used by benchmarks and examples."""
+    ratios = throughput_ratios(result, nominal)
+    return {
+        "elapsed": result.elapsed,
+        "total_completed": float(result.completed.sum()),
+        "min_ratio": float(np.min(ratios)),
+        "mean_ratio": float(np.mean(ratios)),
+        "late_flows": result.late_flows,
+        "jain_achieved": jain_index(result.achieved_throughputs()),
+        "events": result.events,
+    }

@@ -1,0 +1,80 @@
+"""Event tracing and utilization accounting for simulation runs.
+
+An optional :class:`TraceRecorder` can be attached to
+:class:`~repro.simulation.engine.FlowSimulator` to capture the full event
+history of a run: every flow start/finish, every rate re-share, and the
+integrated busy time of every local link and cluster. Utilization
+numbers close the loop on the schedule's analytic predictions
+(:meth:`~repro.schedule.periodic.PeriodicSchedule.compute_time` /
+``link_time``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``kind`` is one of ``"flow_start"``, ``"flow_end"``, ``"reshare"``,
+    ``"period_start"``; ``data`` carries kind-specific fields.
+    """
+
+    time: float
+    kind: str
+    data: dict
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates events and integrates resource usage over time.
+
+    Attach to a simulator via ``FlowSimulator(platform, trace=recorder)``.
+    """
+
+    events: list = field(default_factory=list)
+    #: integral of per-cluster link throughput (load units transferred)
+    link_bytes: dict = field(default_factory=dict)
+    #: integral of per-cluster compute (load units processed)
+    compute_units: dict = field(default_factory=dict)
+    _horizon: float = 0.0
+
+    # ------------------------------------------------------------------
+    def record(self, time: float, kind: str, **data) -> None:
+        self.events.append(TraceEvent(time=time, kind=kind, data=data))
+        self._horizon = max(self._horizon, time)
+
+    def add_transfer(self, src: int, dst: int, amount: float) -> None:
+        """Credit ``amount`` transferred load units to both endpoints."""
+        self.link_bytes[src] = self.link_bytes.get(src, 0.0) + amount
+        self.link_bytes[dst] = self.link_bytes.get(dst, 0.0) + amount
+
+    def add_compute(self, cluster: int, amount: float) -> None:
+        self.compute_units[cluster] = self.compute_units.get(cluster, 0.0) + amount
+
+    # ------------------------------------------------------------------
+    def link_utilization(self, cluster: int, g: float, horizon: "float | None" = None) -> float:
+        """Mean fraction of ``g`` used over the run horizon."""
+        horizon = self._horizon if horizon is None else horizon
+        if horizon <= 0 or g <= 0:
+            return 0.0
+        return self.link_bytes.get(cluster, 0.0) / (g * horizon)
+
+    def compute_utilization(
+        self, cluster: int, speed: float, horizon: "float | None" = None
+    ) -> float:
+        """Mean fraction of ``speed`` used over the run horizon."""
+        horizon = self._horizon if horizon is None else horizon
+        if horizon <= 0 or speed <= 0:
+            return 0.0
+        return self.compute_units.get(cluster, 0.0) / (speed * horizon)
+
+    def events_of_kind(self, kind: str) -> list:
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,75 @@
+"""ASCII line plots for terminal-friendly figure reproduction.
+
+The paper's Figures 5-7 are line plots; matplotlib is not available in
+the offline environment, so the experiment harness renders each figure
+as an ASCII grid plus the underlying numeric series (the series is the
+artifact recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_series_plot(
+    series: "Mapping[str, Sequence[tuple[float, float]]]",
+    width: int = 60,
+    height: int = 18,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Render named (x, y) series on a shared-axis character grid.
+
+    Parameters
+    ----------
+    series:
+        Mapping from legend label to a sequence of ``(x, y)`` points.
+    logy:
+        Plot ``log10(y)``; non-positive y values are dropped.
+    """
+    points: dict[str, list[tuple[float, float]]] = {}
+    for name, pts in series.items():
+        kept = []
+        for x, y in pts:
+            if logy:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            kept.append((float(x), float(y)))
+        if kept:
+            points[name] = kept
+    if not points:
+        return f"{title}\n(no data)"
+
+    xs = [x for pts in points.values() for x, _ in pts]
+    ys = [y for pts in points.values() for _, y in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(points.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            col = round((x - xmin) / (xmax - xmin) * (width - 1))
+            row = round((y - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    ylab = "log10(y)" if logy else "y"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylab} in [{ymin:.3g}, {ymax:.3g}]   x in [{xmin:.3g}, {xmax:.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(points)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

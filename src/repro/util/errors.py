@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by :mod:`repro`."""
+
+
+class PlatformError(ReproError):
+    """A platform description is structurally invalid (dangling router,
+    negative capacity, duplicate cluster name, ...)."""
+
+
+class RoutingError(PlatformError):
+    """A route was requested between clusters that the fixed routing
+    tables do not connect."""
+
+
+class SolverError(ReproError):
+    """An LP/MILP backend failed for a reason other than infeasibility."""
+
+
+class InfeasibleError(SolverError):
+    """The (M)LP instance admits no feasible point."""
+
+
+class UnboundedError(SolverError):
+    """The (M)LP instance is unbounded above."""
+
+
+class ValidationError(ReproError):
+    """An allocation violates the steady-state constraints (1)-(4).
+
+    Attributes
+    ----------
+    violations:
+        Human-readable description of each violated constraint.
+    """
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        summary = "; ".join(self.violations[:5])
+        more = len(self.violations) - 5
+        if more > 0:
+            summary += f" (+{more} more)"
+        super().__init__(f"invalid allocation: {summary}")
+
+
+class ScheduleError(ReproError):
+    """Periodic schedule reconstruction failed (e.g. period overflow)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,77 @@
+"""Rational-arithmetic helpers for periodic-schedule reconstruction.
+
+Section 3.2 of the paper rebuilds a periodic schedule from a rational
+allocation by writing every ``alpha_{k,l}`` as ``u/v`` and setting the
+period to ``Tp = lcm(v)``. LP solvers hand back floats, so we first snap
+floats to nearby fractions with a bounded denominator
+(:func:`as_fraction`), then compute the common period
+(:func:`common_period`).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+import numpy as np
+
+
+def as_fraction(x: float, max_denominator: int = 10**6) -> Fraction:
+    """Snap a float to the closest fraction with denominator <= ``max_denominator``.
+
+    Values within one part in 1e-12 of an integer are snapped exactly so
+    that e.g. ``2.9999999999997`` becomes ``3`` rather than an enormous
+    fraction.
+    """
+    if not math.isfinite(x):
+        raise ValueError(f"cannot convert non-finite value {x} to a fraction")
+    nearest = round(x)
+    if abs(x - nearest) <= 1e-12 * max(1.0, abs(x)):
+        return Fraction(int(nearest))
+    return Fraction(x).limit_denominator(max_denominator)
+
+
+def lcm_many(values: Iterable[int]) -> int:
+    """Least common multiple of an iterable of positive integers.
+
+    The LCM of an empty iterable is 1 (the identity of ``lcm``).
+    """
+    out = 1
+    for v in values:
+        v = int(v)
+        if v <= 0:
+            raise ValueError(f"lcm requires positive integers, got {v}")
+        out = out * v // math.gcd(out, v)
+    return out
+
+
+def fractionize(
+    values: "np.ndarray | Iterable[float]", max_denominator: int = 10**4
+) -> "dict[tuple[int, ...], Fraction]":
+    """Convert a dense array of floats into a sparse dict of fractions.
+
+    Entries equal to zero (after snapping) are omitted, which keeps the
+    period computation over sparse allocations cheap.
+    """
+    arr = np.asarray(values, dtype=float)
+    out: dict[tuple[int, ...], Fraction] = {}
+    for idx in np.ndindex(arr.shape):
+        frac = as_fraction(float(arr[idx]), max_denominator)
+        if frac != 0:
+            out[idx] = frac
+    return out
+
+
+def common_period(fractions: "Mapping[object, Fraction] | Iterable[Fraction]") -> int:
+    """Smallest ``Tp`` such that ``f * Tp`` is an integer for every ``f``.
+
+    This is the schedule period of Section 3.2: ``Tp = lcm_{k,l}(v_{k,l})``
+    where ``alpha_{k,l} = u_{k,l} / v_{k,l}`` in lowest terms.
+    """
+    if isinstance(fractions, Mapping):
+        fractions = fractions.values()
+    denominators = [f.denominator for f in fractions]
+    if not denominators:
+        return 1
+    return lcm_many(denominators)

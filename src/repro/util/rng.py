@@ -1,0 +1,52 @@
+"""Seedable random-number-generator plumbing.
+
+All stochastic code in :mod:`repro` (platform generation, randomized
+rounding, simulation jitter) takes a ``rng`` argument that may be
+
+* ``None`` - use a fresh, OS-seeded generator,
+* an ``int`` - deterministic seed,
+* an existing :class:`numpy.random.Generator` - used as-is.
+
+Reproducibility of parallel or repeated experiments is obtained with
+:func:`spawn_rngs`, which derives independent child generators from a
+single seed using NumPy's ``SeedSequence.spawn`` mechanism (the approach
+recommended by the NumPy docs for parallel streams).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh entropy), an integer seed, or an existing
+        generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot interpret {rng!r} as a random generator")
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from ``seed``.
+
+    When ``seed`` is already a generator, children are spawned from its
+    bit generator's seed sequence so repeated calls keep advancing.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(n)]
+    ss = np.random.SeedSequence(seed if seed is None else int(seed))
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

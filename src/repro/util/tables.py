@@ -1,0 +1,62 @@
+"""Minimal text-table renderer for experiment reports.
+
+The experiment harness prints paper-style tables to the terminal; this
+keeps the library free of plotting dependencies while still producing
+readable artifacts for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _fmt(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+class TextTable:
+    """Fixed-width text table with a header row.
+
+    Example
+    -------
+    >>> t = TextTable(["K", "ratio"])
+    >>> t.add_row([5, 0.913])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    K | ratio
+    --+------
+    5 | 0.913
+    """
+
+    def __init__(self, columns: Sequence[str], float_fmt: str = ".3f"):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.float_fmt = float_fmt
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [_fmt(v, self.float_fmt) for v in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)).rstrip()
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in self.rows:
+            lines.append(
+                " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,63 @@
+"""Hypothesis strategies for platforms, problems and allocations."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro import PlatformSpec, SteadyStateProblem, generate_platform
+
+
+@st.composite
+def platform_specs(draw, max_clusters: int = 7):
+    """Random but sane generator specs (values chosen so that LP solves
+    stay fast and the greedy cannot degenerate into drip allocations)."""
+    return PlatformSpec(
+        n_clusters=draw(st.integers(min_value=1, max_value=max_clusters)),
+        connectivity=draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        ),
+        heterogeneity=draw(st.sampled_from([0.0, 0.2, 0.4, 0.6, 0.8])),
+        mean_g=draw(st.sampled_from([50.0, 150.0, 250.0, 450.0])),
+        mean_bw=draw(st.sampled_from([10.0, 30.0, 50.0, 90.0])),
+        mean_max_connect=draw(st.sampled_from([2.0, 5.0, 15.0, 45.0])),
+        speed_heterogeneity=draw(st.sampled_from([0.0, 0.4, 0.8])),
+    )
+
+
+@st.composite
+def platforms(draw, max_clusters: int = 7):
+    """A generated platform plus the seed that produced it."""
+    spec = draw(platform_specs(max_clusters=max_clusters))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return generate_platform(spec, rng=seed)
+
+
+@st.composite
+def problems(draw, max_clusters: int = 6, objective=None):
+    """A full steady-state problem with random payoffs (some possibly 0)."""
+    platform = draw(platforms(max_clusters=max_clusters))
+    K = platform.n_clusters
+    payoffs = draw(
+        st.lists(
+            st.sampled_from([0.0, 0.5, 1.0, 2.0]),
+            min_size=K,
+            max_size=K,
+        )
+    )
+    if objective is None:
+        objective = draw(st.sampled_from(["maxmin", "sum"]))
+    return SteadyStateProblem(platform, payoffs, objective=objective)
+
+
+@st.composite
+def small_graphs(draw, max_vertices: int = 7):
+    """Edge-list graphs for the NP-hardness reduction tests."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+        if possible
+        else st.just([])
+    )
+    return n, edges

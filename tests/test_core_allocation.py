@@ -1,0 +1,121 @@
+"""Tests for repro.core.allocation."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.util.errors import ValidationError
+
+
+def _alloc3():
+    alpha = np.array(
+        [
+            [10.0, 2.0, 0.0],
+            [0.0, 20.0, 3.0],
+            [1.0, 0.0, 30.0],
+        ]
+    )
+    beta = np.array([[0, 1, 0], [0, 0, 2], [1, 0, 0]])
+    return Allocation(alpha, beta)
+
+
+class TestConstruction:
+    def test_zeros(self):
+        a = Allocation.zeros(4)
+        assert a.n_clusters == 4 and a.is_zero()
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            Allocation(np.zeros((2, 3)), np.zeros((2, 3), dtype=int))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Allocation(np.zeros((2, 2)), np.zeros((3, 3), dtype=int))
+
+    def test_copy_is_deep(self):
+        a = _alloc3()
+        b = a.copy()
+        b.alpha[0, 0] = 99.0
+        assert a.alpha[0, 0] == 10.0
+
+
+class TestThroughput:
+    def test_throughputs_are_row_sums(self):
+        a = _alloc3()
+        assert a.throughputs.tolist() == [12.0, 23.0, 31.0]
+        assert a.throughput(0) == 12.0
+
+    def test_compute_load_is_column_sum(self):
+        a = _alloc3()
+        assert a.compute_load(0) == 11.0
+        assert a.compute_load(2) == 33.0
+
+    def test_link_traffic_excludes_local(self):
+        a = _alloc3()
+        # C0: out = 2, in = 1
+        assert a.link_traffic(0) == 3.0
+        # C1: out = 3, in = 2
+        assert a.link_traffic(1) == 5.0
+
+
+class TestObjectives:
+    def test_sum_value(self):
+        a = _alloc3()
+        assert a.sum_value([1.0, 2.0, 0.5]) == 12.0 + 46.0 + 15.5
+
+    def test_maxmin_value(self):
+        a = _alloc3()
+        assert a.maxmin_value([1.0, 1.0, 1.0]) == 12.0
+
+    def test_maxmin_skips_zero_payoffs(self):
+        a = _alloc3()
+        # App 0 has payoff 0 -> excluded from the min.
+        assert a.maxmin_value([0.0, 1.0, 1.0]) == 23.0
+
+    def test_maxmin_no_participants(self):
+        assert _alloc3().maxmin_value([0.0, 0.0, 0.0]) == 0.0
+
+    def test_objective_dispatch(self):
+        a = _alloc3()
+        assert a.objective_value("sum", [1, 1, 1]) == a.sum_value([1, 1, 1])
+        assert a.objective_value("maxmin", [1, 1, 1]) == a.maxmin_value([1, 1, 1])
+        with pytest.raises(ValueError):
+            a.objective_value("nope", [1, 1, 1])
+
+
+class TestTransfersAndMerge:
+    def test_remote_transfers_skip_diagonal(self):
+        transfers = list(_alloc3().remote_transfers())
+        pairs = {(k, l) for k, l, _, _ in transfers}
+        assert pairs == {(0, 1), (1, 2), (2, 0)}
+
+    def test_remote_transfers_include_beta_only_entries(self):
+        a = Allocation.zeros(2)
+        a.beta[0, 1] = 3
+        assert list(a.remote_transfers()) == [(0, 1, 0.0, 3)]
+
+    def test_total_connections_excludes_diagonal(self):
+        a = _alloc3()
+        a.beta[1, 1] = 7  # bogus diagonal value must not count
+        assert a.total_connections() == 4
+
+    def test_merge(self):
+        a = _alloc3()
+        merged = a.merged_with(a)
+        assert np.array_equal(merged.alpha, 2 * a.alpha)
+        assert np.array_equal(merged.beta, 2 * a.beta)
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            _alloc3().merged_with(Allocation.zeros(2))
+
+    def test_equality(self):
+        assert _alloc3() == _alloc3()
+        other = _alloc3()
+        other.alpha[0, 0] += 1
+        assert _alloc3() != other
+        assert _alloc3() != "not an allocation"
+
+    def test_describe_mentions_objectives(self):
+        text = _alloc3().describe(payoffs=[1, 1, 1])
+        assert "SUM=" in text and "MAXMIN=" in text

@@ -1,0 +1,170 @@
+"""Tests for repro.core.constraints (Equations 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro import line_platform, validate_allocation
+from repro.core.allocation import Allocation
+from repro.core.constraints import allocation_violations
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def platform():
+    # line: C0 - C1 - C2, speed 100, g 50, bw 10, max_connect 4
+    return line_platform(3, g=50.0)
+
+
+def _empty(platform):
+    return Allocation.zeros(platform.n_clusters)
+
+
+class TestValidCases:
+    def test_empty_allocation_valid(self, platform):
+        assert allocation_violations(platform, _empty(platform)).ok
+
+    def test_local_only_valid(self, platform):
+        a = _empty(platform)
+        for k in range(3):
+            a.alpha[k, k] = 100.0
+        assert allocation_violations(platform, a).ok
+
+    def test_remote_within_limits(self, platform):
+        a = _empty(platform)
+        a.alpha[0, 1] = 10.0
+        a.beta[0, 1] = 1
+        report = allocation_violations(platform, a)
+        assert report.ok, report.violations
+
+    def test_validate_returns_report(self, platform):
+        report = validate_allocation(platform, _empty(platform))
+        assert report.ok and bool(report)
+
+
+class TestEquation1Compute:
+    def test_over_speed_detected(self, platform):
+        a = _empty(platform)
+        a.alpha[0, 0] = 150.0
+        report = allocation_violations(platform, a)
+        assert any("Eq.(1)" in v for v in report.violations)
+
+    def test_combined_local_and_remote_load(self, platform):
+        a = _empty(platform)
+        a.alpha[1, 1] = 95.0
+        a.alpha[0, 1] = 10.0
+        a.beta[0, 1] = 1
+        report = allocation_violations(platform, a)
+        assert any("Eq.(1)" in v for v in report.violations)
+
+
+class TestEquation2LocalLink:
+    def test_outgoing_plus_incoming_counted(self, platform):
+        a = _empty(platform)
+        # 30 out and 30 in on C1's g=50 link -> violation.
+        a.alpha[1, 0] = 30.0
+        a.beta[1, 0] = 3
+        a.alpha[0, 1] = 30.0
+        a.beta[0, 1] = 3
+        report = allocation_violations(platform, a)
+        assert any("Eq.(2)" in v for v in report.violations)
+
+    def test_local_compute_not_counted(self, platform):
+        a = _empty(platform)
+        a.alpha[0, 0] = 100.0  # uses no link at all
+        a.alpha[0, 1] = 10.0
+        a.beta[0, 1] = 1
+        assert allocation_violations(platform, a).ok
+
+
+class TestEquation3Connections:
+    def test_per_link_count(self, platform):
+        a = _empty(platform)
+        # seg0 carries routes (0,1), (0,2), (1,0), ... max_connect=4.
+        a.beta[0, 1] = 3
+        a.beta[1, 0] = 2
+        report = allocation_violations(platform, a)
+        assert any("Eq.(3)" in v and "seg0" in v for v in report.violations)
+
+    def test_shared_middle_link(self, platform):
+        a = _empty(platform)
+        a.beta[0, 2] = 2  # uses seg0+seg1
+        a.beta[1, 2] = 2  # uses seg1
+        a.alpha[0, 2] = 1.0
+        a.alpha[1, 2] = 1.0
+        assert allocation_violations(platform, a).ok
+        a.beta[2, 1] = 1  # seg1 now at 5 > 4
+        report = allocation_violations(platform, a)
+        assert any("seg1" in v for v in report.violations)
+
+
+class TestEquation4Bandwidth:
+    def test_alpha_bounded_by_beta_times_bw(self, platform):
+        a = _empty(platform)
+        a.alpha[0, 1] = 15.0
+        a.beta[0, 1] = 1  # cap = 10
+        report = allocation_violations(platform, a)
+        assert any("Eq.(4)" in v for v in report.violations)
+
+    def test_two_connections_double_cap(self, platform):
+        a = _empty(platform)
+        a.alpha[0, 1] = 15.0
+        a.beta[0, 1] = 2  # cap = 20
+        assert allocation_violations(platform, a).ok
+
+    def test_bottleneck_over_route(self, platform):
+        a = _empty(platform)
+        a.alpha[0, 2] = 10.0
+        a.beta[0, 2] = 1  # min bw over seg0, seg1 = 10
+        assert allocation_violations(platform, a).ok
+
+
+class TestStructural:
+    def test_negative_alpha(self, platform):
+        a = _empty(platform)
+        a.alpha[0, 1] = -1.0
+        report = allocation_violations(platform, a)
+        assert any("negative" in v for v in report.violations)
+
+    def test_negative_beta(self, platform):
+        a = _empty(platform)
+        a.beta[0, 1] = -1
+        report = allocation_violations(platform, a)
+        assert any("negative" in v for v in report.violations)
+
+    def test_traffic_without_route(self):
+        # Two disconnected clusters.
+        from repro import Cluster, Platform
+
+        platform = Platform(
+            [Cluster("A", 10.0, 10.0, "R0"), Cluster("B", 10.0, 10.0, "R1")],
+            ["R0", "R1"],
+            [],
+        )
+        a = Allocation.zeros(2)
+        a.alpha[0, 1] = 1.0
+        report = allocation_violations(platform, a)
+        assert any("unconnected" in v for v in report.violations)
+
+    def test_size_mismatch_short_circuits(self, platform):
+        report = allocation_violations(platform, Allocation.zeros(5))
+        assert len(report.violations) == 1
+
+    def test_raise_on_invalid(self, platform):
+        a = _empty(platform)
+        a.alpha[0, 0] = 1e6
+        with pytest.raises(ValidationError) as err:
+            validate_allocation(platform, a)
+        assert err.value.violations
+
+    def test_tolerance_respected(self, platform):
+        a = _empty(platform)
+        a.alpha[0, 0] = 100.0 + 1e-9  # within default tol
+        assert allocation_violations(platform, a).ok
+
+    def test_report_repr(self, platform):
+        ok = allocation_violations(platform, _empty(platform))
+        assert "ok" in repr(ok)
+        bad = Allocation.zeros(3)
+        bad.alpha[0, 0] = 1e9
+        report = allocation_violations(platform, bad)
+        assert "violation" in repr(report)

@@ -1,0 +1,109 @@
+"""Tests for repro.core.problem, application and objectives."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Application,
+    MAXMIN,
+    SUM,
+    SteadyStateProblem,
+    applications_for_platform,
+    get_objective,
+    line_platform,
+)
+from repro.core.application import payoff_vector
+from repro.core.allocation import Allocation
+from repro.util.errors import PlatformError
+
+
+class TestApplication:
+    def test_defaults(self):
+        app = Application("A0")
+        assert app.payoff == 1.0 and app.participates
+
+    def test_zero_payoff_does_not_participate(self):
+        assert not Application("A0", payoff=0.0).participates
+
+    def test_negative_payoff_rejected(self):
+        with pytest.raises(PlatformError):
+            Application("A0", payoff=-1.0)
+
+    def test_applications_for_platform_scalar(self):
+        apps = applications_for_platform(3, 2.0)
+        assert [a.payoff for a in apps] == [2.0, 2.0, 2.0]
+
+    def test_applications_for_platform_sequence(self):
+        apps = applications_for_platform(2, [1.0, 0.0])
+        assert apps[1].payoff == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PlatformError):
+            applications_for_platform(3, [1.0])
+
+    def test_payoff_vector(self):
+        apps = applications_for_platform(3, [1.0, 2.0, 3.0])
+        assert payoff_vector(apps).tolist() == [1.0, 2.0, 3.0]
+
+
+class TestObjectives:
+    def test_get_by_name(self):
+        assert get_objective("sum") is SUM
+        assert get_objective("MAXMIN") is MAXMIN
+        assert get_objective(SUM) is SUM
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_objective("median")
+
+    def test_sum_value(self):
+        assert SUM.value([1.0, 2.0], [3.0, 4.0]) == 11.0
+
+    def test_maxmin_value_excludes_zero_payoffs(self):
+        assert MAXMIN.value([5.0, 100.0], [1.0, 0.0]) == 5.0
+        assert MAXMIN.value([5.0, 1.0], [0.0, 0.0]) == 0.0
+
+    def test_equality_and_hash(self):
+        assert SUM == get_objective("sum")
+        assert SUM != MAXMIN
+        assert len({SUM, MAXMIN, get_objective("sum")}) == 2
+
+
+class TestProblem:
+    def test_default_applications(self):
+        p = SteadyStateProblem(line_platform(3))
+        assert len(p.applications) == 3
+        assert np.all(p.payoffs == 1.0)
+        assert p.objective is MAXMIN
+
+    def test_payoff_shorthand(self):
+        p = SteadyStateProblem(line_platform(2), [1.0, 0.0])
+        assert p.payoffs.tolist() == [1.0, 0.0]
+        assert p.active_mask.tolist() == [True, False]
+
+    def test_explicit_applications(self):
+        apps = applications_for_platform(2, [2.0, 3.0])
+        p = SteadyStateProblem(line_platform(2), apps, objective="sum")
+        assert p.objective is SUM
+
+    def test_application_count_enforced(self):
+        with pytest.raises(PlatformError):
+            SteadyStateProblem(line_platform(3), applications_for_platform(2))
+
+    def test_with_objective(self):
+        p = SteadyStateProblem(line_platform(2), objective="maxmin")
+        q = p.with_objective("sum")
+        assert q.objective is SUM and q.platform is p.platform
+        assert p.objective is MAXMIN  # original untouched
+
+    def test_objective_value_and_check(self):
+        p = SteadyStateProblem(line_platform(2), [1.0, 2.0], objective="sum")
+        a = Allocation.zeros(2)
+        a.alpha[0, 0] = 10.0
+        a.alpha[1, 1] = 5.0
+        assert p.objective_value(a) == 20.0
+        assert p.check(a).ok
+
+    def test_repr(self):
+        p = SteadyStateProblem(line_platform(2), [1.0, 0.0])
+        assert "active_apps=1" in repr(p)

@@ -1,0 +1,105 @@
+"""Tests for the solve() façade, heuristic base plumbing, and errors."""
+
+import numpy as np
+import pytest
+
+from repro import ReproError, SteadyStateProblem, ValidationError, line_platform, solve
+from repro.core.solve import available_methods
+from repro.heuristics.base import Heuristic, HeuristicResult, get_heuristic
+from repro.util.errors import (
+    InfeasibleError,
+    PlatformError,
+    RoutingError,
+    ScheduleError,
+    SimulationError,
+    SolverError,
+    UnboundedError,
+)
+
+
+class TestSolveFacade:
+    def test_available_methods(self):
+        methods = available_methods()
+        assert "lprg" in methods and "milp" in methods
+        assert methods == tuple(sorted(methods))
+
+    def test_unknown_method(self, problem_factory):
+        with pytest.raises(ValueError):
+            solve(problem_factory(), method="quantum-annealing")
+
+    def test_case_insensitive(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=3)
+        assert solve(problem, "LPRG").method == "lprg"
+
+    def test_runtime_recorded(self, problem_factory):
+        result = solve(problem_factory(seed=0, n_clusters=4), "lprg")
+        assert result.runtime > 0.0
+
+    def test_kwargs_forwarded(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=4)
+        result = solve(problem, "lprr", rng=0, eager_integer_fixing=True)
+        assert result.allocation is not None
+
+    def test_result_repr(self, problem_factory):
+        result = solve(problem_factory(seed=0, n_clusters=3), "greedy")
+        assert "greedy" in repr(result)
+        assert result.is_schedule
+
+
+class TestHeuristicBase:
+    def test_duplicate_registration_rejected(self):
+        from repro.heuristics.base import register_heuristic
+
+        class Dup(Heuristic):
+            name = "greedy"  # already taken
+
+        with pytest.raises(ValueError):
+            register_heuristic(Dup)
+
+    def test_abstract_solve(self, problem_factory):
+        h = Heuristic()
+        with pytest.raises(NotImplementedError):
+            h.run(problem_factory(seed=0, n_clusters=2))
+
+    def test_heuristic_repr(self):
+        assert "greedy" in repr(get_heuristic("greedy"))
+
+    def test_lp_bound_is_not_schedule_in_general(self, problem_factory):
+        # On most random platforms the relaxation is fractional, but if
+        # it happens to be integral an allocation IS attached; either
+        # way, the flag and the field must agree.
+        result = solve(problem_factory(seed=0, n_clusters=5), "lp")
+        assert result.is_schedule == (result.allocation is not None)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            PlatformError, RoutingError, SolverError, InfeasibleError,
+            UnboundedError, ScheduleError, SimulationError,
+        ):
+            assert issubclass(exc, ReproError)
+        assert issubclass(RoutingError, PlatformError)
+        assert issubclass(InfeasibleError, SolverError)
+
+    def test_validation_error_summary_truncates(self):
+        err = ValidationError([f"violation {i}" for i in range(10)])
+        assert "+5 more" in str(err)
+        assert len(err.violations) == 10
+
+    def test_validation_error_short_list(self):
+        err = ValidationError(["just one"])
+        assert "just one" in str(err)
+        assert "more" not in str(err)
+
+    def test_catch_all(self, problem_factory):
+        # A single except ReproError catches solver-level failures.
+        from repro.lp.builder import build_lp
+        from repro.lp.scipy_backend import solve_lp_scipy
+
+        problem = problem_factory(seed=0, n_clusters=2)
+        inst = build_lp(problem)
+        lb, ub = inst.lb.copy(), inst.ub.copy()
+        lb[0], ub[0] = 1e12, 2e12
+        with pytest.raises(ReproError):
+            solve_lp_scipy(inst.with_bounds(lb, ub))

@@ -1,0 +1,172 @@
+"""Tests for the classical divisible-load-theory substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dlt import (
+    StarNetwork,
+    multi_round_makespan,
+    single_round_makespan,
+    steady_state_throughput_multi_port,
+    steady_state_throughput_one_port,
+)
+from repro.platform.cluster import equivalent_star_speed
+from repro.util.errors import PlatformError
+
+
+def _star(master=0.0, speeds=(2.0, 1.0), bws=(4.0, 2.0)):
+    return StarNetwork(master, tuple(speeds), tuple(bws))
+
+
+class TestConstruction:
+    def test_length_mismatch(self):
+        with pytest.raises(PlatformError):
+            StarNetwork(1.0, (1.0,), ())
+
+    def test_nonpositive_worker_rejected(self):
+        with pytest.raises(PlatformError):
+            StarNetwork(1.0, (0.0,), (1.0,))
+        with pytest.raises(PlatformError):
+            StarNetwork(1.0, (1.0,), (0.0,))
+
+
+class TestSingleRound:
+    def test_zero_load(self):
+        T, chunks = single_round_makespan(_star(), 0.0)
+        assert T == 0.0 and chunks.sum() == 0.0
+
+    def test_chunks_sum_to_load(self):
+        T, chunks = single_round_makespan(_star(master=1.0), 30.0)
+        assert chunks.sum() == pytest.approx(30.0)
+
+    def test_all_finish_simultaneously(self):
+        """The optimality condition: every participant finishes at T."""
+        star = _star(master=1.5, speeds=(2.0, 1.0, 3.0), bws=(4.0, 2.0, 1.0))
+        order = [0, 1, 2]
+        T, chunks = single_round_makespan(star, 50.0, order=order)
+        # master
+        assert chunks[0] / star.master_speed == pytest.approx(T)
+        # worker i finishes at (send completion) + compute time
+        t = 0.0
+        for i in order:
+            t += chunks[1 + i] / star.worker_bandwidths[i]
+            finish = t + chunks[1 + i] / star.worker_speeds[i]
+            assert finish == pytest.approx(T)
+
+    def test_makespan_linear_in_load(self):
+        star = _star()
+        T1, _ = single_round_makespan(star, 10.0)
+        T2, _ = single_round_makespan(star, 20.0)
+        assert T2 == pytest.approx(2 * T1)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(PlatformError):
+            single_round_makespan(_star(), 1.0, order=[0, 0])
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(PlatformError):
+            single_round_makespan(_star(), -1.0)
+
+    def test_bandwidth_order_is_good(self):
+        """Decreasing-bandwidth order beats (or ties) the reverse order."""
+        star = _star(speeds=(5.0, 5.0), bws=(10.0, 1.0))
+        T_good, _ = single_round_makespan(star, 40.0, order=[0, 1])
+        T_bad, _ = single_round_makespan(star, 40.0, order=[1, 0])
+        assert T_good <= T_bad + 1e-12
+
+
+class TestMultiRound:
+    def test_one_round_matches_single(self):
+        star = _star(master=1.0)
+        T1, _ = single_round_makespan(star, 25.0)
+        assert multi_round_makespan(star, 25.0, rounds=1) == pytest.approx(T1)
+
+    def test_more_rounds_help_large_loads(self):
+        star = _star(speeds=(2.0, 2.0), bws=(1.0, 1.0))
+        W = 200.0
+        T1 = multi_round_makespan(star, W, rounds=1)
+        T8 = multi_round_makespan(star, W, rounds=8)
+        assert T8 < T1
+
+    def test_rounds_validation(self):
+        with pytest.raises(PlatformError):
+            multi_round_makespan(_star(), 1.0, rounds=0)
+
+    def test_zero_load(self):
+        assert multi_round_makespan(_star(), 0.0, rounds=3) == 0.0
+
+
+class TestSteadyState:
+    def test_multi_port_matches_cluster_formula(self):
+        star = _star(master=3.0, speeds=(2.0, 9.0), bws=(4.0, 5.0))
+        assert steady_state_throughput_multi_port(star) == pytest.approx(
+            equivalent_star_speed(3.0, [2.0, 9.0], [4.0, 5.0])
+        )
+
+    def test_one_port_bandwidth_centric(self):
+        # Banino et al.'s counter-intuitive principle: the FAST worker
+        # behind a SLOW link is used only with leftover port time.
+        star = StarNetwork(0.0, (1.0, 100.0), (10.0, 1.0))
+        # Saturate worker 0 first (bw 10): x0 = 1 costs 0.1 port-time;
+        # leftover 0.9 feeds worker 1 at bw 1: x1 = 0.9.
+        assert steady_state_throughput_one_port(star) == pytest.approx(1.9)
+
+    def test_one_port_below_multi_port(self):
+        star = _star(master=1.0, speeds=(3.0, 4.0, 5.0), bws=(2.0, 3.0, 4.0))
+        assert steady_state_throughput_one_port(star) <= (
+            steady_state_throughput_multi_port(star) + 1e-12
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25)
+    def test_one_port_dominated_random(self, p, seed):
+        rng = np.random.default_rng(seed)
+        star = StarNetwork(
+            float(rng.uniform(0, 5)),
+            tuple(rng.uniform(0.5, 10, p)),
+            tuple(rng.uniform(0.5, 10, p)),
+        )
+        one = steady_state_throughput_one_port(star)
+        multi = steady_state_throughput_multi_port(star)
+        assert star.master_speed - 1e-12 <= one <= multi + 1e-12
+
+
+class TestAsymptoticOptimality:
+    """The theorem the paper's relaxation rests on: makespan-optimal
+    throughput tends to the steady-state optimum as the load grows."""
+
+    def test_multi_round_converges_to_one_port_bound(self):
+        star = StarNetwork(1.0, (2.0, 3.0), (3.0, 2.0))
+        bound = steady_state_throughput_one_port(star)
+        last = 0.0
+        for W, R in ((10, 2), (100, 10), (1000, 40), (10000, 150)):
+            T = multi_round_makespan(
+                star, float(W), rounds=R, proportions="steady-state"
+            )
+            throughput = W / T
+            assert throughput <= bound + 1e-9  # never beats steady state
+            last = throughput
+        assert last >= 0.9 * bound  # within 10% at large load
+
+    def test_steady_state_mix_beats_single_round_mix_eventually(self):
+        star = StarNetwork(1.0, (2.0, 3.0), (3.0, 2.0))
+        W, R = 10000.0, 150
+        uniform = W / multi_round_makespan(star, W, rounds=R)
+        steady = W / multi_round_makespan(
+            star, W, rounds=R, proportions="steady-state"
+        )
+        assert steady >= uniform - 1e-9
+
+    def test_unknown_proportions_rejected(self):
+        with pytest.raises(PlatformError):
+            multi_round_makespan(_star(), 1.0, rounds=2, proportions="magic")
+
+    def test_single_round_strictly_below_bound(self):
+        star = StarNetwork(0.0, (5.0, 5.0), (2.0, 2.0))
+        bound = steady_state_throughput_one_port(star)
+        T, _ = single_round_makespan(star, 100.0)
+        assert 100.0 / T < bound

@@ -1,0 +1,69 @@
+"""Tests for experiment-row persistence (JSONL / CSV round-trips)."""
+
+import pytest
+
+from repro.experiments import run_setting, Setting
+from repro.experiments.aggregate import headline_ratios, mean_ratio_by_k
+from repro.experiments.persistence import (
+    load_rows_csv,
+    load_rows_jsonl,
+    row_from_dict,
+    row_to_dict,
+    save_rows_csv,
+    save_rows_jsonl,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    setting = Setting(
+        k=4, connectivity=0.6, heterogeneity=0.4,
+        mean_g=250.0, mean_bw=30.0, mean_maxcon=15.0,
+    )
+    return run_setting(
+        setting, methods=("greedy", "lprg"), objectives=("maxmin", "sum"),
+        n_platforms=2, rng=1,
+    )
+
+
+class TestDictRoundTrip:
+    def test_row_roundtrip(self, rows):
+        for row in rows:
+            clone = row_from_dict(row_to_dict(row))
+            assert clone == row
+
+    def test_dict_has_flat_keys(self, rows):
+        d = row_to_dict(rows[0])
+        assert d["K"] == 4 and "method" in d and "value" in d
+
+
+class TestFileRoundTrips:
+    def test_jsonl(self, rows, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        assert save_rows_jsonl(rows, path) == len(rows)
+        loaded = load_rows_jsonl(path)
+        assert loaded == list(rows)
+
+    def test_csv(self, rows, tmp_path):
+        path = tmp_path / "rows.csv"
+        assert save_rows_csv(rows, path) == len(rows)
+        loaded = load_rows_csv(path)
+        assert len(loaded) == len(rows)
+        for a, b in zip(loaded, rows):
+            assert a.method == b.method
+            assert a.value == pytest.approx(b.value)
+            assert a.setting == b.setting
+
+    def test_aggregates_work_on_loaded_rows(self, rows, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        save_rows_jsonl(rows, path)
+        loaded = load_rows_jsonl(path)
+        assert headline_ratios(loaded) == headline_ratios(list(rows))
+        assert mean_ratio_by_k(loaded, "lprg", "sum") == mean_ratio_by_k(
+            list(rows), "lprg", "sum"
+        )
+
+    def test_empty_jsonl(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n\n")
+        assert load_rows_jsonl(path) == []

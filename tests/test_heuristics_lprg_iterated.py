@@ -1,0 +1,81 @@
+"""Tests for the iterated-LPRG extension heuristic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import solve
+from repro.heuristics.lprg_iterated import residual_platform
+from repro.platform.topology import CapacityLedger
+
+from tests.strategies import problems
+
+
+class TestResidualPlatform:
+    def test_fresh_ledger_reproduces_platform(self, problem_factory):
+        platform = problem_factory(seed=0, n_clusters=5).platform
+        residual = residual_platform(CapacityLedger(platform))
+        assert np.allclose(residual.speeds, platform.speeds)
+        assert np.allclose(residual.local_capacities, platform.local_capacities)
+        assert residual.routed_pairs() == platform.routed_pairs()
+        for name in platform.links:
+            assert residual.links[name].max_connect == platform.links[name].max_connect
+
+    def test_consumption_reflected(self, line3):
+        ledger = CapacityLedger(line3)
+        ledger.commit_remote(0, 2, 5.0)
+        residual = residual_platform(ledger)
+        assert residual.speeds[2] == 95.0
+        assert residual.local_capacities[0] == 45.0
+        assert residual.links["seg0"].max_connect == 3
+        assert residual.route(0, 2).connection_cap == 3
+
+
+class TestIteratedLPRG:
+    def test_registered(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=5)
+        result = solve(problem, "lprgi")
+        assert result.method == "lprg-it"
+        assert 1 <= result.n_lp_solves <= 4
+
+    def test_valid_and_bounded(self, problem_factory):
+        for seed in range(4):
+            problem = problem_factory(seed=seed, n_clusters=6)
+            it = solve(problem, "lprg-it")
+            assert problem.check(it.allocation).ok
+            assert it.value <= solve(problem, "lp").value + 1e-6
+
+    def test_dominates_lpr(self, problem_factory):
+        for seed in range(4):
+            problem = problem_factory(seed=seed, n_clusters=6)
+            assert solve(problem, "lprg-it").value >= solve(problem, "lpr").value - 1e-9
+
+    def test_comparable_to_lprg(self, problem_factory):
+        """No dominance theorem exists either way: re-rounding commits to
+        a different vertex that the final greedy repairs differently. The
+        two must stay in the same quality band (within 10% relative)."""
+        rel_diffs = []
+        for seed in range(6):
+            problem = problem_factory(seed=seed, n_clusters=6)
+            lprg = solve(problem, "lprg").value
+            it = solve(problem, "lprg-it").value
+            if lprg > 0:
+                rel_diffs.append((it - lprg) / lprg)
+        assert all(d >= -0.10 for d in rel_diffs), rel_diffs
+
+    def test_max_iters_validation(self, problem_factory):
+        with pytest.raises(ValueError):
+            solve(problem_factory(seed=0, n_clusters=3), "lprg-it", max_iters=0)
+
+    def test_single_iteration_close_to_lprg(self, problem_factory):
+        problem = problem_factory(seed=2, n_clusters=5)
+        one = solve(problem, "lprg-it", max_iters=1)
+        lprg = solve(problem, "lprg")
+        assert one.value == pytest.approx(lprg.value, rel=0.05)
+
+    @given(problems(max_clusters=5))
+    @settings(max_examples=10)
+    def test_always_valid_property(self, problem):
+        result = solve(problem, "lprg-it")
+        report = problem.check(result.allocation)
+        assert report.ok, report.violations

@@ -1,0 +1,85 @@
+"""Property-based tests for CapacityLedger: no sequence of legal
+operations can drive any resource negative or corrupt the accounting."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import CapacityLedger, fully_connected_platform
+
+
+@st.composite
+def operation_sequences(draw):
+    """Random sequences of (kind, k, l, fraction) ledger operations."""
+    n_ops = draw(st.integers(min_value=0, max_value=25))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["local", "remote"]))
+        k = draw(st.integers(min_value=0, max_value=3))
+        l = draw(st.integers(min_value=0, max_value=3))
+        frac = draw(st.floats(min_value=0.0, max_value=1.0))
+        ops.append((kind, k, l, frac))
+    return ops
+
+
+class TestLedgerInvariants:
+    @given(operation_sequences())
+    @settings(max_examples=40)
+    def test_resources_never_negative(self, ops):
+        platform = fully_connected_platform(4, g=60.0, bw=15.0, max_connect=3)
+        ledger = CapacityLedger(platform)
+        for kind, k, l, frac in ops:
+            if kind == "local":
+                amount = frac * ledger.speed[k]
+                ledger.commit_local(k, amount)
+            else:
+                if k == l or not ledger.can_open_connection(k, l):
+                    continue
+                benefit = ledger.remote_benefit(k, l)
+                if benefit <= 0:
+                    continue
+                ledger.commit_remote(k, l, frac * benefit)
+            assert np.all(ledger.speed >= 0)
+            assert np.all(ledger.local >= 0)
+            assert all(c >= 0 for c in ledger.connections.values())
+
+    @given(operation_sequences())
+    @settings(max_examples=25)
+    def test_conservation(self, ops):
+        """Consumed speed equals the sum of committed amounts."""
+        platform = fully_connected_platform(4, g=60.0, bw=15.0, max_connect=3)
+        ledger = CapacityLedger(platform)
+        committed = 0.0
+        for kind, k, l, frac in ops:
+            if kind == "local":
+                amount = frac * ledger.speed[k]
+                ledger.commit_local(k, amount)
+                committed += amount
+            else:
+                if k == l or not ledger.can_open_connection(k, l):
+                    continue
+                benefit = ledger.remote_benefit(k, l)
+                if benefit <= 0:
+                    continue
+                amount = frac * benefit
+                ledger.commit_remote(k, l, amount)
+                committed += amount
+        consumed = platform.speeds.sum() - ledger.speed.sum()
+        assert consumed == np.float64(committed) or abs(consumed - committed) < 1e-6
+
+    @given(operation_sequences())
+    @settings(max_examples=25)
+    def test_benefit_respects_residuals(self, ops):
+        """remote_benefit never exceeds any of its four residual inputs."""
+        platform = fully_connected_platform(4, g=60.0, bw=15.0, max_connect=3)
+        ledger = CapacityLedger(platform)
+        for kind, k, l, frac in ops:
+            if kind == "remote" and k != l:
+                benefit = ledger.remote_benefit(k, l)
+                if benefit > 0:
+                    assert benefit <= ledger.local[k] + 1e-12
+                    assert benefit <= ledger.local[l] + 1e-12
+                    assert benefit <= ledger.speed[l] + 1e-12
+                    assert benefit <= platform.route_bandwidth(k, l) + 1e-12
+                    ledger.commit_remote(k, l, frac * benefit)
+            elif kind == "local":
+                ledger.commit_local(k, frac * ledger.speed[k])

@@ -1,0 +1,97 @@
+"""Tests for the scipy LP/MILP backends and the solution container."""
+
+import numpy as np
+import pytest
+
+from repro import SteadyStateProblem, line_platform, star_platform
+from repro.lp.builder import build_lp
+from repro.lp.milp_backend import solve_milp_scipy
+from repro.lp.scipy_backend import solve_lp_scipy
+from repro.lp.solution import LPSolution
+from repro.util.errors import InfeasibleError
+
+
+class TestLPSolution:
+    def test_matrices_and_throughputs(self, line3):
+        problem = SteadyStateProblem(line3, objective="sum")
+        sol = solve_lp_scipy(build_lp(problem))
+        assert sol.alpha.shape == (3, 3)
+        assert np.all(sol.alpha >= 0)
+        assert sol.throughputs().sum() == pytest.approx(sol.value)
+
+    def test_integral_solution_converts(self):
+        platform = star_platform(1, hub_speed=0.0, g=80.0, bw=20.0, max_connect=3)
+        problem = SteadyStateProblem(platform, [1, 0], objective="maxmin")
+        sol = solve_milp_scipy(build_lp(problem))
+        assert sol.is_integral
+        alloc = sol.to_allocation()
+        assert alloc.beta.dtype == np.int64
+
+    def test_fractional_conversion_rejected(self, line3):
+        problem = SteadyStateProblem(line3, objective="maxmin")
+        inst = build_lp(problem)
+        x = np.zeros(inst.n_vars)
+        x[inst.index.beta(0, 1)] = 0.5
+        sol = LPSolution(x=x, value=0.0, index=inst.index)
+        assert not sol.is_integral
+        with pytest.raises(ValueError):
+            sol.to_allocation()
+
+    def test_repr_mentions_integrality(self, line3):
+        problem = SteadyStateProblem(line3, objective="sum")
+        sol = solve_lp_scipy(build_lp(problem))
+        assert "LPSolution" in repr(sol)
+
+
+class TestScipyLP:
+    def test_relaxation_dominates_milp(self, problem_factory):
+        for seed in range(3):
+            problem = problem_factory(seed=seed, n_clusters=5)
+            inst = build_lp(problem)
+            lp = solve_lp_scipy(inst)
+            milp = solve_milp_scipy(inst)
+            assert lp.value >= milp.value - 1e-6
+
+    def test_infeasible_detected(self):
+        # Force infeasibility via impossible bounds on a real instance.
+        problem = SteadyStateProblem(line_platform(2), objective="sum")
+        inst = build_lp(problem)
+        lb = inst.lb.copy()
+        ub = inst.ub.copy()
+        lb[0] = 1e9  # alpha[0,0] >= 1e9 > speed
+        ub[0] = 2e9
+        with pytest.raises(InfeasibleError):
+            solve_lp_scipy(inst.with_bounds(lb, ub))
+
+    def test_zero_platform(self):
+        # One isolated cluster with zero everything except speed.
+        from repro import Cluster, Platform
+
+        platform = Platform([Cluster("A", 0.0, 0.0, "R0")], ["R0"], [])
+        problem = SteadyStateProblem(platform, objective="maxmin")
+        sol = solve_lp_scipy(build_lp(problem))
+        assert sol.value == pytest.approx(0.0)
+
+
+class TestScipyMILP:
+    def test_milp_betas_integral(self, problem_factory):
+        problem = problem_factory(seed=1, n_clusters=5)
+        sol = solve_milp_scipy(build_lp(problem))
+        beta = sol.beta
+        assert np.allclose(beta, np.round(beta))
+
+    def test_milp_allocation_valid(self, problem_factory):
+        problem = problem_factory(seed=2, n_clusters=5)
+        sol = solve_milp_scipy(build_lp(problem))
+        report = problem.check(sol.to_allocation())
+        assert report.ok, report.violations
+
+    def test_milp_at_least_rounded_lp(self, problem_factory):
+        # MILP optimum >= any rounding heuristic, in particular LPR.
+        from repro.heuristics.lpr import round_down
+
+        problem = problem_factory(seed=3, n_clusters=5)
+        inst = build_lp(problem)
+        milp = solve_milp_scipy(inst)
+        lpr_alloc = round_down(problem, solve_lp_scipy(inst))
+        assert milp.value >= problem.objective_value(lpr_alloc) - 1e-6

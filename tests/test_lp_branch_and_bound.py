@@ -1,0 +1,66 @@
+"""Tests for repro.lp.branch_and_bound (our own exact solver)."""
+
+import numpy as np
+import pytest
+
+from repro import SteadyStateProblem, star_platform
+from repro.complexity import reduce_mis_to_scheduling, exact_max_independent_set
+from repro.complexity.independent_set import random_graph_edges
+from repro.lp.branch_and_bound import solve_branch_and_bound
+from repro.lp.builder import build_lp
+from repro.lp.milp_backend import solve_milp_scipy
+
+
+class TestAgainstMILP:
+    @pytest.mark.parametrize("objective", ["maxmin", "sum"])
+    def test_matches_highs_milp_random(self, problem_factory, objective):
+        for seed in range(4):
+            problem = problem_factory(seed=seed, n_clusters=4, objective=objective)
+            inst = build_lp(problem)
+            ours = solve_branch_and_bound(inst)
+            ref = solve_milp_scipy(inst)
+            assert ours.solution is not None
+            assert ours.optimal
+            assert ours.solution.value == pytest.approx(ref.value, rel=1e-5, abs=1e-5)
+
+    def test_integral_solution(self, problem_factory):
+        problem = problem_factory(seed=7, n_clusters=4)
+        res = solve_branch_and_bound(build_lp(problem))
+        beta = res.solution.beta
+        assert np.allclose(beta, np.round(beta))
+        assert problem.check(res.solution.to_allocation()).ok
+
+    def test_bound_sandwiches_value(self, problem_factory):
+        problem = problem_factory(seed=9, n_clusters=4)
+        res = solve_branch_and_bound(build_lp(problem))
+        assert res.bound >= res.solution.value - 1e-7
+
+    def test_on_reduction_instances(self):
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            n = int(rng.integers(3, 6))
+            edges = random_graph_edges(n, 0.5, rng)
+            inst = reduce_mis_to_scheduling(n, edges, bound=1)
+            res = solve_branch_and_bound(build_lp(inst.problem()))
+            mis = exact_max_independent_set(n, edges)
+            assert res.solution.value == pytest.approx(len(mis), abs=1e-6)
+
+    def test_node_budget_respected(self):
+        platform = star_platform(3, g=80.0, bw=7.0, max_connect=3)
+        problem = SteadyStateProblem(platform, objective="maxmin")
+        res = solve_branch_and_bound(build_lp(problem), max_nodes=2)
+        assert res.nodes <= 3  # root + at most budget overshoot of one batch
+
+    def test_relaxation_already_integral(self):
+        # No backbone: the relaxation has no beta at all -> instantly done.
+        from repro import Cluster, Platform
+
+        platform = Platform(
+            [Cluster("A", 10.0, 1.0, "R0"), Cluster("B", 20.0, 1.0, "R1")],
+            ["R0", "R1"],
+            [],
+        )
+        problem = SteadyStateProblem(platform, objective="sum")
+        res = solve_branch_and_bound(build_lp(problem))
+        assert res.optimal and res.nodes == 1
+        assert res.solution.value == pytest.approx(30.0)

@@ -1,0 +1,154 @@
+"""Tests for repro.lp.indexing and repro.lp.builder."""
+
+import numpy as np
+import pytest
+
+from repro import SteadyStateProblem, line_platform, star_platform
+from repro.lp.builder import build_lp
+from repro.lp.indexing import VariableIndex
+from repro.lp.scipy_backend import solve_lp_scipy
+
+
+class TestVariableIndex:
+    def test_alpha_includes_diagonal_and_routed_pairs(self, line3):
+        idx = VariableIndex(line3, with_t=True)
+        assert idx.n_alpha == 3 + 6  # diagonal + all ordered pairs
+        assert idx.has_alpha(0, 0) and idx.has_alpha(0, 2)
+
+    def test_beta_only_for_backbone_routes(self):
+        from repro import Cluster, Platform
+
+        # Two clusters on the same router: route exists but has no links.
+        platform = Platform(
+            [Cluster("A", 10.0, 10.0, "R0"), Cluster("B", 10.0, 10.0, "R0")],
+            ["R0"],
+            [],
+        )
+        idx = VariableIndex(platform, with_t=False)
+        assert idx.has_alpha(0, 1)
+        assert not idx.has_beta(0, 1)
+        assert idx.n_beta == 0
+
+    def test_t_index_only_with_maxmin(self, line3):
+        idx = VariableIndex(line3, with_t=False)
+        with pytest.raises(ValueError):
+            idx.t_index
+        idx_t = VariableIndex(line3, with_t=True)
+        assert idx_t.t_index == idx_t.n_vars - 1
+
+    def test_matrix_scatter_roundtrip(self, line3):
+        idx = VariableIndex(line3, with_t=False)
+        x = np.arange(idx.n_vars, dtype=float) + 1
+        alpha = idx.alpha_matrix(x)
+        for i, (k, l) in enumerate(idx.alpha_pairs):
+            assert alpha[k, l] == x[i]
+        beta = idx.beta_matrix(x)
+        for i, (k, l) in enumerate(idx.beta_pairs):
+            assert beta[k, l] == x[idx.n_alpha + i]
+
+    def test_integrality_flags(self, line3):
+        idx = VariableIndex(line3, with_t=True)
+        flags = idx.integrality()
+        assert flags.sum() == idx.n_beta
+        assert flags[idx.t_index] == 0
+        assert flags[: idx.n_alpha].sum() == 0
+
+    def test_disconnected_pair_has_no_alpha(self):
+        from repro import Cluster, Platform
+
+        platform = Platform(
+            [Cluster("A", 1.0, 1.0, "R0"), Cluster("B", 1.0, 1.0, "R1")],
+            ["R0", "R1"],
+            [],
+        )
+        idx = VariableIndex(platform, with_t=False)
+        assert not idx.has_alpha(0, 1)
+        assert idx.n_alpha == 2  # only the two diagonals
+
+
+class TestBuildLP:
+    def test_row_structure(self, line3):
+        problem = SteadyStateProblem(line3, objective="maxmin")
+        inst = build_lp(problem)
+        labels = inst.row_labels
+        assert sum(1 for l in labels if l.startswith("compute")) == 3
+        assert sum(1 for l in labels if l.startswith("local")) == 3
+        assert sum(1 for l in labels if l.startswith("connect")) == 2
+        assert sum(1 for l in labels if l.startswith("bandwidth")) == 6
+        assert sum(1 for l in labels if l.startswith("maxmin")) == 3
+        assert inst.A_ub.shape == (len(labels), inst.n_vars)
+
+    def test_sum_objective_uses_payoffs(self):
+        problem = SteadyStateProblem(line_platform(2), [2.0, 3.0], objective="sum")
+        inst = build_lp(problem)
+        idx = inst.index
+        assert inst.obj[idx.alpha(0, 0)] == 2.0
+        assert inst.obj[idx.alpha(1, 0)] == 3.0
+
+    def test_maxmin_rows_skip_zero_payoffs(self):
+        problem = SteadyStateProblem(line_platform(2), [1.0, 0.0], objective="maxmin")
+        inst = build_lp(problem)
+        assert sum(1 for l in inst.row_labels if l.startswith("maxmin")) == 1
+
+    def test_beta_upper_bounds_are_route_caps(self, line3):
+        problem = SteadyStateProblem(line3, objective="sum")
+        inst = build_lp(problem)
+        for (k, l) in inst.index.beta_pairs:
+            assert inst.ub[inst.index.beta(k, l)] == 4  # max_connect
+
+    def test_with_bounds_shares_matrices(self, line3):
+        problem = SteadyStateProblem(line3, objective="sum")
+        inst = build_lp(problem)
+        clone = inst.with_bounds(inst.lb, inst.ub + 1)
+        assert clone.A_ub is inst.A_ub
+        assert clone.ub[0] == inst.ub[0] + 1
+
+    def test_bounds_list_format(self, line3):
+        inst = build_lp(SteadyStateProblem(line3, objective="sum"))
+        bounds = inst.bounds_list()
+        assert len(bounds) == inst.n_vars
+        assert all(b[0] == 0.0 for b in bounds)
+
+    def test_objective_override(self, line3):
+        problem = SteadyStateProblem(line3, objective="maxmin")
+        inst = build_lp(problem, objective="sum")
+        assert not inst.index.with_t
+
+
+class TestLPValuesOnKnownPlatforms:
+    def test_local_only_platform(self):
+        # No backbone at all: each cluster computes its own 100.
+        from repro import Cluster, Platform
+
+        platform = Platform(
+            [Cluster("A", 100.0, 10.0, "R0"), Cluster("B", 50.0, 10.0, "R1")],
+            ["R0", "R1"],
+            [],
+        )
+        problem = SteadyStateProblem(platform, objective="maxmin")
+        sol = solve_lp_scipy(build_lp(problem))
+        assert sol.value == pytest.approx(50.0)
+        problem_sum = problem.with_objective("sum")
+        sol = solve_lp_scipy(build_lp(problem_sum))
+        assert sol.value == pytest.approx(150.0)
+
+    def test_star_with_zero_speed_hub(self):
+        # Hub has payoff 1 but no speed; must export through spokes
+        # (bw=20, max_connect=3 per spoke, hub g=80, leaf g=80, s=100).
+        platform = star_platform(4, hub_speed=0.0, g=80.0, bw=20.0, max_connect=3)
+        problem = SteadyStateProblem(platform, [1, 0, 0, 0, 0], objective="maxmin")
+        sol = solve_lp_scipy(build_lp(problem))
+        # Export limited by hub's g = 80.
+        assert sol.value == pytest.approx(80.0)
+
+    def test_bandwidth_bound(self):
+        # Single leaf: export <= min(g,bw*max_connect, s_leaf) = 3*20=60.
+        platform = star_platform(1, hub_speed=0.0, g=80.0, bw=20.0, max_connect=3)
+        problem = SteadyStateProblem(platform, [1, 0], objective="maxmin")
+        sol = solve_lp_scipy(build_lp(problem))
+        assert sol.value == pytest.approx(60.0)
+
+    def test_sum_equals_total_speed_when_symmetric(self, line3):
+        problem = SteadyStateProblem(line3, objective="sum")
+        sol = solve_lp_scipy(build_lp(problem))
+        assert sol.value == pytest.approx(300.0)

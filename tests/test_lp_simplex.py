@@ -1,0 +1,119 @@
+"""Tests for the from-scratch simplex solver (repro.lp.simplex)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SteadyStateProblem
+from repro.lp.builder import build_lp
+from repro.lp.scipy_backend import solve_lp_scipy
+from repro.lp.simplex import simplex_solve
+from repro.util.errors import SolverError
+
+
+class TestBasicLPs:
+    def test_textbook_max(self):
+        # max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6)
+        res = simplex_solve(
+            c=[3, 5],
+            A_ub=[[1, 0], [0, 2], [3, 2]],
+            b_ub=[4, 12, 18],
+        )
+        assert res.ok
+        assert res.value == pytest.approx(36.0)
+        assert res.x == pytest.approx([2.0, 6.0])
+
+    def test_degenerate_origin(self):
+        res = simplex_solve(c=[-1, -1], A_ub=[[1, 1]], b_ub=[10])
+        assert res.ok and res.value == pytest.approx(0.0)
+
+    def test_unbounded_detected(self):
+        res = simplex_solve(c=[1], A_ub=np.zeros((1, 1)), b_ub=[1])
+        assert res.status == "unbounded"
+
+    def test_infeasible_detected(self):
+        # x >= 5 (as -x <= -5) with x <= 2.
+        res = simplex_solve(c=[1], A_ub=[[-1], [1]], b_ub=[-5, 2])
+        assert res.status == "infeasible"
+
+    def test_negative_rhs_phase1(self):
+        # x >= 3 and x <= 10, maximize -x -> x = 3, value -3.
+        res = simplex_solve(c=[-1], A_ub=[[-1]], b_ub=[-3], bounds=[(0, 10)])
+        assert res.ok
+        assert res.x[0] == pytest.approx(3.0)
+
+    def test_upper_bounds(self):
+        res = simplex_solve(c=[1, 1], A_ub=[[1, 1]], b_ub=[100], bounds=[(0, 3), (0, 4)])
+        assert res.ok and res.value == pytest.approx(7.0)
+
+    def test_shifted_lower_bounds(self):
+        # x in [2, 5], max x -> 5; min x (max -x) -> 2.
+        res = simplex_solve(c=[1], A_ub=np.zeros((0, 1)).reshape(0, 1), b_ub=[], bounds=[(2, 5)])
+        assert res.ok and res.value == pytest.approx(5.0)
+        res = simplex_solve(c=[-1], A_ub=np.zeros((0, 1)), b_ub=[], bounds=[(2, 5)])
+        assert res.ok and res.x[0] == pytest.approx(2.0)
+
+    def test_infinite_lower_bound_rejected(self):
+        with pytest.raises(SolverError):
+            simplex_solve(c=[1], A_ub=[[1]], b_ub=[1], bounds=[(-np.inf, 1)])
+
+    def test_crossed_bounds_infeasible(self):
+        res = simplex_solve(c=[1], A_ub=[[1]], b_ub=[10], bounds=[(5, 3)])
+        assert res.status == "infeasible"
+
+    def test_shape_validation(self):
+        with pytest.raises(SolverError):
+            simplex_solve(c=[1, 2], A_ub=[[1]], b_ub=[1])
+
+
+class TestAgainstHiGHSRandom:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30)
+    def test_random_bounded_lps(self, seed):
+        """On random LPs with box bounds (always feasible, always bounded)
+        our simplex must match HiGHS's optimal value."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        m = int(rng.integers(1, 6))
+        c = rng.uniform(-5, 5, n)
+        A = rng.uniform(-2, 3, (m, n))
+        b = rng.uniform(0.5, 10, m)  # b > 0: origin feasible
+        ub = rng.uniform(1, 10, n)
+        bounds = [(0.0, float(u)) for u in ub]
+
+        ours = simplex_solve(c, A, b, bounds)
+        assert ours.ok
+
+        from scipy.optimize import linprog
+
+        ref = linprog(-c, A_ub=A, b_ub=b, bounds=bounds, method="highs")
+        assert ref.status == 0
+        assert ours.value == pytest.approx(-ref.fun, abs=1e-7)
+        # Solution must itself be feasible.
+        assert np.all(A @ ours.x <= b + 1e-7)
+        assert np.all(ours.x >= -1e-9) and np.all(ours.x <= ub + 1e-9)
+
+
+class TestOnPaperInstances:
+    @pytest.mark.parametrize("objective", ["sum", "maxmin"])
+    def test_matches_highs_on_program7(self, problem_factory, objective):
+        """The stand-in for lp_solve must reproduce HiGHS on real
+        program-(7) instances (small K for the dense tableau)."""
+        problem = problem_factory(seed=0, n_clusters=4, objective=objective)
+        inst = build_lp(problem)
+        ref = solve_lp_scipy(inst)
+        ours = simplex_solve(
+            inst.obj, inst.A_ub.toarray(), inst.b_ub, inst.bounds_list()
+        )
+        assert ours.ok
+        assert ours.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+
+    def test_several_seeds(self, problem_factory):
+        for seed in range(4):
+            problem = problem_factory(seed=seed, n_clusters=3, objective="maxmin")
+            inst = build_lp(problem)
+            ref = solve_lp_scipy(inst)
+            ours = simplex_solve(
+                inst.obj, inst.A_ub.toarray(), inst.b_ub, inst.bounds_list()
+            )
+            assert ours.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)

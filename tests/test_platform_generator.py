@@ -1,0 +1,148 @@
+"""Tests for repro.platform.generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro import PlatformSpec, generate_platform
+from repro.platform.generator import (
+    fully_connected_platform,
+    line_platform,
+    star_platform,
+)
+from repro.util.errors import PlatformError
+
+from tests.strategies import platform_specs
+
+
+def _spec(**overrides):
+    defaults = dict(
+        n_clusters=8,
+        connectivity=0.5,
+        heterogeneity=0.4,
+        mean_g=200.0,
+        mean_bw=30.0,
+        mean_max_connect=10.0,
+    )
+    defaults.update(overrides)
+    return PlatformSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_zero_clusters_rejected(self):
+        with pytest.raises(PlatformError):
+            _spec(n_clusters=0)
+
+    def test_connectivity_range(self):
+        with pytest.raises(PlatformError):
+            _spec(connectivity=1.5)
+
+    def test_heterogeneity_range(self):
+        with pytest.raises(PlatformError):
+            _spec(heterogeneity=1.0)
+
+    def test_speed_heterogeneity_range(self):
+        with pytest.raises(PlatformError):
+            _spec(speed_heterogeneity=-0.1)
+
+    def test_positive_means_required(self):
+        for field in ("mean_g", "mean_bw", "mean_max_connect", "speed"):
+            with pytest.raises(PlatformError):
+                _spec(**{field: 0.0})
+
+    def test_with_clusters(self):
+        assert _spec().with_clusters(12).n_clusters == 12
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = generate_platform(_spec(), rng=5)
+        b = generate_platform(_spec(), rng=5)
+        assert a.speeds.tolist() == b.speeds.tolist()
+        assert sorted(a.links) == sorted(b.links)
+
+    def test_heterogeneity_bounds_respected(self):
+        spec = _spec(heterogeneity=0.4, speed_heterogeneity=0.2)
+        platform = generate_platform(spec, rng=1)
+        g = platform.local_capacities
+        assert np.all(g >= 200.0 * 0.6 - 1e-9) and np.all(g <= 200.0 * 1.4 + 1e-9)
+        s = platform.speeds
+        assert np.all(s >= 80.0 - 1e-9) and np.all(s <= 120.0 + 1e-9)
+        for link in platform.links.values():
+            assert 30.0 * 0.6 - 1e-9 <= link.bw <= 30.0 * 1.4 + 1e-9
+            assert link.max_connect >= 1
+
+    def test_speed_fixed_without_heterogeneity(self):
+        platform = generate_platform(_spec(speed_heterogeneity=0.0), rng=2)
+        assert np.all(platform.speeds == 100.0)
+
+    def test_connectivity_extremes(self):
+        empty = generate_platform(_spec(connectivity=0.0), rng=0)
+        assert len(empty.links) == 0
+        full = generate_platform(_spec(connectivity=1.0, n_clusters=5), rng=0)
+        assert len(full.links) == 10  # complete graph
+
+    def test_single_cluster(self):
+        platform = generate_platform(_spec(n_clusters=1), rng=0)
+        assert platform.n_clusters == 1 and len(platform.links) == 0
+
+    def test_ensure_connected(self):
+        spec = _spec(connectivity=0.0, ensure_connected=True, n_clusters=6)
+        platform = generate_platform(spec, rng=3)
+        # A Hamiltonian path connects everything.
+        for l in range(1, 6):
+            assert platform.has_route(0, l)
+
+    def test_extra_routers_preserve_route_bottlenecks(self):
+        base = generate_platform(_spec(connectivity=1.0, n_clusters=4), rng=9)
+        spliced = generate_platform(
+            _spec(connectivity=1.0, n_clusters=4, extra_routers=3), rng=9
+        )
+        assert len(spliced.routers) == len(base.routers) + 3
+        # Pass-through routers host no cluster.
+        cluster_routers = {c.router for c in spliced.clusters}
+        assert len(spliced.routers - cluster_routers) == 3
+
+    def test_max_connect_at_least_one(self):
+        spec = _spec(mean_max_connect=1.0, heterogeneity=0.8)
+        platform = generate_platform(spec, rng=11)
+        assert all(li.max_connect >= 1 for li in platform.links.values())
+
+    @given(platform_specs())
+    def test_generated_platforms_are_valid(self, spec):
+        platform = generate_platform(spec, rng=0)
+        assert platform.n_clusters == spec.n_clusters
+        # Structural invariants enforced at construction; routing total.
+        for (k, l) in platform.routed_pairs():
+            route = platform.route(k, l)
+            assert route.routers[0] == platform.clusters[k].router
+            assert route.routers[-1] == platform.clusters[l].router
+
+
+class TestPresets:
+    def test_star(self):
+        p = star_platform(3)
+        assert p.n_clusters == 4
+        assert p.route(1, 2).links == ("spoke1", "spoke2")
+
+    def test_star_needs_leaf(self):
+        with pytest.raises(PlatformError):
+            star_platform(0)
+
+    def test_line_route_length(self):
+        p = line_platform(5)
+        assert len(p.route(0, 4)) == 4
+
+    def test_line_needs_cluster(self):
+        with pytest.raises(PlatformError):
+            line_platform(0)
+
+    def test_fully_connected_heterogeneous(self):
+        p = fully_connected_platform(3, speeds=[1.0, 2.0, 3.0], g=[4.0, 5.0, 6.0])
+        assert p.speeds.tolist() == [1.0, 2.0, 3.0]
+        assert p.local_capacities.tolist() == [4.0, 5.0, 6.0]
+        assert all(len(p.route(k, l)) == 1 for k in range(3) for l in range(3) if k != l)
+
+    def test_fully_connected_length_mismatch(self):
+        with pytest.raises(PlatformError):
+            fully_connected_platform(3, speeds=[1.0])

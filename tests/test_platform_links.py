@@ -1,0 +1,82 @@
+"""Tests for repro.platform.links and cluster."""
+
+import pytest
+
+from repro.platform.cluster import Cluster, equivalent_star_speed
+from repro.platform.links import BackboneLink, LocalLink
+from repro.util.errors import PlatformError
+
+
+class TestBackboneLink:
+    def test_construction(self):
+        li = BackboneLink("b", ("R0", "R1"), bw=5.0, max_connect=3)
+        assert li.joins("R0", "R1") and li.joins("R1", "R0")
+        assert not li.joins("R0", "R2")
+        assert li.total_bandwidth == 15.0
+
+    def test_negative_bw_rejected(self):
+        with pytest.raises(PlatformError):
+            BackboneLink("b", ("R0", "R1"), bw=-1.0, max_connect=1)
+
+    def test_negative_max_connect_rejected(self):
+        with pytest.raises(PlatformError):
+            BackboneLink("b", ("R0", "R1"), bw=1.0, max_connect=-1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PlatformError):
+            BackboneLink("b", ("R0", "R0"), bw=1.0, max_connect=1)
+
+    def test_zero_capacity_allowed(self):
+        # max_connect = 0 is a legal "closed" link.
+        li = BackboneLink("b", ("R0", "R1"), bw=1.0, max_connect=0)
+        assert li.total_bandwidth == 0.0
+
+    def test_frozen(self):
+        li = BackboneLink("b", ("R0", "R1"), bw=1.0, max_connect=1)
+        with pytest.raises(AttributeError):
+            li.bw = 2.0
+
+
+class TestLocalLink:
+    def test_construction(self):
+        assert LocalLink("l", capacity=10.0).capacity == 10.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(PlatformError):
+            LocalLink("l", capacity=-0.1)
+
+
+class TestCluster:
+    def test_construction(self):
+        c = Cluster("C0", speed=100.0, g=50.0, router="R0")
+        assert c.local_link.capacity == 50.0
+        assert c.local_link.name == "local:C0"
+
+    def test_zero_speed_allowed(self):
+        # The NP-hardness reduction needs a zero-speed cluster.
+        assert Cluster("C0", speed=0.0, g=1.0, router="R0").speed == 0.0
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(PlatformError):
+            Cluster("C0", speed=-1.0, g=1.0, router="R0")
+
+    def test_negative_g_rejected(self):
+        with pytest.raises(PlatformError):
+            Cluster("C0", speed=1.0, g=-1.0, router="R0")
+
+
+class TestEquivalentStarSpeed:
+    def test_master_only(self):
+        assert equivalent_star_speed(10.0, [], []) == 10.0
+
+    def test_workers_capped_by_bandwidth(self):
+        # Worker 1 is compute-bound (5 < 8), worker 2 bandwidth-bound.
+        assert equivalent_star_speed(0.0, [5.0, 20.0], [8.0, 3.0]) == 8.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PlatformError):
+            equivalent_star_speed(1.0, [1.0], [])
+
+    def test_negative_rejected(self):
+        with pytest.raises(PlatformError):
+            equivalent_star_speed(-1.0, [], [])

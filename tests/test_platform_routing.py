@@ -1,0 +1,118 @@
+"""Tests for repro.platform.routing."""
+
+import pytest
+
+from repro.platform.links import BackboneLink
+from repro.platform.routing import (
+    Route,
+    build_route,
+    compute_routes,
+    shortest_paths_from,
+)
+from repro.util.errors import RoutingError
+
+
+def _links(*tuples):
+    return {
+        name: BackboneLink(name, ends, bw=bw, max_connect=mc)
+        for name, ends, bw, mc in tuples
+    }
+
+
+class TestRoute:
+    def test_length_and_reverse(self):
+        r = Route(routers=("a", "b", "c"), links=("l1", "l2"), bandwidth=2.0, connection_cap=1)
+        assert len(r) == 2
+        rev = r.reversed()
+        assert rev.routers == ("c", "b", "a")
+        assert rev.links == ("l2", "l1")
+        assert rev.bandwidth == 2.0
+
+    def test_inconsistent_route_rejected(self):
+        with pytest.raises(RoutingError):
+            Route(routers=("a", "b"), links=(), bandwidth=1.0, connection_cap=0)
+
+
+class TestShortestPaths:
+    def test_line_graph(self):
+        links = _links(
+            ("l0", ("R0", "R1"), 5.0, 2),
+            ("l1", ("R1", "R2"), 3.0, 2),
+        )
+        paths = shortest_paths_from("R0", ["R0", "R1", "R2"], links)
+        assert paths["R2"] == (("R0", "R1", "R2"), ("l0", "l1"))
+
+    def test_unreachable_absent(self):
+        links = _links(("l0", ("R0", "R1"), 1.0, 1))
+        paths = shortest_paths_from("R0", ["R0", "R1", "R2"], links)
+        assert "R2" not in paths
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(RoutingError):
+            shortest_paths_from("missing", ["R0"], {})
+
+    def test_deterministic_tie_break(self):
+        # Two equal-length paths R0-R1-R3 and R0-R2-R3: the predecessor
+        # with the lexicographically smaller router name (R1) must win.
+        links = _links(
+            ("a", ("R0", "R1"), 1.0, 1),
+            ("b", ("R0", "R2"), 1.0, 1),
+            ("c", ("R1", "R3"), 1.0, 1),
+            ("d", ("R2", "R3"), 1.0, 1),
+        )
+        paths = shortest_paths_from("R0", ["R0", "R1", "R2", "R3"], links)
+        assert paths["R3"][0] == ("R0", "R1", "R3")
+
+    def test_dangling_link_rejected(self):
+        links = _links(("l0", ("R0", "Rx"), 1.0, 1))
+        with pytest.raises(RoutingError):
+            shortest_paths_from("R0", ["R0"], links)
+
+
+class TestBuildRoute:
+    def test_bottleneck_values(self):
+        links = _links(
+            ("l0", ("R0", "R1"), 5.0, 7),
+            ("l1", ("R1", "R2"), 3.0, 9),
+        )
+        r = build_route(("R0", "R1", "R2"), ("l0", "l1"), links)
+        assert r.bandwidth == 3.0  # min bw
+        assert r.connection_cap == 7  # min max_connect
+
+    def test_empty_route(self):
+        r = build_route(("R0",), (), {})
+        assert r.bandwidth == float("inf")
+        assert len(r) == 0
+
+
+class TestComputeRoutes:
+    def test_full_table_on_line(self):
+        links = _links(
+            ("l0", ("R0", "R1"), 5.0, 2),
+            ("l1", ("R1", "R2"), 3.0, 2),
+        )
+        routes = compute_routes(["R0", "R1", "R2"], ["R0", "R1", "R2"], links)
+        assert set(routes) == {(k, l) for k in range(3) for l in range(3) if k != l}
+        assert routes[(0, 2)].links == ("l0", "l1")
+        assert routes[(2, 0)].links == ("l1", "l0")
+
+    def test_disconnected_pairs_missing(self):
+        links = _links(("l0", ("R0", "R1"), 1.0, 1))
+        routes = compute_routes(["R0", "R1", "R2"], ["R0", "R1", "R2"], links)
+        assert (0, 1) in routes and (0, 2) not in routes and (2, 1) not in routes
+
+    def test_same_router_clusters(self):
+        routes = compute_routes(["R0", "R0"], ["R0"], {})
+        r = routes[(0, 1)]
+        assert r.links == () and r.bandwidth == float("inf")
+
+    def test_route_through_pass_through_router(self):
+        # R1 hosts no cluster but carries the only path.
+        links = _links(
+            ("l0", ("R0", "R1"), 4.0, 3),
+            ("l1", ("R1", "R2"), 6.0, 5),
+        )
+        routes = compute_routes(["R0", "R2"], ["R0", "R1", "R2"], links)
+        assert routes[(0, 1)].routers == ("R0", "R1", "R2")
+        assert routes[(0, 1)].bandwidth == 4.0
+        assert routes[(0, 1)].connection_cap == 3

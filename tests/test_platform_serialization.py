@@ -1,0 +1,81 @@
+"""Tests for repro.platform.serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro import PlatformSpec, generate_platform, load_platform, save_platform
+from repro.complexity import reduce_mis_to_scheduling
+from repro.platform.serialization import platform_from_dict, platform_to_dict
+from repro.util.errors import PlatformError
+
+from tests.strategies import platform_specs
+
+
+def _roundtrip(platform):
+    return platform_from_dict(platform_to_dict(platform))
+
+
+def _assert_same(a, b):
+    assert a.n_clusters == b.n_clusters
+    assert np.array_equal(a.speeds, b.speeds)
+    assert np.array_equal(a.local_capacities, b.local_capacities)
+    assert a.routers == b.routers
+    assert sorted(a.links) == sorted(b.links)
+    for name in a.links:
+        assert a.links[name].bw == b.links[name].bw
+        assert a.links[name].max_connect == b.links[name].max_connect
+    assert a.routed_pairs() == b.routed_pairs()
+    for pair in a.routed_pairs():
+        assert a.route(*pair).links == b.route(*pair).links
+
+
+class TestRoundTrip:
+    def test_random_platform(self):
+        spec = PlatformSpec(
+            n_clusters=6, connectivity=0.5, heterogeneity=0.4,
+            mean_g=200, mean_bw=30, mean_max_connect=8,
+        )
+        platform = generate_platform(spec, rng=4)
+        _assert_same(platform, _roundtrip(platform))
+
+    def test_pinned_routes_survive(self):
+        # The reduction uses explicit routes that shortest-path routing
+        # would NOT reproduce; serialization must preserve them.
+        inst = reduce_mis_to_scheduling(4, [(0, 1), (1, 2), (2, 3)], bound=2)
+        clone = _roundtrip(inst.platform)
+        _assert_same(inst.platform, clone)
+
+    @given(platform_specs(max_clusters=5))
+    def test_any_generated_platform(self, spec):
+        platform = generate_platform(spec, rng=1)
+        _assert_same(platform, _roundtrip(platform))
+
+    def test_file_roundtrip(self, tmp_path):
+        platform = generate_platform(
+            PlatformSpec(
+                n_clusters=4, connectivity=0.7, heterogeneity=0.2,
+                mean_g=100, mean_bw=20, mean_max_connect=5,
+            ),
+            rng=2,
+        )
+        path = tmp_path / "platform.json"
+        save_platform(platform, path)
+        _assert_same(platform, load_platform(path))
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(PlatformError):
+            platform_from_dict({"format_version": 99})
+
+    def test_routes_optional(self):
+        platform = generate_platform(
+            PlatformSpec(
+                n_clusters=3, connectivity=1.0, heterogeneity=0.0,
+                mean_g=100, mean_bw=20, mean_max_connect=5,
+            ),
+            rng=0,
+        )
+        data = platform_to_dict(platform, include_routes=False)
+        assert "routes" not in data
+        clone = platform_from_dict(data)  # recomputed routing
+        _assert_same(platform, clone)

@@ -1,0 +1,166 @@
+"""Tests for repro.platform.topology (Platform and CapacityLedger)."""
+
+import numpy as np
+import pytest
+
+from repro.platform.cluster import Cluster
+from repro.platform.links import BackboneLink
+from repro.platform.routing import Route
+from repro.platform.topology import CapacityLedger, Platform
+from repro import line_platform, star_platform
+from repro.util.errors import PlatformError, RoutingError
+
+
+class TestPlatformConstruction:
+    def test_duplicate_cluster_names_rejected(self):
+        clusters = [
+            Cluster("C", 1.0, 1.0, "R0"),
+            Cluster("C", 1.0, 1.0, "R1"),
+        ]
+        with pytest.raises(PlatformError):
+            Platform(clusters, ["R0", "R1"], [])
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform([Cluster("C", 1.0, 1.0, "missing")], ["R0"], [])
+
+    def test_duplicate_link_names_rejected(self):
+        links = [
+            BackboneLink("b", ("R0", "R1"), 1.0, 1),
+            BackboneLink("b", ("R1", "R2"), 1.0, 1),
+        ]
+        with pytest.raises(PlatformError):
+            Platform(
+                [Cluster("C", 1.0, 1.0, "R0")], ["R0", "R1", "R2"], links
+            )
+
+    def test_link_to_unknown_router_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform(
+                [Cluster("C", 1.0, 1.0, "R0")],
+                ["R0"],
+                [BackboneLink("b", ("R0", "Rx"), 1.0, 1)],
+            )
+
+    def test_explicit_route_endpoint_mismatch_rejected(self):
+        clusters = [Cluster("A", 1.0, 1.0, "R0"), Cluster("B", 1.0, 1.0, "R1")]
+        links = [BackboneLink("b", ("R0", "R1"), 1.0, 1)]
+        bad = {
+            (0, 1): Route(routers=("R1", "R0"), links=("b",), bandwidth=1.0, connection_cap=1)
+        }
+        with pytest.raises(RoutingError):
+            Platform(clusters, ["R0", "R1"], links, routes=bad)
+
+    def test_explicit_route_unknown_link_rejected(self):
+        clusters = [Cluster("A", 1.0, 1.0, "R0"), Cluster("B", 1.0, 1.0, "R1")]
+        bad = {
+            (0, 1): Route(routers=("R0", "R1"), links=("nope",), bandwidth=1.0, connection_cap=1)
+        }
+        with pytest.raises(RoutingError):
+            Platform(clusters, ["R0", "R1"], [], routes=bad)
+
+
+class TestPlatformQueries:
+    def test_vectors(self, complete4):
+        assert np.array_equal(complete4.speeds, [50.0, 100.0, 150.0, 200.0])
+        assert np.all(complete4.local_capacities == 60.0)
+
+    def test_cluster_index(self, star5):
+        assert star5.cluster_index("hub") == 0
+        with pytest.raises(PlatformError):
+            star5.cluster_index("nope")
+
+    def test_route_queries(self, line3):
+        assert line3.has_route(0, 2)
+        assert line3.route(0, 2).links == ("seg0", "seg1")
+        assert line3.route_bandwidth(0, 2) == 10.0
+        with pytest.raises(RoutingError):
+            line3.route(0, 0)
+
+    def test_routes_through(self, line3):
+        through = set(line3.routes_through("seg0"))
+        assert (0, 1) in through and (0, 2) in through and (1, 0) in through
+        assert (1, 2) not in through
+        with pytest.raises(PlatformError):
+            line3.routes_through("nope")
+
+    def test_routed_pairs_sorted(self, line3):
+        pairs = line3.routed_pairs()
+        assert pairs == tuple(sorted(pairs))
+
+    def test_describe_and_repr(self, line3):
+        assert "Platform(K=3" in repr(line3)
+        text = line3.describe()
+        assert "seg0" in text and "C0" in text
+
+
+class TestCapacityLedger:
+    def test_initial_state_matches_platform(self, line3):
+        ledger = CapacityLedger(line3)
+        assert np.array_equal(ledger.speed, line3.speeds)
+        assert ledger.connections["seg0"] == 4
+
+    def test_remote_benefit_is_paper_min(self, line3):
+        ledger = CapacityLedger(line3)
+        # min(g_0, bw(route), g_1, s_1) = min(50, 10, 50, 100) = 10
+        assert ledger.remote_benefit(0, 1) == 10.0
+
+    def test_remote_benefit_requires_route(self):
+        platform = star_platform(2)
+        ledger = CapacityLedger(platform)
+        with pytest.raises(ValueError):
+            ledger.remote_benefit(1, 1)
+
+    def test_commit_remote_updates_everything(self, line3):
+        ledger = CapacityLedger(line3)
+        ledger.commit_remote(0, 2, 7.0)
+        assert ledger.speed[2] == 93.0
+        assert ledger.local[0] == 43.0 and ledger.local[2] == 43.0
+        assert ledger.local[1] == 50.0  # transit cluster's local link untouched
+        assert ledger.connections["seg0"] == 3 and ledger.connections["seg1"] == 3
+
+    def test_commit_local_only_touches_speed(self, line3):
+        ledger = CapacityLedger(line3)
+        ledger.commit_local(1, 30.0)
+        assert ledger.speed[1] == 70.0
+        assert ledger.local[1] == 50.0
+
+    def test_connection_exhaustion(self, line3):
+        ledger = CapacityLedger(line3)
+        for _ in range(4):
+            assert ledger.can_open_connection(0, 1)
+            ledger.commit_remote(0, 1, 0.0)
+        assert not ledger.can_open_connection(0, 1)
+        assert ledger.remote_benefit(0, 1) == 0.0
+        with pytest.raises(PlatformError):
+            ledger.commit_remote(0, 1, 0.0)
+
+    def test_overdraft_rejected(self, line3):
+        ledger = CapacityLedger(line3)
+        with pytest.raises(PlatformError):
+            ledger.commit_local(0, 1000.0)
+
+    def test_local_cap_degenerates_to_speed(self):
+        # Isolated cluster: nothing else could ever use it.
+        platform = line_platform(1)
+        ledger = CapacityLedger(platform)
+        assert ledger.local_cap(0) == 100.0
+
+    def test_local_cap_is_paper_formula(self, line3):
+        ledger = CapacityLedger(line3)
+        # max over m of min(g_0, bw, g_m, s_0) = min(50, 10, 50, 100) = 10
+        assert ledger.local_cap(0) == 10.0
+
+    def test_charge_transfer_counts_connections(self, line3):
+        ledger = CapacityLedger(line3)
+        ledger.charge_transfer(0, 2, 5.0, n_connections=2)
+        assert ledger.connections["seg0"] == 2
+        with pytest.raises(PlatformError):
+            ledger.charge_transfer(0, 2, 0.0, n_connections=3)
+
+    def test_snapshot_and_repr(self, line3):
+        ledger = CapacityLedger(line3)
+        snap = ledger.snapshot()
+        ledger.commit_local(0, 10.0)
+        assert snap["speed"][0] == 100.0  # snapshot is a copy
+        assert "CapacityLedger" in repr(ledger)

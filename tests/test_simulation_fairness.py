@@ -1,0 +1,116 @@
+"""Tests for repro.simulation.fairness (max-min sharing with caps)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simulation.fairness import FlowSpec, max_min_fair_rates, verify_rates
+from repro.util.errors import SimulationError
+
+
+class TestBasicSharing:
+    def test_no_flows(self):
+        assert max_min_fair_rates([], [10.0]).size == 0
+
+    def test_single_flow_cap_bound(self):
+        rates = max_min_fair_rates([FlowSpec(0, 1, cap=3.0)], [10.0, 10.0])
+        assert rates[0] == pytest.approx(3.0)
+
+    def test_single_flow_link_bound(self):
+        rates = max_min_fair_rates([FlowSpec(0, 1, cap=100.0)], [4.0, 10.0])
+        assert rates[0] == pytest.approx(4.0)
+
+    def test_two_flows_share_source_link(self):
+        flows = [FlowSpec(0, 1, cap=100.0), FlowSpec(0, 2, cap=100.0)]
+        rates = max_min_fair_rates(flows, [10.0, 50.0, 50.0])
+        assert rates.tolist() == pytest.approx([5.0, 5.0])
+
+    def test_capped_flow_releases_share(self):
+        # Flow 0 capped at 2; flow 1 takes the rest of g_0 = 10.
+        flows = [FlowSpec(0, 1, cap=2.0), FlowSpec(0, 2, cap=100.0)]
+        rates = max_min_fair_rates(flows, [10.0, 50.0, 50.0])
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(8.0)
+
+    def test_destination_link_counts(self):
+        # Both flows converge on cluster 2 whose g = 6.
+        flows = [FlowSpec(0, 2, cap=100.0), FlowSpec(1, 2, cap=100.0)]
+        rates = max_min_fair_rates(flows, [50.0, 50.0, 6.0])
+        assert rates.tolist() == pytest.approx([3.0, 3.0])
+
+    def test_bidirectional_traffic_shares_one_link(self):
+        # A->B and B->A both cross both links: each gets g/2.
+        flows = [FlowSpec(0, 1, cap=100.0), FlowSpec(1, 0, cap=100.0)]
+        rates = max_min_fair_rates(flows, [8.0, 8.0])
+        assert rates.tolist() == pytest.approx([4.0, 4.0])
+
+    def test_multi_bottleneck_cascade(self):
+        # g = [6, 4, 100]: flow a (0->1) is limited by g_1 shared with c;
+        # flow b (0->2) picks up the slack of g_0.
+        flows = [
+            FlowSpec(0, 1, cap=100.0),  # a
+            FlowSpec(0, 2, cap=100.0),  # b
+            FlowSpec(2, 1, cap=100.0),  # c
+        ]
+        rates = max_min_fair_rates(flows, [6.0, 4.0, 100.0])
+        verify_rates(flows, rates, [6.0, 4.0, 100.0])
+        # a and c share g_1 = 4 -> 2 each; b gets 6 - 2 = 4 from g_0.
+        assert rates.tolist() == pytest.approx([2.0, 4.0, 2.0])
+
+    def test_zero_capacity_starves(self):
+        rates = max_min_fair_rates([FlowSpec(0, 1, cap=5.0)], [0.0, 10.0])
+        assert rates[0] == pytest.approx(0.0)
+
+    def test_infinite_cap_finite_link(self):
+        rates = max_min_fair_rates([FlowSpec(0, 1, cap=float("inf"))], [7.0, 9.0])
+        assert rates[0] == pytest.approx(7.0)
+
+    def test_self_flow_rejected(self):
+        with pytest.raises(SimulationError):
+            FlowSpec(0, 0, cap=1.0)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(SimulationError):
+            FlowSpec(0, 1, cap=-1.0)
+
+
+class TestVerifyRates:
+    def test_detects_cap_violation(self):
+        flows = [FlowSpec(0, 1, cap=1.0)]
+        with pytest.raises(SimulationError):
+            verify_rates(flows, np.array([2.0]), [10.0, 10.0])
+
+    def test_detects_link_violation(self):
+        flows = [FlowSpec(0, 1, cap=100.0)]
+        with pytest.raises(SimulationError):
+            verify_rates(flows, np.array([20.0]), [10.0, 30.0])
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_random_instances_feasible_and_maximal(self, seed):
+        """Rates are always feasible, and no unfrozen flow could be
+        increased without breaking a cap or a link (max-min maximality
+        spot check: every flow is limited by its cap or by a saturated
+        link)."""
+        rng = np.random.default_rng(seed)
+        n_clusters = int(rng.integers(2, 6))
+        n_flows = int(rng.integers(1, 8))
+        g = rng.uniform(0.5, 20.0, n_clusters)
+        flows = []
+        for _ in range(n_flows):
+            src, dst = rng.choice(n_clusters, size=2, replace=False)
+            cap = float(rng.uniform(0.1, 15.0))
+            flows.append(FlowSpec(int(src), int(dst), cap))
+        rates = max_min_fair_rates(flows, g)
+        verify_rates(flows, rates, g)
+
+        usage = np.zeros(n_clusters)
+        for f, r in zip(flows, rates):
+            usage[f.src] += r
+            usage[f.dst] += r
+        for f, r in zip(flows, rates):
+            at_cap = r >= f.cap - 1e-6
+            src_saturated = usage[f.src] >= g[f.src] - 1e-6
+            dst_saturated = usage[f.dst] >= g[f.dst] - 1e-6
+            assert at_cap or src_saturated or dst_saturated

@@ -1,0 +1,83 @@
+"""Tests for repro.util.rational."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rational import as_fraction, common_period, fractionize, lcm_many
+
+
+class TestAsFraction:
+    def test_exact_integer(self):
+        assert as_fraction(3.0) == Fraction(3)
+
+    def test_near_integer_snaps(self):
+        assert as_fraction(2.9999999999999) == Fraction(3)
+
+    def test_simple_fraction(self):
+        assert as_fraction(0.5) == Fraction(1, 2)
+
+    def test_denominator_bound(self):
+        f = as_fraction(math.pi, max_denominator=100)
+        assert f.denominator <= 100
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            as_fraction(float("inf"))
+        with pytest.raises(ValueError):
+            as_fraction(float("nan"))
+
+    @given(st.integers(min_value=-1000, max_value=1000), st.integers(min_value=1, max_value=50))
+    def test_roundtrip_small_rationals(self, num, den):
+        f = Fraction(num, den)
+        assert as_fraction(float(f), max_denominator=10**6) == f
+
+
+class TestLcmMany:
+    def test_empty_is_one(self):
+        assert lcm_many([]) == 1
+
+    def test_basic(self):
+        assert lcm_many([4, 6]) == 12
+
+    def test_single(self):
+        assert lcm_many([7]) == 7
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            lcm_many([0])
+        with pytest.raises(ValueError):
+            lcm_many([3, -1])
+
+    @given(st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=6))
+    def test_divides_all(self, values):
+        lcm = lcm_many(values)
+        assert all(lcm % v == 0 for v in values)
+
+
+class TestCommonPeriod:
+    def test_fraction_list(self):
+        assert common_period([Fraction(1, 2), Fraction(1, 3)]) == 6
+
+    def test_mapping_input(self):
+        assert common_period({"a": Fraction(3, 4), "b": Fraction(5, 6)}) == 12
+
+    def test_empty(self):
+        assert common_period([]) == 1
+
+    def test_integers_have_period_one(self):
+        assert common_period([Fraction(5), Fraction(7)]) == 1
+
+
+class TestFractionize:
+    def test_zeros_are_dropped(self):
+        out = fractionize(np.array([[0.0, 0.5], [0.25, 0.0]]))
+        assert set(out) == {(0, 1), (1, 0)}
+        assert out[(0, 1)] == Fraction(1, 2)
+
+    def test_respects_max_denominator(self):
+        out = fractionize([1 / 3], max_denominator=3)
+        assert out[(0,)] == Fraction(1, 3)

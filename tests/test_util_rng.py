@@ -1,0 +1,60 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        gen = ensure_rng(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(123, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_from_seed(self):
+        first = [g.random(3) for g in spawn_rngs(9, 3)]
+        second = [g.random(3) for g in spawn_rngs(9, 3)]
+        for x, y in zip(first, second):
+            assert np.array_equal(x, y)
+
+    def test_spawn_from_generator_advances(self):
+        gen = np.random.default_rng(5)
+        first = spawn_rngs(gen, 2)
+        second = spawn_rngs(gen, 2)
+        # Repeated spawning from the same generator yields fresh streams.
+        assert not np.array_equal(first[0].random(4), second[0].random(4))
