@@ -10,7 +10,7 @@ Paper claims reproduced (shapes, not absolute values):
 
 from repro.experiments import figure5, render_figure
 
-from benchmarks.conftest import banner
+from benchmarks.conftest import banner, sweep_jobs
 
 
 def test_figure5(benchmark, scale):
@@ -21,6 +21,7 @@ def test_figure5(benchmark, scale):
             settings_per_k=scale["fig5_settings_per_k"],
             platforms_per_setting=scale["fig5_platforms"],
             rng=7,
+            jobs=sweep_jobs(),  # campaign engine: identical output
         ),
         rounds=1,
         iterations=1,

@@ -11,7 +11,7 @@ fairer), SUM ratio slightly above 1.
 
 from repro.experiments import headline_ratios, run_sweep, sample_settings
 
-from benchmarks.conftest import banner
+from benchmarks.conftest import banner, sweep_jobs
 
 
 def test_headline_lprg_over_g(benchmark, scale):
@@ -25,6 +25,7 @@ def test_headline_lprg_over_g(benchmark, scale):
             objectives=("maxmin", "sum"),
             n_platforms=scale["headline_platforms"],
             rng=42,
+            jobs=sweep_jobs(),  # campaign engine: identical output
         )
         return headline_ratios(rows)
 

@@ -19,6 +19,19 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
 
 
+def sweep_jobs() -> int:
+    """Worker processes for engine-backed sweeps (REPRO_JOBS, default 1).
+
+    Sweep results are bitwise-identical for any value (stateless
+    per-task seeds), so raising this only changes benchmark wall-clock,
+    never an assertion.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
 @pytest.fixture
 def scale():
     """dict of scale knobs shared by the experiment benchmarks."""

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification + parallel-subsystem benchmark smoke.
+#
+#   scripts/verify.sh            # full test suite + scaling smoke
+#   REPRO_JOBS=4 scripts/verify.sh   # engine-backed benchmarks on 4 workers
+#
+# The benchmark step runs the parallel-scaling benchmark (which asserts
+# serial/parallel bitwise equivalence and, given >= 4 cores, >1.5x
+# speedup at 4 workers) plus the two engine-backed paper benchmarks, so
+# a regression in the campaign engine fails verification even though
+# bench_*.py files are not collected by the plain pytest run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: full test suite =="
+python -m pytest -x -q
+
+echo
+echo "== benchmark smoke: campaign engine =="
+python -m pytest -x -q -s \
+    benchmarks/bench_parallel_scaling.py \
+    benchmarks/bench_headline_ratios.py \
+    benchmarks/bench_fig5_lprg_vs_g.py
+
+echo
+echo "verify.sh: all checks passed"

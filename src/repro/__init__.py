@@ -20,6 +20,23 @@ Quickstart
 >>> result = solve(problem, method="lprg")
 >>> result.value > 0
 True
+
+Batch / parallel campaigns
+--------------------------
+Many independent instances go through :func:`solve_many`, which shares
+one LP-variable index per platform and can fan out over worker
+processes; the Section-6 sweeps accept ``jobs=N`` the same way
+(``run_sweep(..., jobs=4)``, or ``python -m repro.experiments headline
+--jobs 4``) plus ``checkpoint=``/``resume=`` for interrupted campaigns.
+Every task derives its seed by stateless ``SeedSequence`` spawning, so
+parallel results are **bitwise-identical** to serial ones — ``jobs``
+only changes wall-clock time, never a single float.
+
+>>> from repro import solve_many
+>>> problems = [SteadyStateProblem(platform, objective=o)
+...             for o in ("maxmin", "sum")]
+>>> [r.value > 0 for r in solve_many(problems, method="greedy", rng=0)]
+[True, True]
 """
 
 from repro.core import (
@@ -50,6 +67,7 @@ from repro.platform import (
     save_platform,
     star_platform,
 )
+from repro.parallel import CampaignEngine, solve_many
 from repro.util.errors import (
     InfeasibleError,
     PlatformError,
@@ -92,6 +110,9 @@ __all__ = [
     "load_platform",
     "save_platform",
     "star_platform",
+    # parallel campaigns
+    "CampaignEngine",
+    "solve_many",
     # errors
     "InfeasibleError",
     "PlatformError",

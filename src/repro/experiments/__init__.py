@@ -15,7 +15,12 @@ from repro.experiments.config import (
     spec_for,
     payoffs_for,
 )
-from repro.experiments.runner import ExperimentRow, run_setting, run_sweep
+from repro.experiments.runner import (
+    ExperimentRow,
+    run_replicate,
+    run_setting,
+    run_sweep,
+)
 from repro.experiments.aggregate import (
     headline_ratios,
     lpr_failure_stats,
@@ -39,6 +44,7 @@ __all__ = [
     "spec_for",
     "payoffs_for",
     "ExperimentRow",
+    "run_replicate",
     "run_setting",
     "run_sweep",
     "headline_ratios",

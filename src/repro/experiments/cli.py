@@ -7,12 +7,15 @@ Examples
     python -m repro.experiments figure5 --k 5 15 25 --settings-per-k 3
     python -m repro.experiments figure6
     python -m repro.experiments figure7 --k 10 20 30
-    python -m repro.experiments headline --settings 20
-    python -m repro.experiments trends --settings 12
+    python -m repro.experiments headline --settings 20 --jobs 4
+    python -m repro.experiments trends --settings 12 \\
+        --checkpoint trends.ckpt --resume
     python -m repro.experiments grid          # print Table 1
 
 Each subcommand prints the numeric series (and an ASCII plot) to stdout;
-seeds make every run reproducible.
+seeds make every run reproducible. ``--jobs N`` fans the sweep out over
+N worker processes with *identical* output (stateless per-task seeds),
+and ``--checkpoint``/``--resume`` give interrupted sweeps exact resume.
 """
 
 from __future__ import annotations
@@ -28,8 +31,37 @@ from repro.experiments.runner import run_sweep
 from repro.experiments.trends import render_trends
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the sweep (1 = serial; results are "
+        "identical for any value)",
+    )
+
+
+def _add_checkpoint(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="incrementally checkpoint sweep results to PATH (JSON lines)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a sweep from --checkpoint, re-running only "
+        "unfinished tasks",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,19 +92,24 @@ def build_parser() -> argparse.ArgumentParser:
     ph.add_argument("--settings", type=int, default=12)
     ph.add_argument("--platforms", type=int, default=2)
     _add_common(ph)
+    _add_checkpoint(ph)
 
     pt = sub.add_parser("trends", help="Section 6.1 parameter-trend mining")
     pt.add_argument("--settings", type=int, default=12)
     pt.add_argument("--platforms", type=int, default=2)
     pt.add_argument("--objective", choices=["maxmin", "sum"], default="sum")
     _add_common(pt)
+    _add_checkpoint(pt)
 
     sub.add_parser("grid", help="print the Table-1 parameter grid")
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        parser.error("--resume requires --checkpoint")
 
     if args.command == "figure5":
         fig = figure5(
@@ -80,6 +117,7 @@ def main(argv: "list[str] | None" = None) -> int:
             settings_per_k=args.settings_per_k,
             platforms_per_setting=args.platforms,
             rng=args.seed,
+            jobs=args.jobs,
         )
         print(render_figure(fig))
     elif args.command == "figure6":
@@ -88,6 +126,7 @@ def main(argv: "list[str] | None" = None) -> int:
             settings_per_k=args.settings_per_k,
             platforms_per_setting=args.platforms,
             rng=args.seed,
+            jobs=args.jobs,
         )
         print(render_figure(fig))
     elif args.command == "figure7":
@@ -95,6 +134,7 @@ def main(argv: "list[str] | None" = None) -> int:
             k_values=tuple(args.k),
             include_lprr=not args.no_lprr,
             rng=args.seed,
+            jobs=args.jobs,
         )
         print(render_figure(fig))
     elif args.command == "headline":
@@ -105,6 +145,9 @@ def main(argv: "list[str] | None" = None) -> int:
             objectives=("maxmin", "sum"),
             n_platforms=args.platforms,
             rng=args.seed,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
         ratios = headline_ratios(rows)
         print("LPRG/G value ratios   [paper: MAXMIN 1.98, SUM 1.02]")
@@ -118,6 +161,9 @@ def main(argv: "list[str] | None" = None) -> int:
             objectives=(args.objective,),
             n_platforms=args.platforms,
             rng=args.seed,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
         print(render_trends(rows, args.objective))
         stats = lpr_failure_stats(rows)

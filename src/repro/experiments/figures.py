@@ -71,6 +71,7 @@ def figure5(
     platforms_per_setting: int = 3,
     scenario: Scenario = DEFAULT_SCENARIO,
     rng=None,
+    jobs: int = 1,
 ) -> FigureData:
     """Figure 5: LPRG and G vs the LP bound as K grows (both objectives).
 
@@ -87,6 +88,7 @@ def figure5(
         objectives=("maxmin", "sum"),
         n_platforms=platforms_per_setting,
         rng=rng,
+        jobs=jobs,
     )
     fig = FigureData(
         name="figure5",
@@ -108,6 +110,7 @@ def figure6(
     platforms_per_setting: int = 2,
     scenario: Scenario = DEFAULT_SCENARIO,
     rng=None,
+    jobs: int = 1,
 ) -> FigureData:
     """Figure 6: LPRR vs G relative to the LP bound (80-topology study).
 
@@ -123,6 +126,7 @@ def figure6(
         objectives=("maxmin", "sum"),
         n_platforms=platforms_per_setting,
         rng=rng,
+        jobs=jobs,
     )
     fig = FigureData(
         name="figure6",
@@ -144,6 +148,7 @@ def figure7(
     scenario: Scenario = DEFAULT_SCENARIO,
     include_lprr: bool = True,
     rng=None,
+    jobs: int = 1,
 ) -> FigureData:
     """Figure 7: heuristic running time vs K (log scale).
 
@@ -161,6 +166,7 @@ def figure7(
         objectives=("maxmin",),
         n_platforms=platforms_per_setting,
         rng=rng,
+        jobs=jobs,
     )
     fig = FigureData(
         name="figure7",

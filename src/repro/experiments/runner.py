@@ -4,6 +4,14 @@ Produces flat :class:`ExperimentRow` records, one per (platform,
 objective, method), each carrying the LP upper bound of its platform so
 that every aggregate in :mod:`repro.experiments.aggregate` is a simple
 group-by.
+
+Execution goes through the :mod:`repro.parallel` campaign engine: the
+sweep is expanded into pure per-replicate tasks (each carrying its own
+stateless spawn seed, see :mod:`repro.parallel.sweep`), which run inline
+for ``jobs=1`` — the reference serial semantics — or on a process pool
+for ``jobs>1``, with optional incremental checkpoint/resume. Results
+are reassembled in task order, so the row list is bitwise-identical for
+any ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from repro.experiments.config import (
 )
 from repro.heuristics.base import get_heuristic
 from repro.platform.generator import generate_platform
-from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.rng import ensure_rng, seed_sequence_of, spawn_seed_sequences
 
 #: methods swept by default (LPRR excluded: the paper, too, ran it on a
 #: small subset only because of its K^2 LP-solve cost)
@@ -54,6 +62,58 @@ class ExperimentRow:
         return self.value / self.lp_value
 
 
+def run_replicate(
+    setting: Setting,
+    replicate: int,
+    scenario: Scenario = DEFAULT_SCENARIO,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    rng=None,
+) -> list[ExperimentRow]:
+    """Evaluate all methods on *one* random platform of one grid point.
+
+    This is the pure unit of sweep work: platform generation, payoff
+    draw and every stochastic heuristic consume the single ``rng``
+    stream sequentially, so the rows are a deterministic function of
+    ``(setting, scenario, methods, objectives, rng)``. The LP bound is
+    solved once per objective and attached to every row.
+    """
+    rng = ensure_rng(rng)
+    platform = generate_platform(spec_for(setting, scenario), rng=rng)
+    payoffs = payoffs_for(setting, scenario, rng)
+    rows: list[ExperimentRow] = []
+    for objective in objectives:
+        problem = SteadyStateProblem(platform, payoffs, objective=objective)
+        lp_result = get_heuristic("lp").run(problem)
+        rows.append(
+            ExperimentRow(
+                setting=setting,
+                replicate=replicate,
+                objective=objective,
+                method="lp",
+                value=lp_result.value,
+                lp_value=lp_result.value,
+                runtime=lp_result.runtime,
+                n_lp_solves=lp_result.n_lp_solves,
+            )
+        )
+        for method in methods:
+            result = get_heuristic(method).run(problem, rng=rng)
+            rows.append(
+                ExperimentRow(
+                    setting=setting,
+                    replicate=replicate,
+                    objective=objective,
+                    method=method,
+                    value=result.value,
+                    lp_value=lp_result.value,
+                    runtime=result.runtime,
+                    n_lp_solves=result.n_lp_solves,
+                )
+            )
+    return rows
+
+
 def run_setting(
     setting: Setting,
     scenario: Scenario = DEFAULT_SCENARIO,
@@ -63,44 +123,25 @@ def run_setting(
     rng=None,
 ) -> list[ExperimentRow]:
     """Evaluate all methods on ``n_platforms`` random platforms of one
-    grid point. The LP bound is solved once per (platform, objective)."""
-    rng = ensure_rng(rng)
+    grid point. Per-replicate seeds are stateless ``SeedSequence`` spawn
+    children of ``rng`` (see :func:`repro.util.rng.spawn_seed_sequences`),
+    so the same seed always produces the same platforms regardless of
+    prior RNG use or execution mode."""
     n_platforms = (
         scenario.platforms_per_setting if n_platforms is None else n_platforms
     )
     rows: list[ExperimentRow] = []
-    for rep, sub_rng in enumerate(spawn_rngs(rng, n_platforms)):
-        platform = generate_platform(spec_for(setting, scenario), rng=sub_rng)
-        payoffs = payoffs_for(setting, scenario, sub_rng)
-        for objective in objectives:
-            problem = SteadyStateProblem(platform, payoffs, objective=objective)
-            lp_result = get_heuristic("lp").run(problem)
-            rows.append(
-                ExperimentRow(
-                    setting=setting,
-                    replicate=rep,
-                    objective=objective,
-                    method="lp",
-                    value=lp_result.value,
-                    lp_value=lp_result.value,
-                    runtime=lp_result.runtime,
-                    n_lp_solves=lp_result.n_lp_solves,
-                )
+    for rep, seed in enumerate(spawn_seed_sequences(rng, n_platforms)):
+        rows.extend(
+            run_replicate(
+                setting,
+                rep,
+                scenario=scenario,
+                methods=methods,
+                objectives=objectives,
+                rng=np.random.default_rng(seed),
             )
-            for method in methods:
-                result = get_heuristic(method).run(problem, rng=sub_rng)
-                rows.append(
-                    ExperimentRow(
-                        setting=setting,
-                        replicate=rep,
-                        objective=objective,
-                        method=method,
-                        value=result.value,
-                        lp_value=lp_result.value,
-                        runtime=result.runtime,
-                        n_lp_solves=result.n_lp_solves,
-                    )
-                )
+        )
     return rows
 
 
@@ -112,27 +153,86 @@ def run_sweep(
     n_platforms: "int | None" = None,
     rng=None,
     progress: bool = False,
+    jobs: int = 1,
+    chunk_size: "int | None" = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> list[ExperimentRow]:
-    """Run :func:`run_setting` over many grid points."""
-    rng = ensure_rng(rng)
-    rows: list[ExperimentRow] = []
-    start = time.perf_counter()
-    for i, (setting, sub_rng) in enumerate(zip(settings, spawn_rngs(rng, len(settings)))):
-        rows.extend(
-            run_setting(
-                setting,
-                scenario=scenario,
-                methods=methods,
-                objectives=objectives,
-                n_platforms=n_platforms,
-                rng=sub_rng,
-            )
+    """Run the full sweep over many grid points.
+
+    Parameters
+    ----------
+    settings, scenario, methods, objectives, n_platforms, rng:
+        The sweep definition (as before).
+    progress:
+        Print a progress line as replicate tasks finish.
+    jobs:
+        Worker processes. ``1`` (default) runs inline — the exact
+        serial semantics; ``jobs>1`` fans replicate tasks out over a
+        process pool. Row values and ordering are identical either way.
+    chunk_size:
+        Tasks per pool submission (default: auto).
+    checkpoint:
+        Path to an incremental checkpoint file (JSON lines). Completed
+        replicate tasks are flushed as they finish.
+    resume:
+        With ``checkpoint``, load previously completed tasks and only
+        run the remainder. The checkpoint is fingerprinted against the
+        sweep definition (settings, scenario, methods, objectives,
+        ``n_platforms`` and seed), so resuming into a different sweep
+        fails loudly.
+    """
+    from repro.experiments.persistence import row_from_dict, row_to_dict
+    from repro.parallel import (
+        CampaignCheckpoint,
+        CampaignEngine,
+        build_sweep_tasks,
+        run_sweep_task,
+        sweep_fingerprint,
+    )
+
+    settings = list(settings)
+    n_platforms = (
+        scenario.platforms_per_setting if n_platforms is None else n_platforms
+    )
+    # Resolve the root seed once: with rng=None a fresh random root is
+    # drawn, and the task seeds and the checkpoint fingerprint must
+    # both describe that same root.
+    root = seed_sequence_of(rng)
+    tasks = build_sweep_tasks(
+        settings, scenario, methods, objectives, n_platforms, root
+    )
+
+    store = None
+    if checkpoint is not None:
+        store = CampaignCheckpoint(
+            checkpoint,
+            fingerprint=sweep_fingerprint(
+                settings, scenario, methods, objectives, n_platforms, root
+            ),
+            resume=resume,
+            encode=lambda rows: [row_to_dict(r) for r in rows],
+            decode=lambda rows: [row_from_dict(r) for r in rows],
+            meta={"n_tasks": len(tasks), "kind_detail": "sweep"},
         )
-        if progress:  # pragma: no cover - cosmetic
+
+    reporter = None
+    if progress:  # pragma: no cover - cosmetic
+        start = time.perf_counter()
+
+        def reporter(done: int, total: int) -> None:
             elapsed = time.perf_counter() - start
-            print(
-                f"  [{i + 1}/{len(settings)}] K={setting.k} "
-                f"({elapsed:.1f}s elapsed)",
-                flush=True,
-            )
-    return rows
+            print(f"  [{done}/{total}] tasks ({elapsed:.1f}s elapsed)", flush=True)
+
+    engine = CampaignEngine(run_sweep_task, jobs=jobs, chunk_size=chunk_size)
+    try:
+        per_task = engine.run(
+            tasks,
+            task_ids=[t.task_id for t in tasks],
+            checkpoint=store,
+            progress=reporter,
+        )
+    finally:
+        if store is not None:
+            store.close()
+    return [row for rows in per_task for row in rows]

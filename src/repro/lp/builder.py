@@ -22,7 +22,7 @@ import scipy.sparse as sp
 
 from repro.core.objectives import Objective, get_objective
 from repro.core.problem import SteadyStateProblem
-from repro.lp.indexing import VariableIndex
+from repro.lp.indexing import VariableIndex, shared_variable_index
 
 
 @dataclass
@@ -140,7 +140,7 @@ def build_lp(
                 f"{base_throughputs.shape}"
             )
 
-    index = VariableIndex(platform, with_t=(obj_fn.name == "maxmin"))
+    index = shared_variable_index(platform, with_t=(obj_fn.name == "maxmin"))
     n = index.n_vars
     builder = _COOBuilder()
 

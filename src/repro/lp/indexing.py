@@ -101,3 +101,29 @@ class VariableIndex:
             f"VariableIndex(K={self.n_clusters}, alpha={self.n_alpha}, "
             f"beta={self.n_beta}, t={self.with_t})"
         )
+
+
+def shared_variable_index(platform: Platform, with_t: bool) -> VariableIndex:
+    """A memoised :class:`VariableIndex` for ``platform``.
+
+    The index depends only on the platform topology (and whether the LP
+    carries the MAXMIN ``t`` variable), and is immutable once built, so
+    every LP assembled for the same platform object — the upper bound,
+    each heuristic's relaxation, every residual re-solve of the iterated
+    heuristics, and each instance of a :func:`repro.parallel.solve_many`
+    batch that shares the platform — can reuse one instance. Building it
+    is O(K^2) dict work, a measurable slice of small-K assembly time.
+
+    The memo lives on the platform instance itself (not in a module
+    cache), so it is garbage-collected with its platform — sweeping
+    thousands of platforms leaks nothing.
+    """
+    try:
+        per_platform = platform.__dict__.setdefault("_index_memo", {})
+    except AttributeError:  # platform stand-in without a __dict__
+        return VariableIndex(platform, with_t)
+    key = bool(with_t)
+    index = per_platform.get(key)
+    if index is None:
+        index = per_platform[key] = VariableIndex(platform, key)
+    return index

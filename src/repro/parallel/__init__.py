@@ -1,0 +1,45 @@
+"""Parallel campaign execution: batched solving and process-pool sweeps.
+
+The package has three layers, each usable on its own:
+
+* :func:`solve_many` — batched front-end to :func:`repro.core.solve.
+  solve`: many independent instances, one call, optional process-pool
+  fan-out, shared LP-index cache for instances on the same platform.
+* :class:`CampaignEngine` — generic deterministic task runner
+  (chunked scheduling, worker-crash recovery, ``jobs=1`` inline
+  reference path) used by :func:`repro.experiments.runner.run_sweep`.
+* :class:`CampaignCheckpoint` — append-only incremental checkpoint
+  store giving interrupted campaigns exact resume.
+
+Everything is seeded through stateless ``SeedSequence`` spawning
+(:mod:`repro.util.rng`), so results never depend on ``jobs``, chunking
+or scheduling order: the parallel path is bitwise-equal to the serial
+one.
+"""
+
+from repro.parallel.batch import solve_many
+from repro.parallel.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointError,
+    campaign_fingerprint,
+)
+from repro.parallel.engine import CampaignEngine, default_chunk_size
+from repro.parallel.sweep import (
+    SweepTask,
+    build_sweep_tasks,
+    run_sweep_task,
+    sweep_fingerprint,
+)
+
+__all__ = [
+    "solve_many",
+    "CampaignEngine",
+    "default_chunk_size",
+    "CampaignCheckpoint",
+    "CheckpointError",
+    "campaign_fingerprint",
+    "SweepTask",
+    "build_sweep_tasks",
+    "run_sweep_task",
+    "sweep_fingerprint",
+]

@@ -1,0 +1,185 @@
+"""Incremental campaign checkpoints (JSON lines, append-only).
+
+A checkpoint file is a header line describing the campaign followed by
+one line per completed task::
+
+    {"kind": "campaign", "fingerprint": "<sha1>", "n_tasks": 12, ...}
+    {"kind": "task", "id": "0/0", "result": <encoded>}
+    {"kind": "task", "id": "0/1", "result": <encoded>}
+
+Records are flushed as they are written, so a sweep killed mid-flight
+loses at most the in-progress tasks; re-running with ``resume=True``
+replays the stored results and only executes the remainder. The
+``fingerprint`` — a hash of the campaign definition including its seed
+derivation — guards against resuming a checkpoint into a *different*
+campaign, which would silently splice unrelated results together.
+
+The encoding of task results is pluggable (``encode``/``decode``);
+:func:`repro.experiments.runner.run_sweep` stores lists of
+:class:`~repro.experiments.runner.ExperimentRow` via
+:mod:`repro.experiments.persistence`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.util.errors import ReproError
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unreadable, or belongs to another campaign."""
+
+
+def campaign_fingerprint(payload: Any) -> str:
+    """Stable hash of a JSON-serialisable campaign description."""
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha1(blob.encode()).hexdigest()
+
+
+class CampaignCheckpoint:
+    """Append-only task-result store for one campaign.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file. Created (with its parent directory) on the
+        first :meth:`record`; truncated unless ``resume=True``.
+    fingerprint:
+        Campaign identity (see :func:`campaign_fingerprint`). On resume
+        a mismatch raises :class:`CheckpointError` instead of mixing
+        results from different campaigns.
+    resume:
+        Load previously completed tasks instead of starting fresh.
+    encode, decode:
+        Task-result (de)serialisers; default to identity (results must
+        then be plain JSON values).
+    meta:
+        Extra JSON-serialisable fields stored in the header line for
+        humans / external tools.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        fingerprint: str = "",
+        resume: bool = False,
+        encode: "Callable[[Any], Any] | None" = None,
+        decode: "Callable[[Any], Any] | None" = None,
+        meta: "dict | None" = None,
+    ):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.encode = encode if encode is not None else (lambda r: r)
+        self.decode = decode if decode is not None else (lambda r: r)
+        self.meta = dict(meta or {})
+        self.completed: dict[str, Any] = {}
+        self._fh = None
+        if resume and self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        lines = self.path.read_text().splitlines()
+        header = None
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Trailing partial line from an interrupted write: drop
+                # it (and anything after) — those tasks simply re-run.
+                break
+            kind = record.get("kind")
+            if kind == "campaign":
+                header = record
+                if (
+                    self.fingerprint
+                    and record.get("fingerprint") != self.fingerprint
+                ):
+                    raise CheckpointError(
+                        f"{self.path} belongs to a different campaign "
+                        f"(fingerprint {record.get('fingerprint')!r} != "
+                        f"{self.fingerprint!r}); refusing to resume"
+                    )
+            elif kind == "task":
+                if header is None:
+                    raise CheckpointError(
+                        f"{self.path}:{lineno}: task record before the "
+                        "campaign header"
+                    )
+                self.completed[str(record["id"])] = self.decode(
+                    record["result"]
+                )
+            else:
+                raise CheckpointError(
+                    f"{self.path}:{lineno}: unknown record kind {kind!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def _open(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self.completed:
+                # Resuming: rewrite header + surviving records (dropping
+                # any truncated tail from the previous run) into a temp
+                # file, fsync, and atomically replace the original — a
+                # crash mid-rewrite must never lose results that were
+                # already durably persisted.
+                tmp = self.path.with_name(self.path.name + ".rewrite")
+                self._fh = tmp.open("w")
+                self._write_header()
+                for task_id, result in self.completed.items():
+                    self._write_task(task_id, result)
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                self._fh.close()
+                os.replace(tmp, self.path)
+                self._fh = self.path.open("a")
+            else:
+                self._fh = self.path.open("w")
+                self._write_header()
+        return self._fh
+
+    def _write_header(self) -> None:
+        header = {
+            "kind": "campaign",
+            "fingerprint": self.fingerprint,
+            **self.meta,
+        }
+        self._fh.write(json.dumps(header, sort_keys=True, default=str))
+        self._fh.write("\n")
+
+    def _write_task(self, task_id: str, result: Any) -> None:
+        record = {
+            "kind": "task",
+            "id": str(task_id),
+            "result": self.encode(result),
+        }
+        self._fh.write(json.dumps(record, sort_keys=True))
+        self._fh.write("\n")
+
+    # ------------------------------------------------------------------
+    def record(self, task_id: str, result: Any) -> None:
+        """Store one finished task and flush it to disk immediately."""
+        fh = self._open()
+        self._write_task(task_id, result)
+        fh.flush()
+        self.completed[str(task_id)] = result
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

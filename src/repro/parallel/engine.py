@@ -1,0 +1,241 @@
+"""Process-pool campaign engine: deterministic fan-out of pure tasks.
+
+A *campaign* is an ordered list of independent tasks, each handled by a
+picklable worker function. The engine runs them either inline
+(``jobs=1``, the exact serial semantics every result is defined against)
+or on a :class:`~concurrent.futures.ProcessPoolExecutor`, and in both
+cases returns results **in task order** — parallelism is an execution
+detail, never a semantic one. Determinism therefore reduces to the
+tasks themselves being pure functions of their payload (sweep tasks
+carry their own :class:`numpy.random.SeedSequence`, see
+:mod:`repro.parallel.sweep`).
+
+Fault model
+-----------
+* A task that *raises* is reported as a :class:`~repro.util.errors.
+  SolverError` carrying the worker-side traceback; every task whose
+  result reached the engine before the failure is recorded to the
+  checkpoint first, so a re-run with ``resume=True`` repeats only the
+  failed task and any work still in flight when the campaign aborted.
+* A worker process that *dies* (segfault, ``os._exit``, OOM kill)
+  breaks the pool. The engine rebuilds the pool and retries the
+  affected tasks one-by-one up to ``max_task_retries`` times each, so a
+  transient crash costs one retry while a task that reliably kills its
+  worker surfaces as a :class:`SolverError` naming the task.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
+
+from repro.util.errors import SolverError
+
+#: chunks per worker the default chunking aims for; >1 smooths load
+#: imbalance between cheap and expensive tasks.
+_CHUNKS_PER_JOB = 4
+
+
+def default_chunk_size(n_tasks: int, jobs: int) -> int:
+    """Chunk size balancing IPC overhead against load imbalance."""
+    if n_tasks <= 0 or jobs <= 1:
+        return max(1, n_tasks)
+    return max(1, -(-n_tasks // (jobs * _CHUNKS_PER_JOB)))
+
+
+def _run_chunk(worker, indexed_tasks):
+    """Worker-side driver: run one chunk, trapping per-task exceptions.
+
+    Returns ``(index, ("ok", result))`` or ``(index, ("err", repr,
+    traceback))`` tuples; exceptions are stringified because arbitrary
+    exception objects (and their tracebacks) do not survive pickling.
+    """
+    out = []
+    for index, task in indexed_tasks:
+        try:
+            out.append((index, ("ok", worker(task))))
+        except BaseException as exc:  # noqa: BLE001 - reported, not hidden
+            out.append((index, ("err", repr(exc), traceback.format_exc())))
+            break  # the engine fails the campaign on this error; the
+            # chunk's remaining tasks are abandoned unrun
+    return out
+
+
+class CampaignEngine:
+    """Run a list of tasks through ``worker``, serially or on a pool.
+
+    Parameters
+    ----------
+    worker:
+        Module-level callable ``task -> result`` (must be picklable for
+        ``jobs > 1``).
+    jobs:
+        Worker processes; ``1`` (the default) runs inline in this
+        process with no pool, no pickling and no subprocess — the
+        reference semantics.
+    chunk_size:
+        Tasks per pool submission; defaults to
+        :func:`default_chunk_size`.
+    max_task_retries:
+        How often a task whose worker process *died* is retried before
+        the campaign fails (task-raised exceptions are never retried —
+        they are deterministic).
+    """
+
+    def __init__(
+        self,
+        worker: Callable[[Any], Any],
+        jobs: int = 1,
+        chunk_size: "int | None" = None,
+        max_task_retries: int = 2,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.worker = worker
+        self.jobs = int(jobs)
+        self.chunk_size = chunk_size
+        self.max_task_retries = int(max_task_retries)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[Any],
+        task_ids: "Sequence[str] | None" = None,
+        checkpoint=None,
+        progress: "Callable[[int, int], None] | None" = None,
+    ) -> list:
+        """Execute ``tasks``; return their results in task order.
+
+        Parameters
+        ----------
+        tasks:
+            The task payloads, one per call to ``worker``.
+        task_ids:
+            Stable string ids (required with ``checkpoint``); tasks
+            whose id the checkpoint already holds are *not* re-run.
+        checkpoint:
+            Object with a ``completed`` mapping ``task_id -> result``
+            and a ``record(task_id, result)`` method (see
+            :class:`repro.parallel.checkpoint.CampaignCheckpoint`).
+        progress:
+            Optional ``(n_done, n_total)`` callback, called after every
+            finished task.
+        """
+        tasks = list(tasks)
+        if task_ids is None:
+            if checkpoint is not None:
+                raise ValueError("checkpointing requires task_ids")
+            task_ids = [str(i) for i in range(len(tasks))]
+        else:
+            task_ids = [str(t) for t in task_ids]
+            if len(task_ids) != len(tasks):
+                raise ValueError(
+                    f"{len(tasks)} tasks but {len(task_ids)} task_ids"
+                )
+            if len(set(task_ids)) != len(task_ids):
+                raise ValueError("task_ids must be unique")
+
+        results: list = [None] * len(tasks)
+        done = 0
+        pending: list[int] = []
+        completed = checkpoint.completed if checkpoint is not None else {}
+        for i, tid in enumerate(task_ids):
+            if tid in completed:
+                results[i] = completed[tid]
+                done += 1
+            else:
+                pending.append(i)
+        total = len(tasks)
+        if progress is not None and done:
+            progress(done, total)
+
+        def finish(index: int, result) -> None:
+            nonlocal done
+            results[index] = result
+            if checkpoint is not None:
+                checkpoint.record(task_ids[index], result)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for i in pending:
+                try:
+                    result = self.worker(tasks[i])
+                except Exception as exc:
+                    raise SolverError(
+                        f"campaign task {task_ids[i]!r} failed: {exc!r}"
+                    ) from exc
+                finish(i, result)
+            return results
+
+        self._run_pool(tasks, task_ids, pending, finish)
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, tasks, task_ids, pending, finish) -> None:
+        """Fan ``pending`` out over a process pool, rebuilding it when a
+        worker dies and isolating repeat offenders."""
+        chunk_size = self.chunk_size or default_chunk_size(
+            len(pending), self.jobs
+        )
+        queue = [
+            pending[i : i + chunk_size]
+            for i in range(0, len(pending), chunk_size)
+        ]
+        attempts = {i: 0 for i in pending}
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            futures = {}
+            while queue or futures:
+                while queue and len(futures) < self.jobs * 2:
+                    chunk = queue.pop(0)
+                    indexed = [(i, tasks[i]) for i in chunk]
+                    futures[pool.submit(_run_chunk, self.worker, indexed)] = chunk
+                ready, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in ready:
+                    chunk = futures.pop(future)
+                    try:
+                        outcomes = future.result()
+                    except BrokenProcessPool:
+                        # Unknown which task killed the worker: drain the
+                        # other in-flight chunks back into the queue
+                        # (their results, if any, are recomputed — tasks
+                        # are pure), rebuild the pool, and retry the
+                        # suspects in single-task chunks to isolate the
+                        # killer. Restart the wait loop: the remaining
+                        # futures all belong to the dead pool.
+                        for other in list(futures):
+                            queue.append(futures.pop(other))
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(max_workers=self.jobs)
+                        retry = []
+                        for i in chunk:
+                            attempts[i] += 1
+                            if attempts[i] > self.max_task_retries:
+                                raise SolverError(
+                                    f"campaign task {task_ids[i]!r} killed its "
+                                    f"worker process {attempts[i]} times"
+                                ) from None
+                            retry.append([i])
+                        queue = retry + queue
+                        break
+                    for index, payload in outcomes:
+                        if payload[0] == "ok":
+                            finish(index, payload[1])
+                        else:
+                            # Tasks the chunk completed before the error
+                            # were just recorded above; the error itself
+                            # fails the campaign (task exceptions are
+                            # deterministic — retrying cannot help).
+                            _, exc_repr, tb = payload
+                            raise SolverError(
+                                f"campaign task {task_ids[index]!r} failed: "
+                                f"{exc_repr}\n--- worker traceback ---\n{tb}"
+                            )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -50,3 +50,62 @@ def spawn_rngs(seed: "int | np.random.Generator | None", n: int) -> list[np.rand
         return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(n)]
     ss = np.random.SeedSequence(seed if seed is None else int(seed))
     return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def seed_sequence_of(
+    rng: "int | np.random.Generator | np.random.SeedSequence | None" = None,
+) -> np.random.SeedSequence:
+    """Coerce ``rng`` into the :class:`numpy.random.SeedSequence` it was
+    (or would be) built from.
+
+    Unlike :func:`ensure_rng` this never draws entropy from an existing
+    generator's *stream*: a generator maps to the seed sequence that
+    created it, so a generator and its seed describe the same campaign.
+    """
+    if rng is None:
+        return np.random.SeedSequence()
+    if isinstance(rng, np.random.SeedSequence):
+        return rng
+    if isinstance(rng, np.random.Generator):
+        ss = rng.bit_generator.seed_seq
+        if not isinstance(ss, np.random.SeedSequence):  # pragma: no cover
+            raise TypeError(f"generator {rng!r} has no SeedSequence seed")
+        return ss
+    if isinstance(rng, (int, np.integer)):
+        return np.random.SeedSequence(int(rng))
+    raise TypeError(f"cannot interpret {rng!r} as a seed sequence")
+
+
+def child_seed_sequence(
+    parent: np.random.SeedSequence, index: int
+) -> np.random.SeedSequence:
+    """The ``index``-th spawn child of ``parent``, derived *statelessly*.
+
+    ``SeedSequence.spawn`` mutates the parent (its ``n_children_spawned``
+    counter), so two call sites spawning from the same object get
+    different children depending on call order. This function instead
+    constructs the child directly from ``(entropy, spawn_key + (index,))``
+    — the exact same child ``spawn`` would produce on a fresh parent —
+    which makes seed derivation a pure function of ``(parent, index)``.
+    That purity is what lets serial and parallel sweep execution, and
+    checkpoint resume, reproduce identical random streams.
+    """
+    if index < 0:
+        raise ValueError(f"child index must be >= 0, got {index}")
+    return np.random.SeedSequence(
+        entropy=parent.entropy,
+        spawn_key=tuple(parent.spawn_key) + (int(index),),
+        pool_size=parent.pool_size,
+    )
+
+
+def spawn_seed_sequences(
+    rng: "int | np.random.Generator | np.random.SeedSequence | None", n: int
+) -> list[np.random.SeedSequence]:
+    """``n`` stateless spawn children of ``rng`` (see
+    :func:`child_seed_sequence`). Repeated calls with the same argument
+    return identical children, unlike :func:`spawn_rngs`."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seed sequences")
+    parent = seed_sequence_of(rng)
+    return [child_seed_sequence(parent, i) for i in range(n)]

@@ -1,0 +1,119 @@
+"""CLI coverage for the parallel-campaign flags: ``--jobs``,
+``--checkpoint`` and ``--resume``, including a smoke run of the real
+``python -m repro.experiments`` entry point with workers."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TestParser:
+    def test_jobs_flag_on_every_sweep_command(self):
+        parser = build_parser()
+        for argv in (
+            ["figure5", "--jobs", "3"],
+            ["figure6", "--jobs", "3"],
+            ["figure7", "--jobs", "3"],
+            ["headline", "--jobs", "3"],
+            ["trends", "--jobs", "3"],
+        ):
+            assert parser.parse_args(argv).jobs == 3
+
+    def test_jobs_defaults_to_serial(self):
+        assert build_parser().parse_args(["headline"]).jobs == 1
+
+    def test_checkpoint_and_resume_flags(self):
+        args = build_parser().parse_args(
+            ["headline", "--checkpoint", "x.ckpt", "--resume"]
+        )
+        assert args.checkpoint == "x.ckpt" and args.resume
+        args = build_parser().parse_args(["trends"])
+        assert args.checkpoint is None and not args.resume
+
+    def test_jobs_zero_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["headline", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["headline", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+class TestJobsEquivalence:
+    def test_headline_output_independent_of_jobs(self, capsys):
+        argv = ["headline", "--settings", "2", "--platforms", "1", "--seed", "3"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "LPRG/G" in serial
+        assert serial == parallel
+
+    def test_figure5_output_independent_of_jobs(self, capsys):
+        argv = [
+            "figure5", "--k", "4", "--settings-per-k", "1",
+            "--platforms", "1", "--seed", "5",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "Figure 5" in serial
+        assert serial == parallel
+
+
+class TestCheckpointFlags:
+    def test_headline_checkpoint_then_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "headline.ckpt")
+        argv = [
+            "headline", "--settings", "2", "--platforms", "1",
+            "--seed", "3", "--checkpoint", ckpt,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert os.path.exists(ckpt)
+        assert main(argv + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert first == resumed
+
+    def test_trends_checkpoint_written(self, capsys, tmp_path):
+        ckpt = tmp_path / "trends.ckpt"
+        assert main([
+            "trends", "--settings", "2", "--platforms", "1",
+            "--seed", "2", "--checkpoint", str(ckpt),
+        ]) == 0
+        assert "LPR failure stats" in capsys.readouterr().out
+        content = ckpt.read_text()
+        assert '"kind": "campaign"' in content and '"kind": "task"' in content
+
+
+@pytest.mark.slow
+class TestModuleEntryPoint:
+    def test_python_dash_m_smoke_with_jobs(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.experiments", "trends",
+                "--settings", "2", "--platforms", "1", "--seed", "2",
+                "--jobs", "2",
+            ],
+            capture_output=True, text=True, env=env, cwd=REPO, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "LPR failure stats" in proc.stdout

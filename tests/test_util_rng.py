@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.rng import (
+    child_seed_sequence,
+    ensure_rng,
+    seed_sequence_of,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
 
 
 class TestEnsureRng:
@@ -58,3 +64,73 @@ class TestSpawnRngs:
         second = spawn_rngs(gen, 2)
         # Repeated spawning from the same generator yields fresh streams.
         assert not np.array_equal(first[0].random(4), second[0].random(4))
+
+
+class TestStatelessSpawn:
+    """The seed derivation the sweep runner and parallel engine share.
+
+    These pins are load-bearing: campaign checkpoints, serial/parallel
+    equivalence and cross-version reproducibility all assume that the
+    seed of (grid point i, replicate j) under root seed s is exactly
+    ``SeedSequence(s, spawn_key=(i, j))`` — NumPy's own spawn-child
+    construction, derived without mutating any parent state (and never
+    an arithmetic ``s + i`` style offset, which correlates streams).
+    """
+
+    def test_matches_numpy_spawn(self):
+        root = np.random.SeedSequence(7)
+        spawned = np.random.SeedSequence(7).spawn(3)
+        stateless = spawn_seed_sequences(7, 3)
+        for a, b in zip(spawned, stateless):
+            assert a.entropy == b.entropy and a.spawn_key == b.spawn_key
+            assert np.array_equal(
+                np.random.default_rng(a).random(8),
+                np.random.default_rng(b).random(8),
+            )
+        assert root.n_children_spawned == 0  # root untouched
+
+    def test_repeated_calls_are_identical(self):
+        gen = np.random.default_rng(5)
+        first = spawn_seed_sequences(gen, 2)
+        gen.random(100)  # drawing must not perturb derivation
+        second = spawn_seed_sequences(gen, 2)
+        for a, b in zip(first, second):
+            assert a.spawn_key == b.spawn_key
+            assert np.array_equal(
+                np.random.default_rng(a).random(4),
+                np.random.default_rng(b).random(4),
+            )
+
+    def test_derivation_regression_pin(self):
+        """First draw of each child of seed 123, pinned forever."""
+        children = spawn_seed_sequences(123, 3)
+        assert [c.spawn_key for c in children] == [(0,), (1,), (2,)]
+        draws = [
+            int(np.random.default_rng(c).integers(2**32)) for c in children
+        ]
+        assert draws == [4121090875, 3176498473, 37666016]
+
+    def test_nested_derivation_regression_pin(self):
+        """Grid point 1, replicate 2 under root 123: spawn_key (1, 2)."""
+        grandchild = child_seed_sequence(
+            child_seed_sequence(np.random.SeedSequence(123), 1), 2
+        )
+        assert grandchild.spawn_key == (1, 2)
+        assert int(
+            np.random.default_rng(grandchild).integers(2**32)
+        ) == 2121478275
+
+    def test_seed_sequence_of_coercions(self):
+        ss = np.random.SeedSequence(9)
+        assert seed_sequence_of(ss) is ss
+        assert seed_sequence_of(9).entropy == 9
+        assert seed_sequence_of(np.random.default_rng(9)).entropy == 9
+        assert isinstance(seed_sequence_of(None), np.random.SeedSequence)
+        with pytest.raises(TypeError):
+            seed_sequence_of("nope")
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(0, -1)
+        with pytest.raises(ValueError):
+            child_seed_sequence(np.random.SeedSequence(0), -1)
