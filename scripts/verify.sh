@@ -9,6 +9,10 @@
 # speedup at 4 workers) plus the two engine-backed paper benchmarks, so
 # a regression in the campaign engine fails verification even though
 # bench_*.py files are not collected by the plain pytest run.
+#
+# The warm-start smoke (bench_warmstart.py) gates the LPSession
+# subsystem: warm LPRR must match cold bitwise AND spend strictly fewer
+# (>= 30% fewer) simplex iterations; it refreshes BENCH_warmstart.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +27,10 @@ python -m pytest -x -q -s \
     benchmarks/bench_parallel_scaling.py \
     benchmarks/bench_headline_ratios.py \
     benchmarks/bench_fig5_lprg_vs_g.py
+
+echo
+echo "== benchmark smoke: warm-started LP re-solves =="
+python -m pytest -x -q -s benchmarks/bench_warmstart.py
 
 echo
 echo "verify.sh: all checks passed"

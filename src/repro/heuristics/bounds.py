@@ -83,9 +83,12 @@ class BranchAndBoundExact(Heuristic):
         problem: SteadyStateProblem,
         rng: np.random.Generator,
         max_nodes: int = 10_000,
+        warm_start: bool = True,
         **kwargs,
     ) -> HeuristicResult:
-        result = solve_branch_and_bound(build_lp(problem), max_nodes=max_nodes)
+        result = solve_branch_and_bound(
+            build_lp(problem), max_nodes=max_nodes, warm_start=warm_start
+        )
         if result.solution is None:
             raise SolverError("branch-and-bound found no integral solution")
         return HeuristicResult(

@@ -9,6 +9,20 @@ greedy mop up. Each iteration costs one LP solve, so ``max_iters``
 iterations sit between LPRG (1 solve) and LPRR (~K^2 solves) on the
 cost/quality spectrum of Figure 7 — the natural "what's between LPRG and
 LPRR?" question the paper leaves open.
+
+On small instances (``lp_backend="auto"`` applies
+:func:`~repro.lp.session.prefer_session`) the residual re-solves run
+through a warm-started :class:`~repro.lp.session.LPSession`: instead of
+snapshotting the ledger into a fresh ``Platform`` and re-assembling the
+whole LP each round (``residual_platform`` + ``build_lp``), the session
+keeps one instance and each round rewrites *only* the ``b_ub`` entries
+the charged ledger touched — compute/local/connection rows, the MAXMIN
+base-throughput rows — plus the per-beta connection-cap upper bounds,
+then re-solves from the previous optimal basis. ``warm_start=False``
+keeps the incremental updates but solves cold (the iteration-count
+reference); ``lp_backend="scipy"`` restores the original
+rebuild-from-scratch HiGHS path, which doubles as the equivalence
+reference in the tests.
 """
 
 from __future__ import annotations
@@ -23,6 +37,7 @@ from repro.heuristics.lpr import round_down
 from repro.heuristics.lprg import charge_ledger
 from repro.lp.builder import build_lp
 from repro.lp.scipy_backend import solve_lp_scipy
+from repro.lp.session import LPSession, resolve_lp_backend
 from repro.platform.cluster import Cluster
 from repro.platform.links import BackboneLink
 from repro.platform.routing import Route
@@ -70,6 +85,60 @@ def residual_platform(ledger: CapacityLedger) -> Platform:
     return Platform(clusters, base.routers, links, routes=routes)
 
 
+class _ResidualUpdater:
+    """Write a ledger + secured-base state into an LP instance in place.
+
+    Precomputes, once, which ``b_ub`` rows and beta upper bounds the
+    ledger can touch; each round is then a handful of vectorised writes
+    — the incremental replacement for ``residual_platform`` +
+    ``build_lp``.
+    """
+
+    def __init__(self, problem: SteadyStateProblem, instance):
+        platform = problem.platform
+        index = instance.index
+        K = platform.n_clusters
+        self.instance = instance
+        self.rows_compute = np.array(
+            [instance.row_id(f"compute[{k}]") for k in range(K)], dtype=int
+        )
+        self.rows_local = np.array(
+            [instance.row_id(f"local[{k}]") for k in range(K)], dtype=int
+        )
+        self.rows_connect = [
+            (name, instance.row_id(f"connect[{name}]"))
+            for name in sorted(platform.links)
+            if instance.has_row(f"connect[{name}]")
+        ]
+        payoffs = problem.payoffs
+        self.rows_maxmin = (
+            [
+                (k, instance.row_id(f"maxmin[{k}]"), float(payoffs[k]))
+                for k in range(K)
+                if instance.has_row(f"maxmin[{k}]")
+            ]
+            if index.with_t
+            else []
+        )
+        self.beta_caps = [
+            (index.beta(k, l), tuple(platform.route(k, l).links))
+            for (k, l) in index.beta_pairs
+        ]
+
+    def apply(self, ledger: CapacityLedger, base_throughputs: np.ndarray) -> None:
+        inst = self.instance
+        b = inst.b_ub
+        b[self.rows_compute] = ledger.speed
+        b[self.rows_local] = ledger.local
+        for name, row in self.rows_connect:
+            b[row] = float(ledger.connections[name])
+        for k, row, payoff in self.rows_maxmin:
+            b[row] = payoff * float(base_throughputs[k])
+        for col, links in self.beta_caps:
+            inst.ub[col] = float(min(ledger.connections[name] for name in links))
+        inst.invalidate_bounds()
+
+
 @register_heuristic
 class IteratedLPRGHeuristic(Heuristic):
     """LP -> round down -> charge -> re-solve on residual -> ... -> greedy."""
@@ -82,6 +151,8 @@ class IteratedLPRGHeuristic(Heuristic):
         problem: SteadyStateProblem,
         rng: np.random.Generator,
         max_iters: int = 4,
+        warm_start: bool = True,
+        lp_backend: str = "auto",
         **kwargs,
     ) -> HeuristicResult:
         if max_iters < 1:
@@ -92,20 +163,38 @@ class IteratedLPRGHeuristic(Heuristic):
         total = Allocation.zeros(K)
         n_solves = 0
 
-        for _ in range(max_iters):
-            current = residual_platform(ledger)
-            sub_problem = SteadyStateProblem(
-                current, problem.applications, problem.objective
-            )
-            relaxed = solve_lp_scipy(
-                build_lp(sub_problem, base_throughputs=total.throughputs)
-            )
-            n_solves += 1
-            increment = round_down(sub_problem, relaxed)
-            if increment.throughputs.sum() <= _PROGRESS_TOL:
-                break
-            charge_ledger(ledger, increment)
-            total = total.merged_with(increment)
+        instance = build_lp(problem)
+        lp_backend = resolve_lp_backend(instance, lp_backend)
+        meta = {"lp_backend": lp_backend}
+
+        if lp_backend == "session":
+            session = LPSession(instance, warm_start=warm_start)
+            updater = _ResidualUpdater(problem, instance)
+            for _ in range(max_iters):
+                updater.apply(ledger, total.throughputs)
+                relaxed = session.solve()
+                n_solves += 1
+                increment = round_down(problem, relaxed)
+                if increment.throughputs.sum() <= _PROGRESS_TOL:
+                    break
+                charge_ledger(ledger, increment)
+                total = total.merged_with(increment)
+            meta["lp_stats"] = session.stats.as_dict()
+        else:
+            for _ in range(max_iters):
+                current = residual_platform(ledger)
+                sub_problem = SteadyStateProblem(
+                    current, problem.applications, problem.objective
+                )
+                relaxed = solve_lp_scipy(
+                    build_lp(sub_problem, base_throughputs=total.throughputs)
+                )
+                n_solves += 1
+                increment = round_down(sub_problem, relaxed)
+                if increment.throughputs.sum() <= _PROGRESS_TOL:
+                    break
+                charge_ledger(ledger, increment)
+                total = total.merged_with(increment)
 
         alloc = greedy_allocate(problem, ledger=ledger, base=total)
         return HeuristicResult(
@@ -115,4 +204,5 @@ class IteratedLPRGHeuristic(Heuristic):
             allocation=alloc,
             runtime=0.0,
             n_lp_solves=n_solves,
+            meta=meta,
         )

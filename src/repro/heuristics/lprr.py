@@ -17,6 +17,20 @@ Two variants used by the ablation benchmarks:
 * ``eager_integer_fixing=True`` fixes *every* currently-integral beta
   after each solve instead of one route per solve; an engineering
   optimisation that slashes LP count, measured in the same benchmark.
+
+The K^2 re-solve loop runs through a warm-started
+:class:`~repro.lp.session.LPSession` on small instances (the
+``lp_backend="auto"`` default applies :func:`~repro.lp.session.
+prefer_session`; pass ``"session"``/``"scipy"`` to force a backend):
+each intermediate LP is presolved (every fixed beta shrinks the
+program) and seeded with the previous optimal basis. The *final* solve
+— the one whose solution becomes the returned allocation — always runs
+through the session's cold full-program path, so ``warm_start=True``
+and ``warm_start=False`` produce bitwise-identical allocations whenever
+their intermediate rounding decisions agree (checked by
+``benchmarks/bench_warmstart.py``). ``lp_backend="scipy"`` restores the
+pre-session behaviour (fresh ``with_bounds`` copy + HiGHS per solve) as
+the escape hatch.
 """
 
 from __future__ import annotations
@@ -30,6 +44,7 @@ from repro.core.problem import SteadyStateProblem
 from repro.heuristics.base import Heuristic, HeuristicResult, register_heuristic
 from repro.lp.builder import build_lp
 from repro.lp.scipy_backend import solve_lp_scipy
+from repro.lp.session import LPSession, resolve_lp_backend
 from repro.lp.solution import INTEGRALITY_TOL
 
 
@@ -69,19 +84,43 @@ class _LPRRBase(Heuristic):
         problem: SteadyStateProblem,
         rng: np.random.Generator,
         eager_integer_fixing: bool = False,
+        warm_start: bool = True,
+        lp_backend: str = "auto",
         **kwargs,
     ) -> HeuristicResult:
         platform = problem.platform
         instance = build_lp(problem)
         index = instance.index
-        lb, ub = instance.lb.copy(), instance.ub.copy()
+        lp_backend = resolve_lp_backend(instance, lp_backend)
+
+        if lp_backend == "session":
+            session = LPSession(instance, warm_start=warm_start)
+            lb, ub = instance.lb, instance.ub  # mutated in place
+
+            def lp_solve():
+                return session.solve()
+
+            def lp_solve_final():
+                # Cold full-program solve: identical arithmetic in the
+                # warm and cold paths, so the returned allocation is
+                # bitwise-comparable across them.
+                return session.solve(cold=True)
+
+        else:
+            session = None
+            lb, ub = instance.lb.copy(), instance.ub.copy()
+
+            def lp_solve():
+                return solve_lp_scipy(instance.with_bounds(lb, ub))
+
+            lp_solve_final = lp_solve
 
         residual = {name: link.max_connect for name, link in platform.links.items()}
         unassigned = list(index.beta_pairs)
         n_solves = 0
 
         while unassigned:
-            solution = solve_lp_scipy(instance.with_bounds(lb, ub))
+            solution = lp_solve()
             n_solves += 1
 
             pick = int(rng.integers(len(unassigned)))
@@ -100,10 +139,15 @@ class _LPRRBase(Heuristic):
                     else:
                         still.append(other)
                 unassigned = still
+            if session is not None:
+                instance.invalidate_bounds()
 
-        final = solve_lp_scipy(instance.with_bounds(lb, ub))
+        final = lp_solve_final()
         n_solves += 1
         alloc = Allocation(final.alpha, np.round(final.beta).astype(np.int64))
+        meta = {"lp_backend": lp_backend}
+        if session is not None:
+            meta["lp_stats"] = session.stats.as_dict()
         return HeuristicResult(
             method=self.name,
             objective=problem.objective.name,
@@ -111,6 +155,7 @@ class _LPRRBase(Heuristic):
             allocation=alloc,
             runtime=0.0,
             n_lp_solves=n_solves,
+            meta=meta,
         )
 
     def _fix_pair(

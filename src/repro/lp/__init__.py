@@ -10,7 +10,11 @@
   against HiGHS in the test suite;
 * :mod:`repro.lp.milp_backend` and :mod:`repro.lp.branch_and_bound`
   solve the *mixed* program exactly (HiGHS MILP and our own LP-based
-  branch-and-bound), something the paper could not afford in 2004.
+  branch-and-bound), something the paper could not afford in 2004;
+* :mod:`repro.lp.session` is the warm-started re-solve layer for the
+  K^2 heuristic hot paths: one :class:`~repro.lp.session.LPSession` per
+  instance, in-place bound/RHS mutation, fixed-variable presolve, and
+  optimal-basis reuse across consecutive solves.
 """
 
 from repro.lp.indexing import VariableIndex
@@ -18,6 +22,13 @@ from repro.lp.builder import LPInstance, build_lp
 from repro.lp.solution import LPSolution
 from repro.lp.scipy_backend import solve_lp_scipy
 from repro.lp.milp_backend import solve_milp_scipy
+from repro.lp.session import (
+    Basis,
+    LPSession,
+    SessionStats,
+    prefer_session,
+    resolve_lp_backend,
+)
 from repro.lp.simplex import SimplexResult, simplex_solve
 from repro.lp.branch_and_bound import BranchAndBoundResult, solve_branch_and_bound
 
@@ -28,6 +39,11 @@ __all__ = [
     "LPSolution",
     "solve_lp_scipy",
     "solve_milp_scipy",
+    "Basis",
+    "LPSession",
+    "SessionStats",
+    "prefer_session",
+    "resolve_lp_backend",
     "SimplexResult",
     "simplex_solve",
     "BranchAndBoundResult",

@@ -7,6 +7,14 @@ the incumbent. It exists for two reasons: (i) it closes the loop on the
 paper's NP-hardness discussion with a transparent reference
 implementation, and (ii) it cross-checks :mod:`repro.lp.milp_backend`
 (HiGHS) in the test-suite. Use HiGHS for anything beyond small ``K``.
+
+With ``warm_start=True`` (the default) every node re-solves through one
+:class:`~repro.lp.session.LPSession`: the child LP differs from its
+parent only in one beta's box bounds, so each child solve is seeded with
+its *parent's* optimal basis (carried per node through the best-first
+heap) and usually needs a handful of pivots instead of a full cold
+two-phase run. ``warm_start=False`` keeps the original rebuild+HiGHS
+path as the reference.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import numpy as np
 
 from repro.lp.builder import LPInstance
 from repro.lp.scipy_backend import solve_lp_scipy
+from repro.lp.session import LPSession, prefer_session
 from repro.lp.solution import LPSolution
 from repro.util.errors import InfeasibleError, SolverError
 
@@ -64,7 +73,7 @@ def _fractional_betas(instance: LPInstance, x: np.ndarray) -> "list[tuple[int, f
 
 
 def solve_branch_and_bound(
-    instance: LPInstance, max_nodes: int = 10_000
+    instance: LPInstance, max_nodes: int = 10_000, warm_start: bool = True
 ) -> BranchAndBoundResult:
     """Best-first branch-and-bound over the integer betas.
 
@@ -75,23 +84,49 @@ def solve_branch_and_bound(
     max_nodes:
         Node budget; on exhaustion the incumbent is returned with
         ``optimal=False`` and the tightest remaining bound.
+    warm_start:
+        Solve child nodes through a warm-started
+        :class:`~repro.lp.session.LPSession`, seeding each from its
+        parent's optimal basis. Applies only while the instance is small
+        enough for the dense tableau to win
+        (:func:`~repro.lp.session.prefer_session`, like the heuristics'
+        ``lp_backend="auto"``); ``False`` uses cold HiGHS per node.
     """
     counter = itertools.count()  # tie-breaker: heapq needs total order
     incumbent: "LPSolution | None" = None
     incumbent_value = -math.inf
     nodes = 0
 
+    if warm_start and prefer_session(instance):
+        # The session owns (and mutates) a private bounds copy.
+        session = LPSession(
+            instance.with_bounds(instance.lb.copy(), instance.ub.copy())
+        )
+
+        def node_solve(lb, ub, parent_basis):
+            sol = session.solve(lb=lb, ub=ub, warm_basis=parent_basis)
+            return sol, session.last_basis
+
+    else:
+        session = None
+
+        def node_solve(lb, ub, parent_basis):
+            return solve_lp_scipy(instance.with_bounds(lb, ub)), None
+
     try:
-        root = solve_lp_scipy(instance)
+        root, root_basis = node_solve(instance.lb, instance.ub, None)
     except InfeasibleError:
         return BranchAndBoundResult(None, -math.inf, True, 1)
     nodes += 1
 
-    # Max-heap on the relaxation bound (negate for heapq).
-    heap: list = [(-root.value, next(counter), instance.lb, instance.ub, root)]
+    # Max-heap on the relaxation bound (negate for heapq). Each entry
+    # carries the node's own optimal basis to seed its children.
+    heap: list = [
+        (-root.value, next(counter), instance.lb, instance.ub, root, root_basis)
+    ]
 
     while heap and nodes < max_nodes:
-        neg_bound, _, lb, ub, relax = heapq.heappop(heap)
+        neg_bound, _, lb, ub, relax, basis = heapq.heappop(heap)
         bound = -neg_bound
         if bound <= incumbent_value * (1 + _PRUNE_TOL) + _PRUNE_TOL:
             continue  # cannot improve on the incumbent
@@ -118,9 +153,8 @@ def solve_branch_and_bound(
             child_lb, child_ub = lb.copy(), ub.copy()
             child_lb[var] = max(lb[var], lo_v)
             child_ub[var] = min(ub[var], hi_v)
-            child = instance.with_bounds(child_lb, child_ub)
             try:
-                sol = solve_lp_scipy(child)
+                sol, sol_basis = node_solve(child_lb, child_ub, basis)
             except InfeasibleError:
                 nodes += 1
                 continue
@@ -130,7 +164,8 @@ def solve_branch_and_bound(
             nodes += 1
             if sol.value > incumbent_value + _PRUNE_TOL:
                 heapq.heappush(
-                    heap, (-sol.value, next(counter), child_lb, child_ub, sol)
+                    heap,
+                    (-sol.value, next(counter), child_lb, child_ub, sol, sol_basis),
                 )
 
     remaining_bound = max((-h[0] for h in heap), default=incumbent_value)

@@ -51,6 +51,10 @@ class LPInstance:
     ub: np.ndarray
     index: VariableIndex
     row_labels: list = field(default_factory=list)
+    _bounds_cache: "list | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _row_map: "dict | None" = field(default=None, repr=False, compare=False)
 
     @property
     def n_vars(self) -> int:
@@ -61,11 +65,35 @@ class LPInstance:
         return self.A_ub.shape[0]
 
     def bounds_list(self) -> list:
-        """Bounds in the ``[(lo, hi), ...]`` form ``linprog`` expects."""
-        return [
-            (float(lo), None if np.isinf(hi) else float(hi))
-            for lo, hi in zip(self.lb, self.ub)
-        ]
+        """Bounds in the ``[(lo, hi), ...]`` form ``linprog`` expects.
+
+        The list is cached on the instance (it used to be rebuilt — an
+        O(n) Python loop — on every solve of the K^2 re-solve loops).
+        In-place mutation of ``lb``/``ub`` must be followed by
+        :meth:`invalidate_bounds`.
+        """
+        if self._bounds_cache is None:
+            self._bounds_cache = [
+                (float(lo), None if np.isinf(hi) else float(hi))
+                for lo, hi in zip(self.lb, self.ub)
+            ]
+        return self._bounds_cache
+
+    def invalidate_bounds(self) -> None:
+        """Drop the :meth:`bounds_list` cache after mutating lb/ub."""
+        self._bounds_cache = None
+
+    def row_id(self, label: str) -> int:
+        """Row index of the constraint labelled ``label`` (KeyError if absent)."""
+        if self._row_map is None:
+            self._row_map = {lab: i for i, lab in enumerate(self.row_labels)}
+        return self._row_map[label]
+
+    def has_row(self, label: str) -> bool:
+        """True when a constraint row labelled ``label`` exists."""
+        if self._row_map is None:
+            self._row_map = {lab: i for i, lab in enumerate(self.row_labels)}
+        return label in self._row_map
 
     def with_bounds(self, lb: np.ndarray, ub: np.ndarray) -> "LPInstance":
         """Copy sharing matrices but with different box bounds (B&B, LPRR)."""
@@ -89,6 +117,7 @@ class _COOBuilder:
         self.vals: list[float] = []
         self.rhs: list[float] = []
         self.labels: list[str] = []
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
 
     def new_row(self, rhs: float, label: str) -> int:
         self.rhs.append(float(rhs))
@@ -100,9 +129,35 @@ class _COOBuilder:
         self.cols.append(col)
         self.vals.append(float(value))
 
+    def set_many(self, rows, cols, vals) -> None:
+        """Batch variant of :meth:`set` backed by NumPy arrays.
+
+        ``vals`` may be a scalar (broadcast over all entries). One call
+        appends a whole block of triplets without a Python-level loop.
+        """
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        if rows.shape != cols.shape:
+            raise ValueError(
+                f"rows/cols length mismatch: {rows.shape} vs {cols.shape}"
+            )
+        vals = np.broadcast_to(
+            np.asarray(vals, dtype=float), rows.shape
+        ).copy()
+        if rows.size:
+            self._chunks.append((rows, cols, vals))
+
     def to_csr(self, n_vars: int) -> tuple[sp.csr_matrix, np.ndarray]:
+        rows = [np.asarray(self.rows, dtype=np.int64)]
+        cols = [np.asarray(self.cols, dtype=np.int64)]
+        vals = [np.asarray(self.vals, dtype=float)]
+        for r, c, v in self._chunks:
+            rows.append(r)
+            cols.append(c)
+            vals.append(v)
         matrix = sp.coo_matrix(
-            (self.vals, (self.rows, self.cols)), shape=(len(self.rhs), n_vars)
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(len(self.rhs), n_vars),
         ).tocsr()
         return matrix, np.asarray(self.rhs, dtype=float)
 
@@ -151,12 +206,16 @@ def build_lp(
     g = platform.local_capacities
     local_rows = [builder.new_row(g[k], f"local[{k}]") for k in range(K)]
 
-    for (k, l) in index.alpha_pairs:
-        col = index.alpha(k, l)
-        builder.set(compute_rows[l], col, 1.0)
-        if k != l:
-            builder.set(local_rows[k], col, 1.0)
-            builder.set(local_rows[l], col, 1.0)
+    # alpha[k, l] occupies flat position i of alpha_pairs; the (7b)/(7c)
+    # coefficient blocks go in as three fancy-indexed batches.
+    alpha_pair_arr = np.asarray(index.alpha_pairs, dtype=np.int64).reshape(-1, 2)
+    alpha_cols = np.arange(index.n_alpha, dtype=np.int64)
+    compute_row_of = np.asarray(compute_rows, dtype=np.int64)
+    local_row_of = np.asarray(local_rows, dtype=np.int64)
+    builder.set_many(compute_row_of[alpha_pair_arr[:, 1]], alpha_cols, 1.0)
+    remote = alpha_pair_arr[:, 0] != alpha_pair_arr[:, 1]
+    builder.set_many(local_row_of[alpha_pair_arr[remote, 0]], alpha_cols[remote], 1.0)
+    builder.set_many(local_row_of[alpha_pair_arr[remote, 1]], alpha_cols[remote], 1.0)
 
     # (7d) connection counts per backbone link
     for name in sorted(platform.links):
@@ -183,17 +242,15 @@ def build_lp(
                 continue
             row = builder.new_row(payoffs[k] * base_throughputs[k], f"maxmin[{k}]")
             builder.set(row, index.t_index, 1.0)
-            for l in range(K):
-                if index.has_alpha(k, l):
-                    builder.set(row, index.alpha(k, l), -payoffs[k])
+            mine = alpha_cols[alpha_pair_arr[:, 0] == k]
+            builder.set_many(np.full(mine.size, row, dtype=np.int64), mine, -payoffs[k])
 
     A_ub, b_ub = builder.to_csr(n)
 
     # objective (maximisation sense)
     obj = np.zeros(n, dtype=float)
     if obj_fn.name == "sum":
-        for (k, l) in index.alpha_pairs:
-            obj[index.alpha(k, l)] = payoffs[k]
+        obj[alpha_cols] = payoffs[alpha_pair_arr[:, 0]]
     else:
         obj[index.t_index] = 1.0
 

@@ -1,0 +1,424 @@
+"""Warm-started LP re-solve sessions for the K^2 heuristic hot path.
+
+The paper's cost/quality spectrum (Figure 7) is dominated by LP-solve
+count: LPRR pays ~K(K-1) solves per instance, iterated LPRG one solve
+per round, branch-and-bound one per node — and consecutive LPs in all
+three differ only in box bounds and right-hand sides. An
+:class:`LPSession` owns one :class:`~repro.lp.builder.LPInstance` and
+exploits exactly that structure:
+
+* **in-place mutation** — ``solve(lb=..., ub=..., b_ub=...)`` writes the
+  new data into the owned instance (no ``with_bounds`` copy, no
+  ``build_lp`` re-assembly);
+* **presolve** — variables fixed by ``lb == ub`` (every beta an LPRR
+  iteration pins, permanently) are eliminated from the program, their
+  contribution folded into the RHS, and rows that became empty or can
+  never bind within the remaining box (e.g. connection-count rows once
+  all their betas are fixed) are dropped;
+* **warm start** — the optimal basis of the previous solve is carried
+  across calls (through the presolve's changing variable/row sets, via
+  original-coordinate keys) and seeds
+  :func:`repro.lp.simplex.simplex_solve`, which skips phase 1 whenever
+  the carried basis is still primal-feasible.
+
+``LPSession(instance, warm_start=False)`` is the escape hatch /
+reference: every solve then runs the *full* program cold (no presolve,
+no basis reuse) through the same bundled simplex, so warm-vs-cold output
+can be compared bitwise. HiGHS (:func:`repro.lp.scipy_backend.
+solve_lp_scipy`) stays the independent cross-check — the test-suite
+verifies session objective values against fresh cold HiGHS solves — and
+serves as the in-session fallback if the dense simplex ever hits its
+iteration limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.lp.builder import LPInstance
+from repro.lp.scipy_backend import solve_lp_scipy
+from repro.lp.simplex import simplex_solve
+from repro.lp.solution import LPSolution
+from repro.util.errors import InfeasibleError, UnboundedError
+
+#: slack when deciding a fully-eliminated row is violated by fixed values
+_ROW_FEAS_TOL = 1e-7
+#: slack when a row's maximum activity proves it can never bind
+_REDUNDANT_TOL = 1e-9
+
+#: sentinel distinguishing "use the session's carried basis" from an
+#: explicit None (= force a cold start for this call)
+_AUTO = object()
+
+#: largest ``n_vars + n_rows`` for which the dense-tableau session beats
+#: a cold HiGHS call per solve (measured on the reference LPRR sweep:
+#: ~1.8x faster at K=6, break-even near K=8, slower beyond)
+AUTO_SIZE_LIMIT = 200
+
+
+def prefer_session(instance: LPInstance) -> bool:
+    """Should the ``lp_backend="auto"`` policy re-solve via a session?
+
+    The warm-started dense simplex wins while the tableau stays small;
+    past :data:`AUTO_SIZE_LIMIT` the O(m*n)-per-pivot dense updates lose
+    to a cold HiGHS call and the heuristics fall back to the legacy
+    rebuild-per-solve path.
+    """
+    return instance.n_vars + instance.n_rows <= AUTO_SIZE_LIMIT
+
+
+def resolve_lp_backend(instance: LPInstance, lp_backend: str) -> str:
+    """Validate an ``lp_backend`` knob and resolve ``"auto"`` for ``instance``.
+
+    Returns ``"session"`` or ``"scipy"``; raises ``ValueError`` on
+    anything else. Shared by every session-consuming heuristic so the
+    auto policy lives in exactly one place.
+    """
+    if lp_backend not in ("auto", "session", "scipy"):
+        raise ValueError(
+            f"lp_backend must be 'auto', 'session' or 'scipy', got {lp_backend!r}"
+        )
+    if lp_backend == "auto":
+        return "session" if prefer_session(instance) else "scipy"
+    return lp_backend
+
+
+@dataclass
+class SessionStats:
+    """Counters accumulated across the lifetime of one :class:`LPSession`.
+
+    ``iterations`` is the total simplex pivot count — the currency of
+    the warm-start benchmark. ``n_warm`` counts solves whose carried
+    basis was accepted (phase 1 skipped); ``n_fallback`` counts HiGHS
+    rescues after an iteration-limited simplex run.
+    """
+
+    n_solves: int = 0
+    n_warm: int = 0
+    n_cold: int = 0
+    n_fallback: int = 0
+    iterations: int = 0
+    vars_eliminated: int = 0
+    rows_dropped: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class Basis:
+    """Opaque optimal-basis token, keyed in original-instance coordinates.
+
+    Each key is ``('x', var)`` (structural variable), ``('r', row)``
+    (slack of an ``A_ub`` row) or ``('u', var)`` (slack of the implicit
+    upper-bound row of ``var``), so the token survives presolve reducing
+    the program to different variable/row subsets between solves.
+    """
+
+    __slots__ = ("keys",)
+
+    def __init__(self, keys):
+        self.keys = tuple(keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Basis({len(self.keys)} basic columns)"
+
+
+class LPSession:
+    """Persistent re-solve layer over one :class:`LPInstance`.
+
+    The session *owns* the instance: ``solve`` mutates its ``lb``,
+    ``ub`` and ``b_ub`` arrays in place. Callers that need the original
+    bounds afterwards should pass a ``with_bounds`` copy.
+
+    Parameters
+    ----------
+    instance:
+        The program-(7) instance to re-solve.
+    warm_start:
+        ``False`` turns the session into the cold reference: every call
+        solves the full program from scratch (identical arithmetic to
+        the warm path's ``cold=True`` calls, enabling bitwise checks).
+    max_iter:
+        Pivot budget per simplex call; exhausting it triggers one cold
+        HiGHS fallback solve instead of failing.
+    """
+
+    def __init__(
+        self,
+        instance: LPInstance,
+        warm_start: bool = True,
+        max_iter: int = 100_000,
+    ):
+        self.instance = instance
+        self.warm_start = bool(warm_start)
+        self.max_iter = int(max_iter)
+        self.stats = SessionStats()
+        self._A = np.asarray(instance.A_ub.toarray(), dtype=float)
+        self._basis: "Basis | None" = None
+
+    # ------------------------------------------------------------------
+    @property
+    def last_basis(self) -> "Basis | None":
+        """Basis token of the most recent successful solve (or None)."""
+        return self._basis
+
+    def fix_variable(self, var: int, value: float) -> None:
+        """Pin ``x[var] = value`` for all subsequent solves."""
+        inst = self.instance
+        inst.lb[var] = inst.ub[var] = float(value)
+        inst.invalidate_bounds()
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        lb: "np.ndarray | None" = None,
+        ub: "np.ndarray | None" = None,
+        b_ub: "np.ndarray | None" = None,
+        warm_basis=_AUTO,
+        cold: bool = False,
+    ) -> LPSolution:
+        """Re-solve the owned instance after an in-place data update.
+
+        Parameters
+        ----------
+        lb, ub, b_ub:
+            Optional replacement arrays, copied into the instance in
+            place (omitted blocks keep their current values).
+        warm_basis:
+            Basis token to warm-start from; defaults to the previous
+            solve's basis. Pass an explicit token to re-solve from a
+            different parent (branch-and-bound), or ``None`` to start
+            cold once while keeping the session warm.
+        cold:
+            Force this call through the full-program cold-reference
+            path (used for final solves that must be bitwise-comparable
+            against a ``warm_start=False`` session).
+
+        Raises
+        ------
+        InfeasibleError / UnboundedError
+            Mirroring :func:`repro.lp.scipy_backend.solve_lp_scipy`.
+        """
+        inst = self.instance
+        if lb is not None:
+            np.copyto(inst.lb, lb)
+        if ub is not None:
+            np.copyto(inst.ub, ub)
+        if lb is not None or ub is not None:
+            inst.invalidate_bounds()
+        if b_ub is not None:
+            np.copyto(inst.b_ub, b_ub)
+
+        self.stats.n_solves += 1
+        if cold or not self.warm_start:
+            return self._solve_cold_reference()
+        basis = self._basis if warm_basis is _AUTO else warm_basis
+        return self._solve_reduced(basis)
+
+    # ------------------------------------------------------------------
+    def _solve_cold_reference(self) -> LPSolution:
+        """Full program, no presolve, no basis: the bitwise reference."""
+        inst = self.instance
+        self._basis = None
+        res = simplex_solve(
+            inst.obj,
+            self._A,
+            inst.b_ub,
+            (inst.lb, inst.ub),
+            max_iter=self.max_iter,
+        )
+        self.stats.iterations += res.iterations
+        self.stats.n_cold += 1
+        if res.status == "infeasible":
+            raise InfeasibleError("LP infeasible (cold simplex)")
+        if res.status == "unbounded":
+            raise UnboundedError("LP unbounded (cold simplex)")
+        if res.status != "optimal" or res.x is None:
+            return self._fallback_scipy()
+        return LPSolution(
+            x=np.asarray(res.x, dtype=float),
+            value=float(res.value),
+            index=inst.index,
+        )
+
+    def _fallback_scipy(self) -> LPSolution:
+        """Cold HiGHS rescue after a numerically stuck simplex run."""
+        self.stats.n_fallback += 1
+        self._basis = None
+        return solve_lp_scipy(self.instance)
+
+    # ------------------------------------------------------------------
+    def _solve_reduced(self, warm_basis: "Basis | None") -> LPSolution:
+        inst = self.instance
+        lb, ub, b, obj = inst.lb, inst.ub, inst.b_ub, inst.obj
+        n = obj.shape[0]
+
+        fixed = lb == ub
+        fix = np.nonzero(fixed)[0]
+        act = np.nonzero(~fixed)[0]
+        A = self._A
+        if fix.size:
+            b_eff = b - A[:, fix] @ lb[fix]
+        else:
+            b_eff = b.astype(float, copy=True)
+
+        A_act = A[:, act]
+        keep = self._presolve_rows(A_act, b_eff, lb[act], ub[act])
+        keep_rows = np.nonzero(keep)[0]
+        self.stats.vars_eliminated += int(fix.size)
+        self.stats.rows_dropped += int(b.shape[0] - keep_rows.size)
+
+        offset = float(obj[fix] @ lb[fix]) if fix.size else 0.0
+        if act.size == 0:
+            # Everything pinned: row feasibility was already verified.
+            x = lb.astype(float, copy=True)
+            self._basis = None
+            return LPSolution(x=x, value=float(obj @ x), index=inst.index)
+
+        lb_red = lb[act]
+        ub_red = ub[act]
+        finite_mask = np.isfinite(ub_red)
+        ub_vars = act[finite_mask]  # simplex appends ub rows in this order
+        m_struct = int(keep_rows.size)
+        n_red = int(act.size)
+
+        init = None
+        if warm_basis is not None:
+            init = self._map_basis(warm_basis, act, keep_rows, ub_vars)
+
+        res = simplex_solve(
+            obj[act],
+            A_act[keep_rows],
+            b_eff[keep_rows],
+            (lb_red, ub_red),
+            max_iter=self.max_iter,
+            initial_basis=init,
+        )
+        self.stats.iterations += res.iterations
+        if res.warm_started:
+            self.stats.n_warm += 1
+        else:
+            self.stats.n_cold += 1
+        if res.status == "infeasible":
+            self._basis = None
+            raise InfeasibleError("LP infeasible (presolved simplex)")
+        if res.status == "unbounded":
+            self._basis = None
+            raise UnboundedError("LP unbounded (presolved simplex)")
+        if res.status != "optimal" or res.x is None:
+            return self._fallback_scipy()
+
+        self._basis = self._basis_of(res.basis, act, keep_rows, ub_vars, n_red, m_struct)
+        x = np.empty(n, dtype=float)
+        x[act] = res.x
+        x[fix] = lb[fix]
+        return LPSolution(
+            x=x, value=float(res.value + offset), index=inst.index
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _presolve_rows(
+        A_act: np.ndarray,
+        b_eff: np.ndarray,
+        lb_act: np.ndarray,
+        ub_act: np.ndarray,
+    ) -> np.ndarray:
+        """Boolean keep-mask over rows; raises on fixed-value violation.
+
+        Drops rows with no remaining variables and rows whose maximum
+        activity over the current box (``sum_{a>0} a*ub + sum_{a<0}
+        a*lb``) already satisfies the RHS — connection-count rows become
+        such trivially-slack rows as LPRR pins their betas.
+        """
+        nz = A_act != 0.0
+        empty = ~nz.any(axis=1)
+        if np.any(b_eff[empty] < -_ROW_FEAS_TOL):
+            raise InfeasibleError(
+                "fixed variables violate an eliminated constraint row"
+            )
+        pos = np.where(A_act > 0.0, A_act, 0.0)
+        neg = np.where(A_act < 0.0, A_act, 0.0)
+        finite = np.isfinite(ub_act)
+        max_act = pos[:, finite] @ ub_act[finite] + neg @ lb_act
+        open_above = (pos[:, ~finite] > 0.0).any(axis=1)
+        redundant = ~open_above & (max_act <= b_eff + _REDUNDANT_TOL)
+        return ~(redundant | empty)
+
+    @staticmethod
+    def _map_basis(
+        basis: Basis,
+        act: np.ndarray,
+        keep_rows: np.ndarray,
+        ub_vars: np.ndarray,
+    ) -> "np.ndarray | None":
+        """Project a carried basis onto the current reduced program.
+
+        Keys whose variable/row vanished (fixed out, row dropped) are
+        discarded; the basis is topped back up to full rank with unused
+        slack columns. Feasibility of the result is *not* checked here —
+        the simplex validates it and falls back to phase 1 if needed.
+        """
+        n_red = int(act.size)
+        m_red = int(keep_rows.size + ub_vars.size)
+        col_of_var = {int(v): i for i, v in enumerate(act)}
+        slack_of_row = {int(r): n_red + i for i, r in enumerate(keep_rows)}
+        slack_of_ub = {
+            int(v): n_red + keep_rows.size + i for i, v in enumerate(ub_vars)
+        }
+        cols: list[int] = []
+        used: set[int] = set()
+        for kind, ident in basis.keys:
+            if kind == "x":
+                c = col_of_var.get(ident)
+            elif kind == "r":
+                c = slack_of_row.get(ident)
+            else:  # "u"
+                c = slack_of_ub.get(ident)
+            if c is not None and c not in used:
+                used.add(c)
+                cols.append(c)
+        for s in range(m_red):
+            if len(cols) == m_red:
+                break
+            c = n_red + s
+            if c not in used:
+                used.add(c)
+                cols.append(c)
+        if len(cols) != m_red:
+            return None
+        return np.asarray(cols, dtype=int)
+
+    @staticmethod
+    def _basis_of(
+        basis: "np.ndarray | None",
+        act: np.ndarray,
+        keep_rows: np.ndarray,
+        ub_vars: np.ndarray,
+        n_red: int,
+        m_struct: int,
+    ) -> "Basis | None":
+        """Translate a reduced-coordinate basis into original keys."""
+        if basis is None:
+            return None
+        keys = []
+        for i, col in enumerate(basis):
+            col = int(col)
+            if col < n_red:
+                keys.append(("x", int(act[col])))
+            elif col < n_red + m_struct + ub_vars.size:
+                s = col - n_red
+                if s < m_struct:
+                    keys.append(("r", int(keep_rows[s])))
+                else:
+                    keys.append(("u", int(ub_vars[s - m_struct])))
+            else:
+                # A degenerate artificial survived phase 1 in row i;
+                # carry that row's own slack instead.
+                if i < m_struct:
+                    keys.append(("r", int(keep_rows[i])))
+                else:
+                    keys.append(("u", int(ub_vars[i - m_struct])))
+        return Basis(keys)

@@ -17,6 +17,13 @@ It is deliberately simple and dense — O(m·n) per pivot — which is fine
 for the moderate instances used in tests and the ablation benchmark.
 The HiGHS backend remains the production path; the test-suite
 cross-checks the two on random LPs and on real program-(7) instances.
+
+Warm starts (:class:`repro.lp.session.LPSession`): ``simplex_solve``
+accepts an ``initial_basis`` — the ``basis`` array of a previous
+:class:`SimplexResult` on a nearby LP. When the carried basis is still
+nonsingular and primal-feasible for the new data, phase 1 is skipped
+entirely and phase 2 starts from it; otherwise the solver silently
+falls back to the cold two-phase start.
 """
 
 from __future__ import annotations
@@ -30,6 +37,8 @@ from repro.util.errors import SolverError
 
 #: numerical tolerance for reduced costs / pivot eligibility
 _EPS = 1e-9
+#: primal-feasibility slack when validating a carried (warm-start) basis
+_WARM_FEAS_TOL = 1e-7
 
 
 @dataclass
@@ -39,12 +48,22 @@ class SimplexResult:
     ``status`` is one of ``"optimal"``, ``"infeasible"``, ``"unbounded"``
     or ``"iteration_limit"``; ``x`` and ``value`` are meaningful only
     when optimal.
+
+    ``basis`` holds the final basic column per tableau row (rows are the
+    input inequality rows followed by one row per finite upper bound, in
+    increasing variable order; columns ``[0, n)`` are structural,
+    ``[n, n + m)`` the per-row slacks). Feed it back as
+    ``initial_basis`` to warm-start a re-solve of a nearby LP.
+    ``warm_started`` records whether the carried basis was actually
+    usable (nonsingular and primal-feasible) for this solve.
     """
 
     status: str
     x: "np.ndarray | None" = None
     value: float = float("nan")
     iterations: int = 0
+    basis: "np.ndarray | None" = None
+    warm_started: bool = False
 
     @property
     def ok(self) -> bool:
@@ -93,12 +112,50 @@ def _run_phase(
     return "iteration_limit", max_iter
 
 
+def _warm_tableau(
+    A: np.ndarray, b: np.ndarray, initial_basis: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray] | None":
+    """Build a phase-2-ready tableau from a carried basis, or ``None``.
+
+    The basis is rejected (cold fallback) when it has the wrong shape,
+    references unknown columns, is singular/ill-conditioned, or is not
+    primal-feasible for the new ``(A, b)``. Columns follow the +slack
+    convention: ``A_ext = [A | I]``.
+    """
+    m, n = A.shape
+    basis = np.asarray(initial_basis, dtype=int).ravel()
+    if basis.shape != (m,) or np.unique(basis).size != m:
+        return None
+    if m and (basis.min() < 0 or basis.max() >= n + m):
+        return None
+    A_ext = np.hstack([A, np.eye(m)])
+    B = A_ext[:, basis]
+    try:
+        sol = np.linalg.solve(B, np.column_stack([A_ext, b]))
+    except np.linalg.LinAlgError:
+        return None
+    if not np.all(np.isfinite(sol)):
+        return None
+    rhs = sol[:, -1]
+    if np.any(rhs < -_WARM_FEAS_TOL):
+        return None
+    # Ill-conditioned factorisations can "solve" with a huge residual;
+    # only a basis that actually reproduces b is trusted.
+    if m and not np.allclose(B @ rhs, b, rtol=1e-7, atol=1e-7):
+        return None
+    T = np.zeros((m + 1, n + m + 1))
+    T[:m, :-1] = sol[:, :-1]
+    T[:m, -1] = np.maximum(rhs, 0.0)
+    return T, basis.copy()
+
+
 def simplex_solve(
     c: Sequence[float],
     A_ub: "np.ndarray | Sequence[Sequence[float]]",
     b_ub: Sequence[float],
-    bounds: "Sequence[tuple[float, float]] | None" = None,
+    bounds: "Sequence[tuple[float, float]] | tuple[np.ndarray, np.ndarray] | None" = None,
     max_iter: int = 100_000,
+    initial_basis: "np.ndarray | None" = None,
 ) -> SimplexResult:
     """Maximise ``c @ x`` subject to ``A_ub @ x <= b_ub`` and box bounds.
 
@@ -106,8 +163,14 @@ def simplex_solve(
     ----------
     bounds:
         Per-variable ``(lb, ub)``; ``None`` means ``(0, inf)`` for all.
-        Lower bounds must be finite (they are shifted to zero); infinite
-        upper bounds are free of charge, finite ones add a row each.
+        A pair of ndarrays ``(lb, ub)`` is accepted directly (the hot
+        re-solve path avoids building a Python list of tuples). Lower
+        bounds must be finite (they are shifted to zero); infinite upper
+        bounds are free of charge, finite ones add a row each.
+    initial_basis:
+        ``basis`` array of a previous :class:`SimplexResult` on a nearby
+        LP. If still primal-feasible it seeds phase 2 directly (phase 1
+        is skipped); otherwise the cold two-phase path runs as usual.
     """
     c = np.asarray(c, dtype=float)
     A = np.asarray(A_ub, dtype=float)
@@ -123,6 +186,13 @@ def simplex_solve(
     if bounds is None:
         lb = np.zeros(n)
         ub = np.full(n, np.inf)
+    elif (
+        isinstance(bounds, tuple)
+        and len(bounds) == 2
+        and isinstance(bounds[0], np.ndarray)
+    ):
+        lb = np.asarray(bounds[0], dtype=float)
+        ub = np.asarray(bounds[1], dtype=float)
     else:
         lb = np.array([bo[0] for bo in bounds], dtype=float)
         ub = np.array(
@@ -133,78 +203,86 @@ def simplex_solve(
     if np.any(ub < lb - _EPS):
         return SimplexResult(status="infeasible")
 
-    # Shift x = lb + y with y >= 0; append rows y_i <= ub_i - lb_i.
+    # Shift x = lb + y with y >= 0; append rows y_i <= ub_i - lb_i
+    # (one fancy-indexed block, not a per-variable Python loop).
     shift = lb
     b_shifted = b - A @ shift
-    extra_rows = []
-    extra_rhs = []
-    for i in range(n):
-        if np.isfinite(ub[i]):
-            row = np.zeros(n)
-            row[i] = 1.0
-            extra_rows.append(row)
-            extra_rhs.append(ub[i] - lb[i])
-    if extra_rows:
-        A = np.vstack([A, np.array(extra_rows)])
-        b_shifted = np.concatenate([b_shifted, np.array(extra_rhs)])
+    finite_ub = np.nonzero(np.isfinite(ub))[0]
+    if finite_ub.size:
+        extra = np.zeros((finite_ub.size, n))
+        extra[np.arange(finite_ub.size), finite_ub] = 1.0
+        A = np.vstack([A, extra])
+        b_shifted = np.concatenate([b_shifted, ub[finite_ub] - lb[finite_ub]])
 
     m = A.shape[0]
-
-    # Normalise rows so every RHS is >= 0; negative rows get artificials.
-    signs = np.where(b_shifted < 0, -1.0, 1.0)
-    A_norm = A * signs[:, None]
-    b_norm = b_shifted * signs
-    needs_artificial = signs < 0
-
-    n_art = int(np.count_nonzero(needs_artificial))
-    n_cols = n + m + n_art  # structural + slack/surplus + artificial
-    T = np.zeros((m + 1, n_cols + 1))
-    T[:m, :n] = A_norm
-    T[:m, -1] = b_norm
-    basis = np.empty(m, dtype=int)
-    art_cols: list[int] = []
-    next_art = n + m
-    for i in range(m):
-        T[i, n + i] = signs[i]  # slack (+1) or surplus (-1)
-        if needs_artificial[i]:
-            T[i, next_art] = 1.0
-            basis[i] = next_art
-            art_cols.append(next_art)
-            next_art += 1
-        else:
-            basis[i] = n + i
-
     iterations = 0
-    if art_cols:
-        # Phase 1: maximise -(sum of artificials); start from the basic
-        # representation (objective row = sum of artificial rows).
-        T[-1, :] = 0.0
-        for col in art_cols:
-            T[-1, col] = -1.0
+    warm = False
+    T: "np.ndarray | None" = None
+    basis: "np.ndarray | None" = None
+    art_cols: list[int] = []
+
+    if initial_basis is not None and m > 0:
+        built = _warm_tableau(A, b_shifted, initial_basis)
+        if built is not None:
+            T, basis = built
+            warm = True
+
+    if T is None:
+        # Cold start: normalise rows so every RHS is >= 0; negative rows
+        # get artificials and phase 1 drives them out.
+        signs = np.where(b_shifted < 0, -1.0, 1.0)
+        A_norm = A * signs[:, None]
+        b_norm = b_shifted * signs
+        needs_artificial = signs < 0
+
+        n_art = int(np.count_nonzero(needs_artificial))
+        n_cols = n + m + n_art  # structural + slack/surplus + artificial
+        T = np.zeros((m + 1, n_cols + 1))
+        T[:m, :n] = A_norm
+        T[:m, -1] = b_norm
+        basis = np.empty(m, dtype=int)
+        next_art = n + m
         for i in range(m):
-            if basis[i] in art_cols:
-                T[-1, :] += T[i, :]
-        allowed = np.ones(n_cols, dtype=bool)
-        status, its = _run_phase(T, basis, allowed, max_iter)
-        iterations += its
-        if status != "optimal":
-            return SimplexResult(status=status, iterations=iterations)
-        if T[-1, -1] > 1e-7:
-            return SimplexResult(status="infeasible", iterations=iterations)
-        # Drive any degenerate artificial out of the basis.
-        art_set = set(art_cols)
-        for i in range(m):
-            if basis[i] in art_set:
-                pivot_candidates = np.nonzero(
-                    np.abs(T[i, : n + m]) > _EPS
-                )[0]
-                if pivot_candidates.size:
-                    _pivot(T, basis, i, int(pivot_candidates[0]))
-                # else: redundant row, artificial stays basic at value 0.
+            T[i, n + i] = signs[i]  # slack (+1) or surplus (-1)
+            if needs_artificial[i]:
+                T[i, next_art] = 1.0
+                basis[i] = next_art
+                art_cols.append(next_art)
+                next_art += 1
+            else:
+                basis[i] = n + i
+
+        if art_cols:
+            # Phase 1: maximise -(sum of artificials); start from the basic
+            # representation (objective row = sum of artificial rows).
+            T[-1, :] = 0.0
+            for col in art_cols:
+                T[-1, col] = -1.0
+            for i in range(m):
+                if basis[i] in art_cols:
+                    T[-1, :] += T[i, :]
+            allowed = np.ones(n_cols, dtype=bool)
+            status, its = _run_phase(T, basis, allowed, max_iter)
+            iterations += its
+            if status != "optimal":
+                return SimplexResult(status=status, iterations=iterations)
+            if T[-1, -1] > 1e-7:
+                return SimplexResult(status="infeasible", iterations=iterations)
+            # Drive any degenerate artificial out of the basis.
+            art_set = set(art_cols)
+            for i in range(m):
+                if basis[i] in art_set:
+                    pivot_candidates = np.nonzero(
+                        np.abs(T[i, : n + m]) > _EPS
+                    )[0]
+                    if pivot_candidates.size:
+                        _pivot(T, basis, i, int(pivot_candidates[0]))
+                    # else: redundant row, artificial stays basic at value 0.
 
     # Phase 2: real objective. Rebuild the reduced-cost row for the
     # current basis: rc = c_ext - c_B @ B^{-1} A (tableau already holds
     # B^{-1}A, so price out basic columns).
+    n_cols = T.shape[1] - 1
     c_ext = np.zeros(n_cols)
     c_ext[:n] = c
     T[-1, :-1] = c_ext
@@ -228,5 +306,10 @@ def simplex_solve(
     # The tableau's objective cell tracks -(objective) relative to the
     # running eliminations; recompute the true value from x for clarity.
     return SimplexResult(
-        status="optimal", x=x, value=float(c @ x), iterations=iterations
+        status="optimal",
+        x=x,
+        value=float(c @ x),
+        iterations=iterations,
+        basis=basis.copy(),
+        warm_started=warm,
     )

@@ -1,0 +1,386 @@
+"""Tests for the warm-started LP re-solve subsystem (repro.lp.session).
+
+The contract under test: an :class:`LPSession` — in-place mutation,
+fixed-variable presolve, basis carry — must agree with a *fresh*
+``build_lp`` + cold HiGHS solve at every step of a re-solve sequence,
+for both objectives, and the heuristics riding on it must keep their
+published invariants (validity, LP-bound domination, and for LPRR
+bitwise warm/cold allocation identity on pinned seeds).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SteadyStateProblem, solve
+from repro.heuristics.base import registry
+from repro.lp.builder import _COOBuilder, build_lp
+from repro.lp.scipy_backend import solve_lp_scipy
+from repro.lp.session import AUTO_SIZE_LIMIT, LPSession, prefer_session
+from repro.lp.simplex import simplex_solve
+from repro.util.errors import InfeasibleError
+
+from tests.strategies import problems
+
+
+def _floor_fix(value: float) -> float:
+    """A fixing value that keeps the LP feasible (round down, snapped)."""
+    return float(max(0.0, np.floor(value + 1e-9)))
+
+
+class TestSimplexWarmStart:
+    def test_reuse_own_basis_is_free(self):
+        c = [3, 5]
+        A = [[1, 0], [0, 2], [3, 2]]
+        b = [4, 12, 18]
+        cold = simplex_solve(c, A, b)
+        assert cold.ok and cold.basis is not None
+        warm = simplex_solve(c, A, b, initial_basis=cold.basis)
+        assert warm.ok and warm.warm_started
+        assert warm.iterations == 0  # already optimal
+        assert warm.value == pytest.approx(cold.value)
+        assert warm.x == pytest.approx(cold.x)
+
+    def test_warm_start_after_rhs_change(self):
+        c = [3, 5]
+        A = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]])
+        cold = simplex_solve(c, A, [4, 12, 18])
+        warm = simplex_solve(c, A, [4, 12, 17], initial_basis=cold.basis)
+        ref = simplex_solve(c, A, [4, 12, 17])
+        assert warm.ok
+        assert warm.value == pytest.approx(ref.value)
+        assert warm.iterations <= ref.iterations
+
+    def test_invalid_basis_falls_back_cold(self):
+        c = [3, 5]
+        A = [[1, 0], [0, 2], [3, 2]]
+        b = [4, 12, 18]
+        ref = simplex_solve(c, A, b)
+        for bogus in ([0, 1], [0, 0, 1], [0, 1, 99]):
+            res = simplex_solve(c, A, b, initial_basis=np.array(bogus))
+            assert res.ok and not res.warm_started
+            assert res.value == pytest.approx(ref.value)
+
+    def test_infeasible_carried_basis_falls_back(self):
+        c = [1.0]
+        A = np.array([[1.0]])
+        cold = simplex_solve(c, A, [5.0])  # x = 5, x basic
+        # Tighten the row so the carried basis (x basic at 2) stays
+        # feasible, then flip the row sign so it cannot be.
+        warm = simplex_solve(c, np.array([[-1.0]]), [-2.0], bounds=[(0, 4)],
+                             initial_basis=cold.basis)
+        assert warm.ok
+        assert warm.x[0] == pytest.approx(4.0)
+
+    def test_bounds_as_array_pair(self):
+        c = [1, 1]
+        A = [[1, 1]]
+        b = [100]
+        lst = simplex_solve(c, A, b, bounds=[(0, 3), (0, 4)])
+        arr = simplex_solve(
+            c, A, b, bounds=(np.zeros(2), np.array([3.0, 4.0]))
+        )
+        assert lst.ok and arr.ok
+        assert arr.value == pytest.approx(lst.value) == pytest.approx(7.0)
+
+
+class TestSessionMatchesColdHiGHS:
+    """LPSession vs fresh build_lp + solve_lp_scipy, across objectives."""
+
+    @pytest.mark.parametrize("objective", ["maxmin", "sum"])
+    def test_first_solve_matches(self, problem_factory, objective):
+        for seed in range(3):
+            problem = problem_factory(seed=seed, n_clusters=5, objective=objective)
+            session = LPSession(build_lp(problem))
+            got = session.solve()
+            ref = solve_lp_scipy(build_lp(problem))
+            assert got.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+
+    @pytest.mark.parametrize("objective", ["maxmin", "sum"])
+    def test_fixing_sequence_matches(self, problem_factory, objective):
+        """Drive an LPRR-like fixing sequence; every re-solve must agree
+        with a cold HiGHS solve of an equivalently-bounded fresh LP."""
+        problem = problem_factory(seed=2, n_clusters=5, objective=objective)
+        instance = build_lp(problem)
+        session = LPSession(build_lp(problem))
+        n_alpha, n_beta = instance.index.n_alpha, instance.index.n_beta
+        solution = session.solve()
+        for i in range(n_beta):
+            var = n_alpha + i
+            session.fix_variable(var, _floor_fix(solution.x[var]))
+            solution = session.solve()
+            ref_inst = build_lp(problem)
+            np.copyto(ref_inst.lb, session.instance.lb)
+            np.copyto(ref_inst.ub, session.instance.ub)
+            ref = solve_lp_scipy(ref_inst)
+            assert solution.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+        assert session.stats.n_warm > 0  # the basis carry actually engaged
+
+    @given(problems(max_clusters=5), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15)
+    def test_random_fixing_property(self, problem, seed):
+        """Property: for random problems and random fix subsets, the
+        session agrees with fresh cold HiGHS solves."""
+        rng = np.random.default_rng(seed)
+        instance = build_lp(problem)
+        session = LPSession(build_lp(problem))
+        solution = session.solve()
+        ref = solve_lp_scipy(instance)
+        assert solution.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+        n_alpha, n_beta = instance.index.n_alpha, instance.index.n_beta
+        if n_beta == 0:
+            return
+        n_fix = int(rng.integers(1, n_beta + 1))
+        for i in rng.choice(n_beta, size=n_fix, replace=False):
+            var = n_alpha + int(i)
+            value = _floor_fix(solution.x[var])
+            session.fix_variable(var, value)
+            instance.lb[var] = instance.ub[var] = value
+            instance.invalidate_bounds()
+        got = session.solve()
+        ref = solve_lp_scipy(instance)
+        assert got.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+
+    def test_rhs_update_matches(self, problem_factory):
+        """The lprg-it pattern: shrink b_ub in place, re-solve warm."""
+        problem = problem_factory(seed=1, n_clusters=5)
+        instance = build_lp(problem)
+        session = LPSession(build_lp(problem))
+        session.solve()
+        shrunk = instance.b_ub * 0.7
+        got = session.solve(b_ub=shrunk)
+        ref_inst = build_lp(problem)
+        np.copyto(ref_inst.b_ub, shrunk)
+        ref = solve_lp_scipy(ref_inst)
+        assert got.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+
+
+class TestPresolve:
+    def test_fixed_vars_eliminated_and_restored(self, problem_factory):
+        """Round-trip: fixing every beta must shrink the solved program
+        but return a full-length x with the pinned values bit-exact."""
+        problem = problem_factory(seed=0, n_clusters=5)
+        instance = build_lp(problem)
+        session = LPSession(build_lp(problem))
+        solution = session.solve()
+        n_alpha, n_beta = instance.index.n_alpha, instance.index.n_beta
+        fixed_values = {}
+        for i in range(n_beta):
+            var = n_alpha + i
+            value = _floor_fix(solution.x[var])
+            session.fix_variable(var, value)
+            fixed_values[var] = value
+        got = session.solve()
+        assert got.x.shape == (instance.n_vars,)
+        assert session.stats.vars_eliminated >= n_beta
+        for var, value in fixed_values.items():
+            assert got.x[var] == value  # exact, not approximate
+        # Connection-count rows lose all their variables -> dropped.
+        assert session.stats.rows_dropped > 0
+        ref_inst = build_lp(problem)
+        np.copyto(ref_inst.lb, session.instance.lb)
+        np.copyto(ref_inst.ub, session.instance.ub)
+        assert got.value == pytest.approx(
+            solve_lp_scipy(ref_inst).value, rel=1e-6, abs=1e-6
+        )
+
+    def test_infeasible_fixing_detected(self, problem_factory):
+        """Pinning a beta above its route capacity must raise, exactly
+        like the cold HiGHS path does."""
+        problem = problem_factory(seed=0, n_clusters=5)
+        instance = build_lp(problem)
+        n_alpha = instance.index.n_alpha
+        bad = float(instance.ub[n_alpha]) + 5.0
+        session = LPSession(build_lp(problem))
+        session.instance.lb[n_alpha] = session.instance.ub[n_alpha] = bad
+        session.instance.invalidate_bounds()
+        with pytest.raises(InfeasibleError):
+            session.solve()
+
+    def test_fully_fixed_program(self):
+        """All variables pinned: the session must answer without a solver."""
+        from repro import star_platform
+
+        platform = star_platform(2, g=50.0, bw=10.0, max_connect=3)
+        problem = SteadyStateProblem(platform, [1.0, 1.0, 0.0], objective="sum")
+        session = LPSession(build_lp(problem))
+        inst = session.instance
+        inst.lb[:] = 0.0
+        inst.ub[:] = 0.0
+        inst.invalidate_bounds()
+        got = session.solve()
+        assert got.value == pytest.approx(0.0)
+        assert np.all(got.x == 0.0)
+
+
+class TestColdReferencePath:
+    def test_cold_session_is_deterministic(self, problem_factory):
+        problem = problem_factory(seed=3, n_clusters=4)
+        a = LPSession(build_lp(problem), warm_start=False).solve()
+        b = LPSession(build_lp(problem), warm_start=False).solve()
+        assert np.array_equal(a.x, b.x)
+        assert a.value == b.value
+
+    def test_warm_cold_call_matches_cold_session(self, problem_factory):
+        """solve(cold=True) on a warm session must be bitwise-identical
+        to a warm_start=False session (shared final-solve arithmetic)."""
+        problem = problem_factory(seed=3, n_clusters=4)
+        warm = LPSession(build_lp(problem))
+        cold = LPSession(build_lp(problem), warm_start=False)
+        warm.solve()  # prime a basis; must not leak into the cold call
+        a = warm.solve(cold=True)
+        b = cold.solve()
+        b2 = cold.solve()
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(b.x, b2.x)
+
+
+class TestHeuristicWarmColdEquivalence:
+    """Warm-vs-cold invariants of the rewired heuristics."""
+
+    @pytest.mark.parametrize("objective", ["maxmin", "sum"])
+    def test_lprr_bitwise_identical(self, problem_factory, objective):
+        """Pinned reference seeds: warm and cold LPRR must produce
+        bitwise-identical allocations (the bench asserts this sweep-wide)."""
+        for seed in range(3):
+            problem = problem_factory(seed=seed, n_clusters=5, objective=objective)
+            warm = solve(problem, "lprr", rng=seed, warm_start=True,
+                         lp_backend="session")
+            cold = solve(problem, "lprr", rng=seed, warm_start=False,
+                         lp_backend="session")
+            assert np.array_equal(warm.allocation.alpha, cold.allocation.alpha)
+            assert np.array_equal(warm.allocation.beta, cold.allocation.beta)
+            assert warm.value == cold.value
+
+    def test_lprr_scipy_escape_hatch(self, problem_factory):
+        problem = problem_factory(seed=1, n_clusters=5)
+        legacy = solve(problem, "lprr", rng=0, lp_backend="scipy")
+        assert problem.check(legacy.allocation).ok
+        assert "lp_stats" not in legacy.meta
+        assert legacy.meta["lp_backend"] == "scipy"
+
+    def test_lprr_warm_solves_fewer_iterations(self, problem_factory):
+        problem = problem_factory(seed=2, n_clusters=5)
+        warm = solve(problem, "lprr", rng=7, warm_start=True, lp_backend="session")
+        cold = solve(problem, "lprr", rng=7, warm_start=False, lp_backend="session")
+        assert warm.meta["lp_stats"]["iterations"] < cold.meta["lp_stats"]["iterations"]
+        assert warm.meta["lp_stats"]["n_warm"] > 0
+        assert cold.meta["lp_stats"]["n_warm"] == 0
+
+    @pytest.mark.parametrize("objective", ["maxmin", "sum"])
+    def test_lprg_it_incremental_vs_rebuild(self, problem_factory, objective):
+        """The incremental-update warm path must stay valid, LP-bounded,
+        and in the same quality band as the rebuild-per-round reference
+        (bitwise identity is not guaranteed: degenerate LPs admit
+        multiple optimal vertices and the two backends may round
+        different ones)."""
+        lp_bound = None
+        for seed in range(3):
+            problem = problem_factory(seed=seed, n_clusters=5, objective=objective)
+            lp_bound = solve(problem, "lp").value
+            warm = solve(problem, "lprg-it", warm_start=True, lp_backend="session")
+            legacy = solve(problem, "lprg-it", lp_backend="scipy")
+            assert problem.check(warm.allocation).ok
+            assert warm.value <= lp_bound + 1e-6
+            assert legacy.value <= lp_bound + 1e-6
+            if legacy.value > 0:
+                assert warm.value >= 0.85 * legacy.value
+
+    def test_bnb_warm_matches_cold_and_milp(self, problem_factory):
+        for seed in (0, 8):
+            problem = problem_factory(seed=seed, n_clusters=4)
+            warm = solve(problem, "bnb", warm_start=True)
+            cold = solve(problem, "bnb", warm_start=False)
+            exact = solve(problem, "milp")
+            assert warm.value == pytest.approx(cold.value, rel=1e-5, abs=1e-5)
+            assert warm.value == pytest.approx(exact.value, rel=1e-5, abs=1e-5)
+
+    @pytest.mark.parametrize("objective", ["maxmin", "sum"])
+    def test_all_allocating_heuristics_stay_valid(self, problem_factory, objective):
+        """Every registered allocation-producing method keeps its
+        contract with the session subsystem in the loop."""
+        problem = problem_factory(seed=4, n_clusters=5, objective=objective)
+        lp_bound = solve(problem, "lp").value
+        for name in sorted(registry()):
+            if name == "lp":
+                continue
+            result = solve(problem, name, rng=0)
+            assert problem.check(result.allocation).ok, name
+            assert result.value <= lp_bound + 1e-5, name
+
+
+class TestAutoBackendPolicy:
+    def test_small_instances_prefer_session(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=4)
+        instance = build_lp(problem)
+        assert prefer_session(instance)
+        result = solve(problem, "lprr", rng=0)
+        assert result.meta["lp_backend"] == "session"
+
+    def test_large_instances_fall_back_to_scipy(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=12)
+        instance = build_lp(problem)
+        if instance.n_vars + instance.n_rows <= AUTO_SIZE_LIMIT:
+            pytest.skip("generated instance unexpectedly small")
+        result = solve(problem, "lprr", rng=0)
+        assert result.meta["lp_backend"] == "scipy"
+
+
+class TestBoundsListCache:
+    def test_cache_hit_and_invalidate(self, problem_factory):
+        instance = build_lp(problem_factory(seed=0, n_clusters=4))
+        first = instance.bounds_list()
+        assert instance.bounds_list() is first  # cached object
+        var = instance.index.n_alpha
+        instance.lb[var] = instance.ub[var] = 1.0
+        instance.invalidate_bounds()
+        fresh = instance.bounds_list()
+        assert fresh is not first
+        assert fresh[var] == (1.0, 1.0)
+
+    def test_with_bounds_does_not_share_cache(self, problem_factory):
+        instance = build_lp(problem_factory(seed=0, n_clusters=4))
+        instance.bounds_list()
+        clone = instance.with_bounds(instance.lb + 1.0, instance.ub)
+        assert clone.bounds_list()[0][0] == pytest.approx(
+            instance.bounds_list()[0][0] + 1.0
+        )
+
+
+class TestCOOBuilderSetMany:
+    def test_set_many_equals_repeated_set(self):
+        rows = [0, 2, 1, 2]
+        cols = [1, 0, 1, 2]
+        vals = [1.0, -3.0, 2.5, 4.0]
+        a = _COOBuilder()
+        for _ in range(3):
+            a.new_row(1.0, "r")
+        for r, c, v in zip(rows, cols, vals):
+            a.set(r, c, v)
+        b = _COOBuilder()
+        for _ in range(3):
+            b.new_row(1.0, "r")
+        b.set_many(rows, cols, vals)
+        A, _ = a.to_csr(3)
+        B, _ = b.to_csr(3)
+        assert np.array_equal(A.toarray(), B.toarray())
+
+    def test_set_many_broadcasts_scalar(self):
+        b = _COOBuilder()
+        b.new_row(0.0, "r")
+        b.set_many([0, 0], [0, 2], 1.0)
+        A, _ = b.to_csr(3)
+        assert np.array_equal(A.toarray(), [[1.0, 0.0, 1.0]])
+
+    def test_set_many_shape_mismatch(self):
+        b = _COOBuilder()
+        b.new_row(0.0, "r")
+        with pytest.raises(ValueError):
+            b.set_many([0, 1], [0], 1.0)
+
+    def test_row_id_lookup(self, problem_factory):
+        instance = build_lp(problem_factory(seed=0, n_clusters=4))
+        assert instance.row_id("compute[0]") == 0
+        assert instance.has_row("local[1]")
+        assert not instance.has_row("nonsense[0]")
+        assert instance.row_labels[instance.row_id("local[2]")] == "local[2]"
