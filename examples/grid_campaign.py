@@ -4,21 +4,28 @@
 Models a CDF-Analysis-Farms-style Grid (the paper's motivating example:
 "some Grids run primarily divisible load applications"): four sites with
 very different cluster sizes run concurrent event-analysis campaigns and
-compete for CPUs and wide-area bandwidth. The example compares all four
-heuristics under both objectives, then executes the best schedule in the
-flow-level simulator to show the steady state is actually achieved.
+compete for CPUs and wide-area bandwidth.
+
+The example registers the testbed as a custom scenario — after which it
+is constructible by name exactly like the built-in ``grid5000``/``das2``
+presets — then compares every registered heuristic under both objectives
+through one reused :class:`repro.Solver` per method (cross-call LP
+template reuse makes the 2-objective × N-method grid cheap), and finally
+executes the best schedule in the flow-level simulator to show the
+steady state is actually achieved.
 
 Run:  python examples/grid_campaign.py
 """
-
-import numpy as np
 
 from repro import (
     BackboneLink,
     Cluster,
     Platform,
-    SteadyStateProblem,
-    solve,
+    Solver,
+    SolverConfig,
+    build_scenario,
+    register_scenario,
+    scenario_info,
 )
 from repro.platform.cluster import equivalent_star_speed
 from repro.schedule import build_periodic_schedule
@@ -27,11 +34,13 @@ from repro.simulation.metrics import summarize
 from repro.util.tables import TextTable
 
 
-def build_grid() -> Platform:
+def cdf_farms(rng):
     """Four institutions joined by a small backbone mesh.
 
     Each site is a star cluster (front-end + workers) collapsed to its
-    equivalent speed, as divisible-load theory allows.
+    equivalent speed, as divisible-load theory allows. Campaign
+    priorities: the Fermi analysis is urgent (payoff 2), the Tokyo group
+    contributes cycles but runs no campaign of its own (payoff 0).
     """
     # site: (workers, worker speed, worker link bw, frontend speed, g)
     sites = {
@@ -54,47 +63,61 @@ def build_grid() -> Platform:
         BackboneLink("transpacific", ("R-fermi", "R-tokyo"), bw=12.0, max_connect=4),
         BackboneLink("sinet", ("R-cern", "R-tokyo"), bw=8.0, max_connect=4),
     ]
-    return Platform(clusters, routers, backbone)
+    payoffs = [2.0, 1.0, 1.0, 0.0]
+    return Platform(clusters, routers, backbone), payoffs
 
 
 def main() -> None:
-    platform = build_grid()
+    register_scenario(
+        "cdf-farms",
+        cdf_farms,
+        description="4-institution physics analysis campaign (CDF-style)",
+        tags=("example",),
+        overwrite=True,
+    )
+    print(f"registered scenario: {scenario_info('cdf-farms').description}")
+    platform = build_scenario("cdf-farms").platform
     print(platform.describe())
     print()
-
-    # Campaign priorities: the Fermi analysis is urgent (payoff 2), the
-    # Tokyo group contributes cycles but runs no campaign of its own.
-    payoffs = [2.0, 1.0, 1.0, 0.0]
 
     table = TextTable(
         ["objective", "method", "value", "% of LP bound", "runtime (ms)"],
         float_fmt=".2f",
     )
     best = {}
+    # One solver per method, reused across both objectives: the second
+    # objective's LP template is built fresh (different matrices), but
+    # every re-run on the same problem family hits the solver's cache.
+    solvers = {
+        m: Solver(SolverConfig(method=m, seed=0))
+        for m in ("greedy", "lpr", "lprg", "lprr")
+    }
     for objective in ("maxmin", "sum"):
-        problem = SteadyStateProblem(platform, payoffs, objective=objective)
-        bound = solve(problem, "lp")
-        for method in ("greedy", "lpr", "lprg", "lprr"):
-            result = solve(problem, method, rng=0)
+        problem = build_scenario("cdf-farms", objective=objective)
+        bound = Solver(SolverConfig(method="lp")).solve(problem)
+        for method, solver in solvers.items():
+            report = solver.solve(problem)
             table.add_row(
                 [
                     objective,
                     method,
-                    result.value,
-                    100.0 * result.value / bound.value if bound.value else 0.0,
-                    result.runtime * 1e3,
+                    report.value,
+                    100.0 * report.value / bound.value if bound.value else 0.0,
+                    report.runtime * 1e3,
                 ]
             )
             if objective == "maxmin" and method == "lprg":
-                best[objective] = (problem, result)
+                best[objective] = (problem, report)
         table.add_row([objective, "lp (bound)", bound.value, 100.0, bound.runtime * 1e3])
     print(table.render())
     print()
 
     # Execute the MAXMIN/LPRG schedule for 10 periods in the simulator.
-    problem, result = best["maxmin"]
-    schedule = build_periodic_schedule(platform, result.allocation, denominator=1000)
-    out = FlowSimulator(platform).run(schedule, n_periods=10)
+    problem, report = best["maxmin"]
+    schedule = build_periodic_schedule(
+        problem.platform, report.allocation, denominator=1000
+    )
+    out = FlowSimulator(problem.platform).run(schedule, n_periods=10)
     stats = summarize(out, schedule.throughputs)
     print("simulated execution of the LPRG schedule (MAXMIN):")
     print(f"  period Tp = {schedule.period}, horizon = 10 periods")

@@ -2,22 +2,25 @@
 """Quickstart: schedule three divisible-load applications on a small Grid.
 
 Builds a 6-cluster random platform (the paper's Section-2 model), defines
-one application per cluster with different priorities, solves the
-steady-state problem with the paper's best practical heuristic (LPRG),
-and prints the resulting allocation, its fairness properties, and the
-reconstructed periodic schedule.
+one application per cluster with different priorities, and solves the
+steady-state problem through the :class:`repro.Solver` facade: a typed
+:class:`repro.SolverConfig` picks the method (LPRG, the paper's best
+practical heuristic), and the returned :class:`repro.SolveReport` carries
+the allocation plus the configuration echo and solver statistics. The
+same solver object is then reconfigured for the LP upper bound before
+the periodic schedule is reconstructed.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro import (
     MAXMIN,
     PlatformSpec,
+    Solver,
+    SolverConfig,
     SteadyStateProblem,
     generate_platform,
-    solve,
+    method_info,
     validate_allocation,
 )
 from repro.schedule import build_periodic_schedule
@@ -51,20 +54,26 @@ def main() -> None:
     print()
 
     # ------------------------------------------------------------------
-    # 3. Solve: LPRG = rational LP, round down, greedy top-up.
+    # 3. Solve through the facade: LPRG = rational LP, round down,
+    #    greedy top-up. The config validates every option up front; a
+    #    typo'd option name would raise with a did-you-mean suggestion
+    #    instead of being silently ignored.
     # ------------------------------------------------------------------
-    result = solve(problem, method="lprg")
-    alloc = result.allocation
+    lprg_info = method_info()["lprg"]
+    print(f"method: lprg — {lprg_info.description}")
+    solver = Solver(SolverConfig(method="lprg"))
+    report = solver.solve(problem)
+    alloc = report.allocation
     validate_allocation(platform, alloc)  # Equations (1)-(4) hold
-    print(f"LPRG objective (MAXMIN of pi_k * alpha_k): {result.value:.2f}")
-    print(f"runtime: {result.runtime * 1e3:.1f} ms, LP solves: {result.n_lp_solves}")
+    print(f"LPRG objective (MAXMIN of pi_k * alpha_k): {report.value:.2f}")
+    print(f"runtime: {report.runtime * 1e3:.1f} ms, LP solves: {report.n_lp_solves}")
     print(alloc.describe(payoffs))
     print()
 
     # How far from the (unreachable) LP upper bound are we?
-    bound = solve(problem, method="lp")
+    bound = Solver(SolverConfig(method="lp")).solve(problem)
     print(f"LP upper bound: {bound.value:.2f} -> LPRG at "
-          f"{100 * result.value / bound.value:.1f}% of the bound")
+          f"{100 * report.value / bound.value:.1f}% of the bound")
     print()
 
     # ------------------------------------------------------------------

@@ -13,6 +13,12 @@
 # The warm-start smoke (bench_warmstart.py) gates the LPSession
 # subsystem: warm LPRR must match cold bitwise AND spend strictly fewer
 # (>= 30% fewer) simplex iterations; it refreshes BENCH_warmstart.json.
+#
+# The API step re-runs the public-surface snapshot + examples smoke on
+# their own (fast, loud names in the log), and the api-reuse smoke gates
+# the Solver facade's cross-call state: reused solves must stay bitwise-
+# identical while cutting cold LP builds >= 30%; it refreshes
+# BENCH_api_reuse.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +26,10 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1: full test suite =="
 python -m pytest -x -q
+
+echo
+echo "== api surface + examples smoke =="
+python -m pytest -x -q tests/test_api_surface.py tests/test_examples_smoke.py
 
 echo
 echo "== benchmark smoke: campaign engine =="
@@ -31,6 +41,10 @@ python -m pytest -x -q -s \
 echo
 echo "== benchmark smoke: warm-started LP re-solves =="
 python -m pytest -x -q -s benchmarks/bench_warmstart.py
+
+echo
+echo "== benchmark smoke: solver facade reuse =="
+python -m pytest -x -q -s benchmarks/bench_api_reuse.py
 
 echo
 echo "verify.sh: all checks passed"

@@ -11,34 +11,67 @@ a flow-level simulator, and the full Section-6 evaluation harness.
 
 Quickstart
 ----------
->>> from repro import PlatformSpec, generate_platform, SteadyStateProblem, solve
+The public entry point is the :class:`Solver` facade: a typed, validated
+:class:`SolverConfig` picks the algorithm and its options, and the
+solver object keeps cross-call warm state (LP templates, variable
+indices) so repeated solves of related instances stop cold-starting.
+Scenarios — named platform/application setups, from testbed presets to
+synthetic stress topologies — are built by name from the scenario
+registry, the same way methods are picked by name from the method
+registry (``method_info()`` lists them with their options).
+
+>>> from repro import Solver, SolverConfig, build_scenario
+>>> solver = Solver(SolverConfig(method="lprg", objective="maxmin"))
+>>> report = solver.solve(build_scenario("das2"))
+>>> report.value > 0
+True
+>>> report.config.method
+'lprg'
+
+Random Table-1-style platforms work exactly as before:
+
+>>> from repro import PlatformSpec, generate_platform, SteadyStateProblem
 >>> platform = generate_platform(
 ...     PlatformSpec(n_clusters=6, connectivity=0.5, heterogeneity=0.4,
 ...                  mean_g=250, mean_bw=30, mean_max_connect=10),
 ...     rng=42)
 >>> problem = SteadyStateProblem(platform, objective="maxmin")
->>> result = solve(problem, method="lprg")
->>> result.value > 0
+>>> solver.solve(problem).value > 0
 True
 
 Batch / parallel campaigns
 --------------------------
-Many independent instances go through :func:`solve_many`, which shares
-one LP-variable index per platform and can fan out over worker
-processes; the Section-6 sweeps accept ``jobs=N`` the same way
-(``run_sweep(..., jobs=4)``, or ``python -m repro.experiments headline
---jobs 4``) plus ``checkpoint=``/``resume=`` for interrupted campaigns.
-Every task derives its seed by stateless ``SeedSequence`` spawning, so
-parallel results are **bitwise-identical** to serial ones — ``jobs``
-only changes wall-clock time, never a single float.
+``Solver.solve_many`` solves many independent instances — sharing the
+solver's warm state inline, or fanning out over worker processes with
+``SolverConfig(jobs=N)``; ``Solver.sweep`` runs Section-6 style grids
+with checkpoint/resume. Every task derives its seed by stateless
+``SeedSequence`` spawning, so results are **bitwise-identical** for any
+``jobs``, chunking or resume pattern — parallelism only changes
+wall-clock time, never a single float.
 
->>> from repro import solve_many
 >>> problems = [SteadyStateProblem(platform, objective=o)
 ...             for o in ("maxmin", "sum")]
->>> [r.value > 0 for r in solve_many(problems, method="greedy", rng=0)]
+>>> [r.value > 0 for r in Solver.for_method("greedy").solve_many(
+...      problems, rng=0)]
 [True, True]
+
+Legacy one-call forms (``solve``, ``solve_many``,
+``repro.experiments.run_sweep``) remain as thin shims over the facade
+with bitwise-identical output.
 """
 
+from repro.api import (
+    ScenarioInfo,
+    ScenarioRegistry,
+    SolveReport,
+    Solver,
+    SolverConfig,
+    available_scenarios,
+    build_scenario,
+    register_scenario,
+    scenario_info,
+    scenario_registry,
+)
 from repro.core import (
     Allocation,
     Application,
@@ -50,6 +83,7 @@ from repro.core import (
     applications_for_platform,
     available_methods,
     get_objective,
+    method_info,
     solve,
     validate_allocation,
 )
@@ -64,6 +98,7 @@ from repro.platform import (
     generate_platform,
     line_platform,
     load_platform,
+    platform_fingerprint,
     save_platform,
     star_platform,
 )
@@ -80,10 +115,22 @@ from repro.util.errors import (
     ValidationError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # solver facade
+    "Solver",
+    "SolverConfig",
+    "SolveReport",
+    # scenario registry
+    "ScenarioRegistry",
+    "ScenarioInfo",
+    "scenario_registry",
+    "register_scenario",
+    "available_scenarios",
+    "scenario_info",
+    "build_scenario",
     # core
     "Allocation",
     "Application",
@@ -94,6 +141,7 @@ __all__ = [
     "allocation_violations",
     "applications_for_platform",
     "available_methods",
+    "method_info",
     "get_objective",
     "solve",
     "validate_allocation",
@@ -108,6 +156,7 @@ __all__ = [
     "generate_platform",
     "line_platform",
     "load_platform",
+    "platform_fingerprint",
     "save_platform",
     "star_platform",
     # parallel campaigns

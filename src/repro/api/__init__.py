@@ -1,0 +1,66 @@
+"""Public solver API: configured, stateful, scenario-aware.
+
+The facade in three moves::
+
+    from repro.api import Solver, SolverConfig, build_scenario
+
+    solver = Solver(SolverConfig(method="lprg", objective="maxmin"))
+    report = solver.solve(build_scenario("grid5000"))
+    reports = solver.solve_many(problems, rng=0)     # reuses warm state
+    rows = solver.sweep(settings, scenario="calibrated")
+
+:class:`SolverConfig` is the typed replacement for the historical
+string-and-``**kwargs`` funnel; :class:`Solver` owns cross-call warm
+state (LP templates, dense matrices, variable indices, the campaign
+engine) so repeated solves of related instances stop cold-starting; the
+scenario registry names platform/application scenarios the same way the
+heuristic registry names methods. The legacy entry points —
+``repro.solve``, ``repro.solve_many``, ``repro.experiments.run_sweep``
+— remain as thin shims over this package with bitwise-identical output.
+"""
+
+from repro.api.config import (
+    BranchAndBoundOptions,
+    GreedyOptions,
+    IteratedLPRGOptions,
+    LPRROptions,
+    MILPOptions,
+    MethodOptions,
+    SolverConfig,
+    options_class_for,
+)
+from repro.api.report import SolveReport
+from repro.api.scenarios import (
+    ScenarioInfo,
+    ScenarioRegistry,
+    available_scenarios,
+    build_scenario,
+    register_scenario,
+    scenario_info,
+    scenario_registry,
+)
+from repro.api.solver import Solver, SolverState
+
+__all__ = [
+    # configuration
+    "SolverConfig",
+    "MethodOptions",
+    "GreedyOptions",
+    "LPRROptions",
+    "IteratedLPRGOptions",
+    "MILPOptions",
+    "BranchAndBoundOptions",
+    "options_class_for",
+    # solving
+    "Solver",
+    "SolverState",
+    "SolveReport",
+    # scenarios
+    "ScenarioRegistry",
+    "ScenarioInfo",
+    "scenario_registry",
+    "register_scenario",
+    "available_scenarios",
+    "scenario_info",
+    "build_scenario",
+]

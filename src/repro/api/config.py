@@ -1,0 +1,281 @@
+"""Typed, validated solver configuration.
+
+:class:`SolverConfig` replaces the historical string-and-``**kwargs``
+funnel of ``solve(problem, method="lprg", **kwargs)``: every knob the
+library grew — the PR-1 campaign options (``jobs``, ``chunk_size``,
+``checkpoint``/``resume``), the PR-2 LP re-solve options (``warm_start``,
+``lp_backend``), and the per-method algorithm options — lives in one
+frozen dataclass that validates on construction, round-trips through
+``to_dict``/``from_dict``, and rejects unknown option names with a
+did-you-mean suggestion instead of silently ignoring them.
+
+Per-method options are *typed sub-configs* (:class:`GreedyOptions`,
+:class:`LPRROptions`, ...): the config carries exactly one, matching its
+``method``, and :meth:`SolverConfig.for_method` builds the right one
+from flat keyword arguments — which is also how the legacy ``solve``
+shim translates its ``**kwargs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+import numpy as np
+
+from repro.core.objectives import get_objective
+from repro.heuristics.base import get_heuristic, unknown_option_error
+from repro.util.errors import SolverError
+
+#: backends accepted by the session-consuming heuristics (mirrors
+#: :func:`repro.lp.session.resolve_lp_backend`)
+LP_BACKENDS = ("auto", "session", "scipy")
+
+
+@dataclass(frozen=True)
+class MethodOptions:
+    """Base (and empty) per-method option set.
+
+    Methods without algorithm-specific knobs (``lpr``, ``lprg``, ``lp``)
+    use this class directly; the others subclass it with typed fields.
+    ``warm_start`` and ``lp_backend`` are *not* here — they are
+    config-level LP knobs shared by every session-consuming method.
+    """
+
+    def to_kwargs(self) -> dict:
+        """The options as keyword arguments for ``Heuristic.run``."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def to_dict(self) -> dict:
+        return self.to_kwargs()
+
+
+@dataclass(frozen=True)
+class GreedyOptions(MethodOptions):
+    """Options of the greedy heuristic G."""
+
+    #: step-3 selection rule: the paper's prose ("intuition") or its
+    #: garbled printed formula ("literal", the E14 ablation)
+    selection: str = "intuition"
+
+    def __post_init__(self):
+        if self.selection not in ("intuition", "literal"):
+            raise SolverError(
+                f"selection must be 'intuition' or 'literal', "
+                f"got {self.selection!r}"
+            )
+
+
+@dataclass(frozen=True)
+class LPRROptions(MethodOptions):
+    """Options of LPRR randomized rounding (both variants)."""
+
+    #: fix every currently-integral beta after each LP solve instead of
+    #: one route per solve (slashes the LP count, benchmark E7)
+    eager_integer_fixing: bool = False
+
+
+@dataclass(frozen=True)
+class IteratedLPRGOptions(MethodOptions):
+    """Options of the iterated-LPRG extension heuristic."""
+
+    #: residual re-solve rounds before the greedy mop-up
+    max_iters: int = 4
+
+
+@dataclass(frozen=True)
+class MILPOptions(MethodOptions):
+    """Options of the exact HiGHS MILP solver."""
+
+    time_limit: "float | None" = None
+
+
+@dataclass(frozen=True)
+class BranchAndBoundOptions(MethodOptions):
+    """Options of the bundled branch-and-bound exact solver."""
+
+    max_nodes: int = 10_000
+
+
+#: canonical method name -> its typed option class
+OPTION_CLASSES: dict[str, type] = {
+    "greedy": GreedyOptions,
+    "lprr": LPRROptions,
+    "lprr-eq": LPRROptions,
+    "lprg-it": IteratedLPRGOptions,
+    "milp": MILPOptions,
+    "bnb": BranchAndBoundOptions,
+}
+
+
+def options_class_for(method: str) -> type:
+    """The :class:`MethodOptions` subclass for a canonical method name."""
+    return OPTION_CLASSES.get(method, MethodOptions)
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Everything a :class:`repro.api.Solver` needs, validated up front.
+
+    Parameters
+    ----------
+    method:
+        Any registered algorithm name or alias (canonicalised, so
+        ``"g"`` stores as ``"greedy"``). Unknown names raise
+        ``ValueError`` exactly like the legacy facade.
+    objective:
+        ``None`` (default) solves each problem under its own objective;
+        ``"maxmin"``/``"sum"`` re-derives every incoming problem under
+        the named objective before solving.
+    seed:
+        Default RNG policy: the seed used when a call does not pass its
+        own ``rng``. ``None`` draws fresh entropy per call (the legacy
+        default).
+    lp_backend, warm_start:
+        The PR-2 LP re-solve knobs, applied to every method that
+        supports them (LPRR, iterated LPRG, branch-and-bound).
+    jobs, chunk_size:
+        The PR-1 process-pool knobs for ``solve_many``/``sweep``
+        (results are bitwise-identical for any value).
+    checkpoint, resume:
+        Incremental sweep checkpointing (``resume`` requires
+        ``checkpoint``).
+    options:
+        The per-method typed sub-config; ``None`` means the method's
+        defaults. Must be exactly the class of :func:`options_class_for`.
+    """
+
+    method: str = "lprg"
+    objective: "str | None" = None
+    seed: "int | None" = None
+    lp_backend: str = "auto"
+    warm_start: bool = True
+    jobs: int = 1
+    chunk_size: "int | None" = None
+    checkpoint: "str | None" = None
+    resume: bool = False
+    options: "MethodOptions | None" = None
+
+    def __post_init__(self):
+        heuristic = get_heuristic(self.method)  # ValueError when unknown
+        object.__setattr__(self, "method", heuristic.name)
+        if self.objective is not None:
+            object.__setattr__(
+                self, "objective", get_objective(self.objective).name
+            )
+        if self.lp_backend not in LP_BACKENDS:
+            raise SolverError(
+                f"lp_backend must be one of {LP_BACKENDS}, "
+                f"got {self.lp_backend!r}"
+            )
+        if self.seed is not None:
+            if not isinstance(self.seed, (int, np.integer)):
+                raise SolverError(
+                    f"seed must be an int or None, got {self.seed!r}"
+                )
+            object.__setattr__(self, "seed", int(self.seed))
+        if self.jobs < 1:
+            raise SolverError(f"jobs must be >= 1, got {self.jobs}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise SolverError(
+                f"chunk_size must be >= 1 or None, got {self.chunk_size}"
+            )
+        if self.resume and not self.checkpoint:
+            raise SolverError("resume=True requires a checkpoint path")
+        expected = options_class_for(self.method)
+        if self.options is None:
+            object.__setattr__(self, "options", expected())
+        elif type(self.options) is not expected:
+            raise SolverError(
+                f"method {self.method!r} takes {expected.__name__}, "
+                f"got {type(self.options).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_method(cls, method: str = "lprg", **kwargs) -> "SolverConfig":
+        """Build a config from a method name and flat keyword options.
+
+        Keywords are routed to config fields or to the method's option
+        class; anything else raises :class:`SolverError` naming the
+        nearest valid option — the strict replacement for the legacy
+        facade's silent ``**kwargs`` forwarding.
+        """
+        heuristic = get_heuristic(method)  # ValueError when unknown
+        opts_cls = options_class_for(heuristic.name)
+        config_names = {
+            f.name for f in fields(cls) if f.name not in ("method", "options")
+        }
+        option_names = {f.name for f in fields(opts_cls)}
+        config_kwargs: dict[str, Any] = {}
+        option_kwargs: dict[str, Any] = {}
+        for key, value in kwargs.items():
+            if key in config_names:
+                config_kwargs[key] = value
+            elif key in option_names:
+                option_kwargs[key] = value
+            else:
+                raise unknown_option_error(
+                    key, heuristic.name, config_names | option_names
+                )
+        return cls(
+            method=heuristic.name,
+            options=opts_cls(**option_kwargs),
+            **config_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    def method_kwargs(self) -> dict:
+        """Keyword arguments for ``Heuristic.run`` under this config.
+
+        Method-specific options always pass through; the config-level LP
+        knobs are attached only when the method declares support (so a
+        greedy solve never sees ``warm_start``), with defaults matching
+        the heuristics' own — bitwise compatibility with direct
+        ``get_heuristic(...).run(...)`` calls.
+        """
+        heuristic = get_heuristic(self.method)
+        kwargs = self.options.to_kwargs()
+        if "warm_start" in heuristic.option_names:
+            kwargs["warm_start"] = self.warm_start
+        if "lp_backend" in heuristic.option_names:
+            kwargs["lp_backend"] = self.lp_backend
+        return kwargs
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via ``from_dict``)."""
+        return {
+            "method": self.method,
+            "objective": self.objective,
+            "seed": self.seed,
+            "lp_backend": self.lp_backend,
+            "warm_start": self.warm_start,
+            "jobs": self.jobs,
+            "chunk_size": self.chunk_size,
+            "checkpoint": self.checkpoint,
+            "resume": self.resume,
+            "options": self.options.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolverConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        data = dict(data)
+        method = data.pop("method", "lprg")
+        options = data.pop("options", None) or {}
+        heuristic = get_heuristic(method)
+        config_names = {
+            f.name for f in fields(cls) if f.name not in ("method", "options")
+        }
+        for key in data:
+            if key not in config_names:
+                raise unknown_option_error(key, heuristic.name, config_names)
+        opts_cls = options_class_for(heuristic.name)
+        option_names = {f.name for f in fields(opts_cls)}
+        for key in options:
+            if key not in option_names:
+                raise unknown_option_error(key, heuristic.name, option_names)
+        return cls(
+            method=heuristic.name, options=opts_cls(**options), **data
+        )

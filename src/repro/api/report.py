@@ -1,0 +1,65 @@
+"""Structured solve reports.
+
+A :class:`SolveReport` is a :class:`~repro.heuristics.base.
+HeuristicResult` (so every existing consumer keeps working, including
+the legacy ``solve`` shim whose callers expect that type) extended with
+what the facade knows and the bare result does not: the exact
+:class:`~repro.api.config.SolverConfig` the solve ran under, and the
+facade's cross-call cache counters at the time of the call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.heuristics.base import HeuristicResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.config import SolverConfig
+
+
+@dataclass(repr=False)
+class SolveReport(HeuristicResult):
+    """One solve's result plus its configuration and facade statistics.
+
+    Attributes (beyond :class:`HeuristicResult`)
+    --------------------------------------------
+    config:
+        Echo of the :class:`SolverConfig` that produced this result.
+    cache_stats:
+        Snapshot of the owning solver's cross-call cache counters after
+        this solve (LP template hits/cold builds, dense-matrix reuse,
+        index adoptions) — the observability half of the reuse story.
+    """
+
+    config: "SolverConfig | None" = None
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def lp_stats(self) -> "dict | None":
+        """Per-run LP session statistics, when the method recorded any
+        (simplex iteration counts, warm/cold solve split, presolve
+        eliminations — see :class:`repro.lp.session.SessionStats`)."""
+        return self.meta.get("lp_stats")
+
+    @classmethod
+    def from_result(
+        cls,
+        result: HeuristicResult,
+        config: "SolverConfig",
+        cache_stats: "dict | None" = None,
+    ) -> "SolveReport":
+        """Wrap a raw heuristic result; every base field is carried over
+        unchanged, so the report is bitwise-equal to the result it wraps."""
+        return cls(
+            method=result.method,
+            objective=result.objective,
+            value=result.value,
+            allocation=result.allocation,
+            runtime=result.runtime,
+            n_lp_solves=result.n_lp_solves,
+            meta=result.meta,
+            config=config,
+            cache_stats=dict(cache_stats or {}),
+        )

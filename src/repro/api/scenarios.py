@@ -1,0 +1,324 @@
+"""First-class scenario registry.
+
+The paper's Section 6 evaluates over *scenarios* — named combinations of
+platform topology and application payoffs (plus the sweep-level
+symmetry-breaking choices of :class:`repro.experiments.config.Scenario`)
+— yet until this PR they were scattered: platform presets in
+:mod:`repro.platform.presets`, random Table-1 families in ad-hoc example
+code, sweep scenarios as module constants. The registry makes scenarios
+registrable, listable and constructible **by name**, exactly like
+methods in the heuristic registry:
+
+>>> from repro.api import available_scenarios, build_scenario
+>>> "das2" in available_scenarios("platform")
+True
+>>> build_scenario("das2").n_clusters
+5
+
+Two kinds coexist under one namespace:
+
+* ``"platform"`` scenarios build a concrete
+  :class:`~repro.core.problem.SteadyStateProblem` (preset testbeds,
+  synthetic stress topologies, random Table-1 families);
+* ``"sweep"`` scenarios yield the :class:`~repro.experiments.config.
+  Scenario` record a Section-6 sweep runs under, resolvable by name in
+  ``Solver.sweep(..., scenario="calibrated")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.heuristics.base import nearest_name
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class ScenarioInfo:
+    """Metadata describing one registered scenario."""
+
+    name: str
+    kind: str  # "platform" | "sweep"
+    description: str
+    tags: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "description": self.description,
+            "tags": list(self.tags),
+        }
+
+
+class ScenarioRegistry:
+    """Name -> scenario factory mapping, mirroring the method registry.
+
+    Platform factories have signature ``factory(rng) -> (Platform,
+    payoffs | None)`` (``None`` payoffs mean one payoff-1 application
+    per cluster); sweep factories take no arguments and return a
+    :class:`repro.experiments.config.Scenario`.
+    """
+
+    _KINDS = ("platform", "sweep")
+
+    def __init__(self):
+        self._entries: dict[str, tuple[ScenarioInfo, Callable]] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: Callable,
+        kind: str = "platform",
+        description: str = "",
+        tags: "tuple[str, ...]" = (),
+        overwrite: bool = False,
+    ) -> None:
+        """Register a scenario under ``name`` (case-insensitive)."""
+        if kind not in self._KINDS:
+            raise ValueError(
+                f"scenario kind must be one of {self._KINDS}, got {kind!r}"
+            )
+        key = name.lower()
+        if key in self._entries and not overwrite:
+            raise ValueError(f"duplicate scenario name {key!r}")
+        info = ScenarioInfo(
+            name=key, kind=kind, description=description, tags=tuple(tags)
+        )
+        self._entries[key] = (info, factory)
+
+    # ------------------------------------------------------------------
+    def names(self, kind: "str | None" = None) -> tuple[str, ...]:
+        """Sorted registered names, optionally filtered by kind."""
+        return tuple(
+            sorted(
+                name
+                for name, (info, _) in self._entries.items()
+                if kind is None or info.kind == kind
+            )
+        )
+
+    def info(self, name: str) -> ScenarioInfo:
+        """Metadata for one scenario."""
+        return self._get(name)[0]
+
+    def _get(self, name: str) -> tuple[ScenarioInfo, Callable]:
+        key = name.lower()
+        try:
+            return self._entries[key]
+        except KeyError:
+            known = sorted(self._entries)
+            message = f"unknown scenario {name!r}"
+            suggestion = nearest_name(key, known)
+            if suggestion is not None:
+                message += f"; did you mean {suggestion!r}?"
+            raise ValueError(f"{message} (known: {known})") from None
+
+    # ------------------------------------------------------------------
+    def build_problem(
+        self, name: str, objective: str = "maxmin", rng=None
+    ) -> "SteadyStateProblem":
+        """Construct the named platform scenario as a solvable problem.
+
+        Preset scenarios ignore ``rng`` (they are fixed topologies with
+        unit payoffs); synthetic families consume it for platform
+        generation and payoff draws.
+        """
+        from repro.core.problem import SteadyStateProblem
+
+        info, factory = self._get(name)
+        if info.kind != "platform":
+            raise ValueError(
+                f"scenario {info.name!r} is a {info.kind!r} scenario, not a "
+                "platform scenario; use sweep_scenario()"
+            )
+        platform, payoffs = factory(ensure_rng(rng))
+        return SteadyStateProblem(platform, payoffs, objective=objective)
+
+    def sweep_scenario(self, name: str) -> "Scenario":
+        """The named sweep :class:`~repro.experiments.config.Scenario`."""
+        info, factory = self._get(name)
+        if info.kind != "sweep":
+            raise ValueError(
+                f"scenario {info.name!r} is a {info.kind!r} scenario, not a "
+                "sweep scenario; use build_problem()"
+            )
+        return factory()
+
+
+# ----------------------------------------------------------------------
+# built-in scenarios
+# ----------------------------------------------------------------------
+
+def _preset_factory(preset: str) -> Callable:
+    def factory(rng):
+        from repro.platform.presets import get_preset
+
+        return get_preset(preset), None
+
+    return factory
+
+
+def _table1_factory(k: int) -> Callable:
+    """A Table-1-style random family at fixed K (calibrated mid-grid
+    knobs, the same family the test fixtures and benchmarks use)."""
+
+    def factory(rng):
+        from repro.platform.generator import PlatformSpec, generate_platform
+
+        platform = generate_platform(
+            PlatformSpec(
+                n_clusters=k,
+                connectivity=0.5,
+                heterogeneity=0.5,
+                mean_g=250.0,
+                mean_bw=30.0,
+                mean_max_connect=10.0,
+                speed_heterogeneity=0.5,
+            ),
+            rng=rng,
+        )
+        payoffs = rng.uniform(0.8, 1.2, k)
+        return platform, payoffs
+
+    return factory
+
+
+def _hotspot_factory(rng):
+    """Synthetic stress topology: one fast hub, five slow edge sites.
+
+    All the compute sits in the hub; every edge application must import
+    capacity over a thin, connection-scarce spoke — the regime where
+    round-down failures are most visible and the heuristic choice
+    matters most (complements the ``intercontinental`` preset).
+    """
+    from repro.platform.cluster import Cluster
+    from repro.platform.links import BackboneLink
+    from repro.platform.topology import Platform
+
+    clusters = [Cluster("hub", speed=400.0, g=500.0, router="rtr-hub")]
+    routers = ["rtr-hub"]
+    links = []
+    for i in range(5):
+        name = f"edge{i}"
+        clusters.append(
+            Cluster(name, speed=40.0 + 5.0 * i, g=120.0, router=f"rtr-{name}")
+        )
+        routers.append(f"rtr-{name}")
+        links.append(
+            BackboneLink(
+                f"spoke-{name}",
+                ("rtr-hub", f"rtr-{name}"),
+                bw=6.0,
+                max_connect=3,
+            )
+        )
+    payoffs = [0.5, 1.0, 1.0, 1.5, 1.0, 2.0]
+    return Platform(clusters, routers, links), payoffs
+
+
+def _register_builtins(registry: ScenarioRegistry) -> None:
+    for preset, blurb in (
+        ("grid5000", "Grid'5000-flavoured 9-site national backbone"),
+        ("das2", "DAS-2-flavoured 5 Dutch sites on one fat university net"),
+        ("intercontinental", "3 continents behind long thin oceanic pipes"),
+    ):
+        registry.register(
+            preset,
+            _preset_factory(preset),
+            description=blurb + " (fixed testbed model, unit payoffs)",
+            tags=("preset", "section-7"),
+        )
+    registry.register(
+        "table1-small",
+        _table1_factory(6),
+        description="random Table-1 family at K=6 (payoff band 0.8-1.2)",
+        tags=("synthetic", "table-1"),
+    )
+    registry.register(
+        "table1-medium",
+        _table1_factory(15),
+        description="random Table-1 family at K=15 (payoff band 0.8-1.2)",
+        tags=("synthetic", "table-1"),
+    )
+    registry.register(
+        "hotspot",
+        _hotspot_factory,
+        description="one fast hub, five slow edges behind scarce spokes",
+        tags=("synthetic", "stress"),
+    )
+
+    def _calibrated():
+        from repro.experiments.config import DEFAULT_SCENARIO
+
+        return DEFAULT_SCENARIO
+
+    def _literal():
+        from repro.experiments.config import LITERAL_SCENARIO
+
+        return LITERAL_SCENARIO
+
+    registry.register(
+        "calibrated",
+        _calibrated,
+        kind="sweep",
+        description="calibrated Section-6 sweep (speed heterogeneity + "
+        "payoff band; see EXPERIMENTS.md note 7)",
+        tags=("section-6",),
+    )
+    registry.register(
+        "paper-literal",
+        _literal,
+        kind="sweep",
+        description="paper-literal sweep (equal speeds and payoffs; "
+        "trivially optimal, kept for the triviality demonstration)",
+        tags=("section-6",),
+    )
+
+
+_DEFAULT_REGISTRY = ScenarioRegistry()
+_register_builtins(_DEFAULT_REGISTRY)
+
+
+def scenario_registry() -> ScenarioRegistry:
+    """The process-wide default registry (builtins pre-registered)."""
+    return _DEFAULT_REGISTRY
+
+
+def register_scenario(
+    name: str,
+    factory: Callable,
+    kind: str = "platform",
+    description: str = "",
+    tags: "tuple[str, ...]" = (),
+    overwrite: bool = False,
+) -> None:
+    """Register a scenario in the default registry (see
+    :meth:`ScenarioRegistry.register`)."""
+    _DEFAULT_REGISTRY.register(
+        name,
+        factory,
+        kind=kind,
+        description=description,
+        tags=tags,
+        overwrite=overwrite,
+    )
+
+
+def available_scenarios(kind: "str | None" = None) -> tuple[str, ...]:
+    """Sorted names registered in the default registry."""
+    return _DEFAULT_REGISTRY.names(kind)
+
+
+def scenario_info(name: str) -> ScenarioInfo:
+    """Metadata for one scenario in the default registry."""
+    return _DEFAULT_REGISTRY.info(name)
+
+
+def build_scenario(
+    name: str, objective: str = "maxmin", rng=None
+) -> "SteadyStateProblem":
+    """Construct a platform scenario from the default registry."""
+    return _DEFAULT_REGISTRY.build_problem(name, objective=objective, rng=rng)

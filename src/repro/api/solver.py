@@ -1,0 +1,337 @@
+"""The :class:`Solver` facade: one configured object, reusable state.
+
+The paper's evaluation is never "one problem, one solve": it sweeps four
+heuristics and two objectives over many platform scenarios, and the
+production framing of the ROADMAP (many tenants, many what-if queries,
+same platforms) repeats *related* instances endlessly. The facade owns
+the state that makes repetition cheap and keeps it across calls:
+
+* an :class:`~repro.lp.builder.LPBuildCache` — assembled program-(7)
+  templates keyed by platform fingerprint + objective + payoffs, plus
+  the shared densified ``A_ub`` every :class:`~repro.lp.session.
+  LPSession` draws from. Repeat solves skip the COO assembly and the
+  ``toarray()`` entirely;
+* a :class:`VariableIndex <repro.lp.indexing.VariableIndex>` adoption
+  map — equal-but-distinct platform objects (pickled across a process
+  boundary, re-loaded from disk) share one index per fingerprint;
+* a lazily created :class:`~repro.parallel.engine.CampaignEngine` for
+  batched and swept execution under the config's ``jobs``.
+
+Reuse is **bitwise-transparent**: cached templates are pristine copies
+of what a cold build produces, and no optimal-basis state is ever
+carried between independent solves, so ``Solver(cfg).solve(p)`` equals
+the legacy ``solve(p, ...)`` byte for byte (pinned by the equivalence
+suite and by ``benchmarks/bench_api_reuse.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.api.config import SolverConfig
+from repro.api.report import SolveReport
+from repro.heuristics.base import get_heuristic
+from repro.lp.builder import LPBuildCache, use_build_cache
+from repro.parallel.engine import CampaignEngine
+from repro.platform.serialization import platform_fingerprint
+from repro.util.rng import spawn_seed_sequences
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.problem import SteadyStateProblem
+    from repro.experiments.config import Scenario, Setting
+    from repro.experiments.runner import ExperimentRow
+
+
+class SolverState:
+    """Cross-call warm state owned by one :class:`Solver`.
+
+    Nothing here affects results — only how much work a repeat solve
+    re-does. The LP cache is installed around every solve via
+    :func:`repro.lp.builder.use_build_cache` (outer-wins, so nested
+    facade calls inside a batch share the batch's cache).
+    """
+
+    #: retained platform memos (each pins its Platform via the cached
+    #: VariableIndex); bounded so a long-lived solver serving thousands
+    #: of distinct platforms cannot grow without limit
+    MAX_INDEX_ENTRIES = 256
+
+    def __init__(self):
+        self.lp_cache = LPBuildCache()
+        self.index_cache: dict = {}
+        self.n_solves = 0
+        self.index_adoptions = 0
+
+    def adopt_platform(self, platform) -> None:
+        """Share cached variable indices with ``platform``.
+
+        The per-platform index memo (:func:`repro.lp.indexing.
+        shared_variable_index`) lives on the platform object; here the
+        first memo seen for a fingerprint is remembered, and any later
+        equal-but-distinct platform is seeded with its entries — so the
+        O(K^2) index build happens once per *fingerprint*, not once per
+        object.
+        """
+        try:
+            memo = platform.__dict__.setdefault("_index_memo", {})
+        except AttributeError:  # platform stand-in without a __dict__
+            return
+        try:
+            fingerprint = platform_fingerprint(platform)
+        except Exception:  # unserialisable stand-in
+            return
+        known = self.index_cache.setdefault(fingerprint, memo)
+        if known is not memo:
+            for key, index in known.items():
+                memo.setdefault(key, index)
+            self.index_adoptions += 1
+        while len(self.index_cache) > self.MAX_INDEX_ENTRIES:
+            del self.index_cache[next(iter(self.index_cache))]
+
+    def stats(self) -> dict:
+        """Counter snapshot (merged into every :class:`SolveReport`)."""
+        out = dict(self.lp_cache.stats())
+        out["n_solves"] = self.n_solves
+        out["index_adoptions"] = self.index_adoptions
+        return out
+
+
+class Solver:
+    """Configured, stateful entry point to every algorithm.
+
+    >>> from repro import Solver, SolverConfig
+    >>> from repro.api import build_scenario
+    >>> solver = Solver(SolverConfig(method="lprg"))
+    >>> report = solver.solve(build_scenario("das2", rng=0))
+    >>> report.value > 0 and report.config.method == "lprg"
+    True
+
+    One ``Solver`` instance is cheap to build but worth keeping: its
+    :class:`SolverState` warm-starts every later call on the same (or an
+    equal) platform. All methods are bitwise-deterministic given their
+    ``rng``/``seed`` inputs, independent of state reuse and ``jobs``.
+    """
+
+    def __init__(self, config: "SolverConfig | None" = None):
+        self.config = config if config is not None else SolverConfig()
+        self.state = SolverState()
+        self._engine: "CampaignEngine | None" = None
+
+    @classmethod
+    def for_method(cls, method: str = "lprg", **kwargs) -> "Solver":
+        """Shorthand: ``Solver(SolverConfig.for_method(method, **kwargs))``."""
+        return cls(SolverConfig.for_method(method, **kwargs))
+
+    def __repr__(self) -> str:
+        return f"Solver(method={self.config.method!r}, solves={self.state.n_solves})"
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> CampaignEngine:
+        """The lazily created campaign engine for batched execution."""
+        if self._engine is None:
+            from repro.parallel.batch import _run_solve_task
+
+            self._engine = CampaignEngine(
+                _run_solve_task,
+                jobs=self.config.jobs,
+                chunk_size=self.config.chunk_size,
+            )
+        return self._engine
+
+    def _problem_for(self, problem: "SteadyStateProblem") -> "SteadyStateProblem":
+        """Apply the config's objective override, if any."""
+        objective = self.config.objective
+        if objective is not None and problem.objective.name != objective:
+            problem = problem.with_objective(objective)
+        return problem
+
+    def _rng_for(self, rng):
+        return rng if rng is not None else self.config.seed
+
+    # ------------------------------------------------------------------
+    def solve(self, problem: "SteadyStateProblem", rng=None) -> SolveReport:
+        """Solve one problem under this solver's configuration.
+
+        ``rng`` overrides the config's ``seed`` for this call. The
+        returned :class:`SolveReport` is a ``HeuristicResult`` whose
+        base fields are bitwise-equal to the legacy ``solve()`` output.
+        """
+        config = self.config
+        heuristic = get_heuristic(config.method)
+        problem = self._problem_for(problem)
+        self.state.n_solves += 1
+        self.state.adopt_platform(problem.platform)
+        with use_build_cache(self.state.lp_cache):
+            result = heuristic.run(
+                problem, rng=self._rng_for(rng), **config.method_kwargs()
+            )
+            # Defensive: every public entry point re-validates.
+            if result.allocation is not None:
+                problem.check(result.allocation).raise_if_invalid()
+        return SolveReport.from_result(
+            result, config=config, cache_stats=self.state.stats()
+        )
+
+    # ------------------------------------------------------------------
+    def solve_many(
+        self,
+        problems: "Sequence[SteadyStateProblem]",
+        rng=None,
+    ) -> "list[SolveReport]":
+        """Solve many independent problems; results in input order.
+
+        Instance ``i`` solves under the ``i``-th stateless spawn child
+        of ``rng`` (or the config's ``seed``), exactly like the legacy
+        :func:`repro.parallel.solve_many` — so results are a pure
+        function of ``(problems, config, rng)``, independent of ``jobs``
+        and chunking. With ``jobs == 1`` the batch runs inline and every
+        instance shares this solver's warm state.
+        """
+        from repro.parallel.batch import _SolveTask
+
+        problems = [self._problem_for(p) for p in problems]
+        seeds = spawn_seed_sequences(self._rng_for(rng), len(problems))
+        kwargs = self.config.method_kwargs()
+        tasks = [
+            _SolveTask(
+                problem=p,
+                method=self.config.method,
+                seed=s,
+                kwargs=dict(kwargs),
+            )
+            for p, s in zip(problems, seeds)
+        ]
+        self.state.n_solves += len(problems)
+        for p in problems:
+            self.state.adopt_platform(p.platform)
+        with use_build_cache(self.state.lp_cache):
+            results = self.engine.run(tasks)
+        # Each task ran through a throwaway per-call Solver (inline ones
+        # fed this solver's cache via the outer-wins context; pooled
+        # ones ran in their worker process), so re-stamp the reports
+        # with the *batch* config and this solver's cache counters —
+        # the contract is that a report describes its owning solver.
+        stats = self.state.stats()
+        return [
+            SolveReport.from_result(r, config=self.config, cache_stats=stats)
+            for r in results
+        ]
+
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        settings: "Sequence[Setting]",
+        scenario: "Scenario | str | None" = None,
+        methods: "Sequence[str] | None" = None,
+        objectives: "Sequence[str] | None" = None,
+        n_platforms: "int | None" = None,
+        rng=None,
+        progress: bool = False,
+    ) -> "list[ExperimentRow]":
+        """Run a Section-6 style sweep over many grid points.
+
+        The facade-native form of the historical ``run_sweep``:
+        execution (``jobs``, ``chunk_size``, ``checkpoint``, ``resume``)
+        comes from the config; the sweep definition from the arguments.
+        ``scenario`` accepts an :class:`~repro.experiments.config.
+        Scenario`, a registered sweep-scenario name (see
+        :mod:`repro.api.scenarios`), or ``None`` for the calibrated
+        default. Rows are bitwise-identical for any ``jobs``/chunking/
+        resume pattern (stateless per-task seeds).
+        """
+        import time
+
+        from repro.api.scenarios import scenario_registry
+        from repro.experiments.config import DEFAULT_SCENARIO
+        from repro.experiments.persistence import row_from_dict, row_to_dict
+        from repro.experiments.runner import DEFAULT_METHODS, DEFAULT_OBJECTIVES
+        from repro.parallel import (
+            CampaignCheckpoint,
+            CampaignEngine,
+            build_sweep_tasks,
+            run_sweep_task,
+            sweep_fingerprint,
+        )
+        from repro.util.rng import seed_sequence_of
+
+        config = self.config
+        if scenario is None:
+            scenario = DEFAULT_SCENARIO
+        elif isinstance(scenario, str):
+            scenario = scenario_registry().sweep_scenario(scenario)
+        methods = tuple(DEFAULT_METHODS if methods is None else methods)
+        objectives = tuple(
+            DEFAULT_OBJECTIVES if objectives is None else objectives
+        )
+        settings = list(settings)
+        n_platforms = (
+            scenario.platforms_per_setting if n_platforms is None else n_platforms
+        )
+        # Resolve the root seed once: with rng=None a fresh random root
+        # is drawn, and the task seeds and the checkpoint fingerprint
+        # must both describe that same root.
+        root = seed_sequence_of(self._rng_for(rng))
+        tasks = build_sweep_tasks(
+            settings, scenario, methods, objectives, n_platforms, root
+        )
+
+        store = None
+        if config.checkpoint is not None:
+            store = CampaignCheckpoint(
+                config.checkpoint,
+                fingerprint=sweep_fingerprint(
+                    settings, scenario, methods, objectives, n_platforms, root
+                ),
+                resume=config.resume,
+                encode=lambda rows: [row_to_dict(r) for r in rows],
+                decode=lambda rows: [row_from_dict(r) for r in rows],
+                meta={"n_tasks": len(tasks), "kind_detail": "sweep"},
+            )
+
+        reporter = None
+        if progress:  # pragma: no cover - cosmetic
+            start = time.perf_counter()
+
+            def reporter(done: int, total: int) -> None:
+                elapsed = time.perf_counter() - start
+                print(
+                    f"  [{done}/{total}] tasks ({elapsed:.1f}s elapsed)",
+                    flush=True,
+                )
+
+        engine = CampaignEngine(
+            run_sweep_task, jobs=config.jobs, chunk_size=config.chunk_size
+        )
+        try:
+            with use_build_cache(self.state.lp_cache):
+                per_task = engine.run(
+                    tasks,
+                    task_ids=[t.task_id for t in tasks],
+                    checkpoint=store,
+                    progress=reporter,
+                )
+        finally:
+            if store is not None:
+                store.close()
+        return [row for rows in per_task for row in rows]
+
+    # ------------------------------------------------------------------
+    def solve_scenario(self, name: str, rng=None) -> SolveReport:
+        """Build a registered platform scenario by name and solve it.
+
+        Derives two stateless seed-sequence children of ``rng`` (or the
+        config's ``seed``): one for scenario construction, one for the
+        solve — so the pair is reproducible from a single seed.
+        """
+        from repro.api.scenarios import scenario_registry
+
+        build_seed, solve_seed = spawn_seed_sequences(self._rng_for(rng), 2)
+        problem = scenario_registry().build_problem(
+            name,
+            objective=self.config.objective or "maxmin",
+            rng=np.random.default_rng(build_seed),
+        )
+        return self.solve(problem, rng=np.random.default_rng(solve_seed))

@@ -24,7 +24,7 @@ from repro.core.constraints import (
     ViolationReport,
 )
 from repro.core.problem import SteadyStateProblem
-from repro.core.solve import solve, available_methods
+from repro.core.solve import solve, available_methods, method_info
 
 __all__ = [
     "Application",
@@ -40,4 +40,5 @@ __all__ = [
     "SteadyStateProblem",
     "solve",
     "available_methods",
+    "method_info",
 ]

@@ -3,8 +3,19 @@
 ``solve(problem, method="lprg")`` dispatches to the Section-5 heuristics
 (``"greedy"``/``"g"``, ``"lpr"``, ``"lprg"``, ``"lprr"``), the rational
 LP upper bound (``"lp"``) or the exact mixed-integer optimum
-(``"milp"``, ``"bnb"``). Heuristics are imported lazily to keep the
-core package import-light.
+(``"milp"``, ``"bnb"``).
+
+Since PR 3 this module is a thin shim over :class:`repro.api.Solver`:
+``solve(problem, method, **kwargs)`` builds a one-shot
+:class:`~repro.api.config.SolverConfig` from its keyword arguments and
+runs it, with **bitwise-identical** results (pinned by the equivalence
+suite). New code should hold a :class:`~repro.api.Solver` instead — a
+kept solver reuses LP templates and variable indices across calls. The
+shim is permanent for now; see the deprecation policy in CHANGES.md.
+
+Unlike the historical version, unknown keyword options are *rejected*
+with a did-you-mean :class:`~repro.util.errors.SolverError` instead of
+being silently swallowed by the heuristics' ``**kwargs``.
 """
 
 from __future__ import annotations
@@ -13,7 +24,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.problem import SteadyStateProblem
-    from repro.heuristics.base import HeuristicResult
+    from repro.heuristics.base import HeuristicResult, MethodInfo
 
 
 def available_methods() -> tuple[str, ...]:
@@ -21,6 +32,28 @@ def available_methods() -> tuple[str, ...]:
     from repro.heuristics.base import registry
 
     return tuple(sorted(registry().keys()))
+
+
+def method_info() -> "dict[str, MethodInfo]":
+    """Per-method metadata, keyed by canonical name.
+
+    The typed extension of :func:`available_methods`: each entry records
+    the method's description, aliases, supported options, whether it
+    solves LPs, and whether its result depends on ``rng``. Sourced from
+    the heuristic registry, so third-party registrations show up too.
+
+    >>> info = method_info()
+    >>> info["lprr"].uses_lp and not info["lprr"].deterministic
+    True
+    >>> "selection" in info["greedy"].options
+    True
+    """
+    from repro.heuristics.base import registry
+
+    return {
+        name: heuristic.info()
+        for name, heuristic in sorted(registry().items())
+    }
 
 
 def solve(
@@ -41,20 +74,18 @@ def solve(
     rng:
         Seed for stochastic methods (only LPRR uses randomness).
     **kwargs:
-        Forwarded to the heuristic (e.g. ``backend=`` for LP-based
-        methods).
+        Method options (e.g. ``eager_integer_fixing=`` for LPRR) and the
+        LP re-solve knobs ``warm_start=``/``lp_backend=``. Unknown names
+        raise :class:`~repro.util.errors.SolverError` naming the nearest
+        valid option.
 
     Returns
     -------
     HeuristicResult
-        Allocation + objective value + timing metadata; the allocation is
-        guaranteed valid (checked before returning).
+        Concretely a :class:`~repro.api.report.SolveReport` — allocation
+        + objective value + timing metadata + config echo; the
+        allocation is guaranteed valid (checked before returning).
     """
-    from repro.heuristics.base import get_heuristic
+    from repro.api import Solver
 
-    heuristic = get_heuristic(method)
-    result = heuristic.run(problem, rng=rng, **kwargs)
-    # Defensive: every public entry point re-validates.
-    if result.allocation is not None:
-        problem.check(result.allocation).raise_if_invalid()
-    return result
+    return Solver.for_method(method, **kwargs).solve(problem, rng=rng)

@@ -11,11 +11,14 @@ Examples
     python -m repro.experiments trends --settings 12 \\
         --checkpoint trends.ckpt --resume
     python -m repro.experiments grid          # print Table 1
+    python -m repro.experiments --list-methods     # registry metadata
+    python -m repro.experiments --list-scenarios   # scenario registry
 
 Each subcommand prints the numeric series (and an ASCII plot) to stdout;
 seeds make every run reproducible. ``--jobs N`` fans the sweep out over
 N worker processes with *identical* output (stateless per-task seeds),
 and ``--checkpoint``/``--resume`` give interrupted sweeps exact resume.
+The sweep subcommands run through the :class:`repro.api.Solver` facade.
 """
 
 from __future__ import annotations
@@ -27,8 +30,20 @@ from repro.experiments.aggregate import headline_ratios, lpr_failure_stats
 from repro.experiments.config import PAPER_GRID, grid_size, sample_settings
 from repro.experiments.figures import figure5, figure6, figure7
 from repro.experiments.report import render_figure
-from repro.experiments.runner import run_sweep
 from repro.experiments.trends import render_trends
+
+
+def _sweep_solver(args):
+    """A :class:`repro.api.Solver` carrying the CLI's execution knobs."""
+    from repro.api import Solver, SolverConfig
+
+    return Solver(
+        SolverConfig(
+            jobs=args.jobs,
+            checkpoint=getattr(args, "checkpoint", None),
+            resume=getattr(args, "resume", False),
+        )
+    )
 
 
 def _positive_int(text: str) -> int:
@@ -64,12 +79,60 @@ def _add_checkpoint(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _render_method_table() -> str:
+    """Registry metadata as a fixed-width listing (``--list-methods``)."""
+    from repro.core.solve import method_info
+
+    lines = ["registered methods:"]
+    infos = method_info()
+    width = max(len(name) for name in infos)
+    for name, info in infos.items():
+        flags = []
+        if info.uses_lp:
+            flags.append("LP")
+        flags.append("det" if info.deterministic else "rng")
+        tag = ",".join(flags)
+        lines.append(f"  {name:<{width}}  [{tag:<6}] {info.description}")
+        if info.aliases:
+            lines.append(f"  {'':<{width}}           aliases: "
+                         f"{', '.join(info.aliases)}")
+        if info.options:
+            lines.append(f"  {'':<{width}}           options: "
+                         f"{', '.join(info.options)}")
+    return "\n".join(lines)
+
+
+def _render_scenario_table() -> str:
+    """Scenario registry as a fixed-width listing (``--list-scenarios``)."""
+    from repro.api import available_scenarios, scenario_info
+
+    lines = ["registered scenarios:"]
+    names = available_scenarios()
+    width = max(len(name) for name in names)
+    for name in names:
+        info = scenario_info(name)
+        lines.append(
+            f"  {name:<{width}}  [{info.kind:<8}] {info.description}"
+        )
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation artifacts.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--list-methods",
+        action="store_true",
+        help="print per-method registry metadata and exit",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the scenario registry and exit",
+    )
+    sub = parser.add_subparsers(dest="command", required=False)
 
     p5 = sub.add_parser("figure5", help="LPRG and G vs LP bound over K")
     p5.add_argument("--k", type=int, nargs="+", default=[5, 15, 25, 35])
@@ -108,6 +171,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "list[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.list_methods or args.list_scenarios:
+        if args.command is not None:
+            parser.error(
+                "--list-methods/--list-scenarios cannot be combined with "
+                "a subcommand"
+            )
+        if args.list_methods:
+            print(_render_method_table())
+        if args.list_scenarios:
+            print(_render_scenario_table())
+        return 0
+    if args.command is None:
+        parser.error(
+            "a subcommand is required (or --list-methods/--list-scenarios)"
+        )
     if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
         parser.error("--resume requires --checkpoint")
 
@@ -139,15 +217,12 @@ def main(argv: "list[str] | None" = None) -> int:
         print(render_figure(fig))
     elif args.command == "headline":
         settings = sample_settings(args.settings, rng=args.seed, k_values=[5, 15, 25])
-        rows = run_sweep(
+        rows = _sweep_solver(args).sweep(
             settings,
             methods=("greedy", "lprg"),
             objectives=("maxmin", "sum"),
             n_platforms=args.platforms,
             rng=args.seed,
-            jobs=args.jobs,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
         )
         ratios = headline_ratios(rows)
         print("LPRG/G value ratios   [paper: MAXMIN 1.98, SUM 1.02]")
@@ -155,15 +230,12 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"  SUM:    {ratios['sum']:.3f}")
     elif args.command == "trends":
         settings = sample_settings(args.settings, rng=args.seed, k_values=[15])
-        rows = run_sweep(
+        rows = _sweep_solver(args).sweep(
             settings,
             methods=("greedy", "lpr", "lprg"),
             objectives=(args.objective,),
             n_platforms=args.platforms,
             rng=args.seed,
-            jobs=args.jobs,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
         )
         print(render_trends(rows, args.objective))
         stats = lpr_failure_stats(rows)

@@ -16,7 +16,6 @@ any ``jobs`` value.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -32,7 +31,7 @@ from repro.experiments.config import (
 )
 from repro.heuristics.base import get_heuristic
 from repro.platform.generator import generate_platform
-from repro.util.rng import ensure_rng, seed_sequence_of, spawn_seed_sequences
+from repro.util.rng import ensure_rng, spawn_seed_sequences
 
 #: methods swept by default (LPRR excluded: the paper, too, ran it on a
 #: small subset only because of its K^2 LP-solve cost)
@@ -181,58 +180,29 @@ def run_sweep(
         sweep definition (settings, scenario, methods, objectives,
         ``n_platforms`` and seed), so resuming into a different sweep
         fails loudly.
+
+    Notes
+    -----
+    Thin shim over :meth:`repro.api.Solver.sweep` (bitwise-identical
+    rows); hold a :class:`repro.api.Solver` directly to keep its warm
+    state — and to resolve registered sweep scenarios by name.
     """
-    from repro.experiments.persistence import row_from_dict, row_to_dict
-    from repro.parallel import (
-        CampaignCheckpoint,
-        CampaignEngine,
-        build_sweep_tasks,
-        run_sweep_task,
-        sweep_fingerprint,
-    )
+    from repro.api import Solver, SolverConfig
 
-    settings = list(settings)
-    n_platforms = (
-        scenario.platforms_per_setting if n_platforms is None else n_platforms
-    )
-    # Resolve the root seed once: with rng=None a fresh random root is
-    # drawn, and the task seeds and the checkpoint fingerprint must
-    # both describe that same root.
-    root = seed_sequence_of(rng)
-    tasks = build_sweep_tasks(
-        settings, scenario, methods, objectives, n_platforms, root
-    )
-
-    store = None
-    if checkpoint is not None:
-        store = CampaignCheckpoint(
-            checkpoint,
-            fingerprint=sweep_fingerprint(
-                settings, scenario, methods, objectives, n_platforms, root
-            ),
+    solver = Solver(
+        SolverConfig(
+            jobs=jobs,
+            chunk_size=chunk_size,
+            checkpoint=None if checkpoint is None else str(checkpoint),
             resume=resume,
-            encode=lambda rows: [row_to_dict(r) for r in rows],
-            decode=lambda rows: [row_from_dict(r) for r in rows],
-            meta={"n_tasks": len(tasks), "kind_detail": "sweep"},
         )
-
-    reporter = None
-    if progress:  # pragma: no cover - cosmetic
-        start = time.perf_counter()
-
-        def reporter(done: int, total: int) -> None:
-            elapsed = time.perf_counter() - start
-            print(f"  [{done}/{total}] tasks ({elapsed:.1f}s elapsed)", flush=True)
-
-    engine = CampaignEngine(run_sweep_task, jobs=jobs, chunk_size=chunk_size)
-    try:
-        per_task = engine.run(
-            tasks,
-            task_ids=[t.task_id for t in tasks],
-            checkpoint=store,
-            progress=reporter,
-        )
-    finally:
-        if store is not None:
-            store.close()
-    return [row for rows in per_task for row in rows]
+    )
+    return solver.sweep(
+        settings,
+        scenario=scenario,
+        methods=methods,
+        objectives=objectives,
+        n_platforms=n_platforms,
+        rng=rng,
+        progress=progress,
+    )

@@ -8,17 +8,46 @@ uniformly and :func:`repro.core.solve.solve` can dispatch by string.
 
 from __future__ import annotations
 
+import difflib
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.util.errors import SolverError
 from repro.util.rng import ensure_rng
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.allocation import Allocation
     from repro.core.problem import SteadyStateProblem
+
+
+@dataclass(frozen=True)
+class MethodInfo:
+    """Metadata describing one registered algorithm.
+
+    The typed counterpart of :func:`repro.core.solve.available_methods`:
+    what the method is, which run options it accepts, whether it solves
+    LPs, and whether its result depends on the ``rng`` argument.
+    """
+
+    name: str
+    aliases: tuple[str, ...]
+    description: str
+    options: tuple[str, ...]
+    uses_lp: bool
+    deterministic: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "aliases": list(self.aliases),
+            "description": self.description,
+            "options": list(self.options),
+            "uses_lp": self.uses_lp,
+            "deterministic": self.deterministic,
+        }
 
 
 @dataclass
@@ -73,6 +102,26 @@ class Heuristic:
     name: str = "abstract"
     #: additional lookup aliases
     aliases: tuple[str, ...] = ()
+    #: one-line human description (surfaced by ``method_info()``)
+    description: str = ""
+    #: keyword options :meth:`run` accepts besides ``rng``; anything
+    #: else passed through the public API is rejected with a suggestion
+    option_names: tuple[str, ...] = ()
+    #: does the algorithm solve LP relaxations?
+    uses_lp: bool = False
+    #: is the result independent of the ``rng`` argument?
+    deterministic: bool = True
+
+    def info(self) -> MethodInfo:
+        """This algorithm's :class:`MethodInfo` record."""
+        return MethodInfo(
+            name=self.name,
+            aliases=tuple(self.aliases),
+            description=self.description,
+            options=tuple(sorted(self.option_names)),
+            uses_lp=self.uses_lp,
+            deterministic=self.deterministic,
+        )
 
     def run(
         self,
@@ -128,6 +177,31 @@ def get_heuristic(name: str) -> Heuristic:
     except KeyError:
         known = sorted(set(_REGISTRY) | set(_ALIASES))
         raise ValueError(f"unknown method {name!r}; known: {known}") from None
+
+
+def nearest_name(name: str, candidates) -> "str | None":
+    """Closest match to ``name`` among ``candidates`` (None if nothing
+    is plausibly close) — shared by every did-you-mean diagnostic."""
+    matches = difflib.get_close_matches(name, sorted(candidates), n=1)
+    return matches[0] if matches else None
+
+
+def unknown_option_error(option: str, method: str, valid) -> SolverError:
+    """The :class:`SolverError` for an unrecognised solver option.
+
+    Historically ``solve()`` forwarded unknown ``**kwargs`` into the
+    heuristics' catch-all signatures, where they were silently ignored —
+    a typo like ``eager_integer_fixng=True`` changed nothing and said
+    nothing. Every public entry point now rejects unknown names through
+    this helper, naming the nearest valid option.
+    """
+    valid = sorted(valid)
+    message = f"unknown option {option!r} for method {method!r}"
+    suggestion = nearest_name(option, valid)
+    if suggestion is not None:
+        message += f"; did you mean {suggestion!r}?"
+    message += f" (valid options: {valid})"
+    return SolverError(message)
 
 
 def _ensure_loaded() -> None:

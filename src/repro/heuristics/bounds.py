@@ -28,6 +28,9 @@ class LPBound(Heuristic):
 
     name = "lp"
     aliases = ("lp-bound", "relaxation")
+    description = "rational relaxation of program (7): an upper bound, not a schedule"
+    uses_lp = True
+    deterministic = True
 
     def _solve(
         self, problem: SteadyStateProblem, rng: np.random.Generator, **kwargs
@@ -51,6 +54,10 @@ class MILPExact(Heuristic):
 
     name = "milp"
     aliases = ("exact", "mlp")
+    description = "exact mixed-integer optimum via HiGHS MILP"
+    option_names = ("time_limit",)
+    uses_lp = True
+    deterministic = True
 
     def _solve(
         self,
@@ -77,6 +84,10 @@ class BranchAndBoundExact(Heuristic):
 
     name = "bnb"
     aliases = ("branch-and-bound",)
+    description = "exact optimum via LP-based branch-and-bound (small K)"
+    option_names = ("max_nodes", "warm_start")
+    uses_lp = True
+    deterministic = True
 
     def _solve(
         self,

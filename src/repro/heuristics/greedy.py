@@ -140,6 +140,10 @@ class GreedyHeuristic(Heuristic):
 
     name = "greedy"
     aliases = ("g",)
+    description = "greedy G: resource-by-resource allocation (Section 5.1)"
+    option_names = ("selection",)
+    uses_lp = False
+    deterministic = True
 
     def _solve(
         self,

@@ -65,6 +65,9 @@ class LPRHeuristic(Heuristic):
     """Registry wrapper: rational LP + round-down."""
 
     name = "lpr"
+    description = "LPR: rational LP, betas rounded down (Section 5.2.1)"
+    uses_lp = True
+    deterministic = True
 
     def _solve(
         self, problem: SteadyStateProblem, rng: np.random.Generator, **kwargs

@@ -48,6 +48,9 @@ class LPRGHeuristic(Heuristic):
     """Registry wrapper: LP -> round down -> greedy top-up."""
 
     name = "lprg"
+    description = "LPRG: LPR + greedy top-up on residual capacity (Section 5.2.2)"
+    uses_lp = True
+    deterministic = True
 
     def _solve(
         self, problem: SteadyStateProblem, rng: np.random.Generator, **kwargs

@@ -145,6 +145,10 @@ class IteratedLPRGHeuristic(Heuristic):
 
     name = "lprg-it"
     aliases = ("lprgi", "iterated-lprg")
+    description = "iterated LPRG: residual LP re-solves between roundings (extension)"
+    option_names = ("lp_backend", "max_iters", "warm_start")
+    uses_lp = True
+    deterministic = True
 
     def _solve(
         self,

@@ -78,6 +78,9 @@ class _LPRRBase(Heuristic):
     """Shared implementation; subclasses pin the rounding probability."""
 
     equal_probability = False
+    option_names = ("eager_integer_fixing", "lp_backend", "warm_start")
+    uses_lp = True
+    deterministic = False
 
     def _solve(
         self,
@@ -173,6 +176,7 @@ class LPRRHeuristic(_LPRRBase):
     """Paper-faithful LPRR (round up with probability = fractional part)."""
 
     name = "lprr"
+    description = "LPRR: randomized rounding with ~K^2 LP re-solves (Section 5.2.3)"
     equal_probability = False
 
 
@@ -181,4 +185,5 @@ class LPRREqualHeuristic(_LPRRBase):
     """Ablation: round up/down with equal probability (Section 6.2 remark)."""
 
     name = "lprr-eq"
+    description = "LPRR ablation: round up/down with equal probability (Section 6.2)"
     equal_probability = True

@@ -15,6 +15,8 @@ so assembly stays O(non-zeros) even for large ``K``.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -107,6 +109,25 @@ class LPInstance:
             row_labels=self.row_labels,
         )
 
+    def fresh_copy(self) -> "LPInstance":
+        """Independent-data copy sharing the immutable structure.
+
+        ``obj``/``b_ub``/``lb``/``ub`` are copied because callers (the
+        session-backed heuristics) mutate them in place; ``A_ub``,
+        ``index`` and ``row_labels`` are shared — nothing in the library
+        writes to them after assembly.
+        """
+        return LPInstance(
+            obj=self.obj.copy(),
+            A_ub=self.A_ub,
+            b_ub=self.b_ub.copy(),
+            lb=self.lb.copy(),
+            ub=self.ub.copy(),
+            index=self.index,
+            row_labels=self.row_labels,
+            _row_map=self._row_map,
+        )
+
 
 class _COOBuilder:
     """Accumulate (row, col, value) triplets for one CSR conversion."""
@@ -162,6 +183,143 @@ class _COOBuilder:
         return matrix, np.asarray(self.rhs, dtype=float)
 
 
+class LPBuildCache:
+    """Cross-call cache of assembled program-(7) instances.
+
+    Templates are keyed by ``(platform fingerprint, objective, payoffs)``
+    — everything the assembled matrices depend on — so repeated solves of
+    the same (or an equal-but-distinct) problem skip the whole COO
+    assembly. :meth:`fetch` returns a :meth:`LPInstance.fresh_copy`, so
+    callers may mutate bounds/RHS freely while the pristine template
+    survives; results are therefore bitwise-identical with and without
+    the cache. The cache also memoises the densified ``A_ub`` that every
+    :class:`~repro.lp.session.LPSession` needs (keyed by the CSR object
+    all copies of a template share), so repeated sessions skip the
+    ``toarray()`` as well.
+
+    Install with :func:`use_build_cache`; :class:`repro.api.Solver` owns
+    one per instance — it is the facade's cross-call warm state. The
+    counters feed ``benchmarks/bench_api_reuse.py``: ``cold_builds``
+    counts actual assemblies, ``build_hits`` the assemblies avoided.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        self.max_entries = int(max_entries)
+        self._templates: "dict[tuple, LPInstance]" = {}
+        self._dense: "dict[int, tuple]" = {}
+        self.build_hits = 0
+        self.cold_builds = 0
+        self.dense_hits = 0
+        self.dense_builds = 0
+
+    # ------------------------------------------------------------------
+    def key_for(
+        self,
+        problem: SteadyStateProblem,
+        obj_fn: Objective,
+        base_throughputs: "np.ndarray | None",
+    ) -> "tuple | None":
+        """Cache key for a build request, or ``None`` when uncacheable.
+
+        Residual re-solves (non-zero ``base_throughputs``) and custom
+        objective instances are built fresh every time: the former are
+        one-shot programs, the latter could shadow a registered name
+        with different coefficients.
+        """
+        if base_throughputs is not None and np.any(base_throughputs):
+            return None
+        if get_objective(obj_fn.name) is not obj_fn:
+            return None
+        from repro.platform.serialization import platform_fingerprint
+
+        try:
+            fingerprint = platform_fingerprint(problem.platform)
+        except Exception:  # unserialisable platform stand-in
+            return None
+        return (fingerprint, obj_fn.name, problem.payoffs.tobytes())
+
+    def fetch(self, key: tuple) -> "LPInstance | None":
+        template = self._templates.get(key)
+        if template is None:
+            return None
+        self.build_hits += 1
+        return template.fresh_copy()
+
+    def store(self, key: "tuple | None", instance: LPInstance) -> None:
+        self.cold_builds += 1
+        if key is None:
+            return
+        self._templates[key] = instance.fresh_copy()
+        while len(self._templates) > self.max_entries:
+            oldest = next(iter(self._templates))
+            del self._templates[oldest]
+
+    # ------------------------------------------------------------------
+    def dense_matrix(self, instance: LPInstance) -> np.ndarray:
+        """Shared dense ``A_ub`` for all copies of one template.
+
+        Keyed by the identity of the CSR matrix (which ``fresh_copy``
+        and ``with_bounds`` share); the entry keeps a strong reference
+        to the CSR so the id cannot be recycled while the cache lives.
+        Consumers only read the array (``simplex_solve`` copies into its
+        own tableau), so sharing is safe.
+        """
+        key = id(instance.A_ub)
+        entry = self._dense.get(key)
+        if entry is None or entry[0] is not instance.A_ub:
+            self.dense_builds += 1
+            entry = (
+                instance.A_ub,
+                np.asarray(instance.A_ub.toarray(), dtype=float),
+            )
+            self._dense[key] = entry
+            while len(self._dense) > self.max_entries:
+                oldest = next(iter(self._dense))
+                del self._dense[oldest]
+        else:
+            self.dense_hits += 1
+        return entry[1]
+
+    def stats(self) -> dict:
+        return {
+            "cold_builds": self.cold_builds,
+            "build_hits": self.build_hits,
+            "dense_builds": self.dense_builds,
+            "dense_hits": self.dense_hits,
+            "templates": len(self._templates),
+        }
+
+
+_ACTIVE_BUILD_CACHE: "ContextVar[LPBuildCache | None]" = ContextVar(
+    "repro_lp_build_cache", default=None
+)
+
+
+def active_build_cache() -> "LPBuildCache | None":
+    """The :class:`LPBuildCache` installed for the current context."""
+    return _ACTIVE_BUILD_CACHE.get()
+
+
+@contextmanager
+def use_build_cache(cache: LPBuildCache):
+    """Install ``cache`` for :func:`build_lp` / ``LPSession`` in the block.
+
+    Nesting is outer-wins: if a cache is already active, the block keeps
+    it (and yields it), so batched drivers — ``Solver.solve_many`` over
+    per-instance ``solve`` calls — compose into one shared cache instead
+    of shadowing each other.
+    """
+    current = _ACTIVE_BUILD_CACHE.get()
+    if current is not None:
+        yield current
+        return
+    token = _ACTIVE_BUILD_CACHE.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE_BUILD_CACHE.reset(token)
+
+
 def build_lp(
     problem: SteadyStateProblem,
     objective: "str | Objective | None" = None,
@@ -194,6 +352,15 @@ def build_lp(
                 f"base_throughputs must have shape ({K},), got "
                 f"{base_throughputs.shape}"
             )
+
+    cache = active_build_cache()
+    cache_key = None
+    if cache is not None:
+        cache_key = cache.key_for(problem, obj_fn, base_throughputs)
+        if cache_key is not None:
+            cached = cache.fetch(cache_key)
+            if cached is not None:
+                return cached
 
     index = shared_variable_index(platform, with_t=(obj_fn.name == "maxmin"))
     n = index.n_vars
@@ -264,7 +431,7 @@ def build_lp(
         # convention and t has no linearisation row to bound it.
         ub[index.t_index] = 0.0
 
-    return LPInstance(
+    instance = LPInstance(
         obj=obj,
         A_ub=A_ub,
         b_ub=b_ub,
@@ -273,3 +440,6 @@ def build_lp(
         index=index,
         row_labels=builder.labels,
     )
+    if cache is not None:
+        cache.store(cache_key, instance)
+    return instance

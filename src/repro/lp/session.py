@@ -143,6 +143,12 @@ class LPSession:
     max_iter:
         Pivot budget per simplex call; exhausting it triggers one cold
         HiGHS fallback solve instead of failing.
+    dense_A:
+        Pre-densified ``A_ub`` to share across sessions (read-only).
+        When omitted and an :func:`~repro.lp.builder.use_build_cache`
+        cache is active — i.e. inside a :class:`repro.api.Solver` — the
+        cache's shared dense matrix is used; otherwise the instance is
+        densified privately, as before.
     """
 
     def __init__(
@@ -150,12 +156,21 @@ class LPSession:
         instance: LPInstance,
         warm_start: bool = True,
         max_iter: int = 100_000,
+        dense_A: "np.ndarray | None" = None,
     ):
         self.instance = instance
         self.warm_start = bool(warm_start)
         self.max_iter = int(max_iter)
         self.stats = SessionStats()
-        self._A = np.asarray(instance.A_ub.toarray(), dtype=float)
+        if dense_A is None:
+            from repro.lp.builder import active_build_cache
+
+            cache = active_build_cache()
+            if cache is not None:
+                dense_A = cache.dense_matrix(instance)
+            else:
+                dense_A = np.asarray(instance.A_ub.toarray(), dtype=float)
+        self._A = dense_A
         self._basis: "Basis | None" = None
 
     # ------------------------------------------------------------------

@@ -24,8 +24,6 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.core.solve import solve
-from repro.parallel.engine import CampaignEngine
-from repro.util.rng import spawn_seed_sequences
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.problem import SteadyStateProblem
@@ -80,18 +78,24 @@ def solve_many(
     chunk_size:
         Tasks per pool submission (default: auto).
     **kwargs:
-        Forwarded to every solve (e.g. ``backend=``).
+        Method options applied to every solve (e.g. ``warm_start=``,
+        ``lp_backend=``); unknown names raise ``SolverError`` with a
+        did-you-mean suggestion.
 
     Returns
     -------
     list[HeuristicResult]
         One result per problem, in the order given.
+
+    Notes
+    -----
+    Thin shim over :meth:`repro.api.Solver.solve_many` (bitwise-
+    identical output); hold a :class:`repro.api.Solver` directly to keep
+    its warm state across *batches* too.
     """
-    problems = list(problems)
-    seeds = spawn_seed_sequences(rng, len(problems))
-    tasks = [
-        _SolveTask(problem=p, method=method, seed=s, kwargs=dict(kwargs))
-        for p, s in zip(problems, seeds)
-    ]
-    engine = CampaignEngine(_run_solve_task, jobs=jobs, chunk_size=chunk_size)
-    return engine.run(tasks)
+    from repro.api import Solver
+
+    solver = Solver.for_method(
+        method, jobs=jobs, chunk_size=chunk_size, **kwargs
+    )
+    return solver.solve_many(problems, rng=rng)

@@ -21,6 +21,7 @@ from repro.platform.generator import (
 from repro.platform.serialization import (
     platform_to_dict,
     platform_from_dict,
+    platform_fingerprint,
     save_platform,
     load_platform,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "fully_connected_platform",
     "platform_to_dict",
     "platform_from_dict",
+    "platform_fingerprint",
     "save_platform",
     "load_platform",
     "PRESETS",

@@ -8,6 +8,7 @@ construction rather than recomputed.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -51,6 +52,32 @@ def platform_to_dict(platform: Platform, include_routes: bool = True) -> dict:
             for (k, l) in platform.routed_pairs()
         ]
     return data
+
+
+def platform_fingerprint(platform: Platform) -> str:
+    """Content hash identifying a platform up to float representation.
+
+    Two platforms with identical clusters, links and routing tables hash
+    identically even when they are distinct objects (e.g. one was
+    pickled across a process boundary, or both were loaded from the same
+    file), which is what lets :class:`repro.api.Solver` share LP
+    templates and variable indices across calls that pass equal-but-
+    distinct platforms. The hash is memoised on the instance — platforms
+    are immutable once built — so repeated lookups cost one dict probe.
+    """
+    try:
+        memo = platform.__dict__
+    except AttributeError:  # platform stand-in without a __dict__
+        memo = None
+    if memo is not None:
+        cached = memo.get("_fingerprint_memo")
+        if cached is not None:
+            return cached
+    payload = json.dumps(platform_to_dict(platform), sort_keys=True)
+    digest = hashlib.sha1(payload.encode("utf-8")).hexdigest()
+    if memo is not None:
+        memo["_fingerprint_memo"] = digest
+    return digest
 
 
 def platform_from_dict(data: dict) -> Platform:

@@ -1,0 +1,320 @@
+"""API-equivalence suite for the :mod:`repro.api` facade.
+
+Pins the redesign's core contract: ``Solver(...).solve/solve_many/
+sweep`` are **bitwise-equal** to the legacy ``solve``/``solve_many``/
+``run_sweep`` shims across every registered method and both objectives,
+with or without cross-call state reuse. Plus ``SolverConfig``
+validation, ``to_dict``/``from_dict`` round-trips, the strict
+unknown-option rejection (the PR's bugfix satellite), and
+``method_info()`` metadata consistency.
+"""
+
+import doctest
+from dataclasses import fields
+
+import numpy as np
+import pytest
+
+from repro import (
+    SolveReport,
+    Solver,
+    SolverConfig,
+    SolverError,
+    method_info,
+    solve,
+    solve_many,
+)
+from repro.api.config import (
+    GreedyOptions,
+    IteratedLPRGOptions,
+    LPRROptions,
+    MethodOptions,
+    options_class_for,
+)
+from repro.core.solve import available_methods
+from repro.heuristics.base import get_heuristic
+
+
+def assert_same_result(a, b):
+    """Bitwise comparison of the deterministic result fields."""
+    assert a.method == b.method
+    assert a.objective == b.objective
+    assert a.value == b.value
+    assert a.n_lp_solves == b.n_lp_solves
+    if a.allocation is None:
+        assert b.allocation is None
+    else:
+        assert np.array_equal(a.allocation.alpha, b.allocation.alpha)
+        assert np.array_equal(a.allocation.beta, b.allocation.beta)
+
+
+class TestSolveEquivalence:
+    @pytest.mark.parametrize("objective", ["maxmin", "sum"])
+    @pytest.mark.parametrize("method", sorted(available_methods()))
+    def test_facade_matches_legacy_all_methods(
+        self, problem_factory, method, objective
+    ):
+        # K=4 keeps the exact solvers (milp/bnb) cheap enough to sweep.
+        problem = problem_factory(seed=1, n_clusters=4, objective=objective)
+        legacy = solve(problem, method, rng=7)
+        facade = Solver.for_method(method).solve(problem, rng=7)
+        assert_same_result(legacy, facade)
+
+    @pytest.mark.parametrize("method", ["lprg", "lprr", "lprg-it"])
+    def test_reused_solver_bitwise_equal_to_fresh(self, problem_factory, method):
+        problem = problem_factory(seed=2, n_clusters=5)
+        reused = Solver.for_method(method)
+        first = reused.solve(problem, rng=3)
+        again = reused.solve(problem, rng=3)  # warm template + dense cache
+        fresh = Solver.for_method(method).solve(problem, rng=3)
+        assert_same_result(first, again)
+        assert_same_result(first, fresh)
+        assert reused.state.lp_cache.build_hits > 0
+
+    def test_seed_policy_matches_per_call_rng(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=4)
+        configured = Solver(SolverConfig(method="lprr", seed=11)).solve(problem)
+        explicit = Solver.for_method("lprr").solve(problem, rng=11)
+        assert_same_result(configured, explicit)
+
+    def test_objective_override(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=4, objective="maxmin")
+        report = Solver(SolverConfig(method="greedy", objective="sum")).solve(
+            problem
+        )
+        assert report.objective == "sum"
+        assert_same_result(report, solve(problem.with_objective("sum"), "greedy"))
+
+    def test_report_shape(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=4)
+        solver = Solver.for_method("lprr")
+        report = solver.solve(problem, rng=0)
+        assert isinstance(report, SolveReport)
+        assert report.config is solver.config
+        assert report.cache_stats["cold_builds"] >= 1
+        assert report.lp_stats is not None  # session-backed at K=4
+        assert "lprr" in repr(report)  # HeuristicResult repr preserved
+
+    def test_legacy_solve_returns_report(self, problem_factory):
+        report = solve(problem_factory(seed=0, n_clusters=4), "greedy")
+        assert isinstance(report, SolveReport)
+        assert report.config.method == "greedy"
+
+
+class TestBatchAndSweepEquivalence:
+    def test_solve_many_matches_legacy_and_loop(self, problem_factory):
+        problems = [problem_factory(seed=s, n_clusters=4) for s in range(4)]
+        legacy = solve_many(problems, "lprr", rng=5)
+        facade = Solver.for_method("lprr").solve_many(problems, rng=5)
+        for a, b in zip(legacy, facade):
+            assert_same_result(a, b)
+        # ... and to a per-instance spawn-child solve (the PR-1 contract).
+        from repro.util.rng import spawn_seed_sequences
+
+        first_seed = spawn_seed_sequences(5, len(problems))[0]
+        loose = solve(problems[0], "lprr", rng=np.random.default_rng(first_seed))
+        assert_same_result(loose, facade[0])
+
+    def test_solve_many_batch_reuses_state(self, problem_factory):
+        problem = problem_factory(seed=3, n_clusters=4)
+        solver = Solver.for_method("lprg")
+        reports = solver.solve_many([problem] * 6, rng=0)
+        assert len(reports) == 6
+        assert solver.state.lp_cache.cold_builds == 1
+        assert solver.state.lp_cache.build_hits == 5
+        # Reports describe the owning batch solver, not per-task shims.
+        for report in reports:
+            assert report.config is solver.config
+            assert report.cache_stats["cold_builds"] == 1
+            assert report.cache_stats["build_hits"] == 5
+
+    def test_index_cache_bounded(self, problem_factory):
+        from repro.api import SolverState
+
+        solver = Solver.for_method("greedy")
+        for fp in range(SolverState.MAX_INDEX_ENTRIES + 50):
+            solver.state.index_cache[f"fake-{fp}"] = {}
+        solver.state.adopt_platform(
+            problem_factory(seed=0, n_clusters=3).platform
+        )
+        assert len(solver.state.index_cache) <= SolverState.MAX_INDEX_ENTRIES
+
+    def test_sweep_matches_legacy_run_sweep(self):
+        from repro.experiments import run_sweep, sample_settings
+
+        settings = sample_settings(2, rng=4, k_values=[5])
+        legacy = run_sweep(settings, n_platforms=1, rng=9)
+        facade = Solver(SolverConfig()).sweep(settings, n_platforms=1, rng=9)
+        named = Solver(SolverConfig()).sweep(
+            settings, scenario="calibrated", n_platforms=1, rng=9
+        )
+
+        def key(rows):
+            return [
+                (r.setting, r.replicate, r.objective, r.method, r.value,
+                 r.lp_value, r.n_lp_solves)
+                for r in rows
+            ]
+
+        assert key(legacy) == key(facade) == key(named)
+
+
+class TestOptionRejection:
+    """The bugfix satellite: unknown options error instead of no-op."""
+
+    def test_unknown_option_suggests_nearest(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=3)
+        with pytest.raises(SolverError, match="eager_integer_fixing"):
+            solve(problem, "lprr", eager_integer_fixng=True)
+
+    def test_unknown_option_lists_valid(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=3)
+        with pytest.raises(SolverError, match="valid options"):
+            solve(problem, "greedy", selektion="literal")
+
+    def test_option_of_other_method_rejected(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=3)
+        with pytest.raises(SolverError, match="max_iters"):
+            solve(problem, "greedy", max_iters=3)
+
+    def test_solve_many_validates_too(self, problem_factory):
+        with pytest.raises(SolverError, match="did you mean"):
+            solve_many(
+                [problem_factory(seed=0, n_clusters=3)], "lprr", wam_start=False
+            )
+
+    def test_valid_options_still_flow(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=4)
+        report = solve(problem, "lprr", rng=0, eager_integer_fixing=True,
+                       warm_start=False, lp_backend="session")
+        assert report.allocation is not None
+        assert report.meta["lp_backend"] == "session"
+
+
+class TestSolverConfig:
+    def test_alias_canonicalised(self):
+        assert SolverConfig(method="G").method == "greedy"
+        assert SolverConfig.for_method("branch-and-bound").method == "bnb"
+
+    def test_unknown_method_is_value_error(self):
+        with pytest.raises(ValueError):
+            SolverConfig(method="quantum-annealing")
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            SolverConfig(objective="fairness")
+
+    def test_bad_lp_backend(self):
+        with pytest.raises(SolverError, match="lp_backend"):
+            SolverConfig(lp_backend="cplex")
+
+    def test_bad_jobs_and_chunk(self):
+        with pytest.raises(SolverError):
+            SolverConfig(jobs=0)
+        with pytest.raises(SolverError):
+            SolverConfig(chunk_size=0)
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SolverError, match="checkpoint"):
+            SolverConfig(resume=True)
+
+    def test_bad_seed_type(self):
+        with pytest.raises(SolverError, match="seed"):
+            SolverConfig(seed="42")
+
+    def test_options_default_per_method(self):
+        assert isinstance(SolverConfig(method="lprr").options, LPRROptions)
+        assert isinstance(SolverConfig(method="greedy").options, GreedyOptions)
+        assert type(SolverConfig(method="lpr").options) is MethodOptions
+
+    def test_wrong_options_type_rejected(self):
+        with pytest.raises(SolverError, match="GreedyOptions"):
+            SolverConfig(method="greedy", options=LPRROptions())
+
+    def test_bad_selection_value(self):
+        with pytest.raises(SolverError, match="selection"):
+            SolverConfig(method="greedy", options=GreedyOptions(selection="magic"))
+
+    @pytest.mark.parametrize("method", sorted(available_methods()))
+    def test_to_from_dict_round_trip(self, method):
+        config = SolverConfig.for_method(
+            method, seed=3, jobs=2, lp_backend="scipy", warm_start=False
+        )
+        clone = SolverConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_round_trip_with_method_options(self):
+        config = SolverConfig.for_method(
+            "lprg-it", max_iters=7, checkpoint="/tmp/x.ckpt", resume=True
+        )
+        clone = SolverConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.options == IteratedLPRGOptions(max_iters=7)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(SolverError, match="did you mean"):
+            SolverConfig.from_dict({"method": "lprg", "job": 4})
+
+    def test_method_kwargs_gating(self):
+        assert SolverConfig(method="greedy").method_kwargs() == {
+            "selection": "intuition"
+        }
+        lprr = SolverConfig.for_method("lprr", warm_start=False)
+        assert lprr.method_kwargs() == {
+            "eager_integer_fixing": False,
+            "warm_start": False,
+            "lp_backend": "auto",
+        }
+        bnb = SolverConfig(method="bnb").method_kwargs()
+        assert "lp_backend" not in bnb and bnb["warm_start"] is True
+
+
+class TestMethodInfo:
+    def test_covers_available_methods(self):
+        info = method_info()
+        assert set(info) == set(available_methods())
+
+    def test_metadata_content(self):
+        info = method_info()
+        assert info["greedy"].uses_lp is False
+        assert info["lprr"].deterministic is False
+        assert info["lprr"].uses_lp is True
+        assert "time_limit" in info["milp"].options
+        assert "g" in info["greedy"].aliases
+        assert info["lprg"].description
+        assert info["lp"].as_dict()["uses_lp"] is True
+
+    @pytest.mark.parametrize("method", sorted(available_methods()))
+    def test_options_classes_consistent_with_registry(self, method):
+        """Every declared run option is reachable through the config:
+        either a typed sub-config field or a config-level LP knob."""
+        heuristic = get_heuristic(method)
+        opt_fields = {f.name for f in fields(options_class_for(method))}
+        config_level = {"warm_start", "lp_backend"} & set(heuristic.option_names)
+        assert opt_fields | config_level == set(heuristic.option_names)
+
+    def test_cli_list_methods(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list-methods"]) == 0
+        out = capsys.readouterr().out
+        assert "lprg" in out and "eager_integer_fixing" in out
+
+    def test_cli_list_flag_with_subcommand_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--list-methods", "grid"])
+        assert exc.value.code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+
+class TestApiDoctests:
+    @pytest.mark.parametrize("module_name", ["repro", "repro.core.solve"])
+    def test_module_doctests(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        result = doctest.testmod(module, verbose=False)
+        assert result.failed == 0
+        assert result.attempted > 0

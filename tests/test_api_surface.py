@@ -1,0 +1,53 @@
+"""Public-API surface snapshot.
+
+``tests/data/api_surface.json`` is the checked-in manifest of what
+``repro`` and ``repro.api`` export. Any addition, rename or removal
+fails here first, forcing the change to be deliberate: update the
+manifest in the same commit (and mention the surface change in
+CHANGES.md). ``scripts/verify.sh`` runs this file as its own step.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+MANIFEST = Path(__file__).resolve().parent / "data" / "api_surface.json"
+
+
+def load_manifest() -> dict:
+    with MANIFEST.open() as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("module_name", ["repro", "repro.api"])
+def test_all_matches_manifest(module_name):
+    import importlib
+
+    module = importlib.import_module(module_name)
+    recorded = load_manifest()[module_name]
+    actual = sorted(module.__all__)
+    assert actual == recorded, (
+        f"{module_name}.__all__ drifted from tests/data/api_surface.json; "
+        "if the change is intentional, regenerate the manifest"
+    )
+
+
+@pytest.mark.parametrize("module_name", ["repro", "repro.api"])
+def test_exports_resolve_and_are_complete(module_name):
+    """Every advertised name exists, and ``__all__`` has no duplicates."""
+    import importlib
+
+    module = importlib.import_module(module_name)
+    assert len(module.__all__) == len(set(module.__all__))
+    for name in module.__all__:
+        assert getattr(module, name, None) is not None or name == "__version__"
+        assert hasattr(module, name), f"{module_name}.{name} does not resolve"
+
+
+def test_star_import_honours_all():
+    namespace: dict = {}
+    exec("from repro import *", namespace)  # noqa: S102 - test-only
+    exported = {k for k in namespace if not k.startswith("__")}
+    manifest = set(load_manifest()["repro"]) - {"__version__"}
+    assert exported == manifest
