@@ -1,0 +1,221 @@
+"""E-stream — bounded-memory streaming aggregation on a 100k-row sweep.
+
+The gate of the streaming subsystem (:mod:`repro.parallel.stream`): a
+campaign of >= 100k rows is aggregated twice —
+
+* **materialised** (the historical path): every row collected in a
+  list, then reduced;
+* **streamed**: each task folded into the constant-size accumulators on
+  completion, rows discarded (``NullRowSink``);
+
+and two claims are enforced:
+
+* **identical aggregates** — the streamed tables are *bitwise* equal to
+  the in-memory reference fold (rows here are synthetic and
+  deterministic, so even the runtime table matches);
+* **bounded memory** — the streamed peak (tracemalloc) is a small
+  fraction of the materialised peak, and the *aggregation overhead* —
+  streamed peak minus a discard-everything baseline, i.e. the
+  accumulator + reorder-buffer state the subsystem adds on top of the
+  engine's per-task bookkeeping — stays flat when the row count is
+  scaled 8x with the setting count fixed: O(settings), never O(rows).
+
+The campaign uses cheap deterministic synthetic rows (no LP solves) so
+the benchmark measures the aggregation subsystem, not the solver; scale
+rises from ~100k to ~400k rows under ``REPRO_FULL=1``. Results land in
+``BENCH_stream_memory.json`` (repo root).
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+from pathlib import Path
+
+from repro.experiments import sample_settings
+from repro.experiments.runner import ExperimentRow
+from repro.parallel import CampaignEngine, StreamFold, SweepAccumulator
+
+from benchmarks.conftest import banner, full_scale
+
+_OUT = Path(__file__).resolve().parents[1] / "BENCH_stream_memory.json"
+
+#: campaign definition shared by the module-level worker (jobs=1 inline)
+_CONFIG = {
+    "settings": sample_settings(40, rng=99, k_values=[3, 4, 5, 6]),
+    "methods": ("greedy", "lpr", "lprg"),
+    "objectives": ("maxmin", "sum"),
+    "n_replicates": 1,
+    "seed": 4242,
+}
+
+
+def _mix(*parts: int) -> int:
+    """Cheap deterministic integer hash (splitmix64-style) — rows must
+    be a pure function of the task payload without per-task RNG cost."""
+    h = _CONFIG["seed"] & 0xFFFFFFFFFFFFFFFF
+    for p in parts:
+        h = (h ^ (p + 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
+        h = (h * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 31
+    return h
+
+
+def _synthetic_rows(index: int) -> list:
+    """Deterministic fake replicate for task ``index`` (int payload keeps
+    the task list itself tiny — the measured state is the rows)."""
+    cfg = _CONFIG
+    setting_index, replicate = divmod(index, cfg["n_replicates"])
+    setting = cfg["settings"][setting_index % len(cfg["settings"])]
+    rows = []
+    for oi, objective in enumerate(cfg["objectives"]):
+        h = _mix(setting_index, replicate, oi)
+        lp_value = (0.0, 80.0, 250.0, 250.0)[h & 3] if h % 25 else 0.0
+        rows.append(
+            ExperimentRow(
+                setting=setting, replicate=replicate, objective=objective,
+                method="lp", value=lp_value, lp_value=lp_value,
+                runtime=1e-3 + (h % 997) * 1e-5,
+                n_lp_solves=1,
+            )
+        )
+        for mi, method in enumerate(cfg["methods"]):
+            h = _mix(setting_index, replicate, oi, mi)
+            rows.append(
+                ExperimentRow(
+                    setting=setting, replicate=replicate, objective=objective,
+                    method=method,
+                    value=(0.0, 0.5, 0.9, 0.7)[h & 3] * lp_value,
+                    lp_value=lp_value,
+                    runtime=1e-3 + (h % 991) * 1e-5,
+                    n_lp_solves=1 + (h % 3),
+                )
+            )
+    return rows
+
+
+def _rows_per_task() -> int:
+    return (1 + len(_CONFIG["methods"])) * len(_CONFIG["objectives"])
+
+
+class _DiscardConsumer:
+    """Engine consumer that drops every result: isolates the engine's
+    own per-task bookkeeping from the aggregation subsystem's state."""
+
+    def add(self, index, result):
+        pass
+
+
+def _run_baseline(n_tasks: int) -> int:
+    """Peak bytes of running the campaign with no aggregation at all."""
+    engine = CampaignEngine(_synthetic_rows, jobs=1)
+    tracemalloc.start()
+    try:
+        engine.run(range(n_tasks), consumer=_DiscardConsumer())
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def _run_streamed(n_tasks: int) -> tuple:
+    """(tables, peak_bytes) of the constant-memory path."""
+    engine = CampaignEngine(_synthetic_rows, jobs=1)
+    tracemalloc.start()
+    try:
+        fold = StreamFold(SweepAccumulator(), n_tasks=n_tasks)
+        engine.run(range(n_tasks), consumer=fold)
+        tables = fold.finalize().tables()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return tables, peak
+
+
+def _run_materialised(n_tasks: int) -> tuple:
+    """(tables, peak_bytes) of the historical collect-then-reduce path."""
+    engine = CampaignEngine(_synthetic_rows, jobs=1)
+    tracemalloc.start()
+    try:
+        per_task = engine.run(range(n_tasks))
+        rows = [row for task_rows in per_task for row in task_rows]
+        tables = SweepAccumulator.from_rows(
+            rows,
+            methods=_CONFIG["methods"],
+            objectives=_CONFIG["objectives"],
+        ).tables()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return tables, peak
+
+
+def test_stream_memory_bounded():
+    n_replicates = 2560 if full_scale() else 320
+    _CONFIG["n_replicates"] = n_replicates
+    n_settings = len(_CONFIG["settings"])
+    n_tasks = n_settings * n_replicates
+    n_rows = n_tasks * _rows_per_task()
+    assert n_rows >= 100_000
+
+    small_tasks = n_tasks // 8
+    base_small = _run_baseline(small_tasks)
+    _, peak_small = _run_streamed(small_tasks)
+    base_full = _run_baseline(n_tasks)
+    streamed_tables, peak_streamed = _run_streamed(n_tasks)
+    materialised_tables, peak_materialised = _run_materialised(n_tasks)
+
+    banner(
+        "E-stream - streaming aggregation memory on a "
+        f"{n_rows:,}-row campaign",
+        "streamed aggregates bitwise-identical; aggregation state "
+        "O(settings), not O(rows)",
+    )
+    ratio = peak_streamed / peak_materialised
+    # what the aggregation subsystem *adds* beyond engine bookkeeping
+    overhead_small = max(peak_small - base_small, 1)
+    overhead_full = max(peak_streamed - base_full, 1)
+    print(f"campaign: {n_settings} settings x {n_replicates} replicates = "
+          f"{n_tasks:,} tasks, {n_rows:,} rows")
+    print(f"  materialised peak:  {peak_materialised / 1e6:8.2f} MB")
+    print(f"  streamed peak:      {peak_streamed / 1e6:8.2f} MB "
+          f"({100 * ratio:.1f}% of materialised)")
+    print(f"  aggregation state:  {overhead_full / 1e3:8.1f} KB "
+          f"(vs {overhead_small / 1e3:.1f} KB at 1/8 the rows)")
+
+    # Claim 1: identical aggregates, every byte (synthetic rows are
+    # deterministic, so even the runtime table must match).
+    assert json.dumps(streamed_tables, sort_keys=True) == json.dumps(
+        materialised_tables, sort_keys=True
+    ), "streamed aggregate diverged from the in-memory reference"
+
+    # Claim 2: bounded memory. The streamed peak must be a small
+    # fraction of materialising the rows, and the aggregation state must
+    # not grow with the row count (8x rows, settings fixed -> flat).
+    assert ratio < 0.25, (
+        f"streamed peak is {100 * ratio:.1f}% of materialised "
+        "(expected well under 25%)"
+    )
+    assert overhead_full < max(4 * overhead_small, 1_000_000), (
+        f"aggregation state grew from {overhead_small} to "
+        f"{overhead_full} bytes under 8x rows (expected O(settings): "
+        "flat, modulo allocator noise)"
+    )
+
+    payload = {
+        "benchmark": "stream_memory",
+        "full_scale": full_scale(),
+        "n_settings": n_settings,
+        "n_replicates": n_replicates,
+        "n_tasks": n_tasks,
+        "n_rows": n_rows,
+        "peak_bytes_materialised": peak_materialised,
+        "peak_bytes_streamed": peak_streamed,
+        "peak_bytes_baseline": base_full,
+        "aggregation_overhead_bytes": overhead_full,
+        "aggregation_overhead_bytes_eighth_scale": overhead_small,
+        "streamed_over_materialised": ratio,
+        "aggregates_bitwise_identical": True,
+    }
+    _OUT.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    print(f"  wrote {_OUT.name}")

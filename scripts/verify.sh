@@ -19,6 +19,15 @@
 # the Solver facade's cross-call state: reused solves must stay bitwise-
 # identical while cutting cold LP builds >= 30%; it refreshes
 # BENCH_api_reuse.json.
+#
+# The streaming step gates the streaming aggregation subsystem
+# (repro/parallel/stream.py): it re-runs the equivalence + accumulator
+# suites explicitly — so a deselecting/skipping change cannot silently
+# drop them (pytest exits non-zero when a named file collects nothing) —
+# and the memory smoke (bench_stream_memory.py) asserts streamed
+# aggregates are bitwise-identical to the in-memory reference with peak
+# aggregation state O(settings), not O(rows); it refreshes
+# BENCH_stream_memory.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +54,16 @@ python -m pytest -x -q -s benchmarks/bench_warmstart.py
 echo
 echo "== benchmark smoke: solver facade reuse =="
 python -m pytest -x -q -s benchmarks/bench_api_reuse.py
+
+echo
+echo "== streaming aggregation: equivalence suites (must not be deselected) =="
+python -m pytest -x -q \
+    tests/test_stream_equivalence.py \
+    tests/test_stream_accumulators.py
+
+echo
+echo "== benchmark smoke: streaming aggregation memory =="
+python -m pytest -x -q -s benchmarks/bench_stream_memory.py
 
 echo
 echo "verify.sh: all checks passed"

@@ -66,6 +66,7 @@ from repro.api import (
     SolveReport,
     Solver,
     SolverConfig,
+    SweepAccumulator,
     available_scenarios,
     build_scenario,
     register_scenario,
@@ -162,6 +163,7 @@ __all__ = [
     # parallel campaigns
     "CampaignEngine",
     "solve_many",
+    "SweepAccumulator",
     # errors
     "InfeasibleError",
     "PlatformError",

@@ -40,6 +40,7 @@ from repro.api.scenarios import (
     scenario_registry,
 )
 from repro.api.solver import Solver, SolverState
+from repro.parallel.stream import SweepAccumulator
 
 __all__ = [
     # configuration
@@ -55,6 +56,7 @@ __all__ = [
     "Solver",
     "SolverState",
     "SolveReport",
+    "SweepAccumulator",
     # scenarios
     "ScenarioRegistry",
     "ScenarioInfo",

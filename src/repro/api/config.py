@@ -140,6 +140,15 @@ class SolverConfig:
     checkpoint, resume:
         Incremental sweep checkpointing (``resume`` requires
         ``checkpoint``).
+    stream, row_sink:
+        Streaming sweep aggregation (see :mod:`repro.parallel.stream`).
+        With ``stream=True``, :meth:`repro.api.Solver.sweep` folds rows
+        into constant-size accumulators as tasks complete and returns a
+        :class:`~repro.parallel.stream.SweepAccumulator` instead of a
+        row list — memory O(settings), not O(rows), with aggregate
+        tables bitwise-identical for any ``jobs``/chunking/resume
+        pattern. ``row_sink`` optionally streams the raw rows to a
+        JSONL (default) or ``*.csv`` file; it requires ``stream=True``.
     options:
         The per-method typed sub-config; ``None`` means the method's
         defaults. Must be exactly the class of :func:`options_class_for`.
@@ -154,6 +163,8 @@ class SolverConfig:
     chunk_size: "int | None" = None
     checkpoint: "str | None" = None
     resume: bool = False
+    stream: bool = False
+    row_sink: "str | None" = None
     options: "MethodOptions | None" = None
 
     def __post_init__(self):
@@ -182,6 +193,11 @@ class SolverConfig:
             )
         if self.resume and not self.checkpoint:
             raise SolverError("resume=True requires a checkpoint path")
+        if self.row_sink is not None and not self.stream:
+            raise SolverError(
+                "row_sink requires stream=True (raw rows are only "
+                "diverted to a sink under streaming aggregation)"
+            )
         expected = options_class_for(self.method)
         if self.options is None:
             object.__setattr__(self, "options", expected())
@@ -255,6 +271,8 @@ class SolverConfig:
             "chunk_size": self.chunk_size,
             "checkpoint": self.checkpoint,
             "resume": self.resume,
+            "stream": self.stream,
+            "row_sink": self.row_sink,
             "options": self.options.to_dict(),
         }
 

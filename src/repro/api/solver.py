@@ -42,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.problem import SteadyStateProblem
     from repro.experiments.config import Scenario, Setting
     from repro.experiments.runner import ExperimentRow
+    from repro.parallel.stream import SweepAccumulator
 
 
 class SolverState:
@@ -230,17 +231,27 @@ class Solver:
         n_platforms: "int | None" = None,
         rng=None,
         progress: bool = False,
-    ) -> "list[ExperimentRow]":
+    ) -> "list[ExperimentRow] | SweepAccumulator":
         """Run a Section-6 style sweep over many grid points.
 
         The facade-native form of the historical ``run_sweep``:
-        execution (``jobs``, ``chunk_size``, ``checkpoint``, ``resume``)
-        comes from the config; the sweep definition from the arguments.
-        ``scenario`` accepts an :class:`~repro.experiments.config.
-        Scenario`, a registered sweep-scenario name (see
-        :mod:`repro.api.scenarios`), or ``None`` for the calibrated
-        default. Rows are bitwise-identical for any ``jobs``/chunking/
-        resume pattern (stateless per-task seeds).
+        execution (``jobs``, ``chunk_size``, ``checkpoint``, ``resume``,
+        ``stream``, ``row_sink``) comes from the config; the sweep
+        definition from the arguments. ``scenario`` accepts an
+        :class:`~repro.experiments.config.Scenario`, a registered
+        sweep-scenario name (see :mod:`repro.api.scenarios`), or
+        ``None`` for the calibrated default. Rows are bitwise-identical
+        for any ``jobs``/chunking/resume pattern (stateless per-task
+        seeds).
+
+        With ``stream=True`` the sweep never materialises its row list:
+        completed tasks are folded — in task-index order, so the result
+        is still bitwise-identical for any execution pattern — into a
+        :class:`~repro.parallel.stream.SweepAccumulator`, which is
+        returned in place of the rows; ``row_sink`` diverts the raw
+        rows to a JSONL/CSV file. An unwritable ``row_sink`` path fails
+        with :class:`~repro.util.errors.SolverError` *before* any task
+        runs.
         """
         import time
 
@@ -255,9 +266,17 @@ class Solver:
             run_sweep_task,
             sweep_fingerprint,
         )
+        from repro.parallel.stream import (
+            StreamFold,
+            SweepAccumulator,
+            open_row_sink,
+            validate_row_sink_path,
+        )
         from repro.util.rng import seed_sequence_of
 
         config = self.config
+        if config.row_sink is not None:
+            validate_row_sink_path(config.row_sink)  # fail before any work
         if scenario is None:
             scenario = DEFAULT_SCENARIO
         elif isinstance(scenario, str):
@@ -277,6 +296,7 @@ class Solver:
         tasks = build_sweep_tasks(
             settings, scenario, methods, objectives, n_platforms, root
         )
+        task_ids = [t.task_id for t in tasks]
 
         store = None
         if config.checkpoint is not None:
@@ -289,7 +309,24 @@ class Solver:
                 encode=lambda rows: [row_to_dict(r) for r in rows],
                 decode=lambda rows: [row_from_dict(r) for r in rows],
                 meta={"n_tasks": len(tasks), "kind_detail": "sweep"},
+                # streaming resume: lets a loaded accumulator snapshot
+                # release the row payloads of the prefix it covers
+                ordered_task_ids=task_ids if config.stream else None,
             )
+
+        fold = None
+        if config.stream:
+            fold = StreamFold(
+                SweepAccumulator(),
+                n_tasks=len(tasks),
+                sink=open_row_sink(config.row_sink),
+                task_ids=task_ids,
+                checkpoint=store,
+            )
+            if store is not None and store.saved_state is not None:
+                fold.restore(store.saved_state)
+            else:
+                fold.start()
 
         reporter = None
         if progress:  # pragma: no cover - cosmetic
@@ -309,11 +346,17 @@ class Solver:
             with use_build_cache(self.state.lp_cache):
                 per_task = engine.run(
                     tasks,
-                    task_ids=[t.task_id for t in tasks],
+                    task_ids=task_ids,
                     checkpoint=store,
                     progress=reporter,
+                    consumer=fold,
                 )
+            if fold is not None:
+                # Final snapshot must land before the checkpoint closes.
+                return fold.finalize()
         finally:
+            if fold is not None:
+                fold.sink.close()  # idempotent; releases the file on error
             if store is not None:
                 store.close()
         return [row for rows in per_task for row in rows]

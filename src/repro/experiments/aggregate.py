@@ -8,6 +8,16 @@
 * :func:`lpr_failure_stats` — Section 6.1's observation that LPR wastes
   network capacity and sometimes rounds every beta to zero;
 * :func:`runtime_by_k` — the series of Figure 7.
+
+Two aggregation paths coexist. The classic functions below reduce a
+materialised row list with ``np.mean`` — the historical reference, kept
+bitwise-stable. :func:`aggregate_rows` is the *streaming* reference: it
+folds the same rows through the constant-size accumulator algebra of
+:mod:`repro.parallel.stream` in task order, producing exactly (bitwise)
+what a ``stream=True`` sweep computes incrementally — use it to check a
+streamed aggregate against an in-memory row list. The two references
+agree to float-rounding (Welford vs two-pass means), pinned by
+``tests/test_stream_accumulators.py``.
 """
 
 from __future__ import annotations
@@ -98,3 +108,24 @@ def runtime_by_k(
     for r in _group(rows, method, objective):
         buckets[r.setting.k].append(r.runtime)
     return [(k, float(np.mean(v))) for k, v in sorted(buckets.items())]
+
+
+def aggregate_rows(
+    rows: Sequence[ExperimentRow],
+    methods: "Sequence[str] | None" = None,
+    objectives: "Sequence[str] | None" = None,
+):
+    """Fold a materialised row list through the streaming accumulators.
+
+    Returns the :class:`~repro.parallel.stream.SweepAccumulator` a
+    ``stream=True`` sweep of the same definition produces — bitwise,
+    because both fold the same rows in the same (task-index) order.
+    Passing the sweep's ``methods``/``objectives`` makes the per-task
+    re-chunking exact arithmetic; omitting them falls back to boundary
+    detection (see :func:`repro.parallel.stream.iter_task_groups`).
+    """
+    from repro.parallel.stream import SweepAccumulator
+
+    return SweepAccumulator.from_rows(
+        rows, methods=methods, objectives=objectives
+    )

@@ -8,6 +8,7 @@ Examples
     python -m repro.experiments figure6
     python -m repro.experiments figure7 --k 10 20 30
     python -m repro.experiments headline --settings 20 --jobs 4
+    python -m repro.experiments headline --stream --row-sink rows.jsonl
     python -m repro.experiments trends --settings 12 \\
         --checkpoint trends.ckpt --resume
     python -m repro.experiments grid          # print Table 1
@@ -18,7 +19,13 @@ Each subcommand prints the numeric series (and an ASCII plot) to stdout;
 seeds make every run reproducible. ``--jobs N`` fans the sweep out over
 N worker processes with *identical* output (stateless per-task seeds),
 and ``--checkpoint``/``--resume`` give interrupted sweeps exact resume.
-The sweep subcommands run through the :class:`repro.api.Solver` facade.
+``--stream`` aggregates through the constant-memory streaming subsystem
+(rows are folded as tasks finish, never materialised; ``--row-sink
+PATH`` diverts the raw rows to a JSONL/``.csv`` file). Invalid flag
+combinations (``--resume`` without ``--checkpoint``, ``--row-sink``
+without ``--stream``) and an unwritable ``--row-sink`` path fail before
+any task runs. The sweep subcommands run through the
+:class:`repro.api.Solver` facade.
 """
 
 from __future__ import annotations
@@ -42,6 +49,8 @@ def _sweep_solver(args):
             jobs=args.jobs,
             checkpoint=getattr(args, "checkpoint", None),
             resume=getattr(args, "resume", False),
+            stream=getattr(args, "stream", False),
+            row_sink=getattr(args, "row_sink", None),
         )
     )
 
@@ -61,6 +70,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for the sweep (1 = serial; results are "
         "identical for any value)",
+    )
+
+
+def _add_stream(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="streaming aggregation: fold rows into constant-size "
+        "accumulators as tasks finish (memory O(settings), identical "
+        "aggregates for any --jobs/resume pattern)",
+    )
+    parser.add_argument(
+        "--row-sink",
+        metavar="PATH",
+        default=None,
+        help="with --stream, write raw sweep rows to PATH (JSON lines, "
+        "or CSV when PATH ends in .csv) instead of keeping them in "
+        "memory",
     )
 
 
@@ -139,23 +166,27 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--settings-per-k", type=int, default=3)
     p5.add_argument("--platforms", type=int, default=3)
     _add_common(p5)
+    _add_stream(p5)
 
     p6 = sub.add_parser("figure6", help="LPRR vs G on small-K topologies")
     p6.add_argument("--k", type=int, nargs="+", default=[15, 20, 25])
     p6.add_argument("--settings-per-k", type=int, default=2)
     p6.add_argument("--platforms", type=int, default=2)
     _add_common(p6)
+    _add_stream(p6)
 
     p7 = sub.add_parser("figure7", help="running times over K (log scale)")
     p7.add_argument("--k", type=int, nargs="+", default=[10, 15, 20, 25])
     p7.add_argument("--no-lprr", action="store_true")
     _add_common(p7)
+    _add_stream(p7)
 
     ph = sub.add_parser("headline", help="Section 6.1 LPRG/G ratios")
     ph.add_argument("--settings", type=int, default=12)
     ph.add_argument("--platforms", type=int, default=2)
     _add_common(ph)
     _add_checkpoint(ph)
+    _add_stream(ph)
 
     pt = sub.add_parser("trends", help="Section 6.1 parameter-trend mining")
     pt.add_argument("--settings", type=int, default=12)
@@ -188,6 +219,10 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
         parser.error("--resume requires --checkpoint")
+    if getattr(args, "row_sink", None) and not getattr(args, "stream", False):
+        parser.error("--row-sink requires --stream")
+    # (an unwritable --row-sink path fails fast inside Solver.sweep,
+    # before any sweep task runs)
 
     if args.command == "figure5":
         fig = figure5(
@@ -196,6 +231,8 @@ def main(argv: "list[str] | None" = None) -> int:
             platforms_per_setting=args.platforms,
             rng=args.seed,
             jobs=args.jobs,
+            stream=args.stream,
+            row_sink=args.row_sink,
         )
         print(render_figure(fig))
     elif args.command == "figure6":
@@ -205,6 +242,8 @@ def main(argv: "list[str] | None" = None) -> int:
             platforms_per_setting=args.platforms,
             rng=args.seed,
             jobs=args.jobs,
+            stream=args.stream,
+            row_sink=args.row_sink,
         )
         print(render_figure(fig))
     elif args.command == "figure7":
@@ -213,18 +252,20 @@ def main(argv: "list[str] | None" = None) -> int:
             include_lprr=not args.no_lprr,
             rng=args.seed,
             jobs=args.jobs,
+            stream=args.stream,
+            row_sink=args.row_sink,
         )
         print(render_figure(fig))
     elif args.command == "headline":
         settings = sample_settings(args.settings, rng=args.seed, k_values=[5, 15, 25])
-        rows = _sweep_solver(args).sweep(
+        result = _sweep_solver(args).sweep(
             settings,
             methods=("greedy", "lprg"),
             objectives=("maxmin", "sum"),
             n_platforms=args.platforms,
             rng=args.seed,
         )
-        ratios = headline_ratios(rows)
+        ratios = result.headline_ratios() if args.stream else headline_ratios(result)
         print("LPRG/G value ratios   [paper: MAXMIN 1.98, SUM 1.02]")
         print(f"  MAXMIN: {ratios['maxmin']:.3f}")
         print(f"  SUM:    {ratios['sum']:.3f}")

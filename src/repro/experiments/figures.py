@@ -6,6 +6,14 @@ for :func:`repro.experiments.report.render_figure` to print a table and
 an ASCII plot. Scale knobs (``platforms_per_k``, K lists) default to
 laptop-friendly values; benchmarks pass larger ones under
 ``REPRO_FULL=1``.
+
+Every generator takes ``stream=True`` to run its sweep through the
+streaming aggregation subsystem (:mod:`repro.parallel.stream`): series
+come from the constant-size accumulators instead of a materialised row
+list (``FigureData.rows`` stays empty; pass ``row_sink`` to divert the
+raw rows to disk). The in-memory path remains the default and the
+bitwise reference; streamed means agree with it to float rounding
+(Welford vs ``np.mean``).
 """
 
 from __future__ import annotations
@@ -72,6 +80,8 @@ def figure5(
     scenario: Scenario = DEFAULT_SCENARIO,
     rng=None,
     jobs: int = 1,
+    stream: bool = False,
+    row_sink=None,
 ) -> FigureData:
     """Figure 5: LPRG and G vs the LP bound as K grows (both objectives).
 
@@ -81,7 +91,7 @@ def figure5(
     """
     rng = ensure_rng(rng)
     settings = _settings_for_k_sweep(k_values, settings_per_k, rng)
-    rows = run_sweep(
+    result = run_sweep(
         settings,
         scenario=scenario,
         methods=("greedy", "lpr", "lprg"),
@@ -89,18 +99,28 @@ def figure5(
         n_platforms=platforms_per_setting,
         rng=rng,
         jobs=jobs,
+        stream=stream,
+        row_sink=row_sink,
     )
     fig = FigureData(
         name="figure5",
         title="Figure 5: LPRG and G relative to the LP bound vs K",
-        rows=rows,
+        rows=[] if stream else result,
     )
     for method in ("lprg", "greedy"):
         for objective in ("maxmin", "sum"):
             label = f"{objective.upper()}({method.upper()})/LP"
-            fig.series[label] = mean_ratio_by_k(rows, method, objective)
-    fig.notes["headline_lprg_over_g"] = headline_ratios(rows)
-    fig.notes["lpr_failure"] = lpr_failure_stats(rows)
+            fig.series[label] = (
+                result.mean_ratio_by_k(method, objective)
+                if stream
+                else mean_ratio_by_k(result, method, objective)
+            )
+    if stream:
+        fig.notes["headline_lprg_over_g"] = result.headline_ratios()
+        fig.notes["lpr_failure"] = result.lpr_failure_stats()
+    else:
+        fig.notes["headline_lprg_over_g"] = headline_ratios(result)
+        fig.notes["lpr_failure"] = lpr_failure_stats(result)
     return fig
 
 
@@ -111,6 +131,8 @@ def figure6(
     scenario: Scenario = DEFAULT_SCENARIO,
     rng=None,
     jobs: int = 1,
+    stream: bool = False,
+    row_sink=None,
 ) -> FigureData:
     """Figure 6: LPRR vs G relative to the LP bound (80-topology study).
 
@@ -119,7 +141,7 @@ def figure6(
     """
     rng = ensure_rng(rng)
     settings = _settings_for_k_sweep(k_values, settings_per_k, rng)
-    rows = run_sweep(
+    result = run_sweep(
         settings,
         scenario=scenario,
         methods=("greedy", "lprr"),
@@ -127,16 +149,22 @@ def figure6(
         n_platforms=platforms_per_setting,
         rng=rng,
         jobs=jobs,
+        stream=stream,
+        row_sink=row_sink,
     )
     fig = FigureData(
         name="figure6",
         title="Figure 6: LPRR and G relative to the LP bound vs K",
-        rows=rows,
+        rows=[] if stream else result,
     )
     for method in ("lprr", "greedy"):
         for objective in ("maxmin", "sum"):
             label = f"{objective.upper()}({method.upper()})/LP"
-            fig.series[label] = mean_ratio_by_k(rows, method, objective)
+            fig.series[label] = (
+                result.mean_ratio_by_k(method, objective)
+                if stream
+                else mean_ratio_by_k(result, method, objective)
+            )
     fig.notes["n_topologies"] = len(settings) * platforms_per_setting
     return fig
 
@@ -149,6 +177,8 @@ def figure7(
     include_lprr: bool = True,
     rng=None,
     jobs: int = 1,
+    stream: bool = False,
+    row_sink=None,
 ) -> FigureData:
     """Figure 7: heuristic running time vs K (log scale).
 
@@ -159,7 +189,7 @@ def figure7(
     rng = ensure_rng(rng)
     settings = _settings_for_k_sweep(k_values, settings_per_k, rng)
     methods = ("greedy", "lpr", "lprg") + (("lprr",) if include_lprr else ())
-    rows = run_sweep(
+    result = run_sweep(
         settings,
         scenario=scenario,
         methods=methods,
@@ -167,18 +197,26 @@ def figure7(
         n_platforms=platforms_per_setting,
         rng=rng,
         jobs=jobs,
+        stream=stream,
+        row_sink=row_sink,
     )
+
+    def _runtime_series(method):
+        if stream:
+            return result.runtime_by_k(method)
+        return runtime_by_k(result, method)
+
     fig = FigureData(
         name="figure7",
         title="Figure 7: running time (s) of the heuristics vs K (log y)",
         logy=True,
-        rows=rows,
+        rows=[] if stream else result,
     )
     for method in methods:
-        fig.series[method.upper()] = runtime_by_k(rows, method)
+        fig.series[method.upper()] = _runtime_series(method)
     if include_lprr:
-        lprr = dict(runtime_by_k(rows, "lprr"))
-        lprg = dict(runtime_by_k(rows, "lprg"))
+        lprr = dict(_runtime_series("lprr"))
+        lprg = dict(_runtime_series("lprg"))
         fig.notes["lprr_over_lprg"] = {
             k: (lprr[k] / lprg[k] if lprg.get(k) else float("nan")) for k in lprr
         }

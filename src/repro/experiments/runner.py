@@ -17,7 +17,7 @@ any ``jobs`` value.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.experiments.config import (
 from repro.heuristics.base import get_heuristic
 from repro.platform.generator import generate_platform
 from repro.util.rng import ensure_rng, spawn_seed_sequences
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.stream import SweepAccumulator
 
 #: methods swept by default (LPRR excluded: the paper, too, ran it on a
 #: small subset only because of its K^2 LP-solve cost)
@@ -156,7 +159,9 @@ def run_sweep(
     chunk_size: "int | None" = None,
     checkpoint=None,
     resume: bool = False,
-) -> list[ExperimentRow]:
+    stream: bool = False,
+    row_sink=None,
+) -> "list[ExperimentRow] | SweepAccumulator":
     """Run the full sweep over many grid points.
 
     Parameters
@@ -180,6 +185,15 @@ def run_sweep(
         sweep definition (settings, scenario, methods, objectives,
         ``n_platforms`` and seed), so resuming into a different sweep
         fails loudly.
+    stream:
+        Fold rows into constant-size accumulators as tasks complete
+        (memory O(settings), not O(rows)) and return a
+        :class:`~repro.parallel.stream.SweepAccumulator` instead of the
+        row list; aggregates are bitwise-identical for any execution
+        pattern. See :mod:`repro.parallel.stream`.
+    row_sink:
+        With ``stream=True``, also write the raw rows to this JSONL
+        (default) or ``*.csv`` path instead of holding them in memory.
 
     Notes
     -----
@@ -195,6 +209,8 @@ def run_sweep(
             chunk_size=chunk_size,
             checkpoint=None if checkpoint is None else str(checkpoint),
             resume=resume,
+            stream=stream,
+            row_sink=None if row_sink is None else str(row_sink),
         )
     )
     return solver.sweep(

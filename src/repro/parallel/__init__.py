@@ -10,20 +10,45 @@ The package has three layers, each usable on its own:
   reference path) used by :func:`repro.experiments.runner.run_sweep`.
 * :class:`CampaignCheckpoint` — append-only incremental checkpoint
   store giving interrupted campaigns exact resume.
+* :mod:`repro.parallel.stream` — streaming aggregation: mergeable
+  constant-size accumulators (:class:`SweepAccumulator`), pluggable
+  :class:`RowSink` destinations for raw rows, and the order-pinning
+  :class:`StreamFold` engine consumer, so million-row sweeps never hold
+  their rows in memory.
 
 Everything is seeded through stateless ``SeedSequence`` spawning
 (:mod:`repro.util.rng`), so results never depend on ``jobs``, chunking
 or scheduling order: the parallel path is bitwise-equal to the serial
-one.
+one — and so is the streamed aggregate (fold order is pinned to the
+task index).
 """
 
 from repro.parallel.batch import solve_many
 from repro.parallel.checkpoint import (
+    PREFOLDED,
     CampaignCheckpoint,
     CheckpointError,
+    CheckpointWarning,
     campaign_fingerprint,
 )
 from repro.parallel.engine import CampaignEngine, default_chunk_size
+from repro.parallel.stream import (
+    CountAccumulator,
+    CsvRowSink,
+    JsonlRowSink,
+    MeanVarAccumulator,
+    MinMaxAccumulator,
+    NullRowSink,
+    PairRatioAccumulator,
+    RatioBoundAccumulator,
+    RowSink,
+    StatAccumulator,
+    StreamFold,
+    SweepAccumulator,
+    iter_task_groups,
+    open_row_sink,
+    validate_row_sink_path,
+)
 from repro.parallel.sweep import (
     SweepTask,
     build_sweep_tasks,
@@ -37,9 +62,27 @@ __all__ = [
     "default_chunk_size",
     "CampaignCheckpoint",
     "CheckpointError",
+    "CheckpointWarning",
+    "PREFOLDED",
     "campaign_fingerprint",
     "SweepTask",
     "build_sweep_tasks",
     "run_sweep_task",
     "sweep_fingerprint",
+    # streaming aggregation
+    "SweepAccumulator",
+    "StreamFold",
+    "RowSink",
+    "NullRowSink",
+    "JsonlRowSink",
+    "CsvRowSink",
+    "open_row_sink",
+    "validate_row_sink_path",
+    "iter_task_groups",
+    "CountAccumulator",
+    "MeanVarAccumulator",
+    "MinMaxAccumulator",
+    "StatAccumulator",
+    "RatioBoundAccumulator",
+    "PairRatioAccumulator",
 ]

@@ -107,7 +107,8 @@ class CampaignEngine:
         task_ids: "Sequence[str] | None" = None,
         checkpoint=None,
         progress: "Callable[[int, int], None] | None" = None,
-    ) -> list:
+        consumer=None,
+    ) -> "list | None":
         """Execute ``tasks``; return their results in task order.
 
         Parameters
@@ -124,6 +125,18 @@ class CampaignEngine:
         progress:
             Optional ``(n_done, n_total)`` callback, called after every
             finished task.
+        consumer:
+            Streaming mode: an object with ``add(index, result)``
+            (e.g. :class:`repro.parallel.stream.StreamFold`). Every
+            result — replayed from the checkpoint or freshly computed —
+            is handed to it in completion order instead of being
+            collected, and ``run`` returns ``None``: the engine then
+            holds O(in-flight) results, never O(tasks). Checkpoint
+            replays are delivered first, in task order. If the consumer
+            exposes ``buffered_tasks()`` (results it is holding out of
+            order), the pool stops submitting new chunks while that
+            count exceeds a few chunks' worth — so one pathologically
+            slow task cannot make the reorder buffer grow O(tasks).
         """
         tasks = list(tasks)
         if task_ids is None:
@@ -139,13 +152,18 @@ class CampaignEngine:
             if len(set(task_ids)) != len(task_ids):
                 raise ValueError("task_ids must be unique")
 
-        results: list = [None] * len(tasks)
+        results: "list | None" = None if consumer is not None else (
+            [None] * len(tasks)
+        )
         done = 0
         pending: list[int] = []
         completed = checkpoint.completed if checkpoint is not None else {}
         for i, tid in enumerate(task_ids):
             if tid in completed:
-                results[i] = completed[tid]
+                if consumer is not None:
+                    consumer.add(i, completed[tid])
+                else:
+                    results[i] = completed[tid]
                 done += 1
             else:
                 pending.append(i)
@@ -155,9 +173,12 @@ class CampaignEngine:
 
         def finish(index: int, result) -> None:
             nonlocal done
-            results[index] = result
             if checkpoint is not None:
                 checkpoint.record(task_ids[index], result)
+            if consumer is not None:
+                consumer.add(index, result)
+            else:
+                results[index] = result
             done += 1
             if progress is not None:
                 progress(done, total)
@@ -173,11 +194,11 @@ class CampaignEngine:
                 finish(i, result)
             return results
 
-        self._run_pool(tasks, task_ids, pending, finish)
+        self._run_pool(tasks, task_ids, pending, finish, consumer)
         return results
 
     # ------------------------------------------------------------------
-    def _run_pool(self, tasks, task_ids, pending, finish) -> None:
+    def _run_pool(self, tasks, task_ids, pending, finish, consumer=None) -> None:
         """Fan ``pending`` out over a process pool, rebuilding it when a
         worker dies and isolating repeat offenders."""
         chunk_size = self.chunk_size or default_chunk_size(
@@ -188,11 +209,29 @@ class CampaignEngine:
             for i in range(0, len(pending), chunk_size)
         ]
         attempts = {i: 0 for i in pending}
+        # Backpressure for order-pinning consumers: while the consumer
+        # buffers more than a few chunks' worth of out-of-order results
+        # (one slow task holding the fold back), stop feeding the pool —
+        # in-flight futures keep draining, and the blocking task is
+        # always already submitted (chunks are submitted in index order;
+        # after a pool crash, completed work simply re-runs first).
+        buffered = getattr(consumer, "buffered_tasks", None)
+        window = (self.jobs * 2 + 2) * chunk_size
+
+        def throttled() -> bool:
+            return buffered is not None and buffered() > window
+
         pool = ProcessPoolExecutor(max_workers=self.jobs)
         try:
             futures = {}
             while queue or futures:
-                while queue and len(futures) < self.jobs * 2:
+                while (
+                    queue
+                    and len(futures) < self.jobs * 2
+                    # never starve: with no futures in flight, progress
+                    # requires submitting regardless of buffered lag
+                    and (not futures or not throttled())
+                ):
                     chunk = queue.pop(0)
                     indexed = [(i, tasks[i]) for i in chunk]
                     futures[pool.submit(_run_chunk, self.worker, indexed)] = chunk

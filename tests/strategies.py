@@ -1,4 +1,5 @@
-"""Hypothesis strategies for platforms, problems and allocations."""
+"""Hypothesis strategies for platforms, problems, allocations and
+sweep-campaign shapes (the streaming-equivalence harness)."""
 
 from __future__ import annotations
 
@@ -48,6 +49,57 @@ def problems(draw, max_clusters: int = 6, objective=None):
     if objective is None:
         objective = draw(st.sampled_from(["maxmin", "sum"]))
     return SteadyStateProblem(platform, payoffs, objective=objective)
+
+
+@st.composite
+def sweep_shapes(
+    draw,
+    max_settings: int = 5,
+    max_replicates: int = 4,
+    max_methods: int = 3,
+):
+    """Random sweep-campaign shapes for the streaming equivalence suite.
+
+    Covers the execution dimensions the streamed fold must be invariant
+    to: grid size, replicate count, method/objective subsets, worker
+    count, chunk size, and a resume point (``crash_after`` tasks folded
+    before the simulated interruption; ``None`` = no crash).
+    """
+    n_settings = draw(st.integers(min_value=1, max_value=max_settings))
+    n_replicates = draw(st.integers(min_value=1, max_value=max_replicates))
+    n_tasks = n_settings * n_replicates
+    methods = draw(
+        st.lists(
+            st.sampled_from(["greedy", "lpr", "lprg"]),
+            min_size=1,
+            max_size=max_methods,
+            unique=True,
+        )
+    )
+    objectives = draw(
+        st.sampled_from([("maxmin",), ("sum",), ("maxmin", "sum")])
+    )
+    return {
+        "n_settings": n_settings,
+        "n_replicates": n_replicates,
+        "methods": tuple(methods),
+        "objectives": objectives,
+        "jobs": draw(st.integers(min_value=1, max_value=3)),
+        "chunk_size": draw(st.sampled_from([None, 1, 2, 5])),
+        "crash_after": draw(
+            st.one_of(
+                st.none(),
+                st.integers(min_value=0, max_value=max(0, n_tasks - 1)),
+            )
+        ),
+        "seed": draw(st.integers(min_value=0, max_value=2**31 - 1)),
+    }
+
+
+@st.composite
+def completion_orders(draw, n_tasks: int):
+    """A permutation of task indices: the order completions arrive in."""
+    return draw(st.permutations(list(range(n_tasks))))
 
 
 @st.composite

@@ -1,6 +1,9 @@
 """CLI coverage for the parallel-campaign flags: ``--jobs``,
-``--checkpoint`` and ``--resume``, including a smoke run of the real
-``python -m repro.experiments`` entry point with workers."""
+``--checkpoint``/``--resume`` and the streaming flags
+``--stream``/``--row-sink`` — including fail-fast validation (bad flag
+combinations and unwritable sink paths must error before any sweep
+work) and a smoke run of the real ``python -m repro.experiments`` entry
+point with workers."""
 
 from __future__ import annotations
 
@@ -51,6 +54,43 @@ class TestParser:
         assert excinfo.value.code == 2
         assert "--resume requires --checkpoint" in capsys.readouterr().err
 
+    def test_stream_flags_on_sweep_commands(self):
+        parser = build_parser()
+        for command in ("figure5", "figure6", "figure7", "headline"):
+            args = parser.parse_args([command, "--stream"])
+            assert args.stream and args.row_sink is None
+        args = parser.parse_args(
+            ["headline", "--stream", "--row-sink", "rows.jsonl"]
+        )
+        assert args.stream and args.row_sink == "rows.jsonl"
+
+    def test_row_sink_requires_stream(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["headline", "--row-sink", "rows.jsonl"])
+        assert excinfo.value.code == 2
+        assert "--row-sink requires --stream" in capsys.readouterr().err
+
+    def test_unwritable_row_sink_fails_up_front(self, tmp_path):
+        """A sink path in a missing directory must raise SolverError
+        before any sweep task runs (not crash mid-campaign)."""
+        from repro.util.errors import SolverError
+
+        missing = tmp_path / "no-such-dir" / "rows.jsonl"
+        with pytest.raises(SolverError, match="does not exist"):
+            main([
+                "headline", "--settings", "2", "--platforms", "1",
+                "--stream", "--row-sink", str(missing),
+            ])
+
+    def test_row_sink_directory_path_fails_up_front(self, tmp_path):
+        from repro.util.errors import SolverError
+
+        with pytest.raises(SolverError, match="is a directory"):
+            main([
+                "headline", "--settings", "2", "--platforms", "1",
+                "--stream", "--row-sink", str(tmp_path),
+            ])
+
 
 class TestJobsEquivalence:
     def test_headline_output_independent_of_jobs(self, capsys):
@@ -73,6 +113,43 @@ class TestJobsEquivalence:
         parallel = capsys.readouterr().out
         assert "Figure 5" in serial
         assert serial == parallel
+
+
+class TestStreamEquivalence:
+    def test_headline_output_independent_of_stream(self, capsys):
+        argv = ["headline", "--settings", "2", "--platforms", "1", "--seed", "3"]
+        assert main(argv) == 0
+        materialised = capsys.readouterr().out
+        assert main(argv + ["--stream"]) == 0
+        streamed = capsys.readouterr().out
+        assert "LPRG/G" in materialised
+        assert materialised == streamed
+
+    def test_figure5_output_independent_of_stream_and_jobs(self, capsys):
+        argv = [
+            "figure5", "--k", "4", "--settings-per-k", "1",
+            "--platforms", "1", "--seed", "5",
+        ]
+        assert main(argv) == 0
+        materialised = capsys.readouterr().out
+        assert main(argv + ["--stream", "--jobs", "2"]) == 0
+        streamed = capsys.readouterr().out
+        assert "Figure 5" in materialised
+        assert materialised == streamed
+
+    def test_headline_stream_writes_row_sink(self, capsys, tmp_path):
+        from repro.experiments.persistence import load_rows_jsonl
+
+        sink = tmp_path / "rows.jsonl"
+        assert main([
+            "headline", "--settings", "2", "--platforms", "1",
+            "--seed", "3", "--stream", "--row-sink", str(sink),
+        ]) == 0
+        capsys.readouterr()
+        rows = load_rows_jsonl(sink)
+        # 2 settings x 1 platform x 2 objectives x (lp + greedy + lprg)
+        assert len(rows) == 12
+        assert {r.method for r in rows} == {"lp", "greedy", "lprg"}
 
 
 class TestCheckpointFlags:

@@ -16,6 +16,7 @@ from repro.parallel import (
     CampaignCheckpoint,
     CampaignEngine,
     CheckpointError,
+    CheckpointWarning,
     build_sweep_tasks,
     default_chunk_size,
 )
@@ -124,7 +125,7 @@ class TestCheckpoint:
         with pytest.raises(CheckpointError, match="different campaign"):
             CampaignCheckpoint(path, fingerprint="fp-b", resume=True)
 
-    def test_truncated_tail_is_dropped(self, tmp_path):
+    def test_truncated_tail_is_dropped_with_warning(self, tmp_path):
         path = tmp_path / "c.ckpt"
         with CampaignCheckpoint(path, fingerprint="fp") as store:
             store.record("t0", 1)
@@ -132,8 +133,94 @@ class TestCheckpoint:
         # simulate a crash mid-write: chop the last line in half
         text = path.read_text()
         path.write_text(text[: len(text) - 8])
-        resumed = CampaignCheckpoint(path, fingerprint="fp", resume=True)
+        with pytest.warns(CheckpointWarning, match="recomputed"):
+            resumed = CampaignCheckpoint(path, fingerprint="fp", resume=True)
         assert resumed.completed == {"t0": 1}
+
+    def test_corrupt_final_record_skipped_not_crash(self, tmp_path):
+        """A structurally-valid JSON line whose payload cannot be decoded
+        (crash mid-write through a buffering layer) must warn + recompute
+        — the regression was a hard crash on resume."""
+        path = tmp_path / "c.ckpt"
+        with CampaignCheckpoint(path, fingerprint="fp") as store:
+            store.record("t0", {"v": 1})
+            store.record("t1", {"v": 2})
+        with path.open("a") as fh:
+            fh.write('{"kind": "task", "id": "t2"}\n')  # no "result" key
+        with pytest.warns(CheckpointWarning, match="undecodable"):
+            resumed = CampaignCheckpoint(path, fingerprint="fp", resume=True)
+        assert resumed.completed == {"t0": {"v": 1}, "t1": {"v": 2}}
+
+    def test_corrupt_tail_is_truncated_on_next_write(self, tmp_path):
+        """The first record() after a corrupt-tail resume physically
+        drops the bad bytes, so the repaired file loads cleanly (and
+        silently) next time."""
+        import warnings
+
+        path = tmp_path / "c.ckpt"
+        with CampaignCheckpoint(path, fingerprint="fp") as store:
+            store.record("t0", 1)
+        with path.open("a") as fh:
+            fh.write('{"kind": "task", "id"')  # torn mid-write
+        with pytest.warns(CheckpointWarning):
+            store = CampaignCheckpoint(path, fingerprint="fp", resume=True)
+        with store:
+            store.record("t1", 2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a clean file must not warn
+            repaired = CampaignCheckpoint(path, fingerprint="fp", resume=True)
+        assert repaired.completed == {"t0": 1, "t1": 2}
+
+    def test_final_record_missing_newline_survives_resume_cycles(
+        self, tmp_path
+    ):
+        """A crash can flush a record's JSON body without its newline
+        (record() issues two buffered writes). The record is complete
+        data; the regression was the next append joining two records on
+        one line, so a second resume dropped both (and everything
+        after) as corrupt."""
+        import warnings
+
+        path = tmp_path / "c.ckpt"
+        with CampaignCheckpoint(path, fingerprint="fp") as store:
+            store.record("t0", 1)
+            store.record("t1", 2)
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+
+        store = CampaignCheckpoint(path, fingerprint="fp", resume=True)
+        assert store.completed == {"t0": 1, "t1": 2}  # data kept, not dropped
+        with store:
+            store.record("t2", 3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no joined/corrupt lines left
+            again = CampaignCheckpoint(path, fingerprint="fp", resume=True)
+        assert again.completed == {"t0": 1, "t1": 2, "t2": 3}
+
+    def test_resume_recomputes_tasks_dropped_by_corruption(self, tmp_path):
+        """End-to-end: the task behind a corrupt record is re-run on
+        resume and the campaign completes with correct results."""
+        path = tmp_path / "c.ckpt"
+        with CampaignCheckpoint(path, fingerprint="fp") as store:
+            CampaignEngine(_square, jobs=1).run(
+                [1, 2, 3], task_ids=["a", "b", "c"], checkpoint=store
+            )
+        # corrupt the final record ("c"), torn mid-write
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:10])
+        calls = []
+
+        def worker(x):
+            calls.append(x)
+            return x * x
+
+        with pytest.warns(CheckpointWarning):
+            store = CampaignCheckpoint(path, fingerprint="fp", resume=True)
+        with store:
+            out = CampaignEngine(worker, jobs=1).run(
+                [1, 2, 3], task_ids=["a", "b", "c"], checkpoint=store
+            )
+        assert out == [1, 4, 9]
+        assert calls == [3]  # only the corrupted task re-ran
 
     def test_engine_skips_completed_tasks(self, tmp_path):
         path = tmp_path / "c.ckpt"
