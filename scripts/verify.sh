@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification + parallel-subsystem benchmark smoke.
+# Tier-1 verification + subsystem benchmark smoke.
 #
-#   scripts/verify.sh            # full test suite + scaling smoke
+#   scripts/verify.sh            # full test suite + all subsystem gates
 #   REPRO_JOBS=4 scripts/verify.sh   # engine-backed benchmarks on 4 workers
 #
 # The benchmark step runs the parallel-scaling benchmark (which asserts
@@ -28,10 +28,42 @@
 # aggregates are bitwise-identical to the in-memory reference with peak
 # aggregation state O(settings), not O(rows); it refreshes
 # BENCH_stream_memory.json.
+#
+# The sharding step gates the distributed orchestration subsystem
+# (repro/distrib/): the partition-property + campaign suites run
+# explicitly, and the shard-merge smoke (bench_shard_merge.py) asserts
+# merged aggregates from shards {1,2,5} x backends
+# {inline,process,subprocess} — including a shard killed mid-run and
+# resumed — are bitwise-identical to the serial fold; it refreshes
+# BENCH_shard_merge.json.
+#
+# Every BENCH_*.json gate is additionally verified to have been
+# (re)emitted by THIS run (require_fresh below): a benchmark that
+# silently skips, deselects, or exits before its assertions can no
+# longer pass verification on the strength of a stale artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# mtime watermark: every benchmark artifact must end up newer than this
+VERIFY_STAMP="$(mktemp)"
+trap 'rm -f "$VERIFY_STAMP"' EXIT
+
+require_fresh() {
+    local artifact
+    for artifact in "$@"; do
+        if [[ ! -f "$artifact" ]]; then
+            echo "verify.sh: ERROR: benchmark gate $artifact was never emitted" >&2
+            exit 1
+        fi
+        if [[ ! "$artifact" -nt "$VERIFY_STAMP" ]]; then
+            echo "verify.sh: ERROR: benchmark gate $artifact is stale" \
+                 "(not refreshed by this verification run)" >&2
+            exit 1
+        fi
+    done
+}
 
 echo "== tier-1: full test suite =="
 python -m pytest -x -q
@@ -50,10 +82,12 @@ python -m pytest -x -q -s \
 echo
 echo "== benchmark smoke: warm-started LP re-solves =="
 python -m pytest -x -q -s benchmarks/bench_warmstart.py
+require_fresh BENCH_warmstart.json
 
 echo
 echo "== benchmark smoke: solver facade reuse =="
 python -m pytest -x -q -s benchmarks/bench_api_reuse.py
+require_fresh BENCH_api_reuse.json
 
 echo
 echo "== streaming aggregation: equivalence suites (must not be deselected) =="
@@ -64,6 +98,18 @@ python -m pytest -x -q \
 echo
 echo "== benchmark smoke: streaming aggregation memory =="
 python -m pytest -x -q -s benchmarks/bench_stream_memory.py
+require_fresh BENCH_stream_memory.json
+
+echo
+echo "== sharded orchestration: merge + campaign suites (must not be deselected) =="
+python -m pytest -x -q \
+    tests/test_distrib_merge.py \
+    tests/test_distrib_campaign.py
+
+echo
+echo "== benchmark smoke: sharded campaign merge =="
+python -m pytest -x -q -s benchmarks/bench_shard_merge.py
+require_fresh BENCH_shard_merge.json
 
 echo
 echo "verify.sh: all checks passed"

@@ -31,6 +31,11 @@ from repro.util.errors import SolverError
 #: :func:`repro.lp.session.resolve_lp_backend`)
 LP_BACKENDS = ("auto", "session", "scipy")
 
+#: built-in shard executor backends (mirrors
+#: :data:`repro.distrib.SHARD_BACKENDS`; custom registered backends are
+#: also accepted — validation consults the live registry)
+SHARD_BACKENDS = ("inline", "process", "subprocess")
+
 
 @dataclass(frozen=True)
 class MethodOptions:
@@ -149,6 +154,24 @@ class SolverConfig:
         tables bitwise-identical for any ``jobs``/chunking/resume
         pattern. ``row_sink`` optionally streams the raw rows to a
         JSONL (default) or ``*.csv`` file; it requires ``stream=True``.
+    shards, shard_backend, shard_dir:
+        Sharded multi-host campaign orchestration (see
+        :mod:`repro.distrib`). ``shards=N > 1`` makes
+        :meth:`repro.api.Solver.sweep` partition the campaign into N
+        contiguous shard manifests, dispatch them through
+        ``shard_backend`` (``inline``/``process``/``subprocess`` or a
+        registered custom backend) and merge the per-shard artifacts —
+        aggregate tables (and the assembled ``row_sink``) stay
+        bitwise-identical to the serial path for any shard count or
+        backend. Requires ``stream=True`` (shards aggregate through the
+        streaming fold) and replaces ``checkpoint`` (each shard keeps
+        its own checkpoint under ``shard_dir``). ``shard_dir`` persists
+        the shard artifacts for cross-invocation ``resume``; when
+        ``None`` a temporary directory is used. With ``shards > 1``,
+        ``jobs`` is how many shards the backend runs concurrently —
+        ``1`` (the default) runs shards one at a time, exactly like
+        ``jobs=1`` means serial everywhere else; results are identical
+        for any value.
     options:
         The per-method typed sub-config; ``None`` means the method's
         defaults. Must be exactly the class of :func:`options_class_for`.
@@ -165,6 +188,9 @@ class SolverConfig:
     resume: bool = False
     stream: bool = False
     row_sink: "str | None" = None
+    shards: int = 1
+    shard_backend: str = "process"
+    shard_dir: "str | None" = None
     options: "MethodOptions | None" = None
 
     def __post_init__(self):
@@ -191,13 +217,56 @@ class SolverConfig:
             raise SolverError(
                 f"chunk_size must be >= 1 or None, got {self.chunk_size}"
             )
-        if self.resume and not self.checkpoint:
-            raise SolverError("resume=True requires a checkpoint path")
         if self.row_sink is not None and not self.stream:
             raise SolverError(
                 "row_sink requires stream=True (raw rows are only "
                 "diverted to a sink under streaming aggregation)"
             )
+        if self.shards < 1:
+            raise SolverError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_backend not in SHARD_BACKENDS:
+            # non-built-in name: consult the live registry (custom
+            # backends) — imported lazily so the common case never
+            # pulls the distrib package into a plain solve
+            from repro.distrib.executor import available_shard_backends
+
+            if self.shard_backend not in available_shard_backends():
+                raise SolverError(
+                    f"shard_backend must be one of "
+                    f"{tuple(available_shard_backends())}, "
+                    f"got {self.shard_backend!r}"
+                )
+        if self.shard_dir is not None and self.shards < 2:
+            raise SolverError(
+                "shard_dir requires shards > 1 (there is nothing to "
+                "shard otherwise)"
+            )
+        if self.shards > 1:
+            if not self.stream:
+                raise SolverError(
+                    "shards > 1 requires stream=True: sharded campaigns "
+                    "aggregate through the streaming fold and return a "
+                    "SweepAccumulator"
+                )
+            if self.chunk_size is not None:
+                raise SolverError(
+                    "chunk_size has no effect with shards > 1 (each "
+                    "shard runs its tasks inline); shard granularity is "
+                    "controlled by the shard count itself"
+                )
+            if self.checkpoint is not None:
+                raise SolverError(
+                    "shards > 1 is incompatible with a campaign-level "
+                    "checkpoint: each shard keeps its own checkpoint "
+                    "under shard_dir"
+                )
+            if self.resume and self.shard_dir is None:
+                raise SolverError(
+                    "resuming a sharded campaign requires a persistent "
+                    "shard_dir"
+                )
+        elif self.resume and not self.checkpoint:
+            raise SolverError("resume=True requires a checkpoint path")
         expected = options_class_for(self.method)
         if self.options is None:
             object.__setattr__(self, "options", expected())
@@ -273,6 +342,9 @@ class SolverConfig:
             "resume": self.resume,
             "stream": self.stream,
             "row_sink": self.row_sink,
+            "shards": self.shards,
+            "shard_backend": self.shard_backend,
+            "shard_dir": self.shard_dir,
             "options": self.options.to_dict(),
         }
 

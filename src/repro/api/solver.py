@@ -252,6 +252,14 @@ class Solver:
         rows to a JSONL/CSV file. An unwritable ``row_sink`` path fails
         with :class:`~repro.util.errors.SolverError` *before* any task
         runs.
+
+        With ``shards=N > 1`` (requires ``stream=True``) the campaign
+        runs through the :mod:`repro.distrib` orchestration layer: N
+        contiguous shard manifests, the configured ``shard_backend``
+        executor, per-shard checkpoints under ``shard_dir``, and an
+        exactly-associative merge — the returned aggregate (and the
+        assembled ``row_sink``) are bitwise those of the unsharded
+        serial sweep.
         """
         import time
 
@@ -270,6 +278,7 @@ class Solver:
             StreamFold,
             SweepAccumulator,
             open_row_sink,
+            snapshot_compatible,
             validate_row_sink_path,
         )
         from repro.util.rng import seed_sequence_of
@@ -293,6 +302,40 @@ class Solver:
         # is drawn, and the task seeds and the checkpoint fingerprint
         # must both describe that same root.
         root = seed_sequence_of(self._rng_for(rng))
+
+        if config.shards > 1:
+            # Sharded multi-host orchestration (repro.distrib): the
+            # campaign is planned into contiguous shard manifests,
+            # dispatched through the configured executor backend, and
+            # merged — bitwise-identical to the serial path below for
+            # any shard count/backend (exactly-associative merge).
+            from repro.distrib import run_sharded_sweep
+
+            reporter = None
+            if progress:  # pragma: no cover - cosmetic
+                def reporter(done: int, total: int) -> None:
+                    print(f"  [{done}/{total}] shards", flush=True)
+
+            return run_sharded_sweep(
+                settings,
+                scenario,
+                methods,
+                objectives,
+                n_platforms,
+                root,
+                n_shards=config.shards,
+                backend=config.shard_backend,
+                shard_dir=config.shard_dir,
+                row_sink=config.row_sink,
+                resume=config.resume,
+                # the facade convention holds for shards too: jobs is
+                # the exact concurrency, and jobs=1 runs one shard at a
+                # time (direct repro.distrib callers can pass jobs=None
+                # for the backend's auto default)
+                jobs=config.jobs,
+                progress=reporter,
+            )
+
         tasks = build_sweep_tasks(
             settings, scenario, methods, objectives, n_platforms, root
         )
@@ -312,6 +355,10 @@ class Solver:
                 # streaming resume: lets a loaded accumulator snapshot
                 # release the row payloads of the prefix it covers
                 ordered_task_ids=task_ids if config.stream else None,
+                # ...unless the snapshot predates this build's
+                # accumulator format, in which case it is discarded
+                # (warn + record replay) instead of crashing on restore
+                snapshot_validator=snapshot_compatible if config.stream else None,
             )
 
         fold = None

@@ -1,0 +1,81 @@
+"""Sharded multi-host campaign orchestration.
+
+The scale-out layer above :mod:`repro.parallel`: where PR 1 fanned one
+campaign over a local process pool, this package partitions a campaign
+into self-describing **shard manifests**, dispatches them through a
+pluggable **executor backend** (``inline`` in-process reference,
+``process`` local pool, ``subprocess`` one-interpreter-per-shard — the
+stand-in for real remote hosts), and **merges** the per-shard artifacts
+(accumulator-state sidecars + row sinks) into the campaign result.
+
+The determinism contract stacks on the earlier layers and stays
+end-to-end bitwise: manifests carry the campaign's root
+``SeedSequence`` so sharding never changes a task's seed; every shard
+is the ``jobs=1`` serial reference semantics over its contiguous task
+slice; and the accumulator algebra merges by exact integer arithmetic
+— so the merged aggregate tables (and the concatenated row sink) are
+**bitwise-identical** to the serial sweep for any shard count, backend,
+or per-shard crash/resume pattern (gated by
+``benchmarks/bench_shard_merge.py`` and the partition property suite in
+``tests/test_distrib_merge.py``).
+
+Entry points: ``SolverConfig(shards=N, shard_backend=..., stream=True)``
+through :meth:`repro.api.Solver.sweep`; the CLI ``--shards/--shard-dir``
+flags on the figure/headline subcommands; and the host-side CLI
+``python -m repro.experiments shard run|merge``.
+"""
+
+from repro.distrib.campaign import run_sharded_sweep
+from repro.distrib.executor import (
+    SHARD_BACKENDS,
+    InlineShardExecutor,
+    ProcessShardExecutor,
+    ShardExecutor,
+    SubprocessShardExecutor,
+    available_shard_backends,
+    get_shard_executor,
+    register_shard_backend,
+)
+from repro.distrib.manifest import (
+    ShardError,
+    ShardManifest,
+    build_shard_manifests,
+    load_manifests,
+    manifest_path_for,
+    plan_shards,
+    write_manifests,
+)
+from repro.distrib.merge import (
+    concatenate_row_sinks,
+    load_shard_state,
+    merge_accumulators,
+    merge_shards,
+)
+from repro.distrib.runner import run_shard
+
+__all__ = [
+    # planning
+    "ShardManifest",
+    "ShardError",
+    "plan_shards",
+    "build_shard_manifests",
+    "write_manifests",
+    "load_manifests",
+    "manifest_path_for",
+    # execution
+    "ShardExecutor",
+    "InlineShardExecutor",
+    "ProcessShardExecutor",
+    "SubprocessShardExecutor",
+    "SHARD_BACKENDS",
+    "available_shard_backends",
+    "get_shard_executor",
+    "register_shard_backend",
+    "run_shard",
+    "run_sharded_sweep",
+    # merging
+    "merge_shards",
+    "merge_accumulators",
+    "load_shard_state",
+    "concatenate_row_sinks",
+]

@@ -1,0 +1,90 @@
+"""Sharded-campaign orchestration: plan, dispatch, merge — one call.
+
+:func:`run_sharded_sweep` is what :meth:`repro.api.Solver.sweep` runs
+when ``SolverConfig(shards=N)`` asks for more than one shard: it plans
+the campaign's task list into contiguous shard manifests, writes them
+under the campaign's shard directory, hands them to the configured
+executor backend, and merges the resulting artifacts into the final
+:class:`~repro.parallel.stream.SweepAccumulator` (plus the final row
+sink, when one was requested). A missing ``shard_dir`` falls back to a
+temporary directory — fine for pure fan-out speed, while a persistent
+``shard_dir`` adds exact per-shard crash/resume across invocations.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.distrib.executor import get_shard_executor
+from repro.distrib.manifest import (
+    ShardError,
+    build_shard_manifests,
+    write_manifests,
+)
+from repro.distrib.merge import merge_shards
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import Scenario, Setting
+    from repro.parallel.stream import SweepAccumulator
+
+
+def run_sharded_sweep(
+    settings: "Sequence[Setting]",
+    scenario: "Scenario",
+    methods: Sequence[str],
+    objectives: Sequence[str],
+    n_platforms: int,
+    root: np.random.SeedSequence,
+    n_shards: int,
+    backend: str = "process",
+    shard_dir: "str | Path | None" = None,
+    row_sink: "str | Path | None" = None,
+    resume: bool = False,
+    jobs: "int | None" = None,
+    progress: "Callable[[int, int], None] | None" = None,
+) -> "SweepAccumulator":
+    """Run one sweep campaign as ``n_shards`` shards and merge them.
+
+    The aggregate (and the assembled ``row_sink`` file) are
+    bitwise-identical to the serial ``jobs=1`` streamed sweep of the
+    same definition: manifests pin the campaign's root seed, shards
+    rebuild and slice the exact task list, and the merge algebra is
+    exactly associative. ``resume=True`` re-enters a previous campaign
+    in ``shard_dir``: completed shards are validated and merged as-is,
+    interrupted ones continue from their own checkpoints.
+    """
+    if n_shards < 1:
+        raise ShardError(f"n_shards must be >= 1, got {n_shards}")
+    if resume and shard_dir is None:
+        raise ShardError(
+            "resuming a sharded campaign requires a persistent shard_dir"
+        )
+    executor = get_shard_executor(backend, jobs=jobs)
+    temp_dir = None
+    if shard_dir is None:
+        temp_dir = tempfile.TemporaryDirectory(prefix="repro-shards-")
+        shard_dir = temp_dir.name
+    try:
+        shard_dir = Path(shard_dir)
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        manifests = build_shard_manifests(
+            settings,
+            scenario,
+            methods,
+            objectives,
+            n_platforms,
+            root,
+            n_shards=n_shards,
+            shard_dir=shard_dir,
+            row_sink=row_sink,
+        )
+        paths = write_manifests(manifests, shard_dir)
+        executor.run(paths, resume=resume, progress=progress)
+        return merge_shards(manifests, row_sink=row_sink)
+    finally:
+        if temp_dir is not None:
+            temp_dir.cleanup()

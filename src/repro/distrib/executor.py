@@ -1,0 +1,278 @@
+"""Pluggable shard executor backends: how shards reach their hosts.
+
+Every backend consumes the same inputs — the on-disk manifest files of
+one planned campaign — and produces the same outputs — each shard's
+durable artifacts (checkpoint, accumulator-state sidecar, optional row
+sink), via :func:`repro.distrib.runner.run_shard`. Because shards are
+pure functions of their manifests, the backend choice is an execution
+detail, never a semantic one:
+
+* ``inline`` — every shard runs sequentially in the calling process.
+  The reference backend: zero machinery, and what the other two are
+  equivalence-tested against.
+* ``process`` — shards fan out over a local
+  :class:`~concurrent.futures.ProcessPoolExecutor` through the PR-1
+  :class:`~repro.parallel.engine.CampaignEngine` (inheriting its
+  worker-crash recovery: a shard whose worker process dies is retried
+  on a rebuilt pool).
+* ``subprocess`` — each shard runs ``python -m repro.experiments shard
+  run <manifest.json>`` in its *own interpreter*, standing in for a
+  remote host: the only coupling is the manifest file in and the
+  artifact files out, which is exactly the contract a real multi-host
+  dispatcher (SSH, SLURM, k8s jobs) would have.
+
+New backends register with :func:`register_shard_backend`; resolve by
+name with :func:`get_shard_executor`.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.distrib.manifest import ShardError
+from repro.distrib.runner import run_shard
+
+#: built-in backend names, in reference-first order
+SHARD_BACKENDS = ("inline", "process", "subprocess")
+
+
+def _default_jobs(n_shards: int) -> int:
+    """Concurrent shards for the parallel backends: one per shard up to
+    the core count, but at least 2 so the pool path is actually a pool
+    (a 1-wide "pool" would silently degrade to the inline semantics the
+    backends are tested against)."""
+    cores = os.cpu_count() or 1
+    return max(2, min(n_shards, cores))
+
+
+class ShardExecutor:
+    """Base interface: run planned shards from their manifest files.
+
+    Parameters
+    ----------
+    jobs:
+        Concurrent shards for parallel backends (``None`` = auto, see
+        :func:`_default_jobs`; ignored by ``inline``).
+    """
+
+    name = "abstract"
+
+    def __init__(self, jobs: "int | None" = None):
+        if jobs is not None and jobs < 1:
+            raise ShardError(f"executor jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(
+        self,
+        manifest_paths: "Sequence[str | Path]",
+        resume: bool = False,
+        progress: "Callable[[int, int], None] | None" = None,
+    ) -> list[dict]:
+        """Run every shard to completion; summaries in shard order.
+
+        ``progress`` is called with ``(shards_done, shards_total)`` as
+        shards finish. Any shard failure aborts the campaign with
+        :class:`ShardError` (completed shards keep their artifacts, so a
+        re-run with ``resume=True`` only repeats the unfinished work).
+        """
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def _jobs_for(self, n_shards: int) -> int:
+        return self.jobs if self.jobs is not None else _default_jobs(n_shards)
+
+
+class InlineShardExecutor(ShardExecutor):
+    """Reference backend: shards run sequentially, in-process."""
+
+    name = "inline"
+
+    def run(self, manifest_paths, resume=False, progress=None):
+        summaries = []
+        for done, path in enumerate(manifest_paths, start=1):
+            summaries.append(run_shard(path, resume=resume))
+            if progress is not None:
+                progress(done, len(manifest_paths))
+        return summaries
+
+
+def _run_shard_task(payload: tuple) -> dict:
+    """Module-level (picklable) pool worker: one shard per task."""
+    manifest_path, resume = payload
+    return run_shard(manifest_path, resume=resume)
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """Local fan-out: shards are campaign-engine tasks on a process pool."""
+
+    name = "process"
+
+    def run(self, manifest_paths, resume=False, progress=None):
+        from repro.parallel.engine import CampaignEngine
+
+        paths = [str(p) for p in manifest_paths]
+        engine = CampaignEngine(
+            _run_shard_task,
+            jobs=self._jobs_for(len(paths)),
+            chunk_size=1,  # a shard is already a coarse unit of work
+        )
+        return engine.run(
+            [(p, resume) for p in paths],
+            progress=progress,
+        )
+
+
+class SubprocessShardExecutor(ShardExecutor):
+    """Each shard in its own interpreter via the ``shard run`` CLI.
+
+    The stand-in for true multi-host dispatch: the parent and the shard
+    share nothing but the manifest file and the artifact files, so
+    swapping ``subprocess.Popen`` for an SSH/SLURM/k8s submission is the
+    whole port. Up to ``jobs`` shard interpreters run concurrently.
+    """
+
+    name = "subprocess"
+
+    #: stderr bytes echoed into the ShardError of a failed shard
+    _STDERR_TAIL = 4000
+
+    def _command(self, manifest_path: str, resume: bool) -> list[str]:
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            "shard",
+            "run",
+            manifest_path,
+        ]
+        if resume:
+            cmd.append("--resume")
+        return cmd
+
+    def _environment(self) -> dict:
+        """Child env whose ``PYTHONPATH`` can import this very package
+        (the parent may run from a source tree that is not installed)."""
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = os.environ.copy()
+        parts = [src_dir] + [
+            p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p
+        ]
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        return env
+
+    def run(self, manifest_paths, resume=False, progress=None):
+        import tempfile
+
+        paths = [str(p) for p in manifest_paths]
+        jobs = self._jobs_for(len(paths))
+        env = self._environment()
+        pending = list(enumerate(paths))
+        active: dict = {}
+        done = 0
+        summaries: list = [None] * len(paths)
+        failures: list[str] = []
+        try:
+            while pending or active:
+                if failures and not active:
+                    break  # nothing left to drain; report the failure
+                while pending and len(active) < jobs and not failures:
+                    index, path = pending.pop(0)
+                    # stderr goes to an unlinked temp file, not a pipe:
+                    # a chatty shard (thousands of warnings) would fill
+                    # a pipe's buffer and deadlock against a parent
+                    # that only reads after exit
+                    stderr_spool = tempfile.TemporaryFile()
+                    proc = subprocess.Popen(
+                        self._command(path, resume),
+                        stdout=subprocess.DEVNULL,
+                        stderr=stderr_spool,
+                        env=env,
+                    )
+                    active[proc] = (index, path, stderr_spool)
+                finished = [p for p in active if p.poll() is not None]
+                if not finished:
+                    time.sleep(0.02)
+                    continue
+                for proc in finished:
+                    index, path, stderr_spool = active.pop(proc)
+                    stderr_spool.seek(0)
+                    stderr = stderr_spool.read().decode(
+                        "utf-8", errors="replace"
+                    )
+                    stderr_spool.close()
+                    if proc.returncode != 0:
+                        failures.append(
+                            f"shard {index} (manifest {path}) exited with "
+                            f"code {proc.returncode}:\n"
+                            f"{stderr[-self._STDERR_TAIL:]}"
+                        )
+                        continue
+                    # the artifacts on disk are the ground truth; the
+                    # summary is rebuilt from the manifest for symmetry
+                    # with the in-process backends
+                    from repro.distrib.manifest import ShardManifest
+
+                    manifest = ShardManifest.load(path)
+                    summaries[index] = {
+                        "shard_index": manifest.shard_index,
+                        "n_shards": manifest.n_shards,
+                        "task_start": manifest.task_start,
+                        "task_stop": manifest.task_stop,
+                        "n_tasks": manifest.n_shard_tasks,
+                        "checkpoint_path": manifest.checkpoint_path,
+                        "state_path": str(manifest.state_path),
+                        "row_sink_path": manifest.row_sink_path,
+                    }
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(paths))
+        finally:
+            for proc in active:  # abort: don't leave orphan interpreters
+                proc.kill()
+            for proc, (_, _, stderr_spool) in active.items():
+                proc.wait()
+                stderr_spool.close()
+        if failures:
+            raise ShardError(
+                "subprocess shard backend failed:\n" + "\n".join(failures)
+            )
+        return summaries
+
+
+_BACKENDS: dict[str, type] = {
+    "inline": InlineShardExecutor,
+    "process": ProcessShardExecutor,
+    "subprocess": SubprocessShardExecutor,
+}
+
+
+def register_shard_backend(name: str, executor_cls: type) -> None:
+    """Register a custom executor backend (e.g. an SSH dispatcher)."""
+    if not issubclass(executor_cls, ShardExecutor):
+        raise ShardError(
+            f"{executor_cls!r} is not a ShardExecutor subclass"
+        )
+    _BACKENDS[str(name)] = executor_cls
+
+
+def available_shard_backends() -> list[str]:
+    """Registered backend names (built-ins first, then extensions)."""
+    return list(_BACKENDS)
+
+
+def get_shard_executor(name: str, jobs: "int | None" = None) -> ShardExecutor:
+    """Resolve a backend by name; unknown names list the valid ones."""
+    try:
+        executor_cls = _BACKENDS[name]
+    except KeyError:
+        raise ShardError(
+            f"unknown shard backend {name!r}; available: "
+            f"{', '.join(_BACKENDS)}"
+        ) from None
+    return executor_cls(jobs=jobs)

@@ -1,0 +1,197 @@
+"""Deterministic shard merge: N shard artifacts -> one campaign result.
+
+The merge layer is deliberately dumb: it never recomputes a row. Each
+completed shard left an accumulator-state sidecar (its whole aggregate
+as O(accumulator) JSON) and, optionally, a row-sink file in task order.
+:func:`merge_shards` validates that the sidecars describe one complete
+campaign — same campaign fingerprint, contiguous task coverage, every
+shard fully folded — and then:
+
+* combines the accumulator states in shard order through
+  :meth:`~repro.parallel.stream.SweepAccumulator.merge`, which is
+  **exactly** associative (integer-exact counts/extrema/histogram bins
+  and integer-mantissa moment sums), so the merged aggregate equals the
+  serial ``jobs=1`` fold bit for bit, for any shard count or backend;
+* concatenates the per-shard row sinks in shard (= task) order into the
+  campaign's final row-sink file, reproducing the byte stream a
+  single-sink serial run writes.
+
+A shard that crashed mid-run fails validation loudly (its sidecar
+covers fewer tasks than its manifest claims) — re-run it with
+``resume=True`` and merge again; the merge result is independent of how
+many times any shard crashed and resumed.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+from typing import Sequence
+
+from repro.distrib.manifest import ShardError, ShardManifest
+from repro.parallel.stream import SweepAccumulator
+
+
+def load_shard_state(manifest: ShardManifest) -> dict:
+    """Read + validate one shard's accumulator-state sidecar.
+
+    Checks the sidecar exists, carries the shard's own fingerprint (so a
+    stale artifact from a re-planned campaign cannot slip in) and covers
+    the shard's full task range (an incomplete shard means a crashed or
+    still-running host — merging it would silently drop results).
+    """
+    path = manifest.state_path
+    try:
+        record = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ShardError(
+            f"shard {manifest.shard_index} has no state sidecar at {path}; "
+            "run the shard (or resume it) before merging"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ShardError(
+            f"shard {manifest.shard_index} state sidecar {path} is not "
+            f"valid JSON: {exc}"
+        )
+    fingerprint = record.get("fingerprint")
+    if fingerprint not in ("", manifest.fingerprint):
+        raise ShardError(
+            f"shard {manifest.shard_index} state sidecar {path} belongs to "
+            f"a different shard/campaign (fingerprint {fingerprint!r}); "
+            "refusing to merge"
+        )
+    state = record.get("state") or {}
+    n_folded = int(state.get("n_folded", 0))
+    if n_folded != manifest.n_shard_tasks:
+        raise ShardError(
+            f"shard {manifest.shard_index} is incomplete: folded "
+            f"{n_folded} of {manifest.n_shard_tasks} tasks; re-run it "
+            "with resume before merging"
+        )
+    return state
+
+
+def merge_accumulators(
+    states: "Sequence[SweepAccumulator | dict]",
+) -> SweepAccumulator:
+    """Fold per-part aggregates (objects or state dicts) left to right.
+
+    Because :meth:`SweepAccumulator.merge` is exactly associative, the
+    result is bitwise the sequential fold of the concatenated row
+    streams — this is the algebraic core :func:`merge_shards` (and the
+    partition property test) exercises.
+    """
+    merged = SweepAccumulator()
+    for state in states:
+        part = (
+            state
+            if isinstance(state, SweepAccumulator)
+            else SweepAccumulator.from_state(state)
+        )
+        merged.merge(part)
+    return merged
+
+
+def _validate_campaign(manifests: Sequence[ShardManifest]) -> list[ShardManifest]:
+    if not manifests:
+        raise ShardError("cannot merge zero shard manifests")
+    ordered = sorted(manifests, key=lambda m: m.shard_index)
+    first = ordered[0]
+    indices = [m.shard_index for m in ordered]
+    if indices != list(range(first.n_shards)):
+        raise ShardError(
+            f"expected shard indices 0..{first.n_shards - 1}, got {indices}"
+        )
+    expected_start = 0
+    for manifest in ordered:
+        if manifest.campaign_fingerprint != first.campaign_fingerprint:
+            raise ShardError(
+                f"shard {manifest.shard_index} belongs to a different "
+                f"campaign (fingerprint "
+                f"{manifest.campaign_fingerprint!r} != "
+                f"{first.campaign_fingerprint!r})"
+            )
+        if (manifest.n_shards, manifest.n_tasks) != (
+            first.n_shards, first.n_tasks
+        ):
+            raise ShardError(
+                f"shard {manifest.shard_index} disagrees on the campaign "
+                f"shape ({manifest.n_shards} shards / {manifest.n_tasks} "
+                f"tasks vs {first.n_shards} / {first.n_tasks})"
+            )
+        if manifest.task_start != expected_start:
+            raise ShardError(
+                f"shard ranges are not contiguous: shard "
+                f"{manifest.shard_index} starts at {manifest.task_start}, "
+                f"expected {expected_start}"
+            )
+        expected_start = manifest.task_stop
+    if expected_start != first.n_tasks:
+        raise ShardError(
+            f"shard ranges cover {expected_start} of {first.n_tasks} tasks"
+        )
+    return ordered
+
+
+def concatenate_row_sinks(
+    sink_paths: "Sequence[str | Path]", out_path: "str | Path"
+) -> Path:
+    """Concatenate per-shard row-sink files into the final sink path.
+
+    Shard sinks are written in task order within each shard and shards
+    partition the task list contiguously, so plain concatenation (CSV:
+    keeping only the first file's header line) reproduces byte-for-byte
+    the file a single-sink serial run writes.
+    """
+    out_path = Path(out_path)
+    is_csv = out_path.suffix.lower() == ".csv"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with out_path.open("wb") as out:
+        for i, sink_path in enumerate(sink_paths):
+            sink_path = Path(sink_path)
+            if not sink_path.exists():
+                raise ShardError(
+                    f"shard row sink {sink_path} is missing; was the shard "
+                    "run with its manifest's row_sink_path?"
+                )
+            with sink_path.open("rb") as src:
+                if is_csv and i > 0:
+                    src.readline()  # drop the repeated header
+                shutil.copyfileobj(src, out)
+    return out_path
+
+
+def merge_shards(
+    manifests: Sequence[ShardManifest],
+    row_sink: "str | Path | None" = None,
+) -> SweepAccumulator:
+    """Combine completed shards into the campaign's aggregate.
+
+    Validates campaign identity and completeness (see
+    :func:`load_shard_state`), merges the accumulator sidecars in shard
+    order, and — when ``row_sink`` is given — concatenates the per-shard
+    sink files into it. The returned :class:`SweepAccumulator` (and the
+    sink file) are bitwise-identical to the serial ``jobs=1`` streamed
+    sweep of the same campaign, whatever shard count, executor backend
+    or per-shard crash/resume pattern produced the artifacts.
+    """
+    ordered = _validate_campaign(manifests)
+    states = [load_shard_state(m) for m in ordered]
+    merged = merge_accumulators([s["aggregate"] for s in states])
+    expected_tasks = ordered[0].n_tasks
+    if merged.n_tasks != expected_tasks:  # pragma: no cover - defense
+        raise ShardError(
+            f"merged aggregate covers {merged.n_tasks} of "
+            f"{expected_tasks} tasks"
+        )
+    if row_sink is not None:
+        sinks = [m.row_sink_path for m in ordered]
+        missing = [m.shard_index for m, s in zip(ordered, sinks) if s is None]
+        if missing:
+            raise ShardError(
+                f"cannot assemble a row sink: shards {missing} were "
+                "planned without row_sink_path"
+            )
+        concatenate_row_sinks(sinks, row_sink)
+    return merged

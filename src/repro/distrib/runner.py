@@ -1,0 +1,112 @@
+"""Single-shard execution: one manifest in, durable artifacts out.
+
+:func:`run_shard` is the unit every executor backend (and the
+``shard run`` CLI) drives: it rebuilds the shard's task slice from the
+manifest, runs it through the PR-1 :class:`~repro.parallel.engine.
+CampaignEngine` with the PR-4 streaming fold, and leaves three durable
+artifacts next to the manifest:
+
+* ``shard-NNNN.ckpt`` — the incremental per-task checkpoint (JSON
+  lines), giving a killed shard exact resume;
+* ``shard-NNNN.ckpt.state`` — the accumulator-state sidecar written by
+  the fold's final snapshot: the shard's entire aggregate as
+  O(accumulator) JSON, which is all the merge layer ever reads;
+* ``shard-NNNN.rows.jsonl``/``.csv`` — the shard's raw rows in task
+  order (only when the campaign asked for a row sink).
+
+Every shard runs its tasks inline (``jobs=1`` semantics): the shard is
+the unit of parallelism, and keeping the intra-shard path identical to
+the serial reference keeps the determinism argument one-dimensional.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.distrib.manifest import ShardManifest, ShardError
+from repro.parallel.checkpoint import CampaignCheckpoint
+from repro.parallel.engine import CampaignEngine
+from repro.parallel.stream import (
+    StreamFold,
+    SweepAccumulator,
+    open_row_sink,
+    snapshot_compatible,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+
+def run_shard(
+    manifest: "ShardManifest | str | Path",
+    resume: bool = False,
+    snapshot_every: int = 32,
+) -> dict:
+    """Execute one shard to completion; returns a JSON-able summary.
+
+    ``resume=True`` picks up from the shard's own checkpoint (guarded by
+    the shard fingerprint, so a manifest edit or a foreign checkpoint
+    fails loudly); ``resume=False`` starts the shard fresh, truncating
+    any stale artifacts. Either way the call is idempotent once the
+    shard completed: the artifacts on disk describe the same task slice
+    with the same seeds, bit for bit.
+    """
+    if not isinstance(manifest, ShardManifest):
+        manifest = ShardManifest.load(manifest)
+    from repro.experiments.persistence import row_from_dict, row_to_dict
+    from repro.parallel.sweep import run_sweep_task
+
+    tasks = manifest.shard_tasks()
+    task_ids = [t.task_id for t in tasks]
+    store = CampaignCheckpoint(
+        manifest.checkpoint_path,
+        fingerprint=manifest.fingerprint,
+        resume=resume,
+        encode=lambda rows: [row_to_dict(r) for r in rows],
+        decode=lambda rows: [row_from_dict(r) for r in rows],
+        meta={
+            "kind_detail": "shard",
+            "shard_index": manifest.shard_index,
+            "n_shards": manifest.n_shards,
+            "n_tasks": len(tasks),
+        },
+        ordered_task_ids=task_ids,
+        # a snapshot from an older accumulator format is discarded with
+        # a warning (record replay still gives exact resume)
+        snapshot_validator=snapshot_compatible,
+    )
+    fold = StreamFold(
+        SweepAccumulator(),
+        n_tasks=len(tasks),
+        sink=open_row_sink(manifest.row_sink_path),
+        task_ids=task_ids,
+        checkpoint=store,
+        snapshot_every=snapshot_every,
+    )
+    try:
+        if resume and store.saved_state is not None:
+            fold.restore(store.saved_state)
+        else:
+            fold.start()
+        engine = CampaignEngine(run_sweep_task, jobs=1)
+        engine.run(tasks, task_ids=task_ids, checkpoint=store, consumer=fold)
+        aggregate = fold.finalize()  # final snapshot -> the state sidecar
+    finally:
+        fold.sink.close()
+        store.close()
+    if not manifest.state_path.exists():  # pragma: no cover - IO defense
+        raise ShardError(
+            f"shard {manifest.shard_index} completed but left no state "
+            f"sidecar at {manifest.state_path}"
+        )
+    return {
+        "shard_index": manifest.shard_index,
+        "n_shards": manifest.n_shards,
+        "task_start": manifest.task_start,
+        "task_stop": manifest.task_stop,
+        "n_tasks": len(tasks),
+        "n_rows": aggregate.n_rows,
+        "checkpoint_path": str(manifest.checkpoint_path),
+        "state_path": str(manifest.state_path),
+        "row_sink_path": manifest.row_sink_path,
+    }

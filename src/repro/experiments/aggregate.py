@@ -16,8 +16,10 @@ folds the same rows through the constant-size accumulator algebra of
 :mod:`repro.parallel.stream` in task order, producing exactly (bitwise)
 what a ``stream=True`` sweep computes incrementally — use it to check a
 streamed aggregate against an in-memory row list. The two references
-agree to float-rounding (Welford vs two-pass means), pinned by
-``tests/test_stream_accumulators.py``.
+agree to float-rounding (``np.mean``'s pairwise summation vs the
+accumulators' correctly-rounded exact sums), pinned by
+``tests/test_stream_accumulators.py``; counts, extrema and quantiles
+are integer-exact and agree bitwise.
 """
 
 from __future__ import annotations
@@ -88,15 +90,34 @@ def headline_ratios(rows: Sequence[ExperimentRow]) -> dict[str, float]:
 def lpr_failure_stats(
     rows: Sequence[ExperimentRow], zero_tol: float = 1e-9
 ) -> dict[str, float]:
-    """How badly LPR underperforms: mean ratio-to-LP and zero-value rate."""
+    """How badly LPR underperforms: mean/median/p95 ratio-to-LP and the
+    zero-value rate. Quantiles and the zero fraction come from exact
+    integer counts (the same fixed-bin sketch the streaming path uses,
+    :class:`repro.parallel.stream.QuantileAccumulator`), so those match
+    the streamed values bit for bit; ``mean_ratio`` keeps this module's
+    historical ``np.mean`` (pairwise summation), which can differ from
+    the streamed correctly-rounded exact-sum mean in the last ulp."""
+    from repro.parallel.stream import QuantileAccumulator
+
     lpr_rows = [r for r in rows if r.method == "lpr"]
     if not lpr_rows:
-        return {"mean_ratio": float("nan"), "zero_fraction": float("nan")}
+        nan = float("nan")
+        return {
+            "mean_ratio": nan,
+            "zero_fraction": nan,
+            "median_ratio": nan,
+            "p95_ratio": nan,
+        }
     ratios = [r.ratio for r in lpr_rows]
     zeros = [r.value <= zero_tol for r in lpr_rows]
+    sketch = QuantileAccumulator()
+    for ratio in ratios:
+        sketch.update(ratio)
     return {
         "mean_ratio": float(np.mean(ratios)),
         "zero_fraction": float(np.mean(zeros)),
+        "median_ratio": sketch.median(),
+        "p95_ratio": sketch.quantile(0.95),
     }
 
 

@@ -9,6 +9,11 @@ Examples
     python -m repro.experiments figure7 --k 10 20 30
     python -m repro.experiments headline --settings 20 --jobs 4
     python -m repro.experiments headline --stream --row-sink rows.jsonl
+    python -m repro.experiments headline --stream --shards 4 \\
+        --shard-backend subprocess --shard-dir campaign/
+    python -m repro.experiments shard run campaign/shard-0002.manifest.json \\
+        --resume                              # re-run one killed shard
+    python -m repro.experiments shard merge campaign/  # assemble tables
     python -m repro.experiments trends --settings 12 \\
         --checkpoint trends.ckpt --resume
     python -m repro.experiments grid          # print Table 1
@@ -21,10 +26,17 @@ N worker processes with *identical* output (stateless per-task seeds),
 and ``--checkpoint``/``--resume`` give interrupted sweeps exact resume.
 ``--stream`` aggregates through the constant-memory streaming subsystem
 (rows are folded as tasks finish, never materialised; ``--row-sink
-PATH`` diverts the raw rows to a JSONL/``.csv`` file). Invalid flag
-combinations (``--resume`` without ``--checkpoint``, ``--row-sink``
-without ``--stream``) and an unwritable ``--row-sink`` path fail before
-any task runs. The sweep subcommands run through the
+PATH`` diverts the raw rows to a JSONL/``.csv`` file). ``--shards N``
+(with ``--stream``) runs the sweep through the :mod:`repro.distrib`
+sharded orchestration layer — contiguous shard manifests, a pluggable
+executor backend, per-shard checkpoints under ``--shard-dir``, and an
+exactly-associative merge, with output bitwise-identical to the serial
+path; the ``shard run``/``shard merge`` subcommands are the host-side
+plumbing the ``subprocess`` backend (or a real remote host) invokes.
+Invalid flag combinations (``--resume`` without ``--checkpoint``,
+``--row-sink``/``--shards`` without ``--stream``, ``--shards`` with
+``--checkpoint``) and an unwritable ``--row-sink`` path fail before any
+task runs. The sweep subcommands run through the
 :class:`repro.api.Solver` facade.
 """
 
@@ -51,6 +63,9 @@ def _sweep_solver(args):
             resume=getattr(args, "resume", False),
             stream=getattr(args, "stream", False),
             row_sink=getattr(args, "row_sink", None),
+            shards=getattr(args, "shards", 1),
+            shard_backend=getattr(args, "shard_backend", "process"),
+            shard_dir=getattr(args, "shard_dir", None),
         )
     )
 
@@ -91,6 +106,35 @@ def _add_stream(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_shards(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="partition the sweep into N shard manifests and merge the "
+        "per-shard aggregates (requires --stream; results are "
+        "bitwise-identical to the serial path for any N)",
+    )
+    parser.add_argument(
+        "--shard-dir",
+        metavar="DIR",
+        default=None,
+        help="with --shards, keep shard manifests/checkpoints/sinks "
+        "under DIR, so an interrupted campaign can resume (per-shard "
+        "'shard run --resume' + 'shard merge', or --resume where "
+        "available); default: a temporary directory",
+    )
+    parser.add_argument(
+        "--shard-backend",
+        choices=["inline", "process", "subprocess"],
+        default="process",
+        help="executor backend for --shards: inline (sequential, "
+        "reference), process (local pool), subprocess (one interpreter "
+        "per shard, the multi-host stand-in)",
+    )
+
+
 def _add_checkpoint(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--checkpoint",
@@ -104,6 +148,42 @@ def _add_checkpoint(parser: argparse.ArgumentParser) -> None:
         help="resume a sweep from --checkpoint, re-running only "
         "unfinished tasks",
     )
+
+
+def _run_shard_command(args) -> int:
+    """The ``shard run`` / ``shard merge`` host-side plumbing."""
+    import json
+
+    if args.shard_command == "run":
+        from repro.distrib import run_shard
+
+        summary = run_shard(args.manifest, resume=args.resume)
+        print(json.dumps(summary, sort_keys=True))
+        return 0
+    # shard merge
+    from repro.distrib import load_manifests, merge_shards
+
+    manifests = load_manifests(args.shard_dir)
+    merged = merge_shards(manifests, row_sink=args.row_sink)
+    tables = merged.tables()
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps(tables, indent=2, sort_keys=True) + "\n"
+        )
+    print(
+        f"merged {len(manifests)} shards: {merged.n_tasks} tasks, "
+        f"{merged.n_rows} rows"
+    )
+    for key, stats in tables["method_failure"].items():
+        print(
+            f"  {key:<8} mean ratio {stats['mean_ratio']:.4f}, "
+            f"median {stats['median_ratio']:.4f}, "
+            f"p95 {stats['p95_ratio']:.4f}, "
+            f"zero fraction {stats['zero_fraction']:.4f}"
+        )
+    return 0
 
 
 def _render_method_table() -> str:
@@ -167,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--platforms", type=int, default=3)
     _add_common(p5)
     _add_stream(p5)
+    _add_shards(p5)
 
     p6 = sub.add_parser("figure6", help="LPRR vs G on small-K topologies")
     p6.add_argument("--k", type=int, nargs="+", default=[15, 20, 25])
@@ -174,12 +255,14 @@ def build_parser() -> argparse.ArgumentParser:
     p6.add_argument("--platforms", type=int, default=2)
     _add_common(p6)
     _add_stream(p6)
+    _add_shards(p6)
 
     p7 = sub.add_parser("figure7", help="running times over K (log scale)")
     p7.add_argument("--k", type=int, nargs="+", default=[10, 15, 20, 25])
     p7.add_argument("--no-lprr", action="store_true")
     _add_common(p7)
     _add_stream(p7)
+    _add_shards(p7)
 
     ph = sub.add_parser("headline", help="Section 6.1 LPRG/G ratios")
     ph.add_argument("--settings", type=int, default=12)
@@ -187,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(ph)
     _add_checkpoint(ph)
     _add_stream(ph)
+    _add_shards(ph)
 
     pt = sub.add_parser("trends", help="Section 6.1 parameter-trend mining")
     pt.add_argument("--settings", type=int, default=12)
@@ -194,6 +278,45 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--objective", choices=["maxmin", "sum"], default="sum")
     _add_common(pt)
     _add_checkpoint(pt)
+
+    ps = sub.add_parser(
+        "shard",
+        help="multi-host campaign plumbing: run one shard manifest, or "
+        "merge a completed campaign's shards",
+    )
+    shard_sub = ps.add_subparsers(dest="shard_command", required=True)
+    pr = shard_sub.add_parser(
+        "run",
+        help="execute one shard manifest to completion (what the "
+        "subprocess backend — or a remote host — invokes)",
+    )
+    pr.add_argument("manifest", help="path to a shard-NNNN.manifest.json")
+    pr.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the shard's own checkpoint instead of "
+        "starting the shard fresh",
+    )
+    pm = shard_sub.add_parser(
+        "merge",
+        help="merge the completed shards of one campaign directory into "
+        "the final aggregate tables",
+    )
+    pm.add_argument(
+        "shard_dir", help="campaign directory holding shard-*.manifest.json"
+    )
+    pm.add_argument(
+        "--row-sink",
+        metavar="PATH",
+        default=None,
+        help="also concatenate the per-shard row sinks into PATH",
+    )
+    pm.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the merged aggregate tables as JSON to PATH",
+    )
 
     sub.add_parser("grid", help="print the Table-1 parameter grid")
     return parser
@@ -217,13 +340,29 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error(
             "a subcommand is required (or --list-methods/--list-scenarios)"
         )
-    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
-        parser.error("--resume requires --checkpoint")
-    if getattr(args, "row_sink", None) and not getattr(args, "stream", False):
-        parser.error("--row-sink requires --stream")
+    if args.command != "shard":
+        if getattr(args, "resume", False):
+            if getattr(args, "shards", 1) > 1:
+                if not getattr(args, "shard_dir", None):
+                    parser.error("--resume with --shards requires --shard-dir")
+            elif not getattr(args, "checkpoint", None):
+                parser.error("--resume requires --checkpoint")
+        if getattr(args, "row_sink", None) and not getattr(args, "stream", False):
+            parser.error("--row-sink requires --stream")
+        if getattr(args, "shards", 1) > 1 and not getattr(args, "stream", False):
+            parser.error("--shards requires --stream")
+        if getattr(args, "shard_dir", None) and getattr(args, "shards", 1) < 2:
+            parser.error("--shard-dir requires --shards N (N > 1)")
+        if getattr(args, "shards", 1) > 1 and getattr(args, "checkpoint", None):
+            parser.error(
+                "--shards is incompatible with --checkpoint (each shard "
+                "keeps its own checkpoint under --shard-dir)"
+            )
     # (an unwritable --row-sink path fails fast inside Solver.sweep,
     # before any sweep task runs)
 
+    if args.command == "shard":
+        return _run_shard_command(args)
     if args.command == "figure5":
         fig = figure5(
             k_values=tuple(args.k),
@@ -233,6 +372,9 @@ def main(argv: "list[str] | None" = None) -> int:
             jobs=args.jobs,
             stream=args.stream,
             row_sink=args.row_sink,
+            shards=args.shards,
+            shard_backend=args.shard_backend,
+            shard_dir=args.shard_dir,
         )
         print(render_figure(fig))
     elif args.command == "figure6":
@@ -244,6 +386,9 @@ def main(argv: "list[str] | None" = None) -> int:
             jobs=args.jobs,
             stream=args.stream,
             row_sink=args.row_sink,
+            shards=args.shards,
+            shard_backend=args.shard_backend,
+            shard_dir=args.shard_dir,
         )
         print(render_figure(fig))
     elif args.command == "figure7":
@@ -254,6 +399,9 @@ def main(argv: "list[str] | None" = None) -> int:
             jobs=args.jobs,
             stream=args.stream,
             row_sink=args.row_sink,
+            shards=args.shards,
+            shard_backend=args.shard_backend,
+            shard_dir=args.shard_dir,
         )
         print(render_figure(fig))
     elif args.command == "headline":

@@ -82,6 +82,9 @@ def figure5(
     jobs: int = 1,
     stream: bool = False,
     row_sink=None,
+    shards: int = 1,
+    shard_backend: str = "process",
+    shard_dir=None,
 ) -> FigureData:
     """Figure 5: LPRG and G vs the LP bound as K grows (both objectives).
 
@@ -101,6 +104,9 @@ def figure5(
         jobs=jobs,
         stream=stream,
         row_sink=row_sink,
+        shards=shards,
+        shard_backend=shard_backend,
+        shard_dir=shard_dir,
     )
     fig = FigureData(
         name="figure5",
@@ -133,6 +139,9 @@ def figure6(
     jobs: int = 1,
     stream: bool = False,
     row_sink=None,
+    shards: int = 1,
+    shard_backend: str = "process",
+    shard_dir=None,
 ) -> FigureData:
     """Figure 6: LPRR vs G relative to the LP bound (80-topology study).
 
@@ -151,6 +160,9 @@ def figure6(
         jobs=jobs,
         stream=stream,
         row_sink=row_sink,
+        shards=shards,
+        shard_backend=shard_backend,
+        shard_dir=shard_dir,
     )
     fig = FigureData(
         name="figure6",
@@ -179,6 +191,9 @@ def figure7(
     jobs: int = 1,
     stream: bool = False,
     row_sink=None,
+    shards: int = 1,
+    shard_backend: str = "process",
+    shard_dir=None,
 ) -> FigureData:
     """Figure 7: heuristic running time vs K (log scale).
 
@@ -199,6 +214,9 @@ def figure7(
         jobs=jobs,
         stream=stream,
         row_sink=row_sink,
+        shards=shards,
+        shard_backend=shard_backend,
+        shard_dir=shard_dir,
     )
 
     def _runtime_series(method):

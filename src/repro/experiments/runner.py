@@ -161,6 +161,9 @@ def run_sweep(
     resume: bool = False,
     stream: bool = False,
     row_sink=None,
+    shards: int = 1,
+    shard_backend: str = "process",
+    shard_dir=None,
 ) -> "list[ExperimentRow] | SweepAccumulator":
     """Run the full sweep over many grid points.
 
@@ -194,6 +197,13 @@ def run_sweep(
     row_sink:
         With ``stream=True``, also write the raw rows to this JSONL
         (default) or ``*.csv`` path instead of holding them in memory.
+    shards, shard_backend, shard_dir:
+        With ``shards > 1`` (requires ``stream=True``), run the sweep
+        through the :mod:`repro.distrib` sharded orchestration layer:
+        contiguous shard manifests, the named executor backend
+        (``inline``/``process``/``subprocess``), per-shard checkpoints
+        under ``shard_dir`` — with aggregates bitwise-identical to the
+        serial path for any shard count or backend.
 
     Notes
     -----
@@ -211,6 +221,9 @@ def run_sweep(
             resume=resume,
             stream=stream,
             row_sink=None if row_sink is None else str(row_sink),
+            shards=shards,
+            shard_backend=shard_backend,
+            shard_dir=None if shard_dir is None else str(shard_dir),
         )
     )
     return solver.sweep(

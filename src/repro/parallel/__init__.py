@@ -40,6 +40,7 @@ from repro.parallel.stream import (
     MinMaxAccumulator,
     NullRowSink,
     PairRatioAccumulator,
+    QuantileAccumulator,
     RatioBoundAccumulator,
     RowSink,
     StatAccumulator,
@@ -47,6 +48,7 @@ from repro.parallel.stream import (
     SweepAccumulator,
     iter_task_groups,
     open_row_sink,
+    snapshot_compatible,
     validate_row_sink_path,
 )
 from repro.parallel.sweep import (
@@ -77,12 +79,14 @@ __all__ = [
     "JsonlRowSink",
     "CsvRowSink",
     "open_row_sink",
+    "snapshot_compatible",
     "validate_row_sink_path",
     "iter_task_groups",
     "CountAccumulator",
     "MeanVarAccumulator",
     "MinMaxAccumulator",
     "StatAccumulator",
+    "QuantileAccumulator",
     "RatioBoundAccumulator",
     "PairRatioAccumulator",
 ]

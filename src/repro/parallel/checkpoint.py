@@ -107,6 +107,13 @@ class CampaignCheckpoint:
         The campaign's task ids in task-index order. Only needed for
         streaming resume: it lets a loaded ``state`` snapshot identify
         (and drop the payload of) the prefix of tasks it already covers.
+    snapshot_validator:
+        Optional predicate over a loaded snapshot payload. A snapshot it
+        rejects (e.g. an accumulator state written by an older format
+        version, see :func:`repro.parallel.stream.snapshot_compatible`)
+        is discarded with a :class:`CheckpointWarning` *before* it can
+        release any task payloads — the resume falls back to plain
+        record replay instead of crashing on an unrestorable state.
     """
 
     def __init__(
@@ -118,6 +125,7 @@ class CampaignCheckpoint:
         decode: "Callable[[Any], Any] | None" = None,
         meta: "dict | None" = None,
         ordered_task_ids: "Sequence[str] | None" = None,
+        snapshot_validator: "Callable[[dict], bool] | None" = None,
     ):
         self.path = Path(path)
         #: sidecar holding the newest streaming-aggregation snapshot
@@ -134,6 +142,7 @@ class CampaignCheckpoint:
             if ordered_task_ids is not None
             else None
         )
+        self.snapshot_validator = snapshot_validator
         self._fh = None
         #: byte offset of the end of the last fully-valid record loaded;
         #: None means "no prior file content to preserve"
@@ -216,6 +225,7 @@ class CampaignCheckpoint:
             offset += len(line_bytes)
         self._valid_end = offset
         self._load_state_sidecar()
+        self._discard_incompatible_snapshot()
         self._drop_prefolded_payloads()
 
     def _load_state_sidecar(self) -> None:
@@ -241,6 +251,31 @@ class CampaignCheckpoint:
                 f"{self.fingerprint!r}); refusing to resume"
             )
         self.saved_state = record.get("state")
+
+    def _discard_incompatible_snapshot(self) -> None:
+        """Drop a snapshot the caller's validator rejects.
+
+        Must run *before* :meth:`_drop_prefolded_payloads`: once prefix
+        payloads are replaced by the sentinel the task records can no
+        longer be replayed, so an unrestorable snapshot (older
+        accumulator state format, foreign structure) has to be discarded
+        while full record replay is still possible.
+        """
+        if self.saved_state is None or self.snapshot_validator is None:
+            return
+        try:
+            compatible = bool(self.snapshot_validator(self.saved_state))
+        except Exception:
+            compatible = False
+        if not compatible:
+            warnings.warn(
+                f"{self.state_path}: snapshot is incompatible with this "
+                "version (stale state format?); discarding it and "
+                "replaying task records instead",
+                CheckpointWarning,
+                stacklevel=4,
+            )
+            self.saved_state = None
 
     def _drop_prefolded_payloads(self) -> None:
         """Replace snapshot-covered prefix results with the sentinel.

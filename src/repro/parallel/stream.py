@@ -38,17 +38,29 @@ Extension point
 ---------------
 New reducers subclass nothing: an accumulator is anything with
 ``update``-style folding plus ``merge``/``state_dict``/``from_state``.
-:class:`SweepAccumulator` composes the four reducer families the paper's
-tables need (count, Welford mean-variance, min-max, ratio-vs-bound);
-register additional per-row statistics by extending it (or by wrapping
-it) and the engine-side plumbing (:class:`StreamFold`, checkpointing,
-sinks) is inherited unchanged.
+:class:`SweepAccumulator` composes the reducer families the paper's
+tables need (count, exact mean-variance, min-max, fixed-bin quantile
+sketch, ratio-vs-bound); register additional per-row statistics by
+extending it (or by wrapping it) and the engine-side plumbing
+(:class:`StreamFold`, checkpointing, sinks) is inherited unchanged.
+
+Merge exactness
+---------------
+Every reducer here merges by **exact integer arithmetic** — counts,
+histogram bins, min/max, and integer-mantissa sums for the moments
+(:class:`_ExactSum`) — so ``merge`` is exactly associative and
+commutative, not merely "up to rounding". Folding a row stream in one
+pass and merging any partition of it into per-part accumulators produce
+bit-identical state. That algebra is what lets the :mod:`repro.distrib`
+shard layer promise aggregate tables bitwise-identical to the serial
+path for any shard count, backend, or crash/resume pattern.
 """
 
 from __future__ import annotations
 
 import json
 import math
+from fractions import Fraction
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
@@ -98,56 +110,173 @@ class CountAccumulator:
         return cls(total=state["total"], hits=state["hits"])
 
 
-class MeanVarAccumulator:
-    """Welford running mean/variance: one pass, O(1) state.
+class _ExactSum:
+    """Exact running sum of finite floats (integer-mantissa arithmetic).
 
-    The sequential ``update`` recurrence is the canonical numerically
-    stable form; ``merge`` is Chan et al.'s parallel combination. Merging
-    with an *empty* accumulator is an exact identity (the non-empty
-    state is copied bit for bit), so empty chunks can never perturb a
-    result.
+    Every finite double is the rational ``n / 2**k`` exactly
+    (``float.as_integer_ratio``), so the sum of any number of doubles is
+    held here as ``num / 2**scale`` with Python's arbitrary-precision
+    integers — no rounding ever happens while accumulating, and the
+    float is produced once, correctly rounded, at read time. That makes
+    the sum **fully associative and commutative**: folding a row stream
+    sequentially and merging per-shard partial sums produce the same
+    state bit for bit, for any partition — the keystone of the
+    :mod:`repro.distrib` merge guarantee. State stays tiny: ``scale`` is
+    bounded by the largest input exponent (~1100 for doubles) and
+    ``num`` by ~``scale + 53 + log2(count)`` bits.
     """
 
-    __slots__ = ("count", "mean", "m2")
+    __slots__ = ("num", "scale")
 
-    def __init__(self, count: int = 0, mean: float = 0.0, m2: float = 0.0):
-        self.count = int(count)
-        self.mean = float(mean)
-        self.m2 = float(m2)
+    def __init__(self, num: int = 0, scale: int = 0):
+        self.num = int(num)
+        self.scale = int(scale)
+
+    def add_ratio(self, n: int, k: int) -> None:
+        """Add the exact rational ``n / 2**k``."""
+        if k > self.scale:
+            self.num = (self.num << (k - self.scale)) + n
+            self.scale = k
+        else:
+            self.num += n << (self.scale - k)
+
+    def add(self, x: float) -> None:
+        n, d = x.as_integer_ratio()
+        self.add_ratio(n, d.bit_length() - 1)
+
+    def add_square(self, x: float) -> None:
+        """Add the exact rational ``x**2`` (no float squaring error)."""
+        n, d = x.as_integer_ratio()
+        self.add_ratio(n * n, 2 * (d.bit_length() - 1))
+
+    def merge(self, other: "_ExactSum") -> None:
+        self.add_ratio(other.num, other.scale)
+
+    def fraction(self) -> Fraction:
+        return Fraction(self.num, 1 << self.scale)
+
+    def over(self, count: int) -> float:
+        """``sum / count`` as a correctly-rounded float (CPython's big-int
+        true division rounds correctly, so this is the closest double to
+        the exact mean)."""
+        return self.num / ((1 << self.scale) * count)
+
+    def state(self) -> list:
+        return [self.num, self.scale]
+
+    @classmethod
+    def from_state(cls, state: "Sequence[int]") -> "_ExactSum":
+        return cls(int(state[0]), int(state[1]))
+
+
+class MeanVarAccumulator:
+    """Mean/variance reducer with *exactly mergeable* state.
+
+    Instead of Welford running moments (whose Chan-style ``merge`` is
+    only associative up to float rounding), the accumulator keeps the
+    exact integer-mantissa sums of its inputs and their squares
+    (:class:`_ExactSum`): ``mean`` and ``variance`` are computed from
+    the exact sums at read time, correctly rounded once. Consequently
+    ``merge`` over any partition of the input stream — shards, chunks,
+    resume patterns — yields **bitwise** the sequential fold's state and
+    statistics, which is what lets :func:`repro.distrib.merge_shards`
+    promise bitwise-identical aggregate tables for any shard count.
+    Non-finite inputs are tallied separately (they have no integer
+    ratio) with numpy-like read-out semantics: any NaN — or infinities
+    of both signs — makes the mean NaN; one-signed infinities make it
+    that infinity; the variance of any non-finite stream is NaN.
+    """
+
+    __slots__ = ("count", "_sum", "_sumsq", "n_nan", "n_posinf", "n_neginf")
+
+    def __init__(self):
+        self.count = 0
+        self._sum = _ExactSum()
+        self._sumsq = _ExactSum()
+        self.n_nan = 0
+        self.n_posinf = 0
+        self.n_neginf = 0
+
+    def _finite(self) -> bool:
+        return not (self.n_nan or self.n_posinf or self.n_neginf)
 
     def update(self, x: float) -> None:
         x = float(x)
         self.count += 1
-        delta = x - self.mean
-        self.mean += delta / self.count
-        self.m2 += delta * (x - self.mean)
+        if x - x != 0.0:  # NaN or +-inf
+            if x != x:
+                self.n_nan += 1
+            elif x > 0:
+                self.n_posinf += 1
+            else:
+                self.n_neginf += 1
+            return
+        self._sum.add(x)
+        self._sumsq.add_square(x)
 
     def merge(self, other: "MeanVarAccumulator") -> None:
-        if other.count == 0:
-            return
-        if self.count == 0:
-            self.count, self.mean, self.m2 = other.count, other.mean, other.m2
-            return
-        n = self.count + other.count
-        delta = other.mean - self.mean
-        self.mean += delta * other.count / n
-        self.m2 += other.m2 + delta * delta * self.count * other.count / n
-        self.count = n
+        self.count += other.count
+        self._sum.merge(other._sum)
+        self._sumsq.merge(other._sumsq)
+        self.n_nan += other.n_nan
+        self.n_posinf += other.n_posinf
+        self.n_neginf += other.n_neginf
+
+    @property
+    def mean(self) -> float:
+        if not self.count:
+            return 0.0  # the empty accumulator's neutral read-out
+        if not self._finite():
+            if self.n_nan or (self.n_posinf and self.n_neginf):
+                return float("nan")
+            return math.inf if self.n_posinf else -math.inf
+        return self._sum.over(self.count)
+
+    @property
+    def m2(self) -> float:
+        """Sum of squared deviations from the mean (exact, then rounded)."""
+        if not self.count:
+            return 0.0
+        if not self._finite():
+            return float("nan")
+        n = self.count
+        exact = self._sumsq.fraction() - self._sum.fraction() ** 2 / n
+        return float(exact)
 
     @property
     def variance(self) -> float:
         """Population variance (``ddof=0``, like ``np.var``'s default)."""
-        return self.m2 / self.count if self.count else float("nan")
+        if not self.count:
+            return float("nan")
+        if not self._finite():
+            return float("nan")
+        n = self.count
+        exact = (self._sumsq.fraction() - self._sum.fraction() ** 2 / n) / n
+        return float(exact)
 
     def mean_or_nan(self) -> float:
         return self.mean if self.count else float("nan")
 
     def state_dict(self) -> dict:
-        return {"count": self.count, "mean": self.mean, "m2": self.m2}
+        return {
+            "count": self.count,
+            "sum": self._sum.state(),
+            "sumsq": self._sumsq.state(),
+            "nan": self.n_nan,
+            "pinf": self.n_posinf,
+            "ninf": self.n_neginf,
+        }
 
     @classmethod
     def from_state(cls, state: dict) -> "MeanVarAccumulator":
-        return cls(count=state["count"], mean=state["mean"], m2=state["m2"])
+        out = cls()
+        out.count = int(state["count"])
+        out._sum = _ExactSum.from_state(state["sum"])
+        out._sumsq = _ExactSum.from_state(state["sumsq"])
+        out.n_nan = int(state["nan"])
+        out.n_posinf = int(state["pinf"])
+        out.n_neginf = int(state["ninf"])
+        return out
 
 
 class MinMaxAccumulator:
@@ -180,8 +309,120 @@ class MinMaxAccumulator:
         return cls(vmin=state["vmin"], vmax=state["vmax"])
 
 
+class QuantileAccumulator:
+    """Fixed-bin histogram quantile sketch: exact counts, mergeable.
+
+    The deterministic alternative to P²/t-digest sketches (whose bin
+    boundaries drift with update order): the value range is fixed up
+    front and split into equal-width bins, so every update lands in a
+    bin by pure arithmetic and ``merge`` is exact integer addition of
+    counts. Update order and merge partitioning therefore can never
+    change a single count — quantiles read off a merged pair of
+    sketches are **bitwise** those of the sequential fold, the property
+    the :mod:`repro.distrib` merge layer relies on. Values outside
+    ``[lo, hi)`` (including ``+-inf``) are tallied in underflow/overflow
+    counters and clamp their quantile read-out to the range edge; NaNs
+    are counted separately and excluded. Quantiles are reported as bin
+    midpoints — resolution ``(hi - lo) / n_bins``, which at the default
+    ``[0, 2) / 256`` is ~0.008 on the ratio-to-LP-bound scale.
+    """
+
+    __slots__ = ("lo", "hi", "n_bins", "counts", "n_under", "n_over", "n_nan")
+
+    def __init__(self, lo: float = 0.0, hi: float = 2.0, n_bins: int = 256):
+        if not (lo < hi):
+            raise SolverError(f"need lo < hi, got [{lo}, {hi})")
+        if n_bins < 1:
+            raise SolverError(f"n_bins must be >= 1, got {n_bins}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.n_bins = int(n_bins)
+        self.counts = [0] * self.n_bins
+        self.n_under = 0
+        self.n_over = 0
+        self.n_nan = 0
+
+    def update(self, x: float) -> None:
+        x = float(x)
+        if x != x:
+            self.n_nan += 1
+        elif x < self.lo:
+            self.n_under += 1
+        elif x >= self.hi:
+            self.n_over += 1
+        else:
+            index = int((x - self.lo) * self.n_bins / (self.hi - self.lo))
+            # float rounding at the upper edge can overshoot by one
+            self.counts[min(index, self.n_bins - 1)] += 1
+
+    def merge(self, other: "QuantileAccumulator") -> None:
+        if (other.lo, other.hi, other.n_bins) != (self.lo, self.hi, self.n_bins):
+            raise SolverError(
+                f"cannot merge quantile sketches with different bins: "
+                f"[{self.lo}, {self.hi})/{self.n_bins} vs "
+                f"[{other.lo}, {other.hi})/{other.n_bins}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.n_under += other.n_under
+        self.n_over += other.n_over
+        self.n_nan += other.n_nan
+
+    @property
+    def count(self) -> int:
+        """Ranked observations (NaNs excluded)."""
+        return self.n_under + self.n_over + sum(self.counts)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimate (bin midpoint; NaN while empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise SolverError(f"quantile must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return float("nan")
+        rank = max(1, math.ceil(q * total))  # 1-based rank of the target
+        if rank <= self.n_under:
+            return self.lo
+        rank -= self.n_under
+        cumulative = 0
+        width = (self.hi - self.lo) / self.n_bins
+        for i, c in enumerate(self.counts):
+            cumulative += c
+            if rank <= cumulative:
+                return self.lo + (i + 0.5) * width
+        return self.hi  # target sits in the overflow tally
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def state_dict(self) -> dict:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "n_bins": self.n_bins,
+            "counts": list(self.counts),
+            "under": self.n_under,
+            "over": self.n_over,
+            "nan": self.n_nan,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileAccumulator":
+        out = cls(lo=state["lo"], hi=state["hi"], n_bins=state["n_bins"])
+        out.counts = [int(c) for c in state["counts"]]
+        if len(out.counts) != out.n_bins:
+            raise SolverError(
+                f"quantile sketch state has {len(out.counts)} counts for "
+                f"{out.n_bins} bins"
+            )
+        out.n_under = int(state["under"])
+        out.n_over = int(state["over"])
+        out.n_nan = int(state["nan"])
+        return out
+
+
 class StatAccumulator:
-    """One float series: count + Welford mean/variance + min/max."""
+    """One float series: count + exact mean/variance + min/max."""
 
     __slots__ = ("moments", "extrema")
 
@@ -222,35 +463,42 @@ class StatAccumulator:
 class RatioBoundAccumulator:
     """Value-relative-to-LP-bound reducer for one method.
 
-    Tracks the full stats of the ratio series plus the zero-value
-    fraction — the streamed form of :func:`repro.experiments.aggregate.
+    Tracks the full stats of the ratio series — including a fixed-bin
+    quantile sketch for median/p95 — plus the zero-value fraction: the
+    streamed form of :func:`repro.experiments.aggregate.
     lpr_failure_stats` ("LPR ... sometimes rounds every beta to zero").
     """
 
-    __slots__ = ("ratio", "zeros")
+    __slots__ = ("ratio", "zeros", "sketch")
 
     def __init__(self):
         self.ratio = StatAccumulator()
         self.zeros = CountAccumulator()
+        self.sketch = QuantileAccumulator()
 
     def update(self, ratio: float, value: float) -> None:
         self.ratio.update(ratio)
+        self.sketch.update(ratio)
         self.zeros.update(value <= ZERO_TOL)
 
     def merge(self, other: "RatioBoundAccumulator") -> None:
         self.ratio.merge(other.ratio)
+        self.sketch.merge(other.sketch)
         self.zeros.merge(other.zeros)
 
     def stats(self) -> dict:
         return {
             "mean_ratio": self.ratio.mean,
             "zero_fraction": self.zeros.fraction,
+            "median_ratio": self.sketch.median(),
+            "p95_ratio": self.sketch.quantile(0.95),
         }
 
     def state_dict(self) -> dict:
         return {
             "ratio": self.ratio.state_dict(),
             "zeros": self.zeros.state_dict(),
+            "sketch": self.sketch.state_dict(),
         }
 
     @classmethod
@@ -258,6 +506,7 @@ class RatioBoundAccumulator:
         out = cls()
         out.ratio = StatAccumulator.from_state(state["ratio"])
         out.zeros = CountAccumulator.from_state(state["zeros"])
+        out.sketch = QuantileAccumulator.from_state(state["sketch"])
         return out
 
 
@@ -328,7 +577,11 @@ class SweepAccumulator:
     objective, K) groups) — independent of replicate count.
     """
 
-    STATE_VERSION = 1
+    #: bumped to 2 when the mean/variance reducers switched to exact
+    #: integer-mantissa sums and the ratio quantile sketch landed (the
+    #: repro.distrib merge guarantee); version-1 snapshots cannot be
+    #: upgraded (running Welford moments do not determine exact sums)
+    STATE_VERSION = 2
 
     def __init__(self, pairwise: Sequence = DEFAULT_PAIRWISE):
         #: (method, objective, k) -> ratio-to-LP stats
@@ -398,9 +651,16 @@ class SweepAccumulator:
 
     # -- algebra -------------------------------------------------------
     def merge(self, other: "SweepAccumulator") -> None:
-        """Fold another partial aggregate into this one (associative up
-        to float rounding; exact on counts/extrema; exact identity when
-        either side is empty)."""
+        """Fold another partial aggregate into this one.
+
+        **Exactly associative and order-insensitive**: every composed
+        reducer merges by exact integer arithmetic (counts, extrema,
+        histogram bins, integer-mantissa sums), so merging per-shard
+        partials over *any* partition of a row stream reproduces the
+        sequential fold's state — and therefore its tables — bit for
+        bit. This is the algebraic contract :func:`repro.distrib.
+        merge_shards` builds on (pinned by the partition property in
+        ``tests/test_distrib_merge.py``)."""
         for attr in ("ratio_groups", "runtime_groups", "pair_groups",
                      "method_groups"):
             mine, theirs = getattr(self, attr), getattr(other, attr)
@@ -460,7 +720,13 @@ class SweepAccumulator:
     def method_failure_stats(self, method: str) -> dict:
         group = self.method_groups.get(method)
         if group is None:
-            return {"mean_ratio": float("nan"), "zero_fraction": float("nan")}
+            nan = float("nan")
+            return {
+                "mean_ratio": nan,
+                "zero_fraction": nan,
+                "median_ratio": nan,
+                "p95_ratio": nan,
+            }
         return group.stats()
 
     def series_labels(self) -> list:
@@ -471,7 +737,8 @@ class SweepAccumulator:
     def ratio_stats(self) -> dict:
         """Full per-group ratio statistics (count / mean / variance /
         min / max) keyed by ``method|objective|k`` — the spread the
-        Welford and min-max reducers track beyond the headline means."""
+        exact-sum moment and min-max reducers track beyond the headline
+        means."""
         out = {}
         for key in sorted(self.ratio_groups):
             acc = self.ratio_groups[key]
@@ -564,6 +831,27 @@ class SweepAccumulator:
 
 def _copy_via_state(acc):
     return type(acc).from_state(acc.state_dict())
+
+
+def snapshot_compatible(state: dict) -> bool:
+    """Can this build restore a checkpoint snapshot's accumulator state?
+
+    The :class:`~repro.parallel.checkpoint.CampaignCheckpoint`
+    ``snapshot_validator`` for streamed sweeps: a snapshot written by an
+    older accumulator format (e.g. the pre-exact-sum ``STATE_VERSION``
+    1) is rejected here — so the resume discards it with a warning and
+    replays the still-intact task records, instead of crashing in
+    :meth:`SweepAccumulator.from_state` after the replay payloads were
+    already released.
+    """
+    try:
+        aggregate = state.get("aggregate")
+        return (
+            isinstance(aggregate, dict)
+            and aggregate.get("version") == SweepAccumulator.STATE_VERSION
+        )
+    except AttributeError:
+        return False
 
 
 def iter_task_groups(

@@ -103,6 +103,30 @@ def completion_orders(draw, n_tasks: int):
 
 
 @st.composite
+def shard_partitions(draw, n_tasks: int, max_shards: int = 6):
+    """A contiguous partition of ``n_tasks`` into shard ranges.
+
+    Mirrors what the :mod:`repro.distrib` planner may legally produce —
+    any ordered list of ``(start, stop)`` ranges covering ``[0,
+    n_tasks)`` without gaps — including *empty* shards (repeated cut
+    points) and more shards than tasks, the edge cases the merge layer
+    must treat as exact no-ops.
+    """
+    n_shards = draw(st.integers(min_value=1, max_value=max_shards))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_tasks),
+                min_size=n_shards - 1,
+                max_size=n_shards - 1,
+            )
+        )
+    )
+    bounds = [0] + cuts + [n_tasks]
+    return [(bounds[i], bounds[i + 1]) for i in range(n_shards)]
+
+
+@st.composite
 def small_graphs(draw, max_vertices: int = 7):
     """Edge-list graphs for the NP-hardness reduction tests."""
     n = draw(st.integers(min_value=1, max_value=max_vertices))

@@ -1,10 +1,11 @@
 """Public-API surface snapshot.
 
 ``tests/data/api_surface.json`` is the checked-in manifest of what
-``repro`` and ``repro.api`` export. Any addition, rename or removal
-fails here first, forcing the change to be deliberate: update the
-manifest in the same commit (and mention the surface change in
-CHANGES.md). ``scripts/verify.sh`` runs this file as its own step.
+``repro``, ``repro.api`` and ``repro.distrib`` export. Any addition,
+rename or removal fails here first, forcing the change to be
+deliberate: update the manifest in the same commit (and mention the
+surface change in CHANGES.md). ``scripts/verify.sh`` runs this file as
+its own step.
 """
 
 import json
@@ -14,13 +15,19 @@ import pytest
 
 MANIFEST = Path(__file__).resolve().parent / "data" / "api_surface.json"
 
+PINNED_MODULES = ["repro", "repro.api", "repro.distrib"]
+
 
 def load_manifest() -> dict:
     with MANIFEST.open() as fh:
         return json.load(fh)
 
 
-@pytest.mark.parametrize("module_name", ["repro", "repro.api"])
+def test_manifest_covers_every_pinned_module():
+    assert sorted(load_manifest()) == sorted(PINNED_MODULES)
+
+
+@pytest.mark.parametrize("module_name", PINNED_MODULES)
 def test_all_matches_manifest(module_name):
     import importlib
 
@@ -33,7 +40,7 @@ def test_all_matches_manifest(module_name):
     )
 
 
-@pytest.mark.parametrize("module_name", ["repro", "repro.api"])
+@pytest.mark.parametrize("module_name", PINNED_MODULES)
 def test_exports_resolve_and_are_complete(module_name):
     """Every advertised name exists, and ``__all__`` has no duplicates."""
     import importlib

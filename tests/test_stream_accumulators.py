@@ -28,6 +28,7 @@ from repro.parallel.stream import (
     MeanVarAccumulator,
     MinMaxAccumulator,
     PairRatioAccumulator,
+    QuantileAccumulator,
     RatioBoundAccumulator,
     StatAccumulator,
     SweepAccumulator,
@@ -214,6 +215,80 @@ class TestRatioReducers:
         assert acc.state_dict() == before
 
 
+class TestQuantileSketch:
+    """The fixed-bin quantile sketch: exact counts, deterministic reads."""
+
+    ratio_floats = st.floats(
+        min_value=0.0, max_value=1.5, allow_nan=False, allow_infinity=False
+    )
+
+    def sketch_of(self, xs) -> QuantileAccumulator:
+        acc = QuantileAccumulator()
+        for x in xs:
+            acc.update(x)
+        return acc
+
+    @given(a=st.lists(ratio_floats), b=st.lists(ratio_floats),
+           c=st.lists(ratio_floats))
+    def test_merge_is_exactly_associative_and_order_free(self, a, b, c):
+        left = self.sketch_of(a)
+        left.merge(self.sketch_of(b))
+        left.merge(self.sketch_of(c))
+        bc = self.sketch_of(b)
+        bc.merge(self.sketch_of(c))
+        right = self.sketch_of(a)
+        right.merge(bc)
+        assert left.state_dict() == right.state_dict()
+        assert left.state_dict() == self.sketch_of(a + b + c).state_dict()
+
+    @given(xs=st.lists(ratio_floats, min_size=1, max_size=200),
+           q=st.sampled_from([0.0, 0.25, 0.5, 0.95, 1.0]))
+    def test_quantile_within_bin_resolution_of_sorted_reference(self, xs, q):
+        acc = self.sketch_of(xs)
+        rank = max(1, math.ceil(q * len(xs)))
+        exact = sorted(xs)[rank - 1]
+        width = (acc.hi - acc.lo) / acc.n_bins
+        assert abs(acc.quantile(q) - exact) <= width
+
+    def test_out_of_range_and_nan_handling(self):
+        acc = QuantileAccumulator(lo=0.0, hi=1.0, n_bins=10)
+        for x in (-5.0, 0.5, 2.0, math.inf, math.nan):
+            acc.update(x)
+        assert (acc.n_under, acc.n_over, acc.n_nan) == (1, 2, 1)
+        assert acc.count == 4  # NaN excluded from ranking
+        assert acc.quantile(0.0) == 0.0   # clamped to lo
+        assert acc.quantile(1.0) == 1.0   # clamped to hi
+
+    def test_empty_quantiles_are_nan(self):
+        assert math.isnan(QuantileAccumulator().median())
+
+    def test_invalid_quantile_and_mismatched_merge_refused(self):
+        acc = QuantileAccumulator()
+        with pytest.raises(SolverError, match="quantile"):
+            acc.quantile(1.5)
+        with pytest.raises(SolverError, match="different bins"):
+            acc.merge(QuantileAccumulator(n_bins=8))
+        with pytest.raises(SolverError, match="lo < hi"):
+            QuantileAccumulator(lo=1.0, hi=1.0)
+
+    @given(xs=st.lists(ratio_floats, max_size=50))
+    def test_state_round_trips_bitwise_through_json(self, xs):
+        acc = self.sketch_of(xs)
+        restored = QuantileAccumulator.from_state(
+            json.loads(json.dumps(acc.state_dict()))
+        )
+        assert restored.state_dict() == acc.state_dict()
+
+    def test_ratio_bound_exposes_median_and_p95(self):
+        acc = RatioBoundAccumulator()
+        for ratio in (0.1, 0.5, 0.9, 0.95, 1.0):
+            acc.update(ratio, value=ratio)
+        stats = acc.stats()
+        width = 2.0 / 256
+        assert abs(stats["median_ratio"] - 0.9) <= width
+        assert abs(stats["p95_ratio"] - 1.0) <= width
+
+
 def _fake_row(setting, replicate, objective, method, value, lp_value,
               runtime=0.25, n_lp_solves=1):
     from repro.experiments.runner import ExperimentRow
@@ -351,9 +426,17 @@ class TestSweepAccumulator:
             agg.pairwise_value_ratio("lpr", "greedy", "sum")
 
     def test_missing_method_gives_nan_failure_stats(self):
+        """The absent-method read-out carries the same keys (all NaN) as
+        a populated one — and as the classic aggregate function."""
+        from repro.experiments.aggregate import lpr_failure_stats
+
         stats = SweepAccumulator().method_failure_stats("lpr")
-        assert math.isnan(stats["mean_ratio"])
-        assert math.isnan(stats["zero_fraction"])
+        populated = RatioBoundAccumulator()
+        populated.update(0.5, value=1.0)
+        assert stats.keys() == populated.stats().keys()
+        assert stats.keys() == lpr_failure_stats([]).keys()
+        for value in stats.values():
+            assert math.isnan(value)
 
 
 class TestTaskGrouping:

@@ -398,6 +398,31 @@ class TestSnapshotSidecar:
         )
         store.close()
 
+    def test_stale_format_snapshot_falls_back_to_record_replay(
+        self, tmp_path
+    ):
+        """A snapshot written by an older accumulator format (e.g. the
+        pre-exact-sum STATE_VERSION 1) must be discarded with a warning
+        — leaving the task records replayable — not crash the resume."""
+        from repro.parallel import CheckpointWarning
+
+        settings = sample_settings(2, rng=8, k_values=[4])
+        kwargs = dict(
+            methods=("greedy",), objectives=("sum",), n_platforms=2, rng=8
+        )
+        path = tmp_path / "sweep.ckpt"
+        full = run_sweep(settings, stream=True, checkpoint=path, **kwargs)
+        sidecar = path.with_name(path.name + ".state")
+        record = json.loads(sidecar.read_text())
+        record["state"]["aggregate"] = {"version": 1, "mean": 0.0}
+        sidecar.write_text(json.dumps(record))
+        with pytest.warns(CheckpointWarning, match="incompatible"):
+            resumed = run_sweep(
+                settings, stream=True, checkpoint=path, resume=True, **kwargs
+            )
+        # record replay reproduces everything, runtimes included
+        assert dumps(resumed.tables()) == dumps(full.tables())
+
     def test_sidecar_fingerprint_mismatch_refuses_resume(self, tmp_path):
         from repro.parallel import CheckpointError
 
