@@ -7,12 +7,20 @@ regression gate for that subsystem:
 
 * warm LPRR must produce **bitwise-identical allocations** to the cold
   reference path on the whole sweep (same seeds -> same roundings ->
-  the shared cold final solve yields the same bytes);
+  the shared cold final solve yields the same bytes) — including K >= 8,
+  where the revised engine's canonical-vertex rule keeps degenerate
+  optima deterministic;
 * warm LPRR must spend **strictly fewer simplex iterations** than cold,
   and at least 30% fewer over the sweep;
+* the warm session path must beat the cold-HiGHS-per-solve reference
+  (``lp_backend="scipy"``) in wall-clock **at every K** — the revised
+  engine retired the dense-tableau size cliff, so there is no longer a
+  K past which the session loses;
 * iterated LPRG (incremental ``b_ub`` rewrite instead of platform
-  snapshot + full rebuild) must stay within the cold path's quality
-  band while cutting iterations.
+  snapshot + full rebuild) re-solves cold each round — a residual
+  rewrite moves the optimum wholesale, so basis carry does not pay
+  there — and must stay within the cold path's quality band without
+  spending more iterations than it.
 
 Results land in ``BENCH_warmstart.json`` (repo root) so the perf
 trajectory is machine-trackable from this PR on.
@@ -65,7 +73,7 @@ def _sweep(k_values, seeds) -> dict:
     for k in k_values:
         row = {
             "iters_warm": 0, "iters_cold": 0,
-            "time_warm": 0.0, "time_cold": 0.0,
+            "time_warm": 0.0, "time_cold": 0.0, "time_scipy": 0.0,
             "warm_solves": 0, "solves": 0,
         }
         it_row = {"iters_warm": 0, "iters_cold": 0,
@@ -81,15 +89,17 @@ def _sweep(k_values, seeds) -> dict:
             ) and np.array_equal(warm.allocation.beta, cold.allocation.beta)
             out["lprr"]["runs"] += 1
             out["lprr"]["identical"] += int(same)
-            # Identity holds on this *pinned* sweep (degenerate LPs admit
-            # alternate optimal vertices, so it is not universal across
-            # arbitrary K/seeds — K=8 already breaks it). The sweep is
-            # deterministic, so a failure here means a code change moved
-            # a warm or cold intermediate vertex: inspect it, and only
-            # re-pin the sweep if both paths are still individually valid.
+            # The revised engine canonicalizes every optimal vertex
+            # (secondary objective over the optimal face), so warm and
+            # cold take identical intermediate vertices at every K on
+            # this pinned sweep — including K >= 8, which broke the old
+            # tableau path. A failure here means a code change moved a
+            # vertex: inspect it before touching the pins.
             assert same, (
                 f"warm/cold LPRR allocations diverged at K={k} seed={seed}"
             )
+            scipy_ref = lprr.run(problem, rng=seed, lp_backend="scipy")
+            row["time_scipy"] += scipy_ref.runtime
             ws, cs = warm.meta["lp_stats"], cold.meta["lp_stats"]
             row["iters_warm"] += ws["iterations"]
             row["iters_cold"] += cs["iterations"]
@@ -127,7 +137,7 @@ def _sweep(k_values, seeds) -> dict:
 
 
 def test_warmstart_regression(benchmark):
-    k_values = (4, 5, 6, 7)
+    k_values = (4, 5, 6, 7, 8, 10)
     seeds = range(8) if full_scale() else range(4)
     data = benchmark.pedantic(
         _sweep, args=(k_values, seeds), rounds=1, iterations=1
@@ -139,11 +149,12 @@ def test_warmstart_regression(benchmark):
         "cut the simplex work without changing a single output byte.",
     )
     print(f"{'K':>3} {'iters cold':>11} {'iters warm':>11} {'saved':>7} "
-          f"{'t cold (s)':>11} {'t warm (s)':>11}")
+          f"{'t cold (s)':>11} {'t warm (s)':>11} {'t scipy (s)':>12}")
     for k, row in data["lprr"]["per_k"].items():
         saved = 1 - row["iters_warm"] / row["iters_cold"]
         print(f"{k:>3} {row['iters_cold']:>11} {row['iters_warm']:>11} "
-              f"{saved:>6.0%} {row['time_cold']:>11.3f} {row['time_warm']:>11.3f}")
+              f"{saved:>6.0%} {row['time_cold']:>11.3f} {row['time_warm']:>11.3f} "
+              f"{row['time_scipy']:>12.3f}")
     red = data["lprr"]["iteration_reduction"]
     it_red = data["lprg_it"]["iteration_reduction"]
     print(f"LPRR: allocations bitwise-identical on "
@@ -166,3 +177,9 @@ def test_warmstart_regression(benchmark):
     assert data["lprr"]["iters_warm"] < data["lprr"]["iters_cold"]
     assert red >= MIN_REDUCTION, f"iteration reduction {red:.1%} below gate"
     assert data["lprg_it"]["iters_warm"] <= data["lprg_it"]["iters_cold"]
+    # The session must beat cold HiGHS at every K — no size cliff left.
+    for k, row in data["lprr"]["per_k"].items():
+        assert row["time_warm"] < row["time_scipy"], (
+            f"warm session slower than cold HiGHS at K={k}: "
+            f"{row['time_warm']:.3f}s vs {row['time_scipy']:.3f}s"
+        )

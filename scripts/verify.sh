@@ -12,7 +12,15 @@
 #
 # The warm-start smoke (bench_warmstart.py) gates the LPSession
 # subsystem: warm LPRR must match cold bitwise AND spend strictly fewer
-# (>= 30% fewer) simplex iterations; it refreshes BENCH_warmstart.json.
+# (>= 30% fewer) simplex iterations, and the warm session must beat the
+# cold-HiGHS-per-solve reference at every K; it refreshes
+# BENCH_warmstart.json.
+#
+# The simplex-core step gates the revised engine (repro/lp/revised.py +
+# repro/lp/basis_lu.py): the engine/session/tableau suites run
+# explicitly, and the core smoke (bench_simplex_core.py) asserts the
+# LU-factorized warm chains beat cold HiGHS on large-K LPRR pin chains
+# and on B&B bound-flip chains; it refreshes BENCH_simplex_core.json.
 #
 # The API step re-runs the public-surface snapshot + examples smoke on
 # their own (fast, loud names in the log), and the api-reuse smoke gates
@@ -83,6 +91,18 @@ echo
 echo "== benchmark smoke: warm-started LP re-solves =="
 python -m pytest -x -q -s benchmarks/bench_warmstart.py
 require_fresh BENCH_warmstart.json
+
+echo
+echo "== revised simplex core: engine suites (must not be deselected) =="
+python -m pytest -x -q \
+    tests/test_lp_revised.py \
+    tests/test_lp_simplex.py \
+    tests/test_lp_session.py
+
+echo
+echo "== benchmark smoke: revised-simplex core =="
+python -m pytest -x -q -s benchmarks/bench_simplex_core.py
+require_fresh BENCH_simplex_core.json
 
 echo
 echo "== benchmark smoke: solver facade reuse =="

@@ -31,6 +31,10 @@ from repro.util.errors import SolverError
 #: :func:`repro.lp.session.resolve_lp_backend`)
 LP_BACKENDS = ("auto", "session", "scipy")
 
+#: simplex engines an LP session can run on (mirrors
+#: :data:`repro.lp.session.LP_ENGINES`)
+LP_ENGINES = ("revised", "tableau")
+
 #: built-in shard executor backends (mirrors
 #: :data:`repro.distrib.SHARD_BACKENDS`; custom registered backends are
 #: also accepted — validation consults the live registry)
@@ -139,6 +143,19 @@ class SolverConfig:
     lp_backend, warm_start:
         The PR-2 LP re-solve knobs, applied to every method that
         supports them (LPRR, iterated LPRG, branch-and-bound).
+    lp_engine:
+        Which simplex engine LP sessions run on: ``"revised"`` (the
+        LU-factorized bounded revised simplex, the default — no
+        instance-size cliff) or ``"tableau"`` (the legacy dense
+        two-phase tableau, kept as an arithmetic reference). Applied to
+        every session-consuming method.
+    share_bases:
+        Opt in to cross-call basis sharing: sessions publish their
+        final optimal basis to the solver's LP build cache and later
+        sessions on the same instance template seed from it. Off by
+        default (a seeded basis makes results depend on batch history);
+        requires ``jobs=1`` because worker processes do not share the
+        cache, so results would depend on the chunking otherwise.
     jobs, chunk_size:
         The PR-1 process-pool knobs for ``solve_many``/``sweep``
         (results are bitwise-identical for any value).
@@ -182,6 +199,8 @@ class SolverConfig:
     seed: "int | None" = None
     lp_backend: str = "auto"
     warm_start: bool = True
+    lp_engine: str = "revised"
+    share_bases: bool = False
     jobs: int = 1
     chunk_size: "int | None" = None
     checkpoint: "str | None" = None
@@ -204,6 +223,17 @@ class SolverConfig:
             raise SolverError(
                 f"lp_backend must be one of {LP_BACKENDS}, "
                 f"got {self.lp_backend!r}"
+            )
+        if self.lp_engine not in LP_ENGINES:
+            raise SolverError(
+                f"lp_engine must be one of {LP_ENGINES}, "
+                f"got {self.lp_engine!r}"
+            )
+        if self.share_bases and self.jobs > 1:
+            raise SolverError(
+                "share_bases requires jobs=1: worker processes do not "
+                "share the basis cache, so results would depend on the "
+                "chunking"
             )
         if self.seed is not None:
             if not isinstance(self.seed, (int, np.integer)):
@@ -325,6 +355,10 @@ class SolverConfig:
             kwargs["warm_start"] = self.warm_start
         if "lp_backend" in heuristic.option_names:
             kwargs["lp_backend"] = self.lp_backend
+        if "lp_engine" in heuristic.option_names:
+            kwargs["lp_engine"] = self.lp_engine
+        if "share_bases" in heuristic.option_names:
+            kwargs["share_bases"] = self.share_bases
         return kwargs
 
     # ------------------------------------------------------------------
@@ -336,6 +370,8 @@ class SolverConfig:
             "seed": self.seed,
             "lp_backend": self.lp_backend,
             "warm_start": self.warm_start,
+            "lp_engine": self.lp_engine,
+            "share_bases": self.share_bases,
             "jobs": self.jobs,
             "chunk_size": self.chunk_size,
             "checkpoint": self.checkpoint,

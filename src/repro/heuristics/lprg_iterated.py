@@ -10,19 +10,21 @@ iterations sit between LPRG (1 solve) and LPRR (~K^2 solves) on the
 cost/quality spectrum of Figure 7 — the natural "what's between LPRG and
 LPRR?" question the paper leaves open.
 
-On small instances (``lp_backend="auto"`` applies
-:func:`~repro.lp.session.prefer_session`) the residual re-solves run
-through a warm-started :class:`~repro.lp.session.LPSession`: instead of
+With ``lp_backend="auto"``/``"session"`` the residual re-solves run
+through an :class:`~repro.lp.session.LPSession`: instead of
 snapshotting the ledger into a fresh ``Platform`` and re-assembling the
 whole LP each round (``residual_platform`` + ``build_lp``), the session
 keeps one instance and each round rewrites *only* the ``b_ub`` entries
 the charged ledger touched — compute/local/connection rows, the MAXMIN
-base-throughput rows — plus the per-beta connection-cap upper bounds,
-then re-solves from the previous optimal basis. ``warm_start=False``
-keeps the incremental updates but solves cold (the iteration-count
-reference); ``lp_backend="scipy"`` restores the original
-rebuild-from-scratch HiGHS path, which doubles as the equivalence
-reference in the tests.
+base-throughput rows — plus the per-beta connection-cap upper bounds.
+Each round re-solves **cold**: a residual rewrite moves the optimum
+wholesale, and measurement shows the previous optimal basis is then a
+*worse* starting point than a fresh start (the repair path wanders
+through the degenerate residual face), so — unlike LPRR's
+one-pin-per-solve chain — basis carry is deliberately not used here
+and ``warm_start`` has no effect on this method's session path.
+``lp_backend="scipy"`` restores the original rebuild-from-scratch
+HiGHS path, which doubles as the equivalence reference in the tests.
 """
 
 from __future__ import annotations
@@ -146,7 +148,13 @@ class IteratedLPRGHeuristic(Heuristic):
     name = "lprg-it"
     aliases = ("lprgi", "iterated-lprg")
     description = "iterated LPRG: residual LP re-solves between roundings (extension)"
-    option_names = ("lp_backend", "max_iters", "warm_start")
+    option_names = (
+        "lp_backend",
+        "lp_engine",
+        "max_iters",
+        "share_bases",
+        "warm_start",
+    )
     uses_lp = True
     deterministic = True
 
@@ -157,6 +165,8 @@ class IteratedLPRGHeuristic(Heuristic):
         max_iters: int = 4,
         warm_start: bool = True,
         lp_backend: str = "auto",
+        lp_engine: str = "revised",
+        share_bases: bool = False,
         **kwargs,
     ) -> HeuristicResult:
         if max_iters < 1:
@@ -168,15 +178,23 @@ class IteratedLPRGHeuristic(Heuristic):
         n_solves = 0
 
         instance = build_lp(problem)
-        lp_backend = resolve_lp_backend(instance, lp_backend)
-        meta = {"lp_backend": lp_backend}
+        lp_backend = resolve_lp_backend(instance, lp_backend, lp_engine)
+        meta = {"lp_backend": lp_backend, "lp_engine": lp_engine}
 
         if lp_backend == "session":
-            session = LPSession(instance, warm_start=warm_start)
+            session = LPSession(
+                instance,
+                warm_start=warm_start,
+                engine=lp_engine,
+                share_bases=share_bases,
+            )
             updater = _ResidualUpdater(problem, instance)
             for _ in range(max_iters):
                 updater.apply(ledger, total.throughputs)
-                relaxed = session.solve()
+                # Cold on purpose: after a residual rewrite the carried
+                # basis starts further from the new optimum than the
+                # all-slack vertex does (see module docstring).
+                relaxed = session.solve(warm_basis=None)
                 n_solves += 1
                 increment = round_down(problem, relaxed)
                 if increment.throughputs.sum() <= _PROGRESS_TOL:

@@ -78,7 +78,13 @@ class _LPRRBase(Heuristic):
     """Shared implementation; subclasses pin the rounding probability."""
 
     equal_probability = False
-    option_names = ("eager_integer_fixing", "lp_backend", "warm_start")
+    option_names = (
+        "eager_integer_fixing",
+        "lp_backend",
+        "lp_engine",
+        "share_bases",
+        "warm_start",
+    )
     uses_lp = True
     deterministic = False
 
@@ -89,15 +95,22 @@ class _LPRRBase(Heuristic):
         eager_integer_fixing: bool = False,
         warm_start: bool = True,
         lp_backend: str = "auto",
+        lp_engine: str = "revised",
+        share_bases: bool = False,
         **kwargs,
     ) -> HeuristicResult:
         platform = problem.platform
         instance = build_lp(problem)
         index = instance.index
-        lp_backend = resolve_lp_backend(instance, lp_backend)
+        lp_backend = resolve_lp_backend(instance, lp_backend, lp_engine)
 
         if lp_backend == "session":
-            session = LPSession(instance, warm_start=warm_start)
+            session = LPSession(
+                instance,
+                warm_start=warm_start,
+                engine=lp_engine,
+                share_bases=share_bases,
+            )
             lb, ub = instance.lb, instance.ub  # mutated in place
 
             def lp_solve():
@@ -148,7 +161,7 @@ class _LPRRBase(Heuristic):
         final = lp_solve_final()
         n_solves += 1
         alloc = Allocation(final.alpha, np.round(final.beta).astype(np.int64))
-        meta = {"lp_backend": lp_backend}
+        meta = {"lp_backend": lp_backend, "lp_engine": lp_engine}
         if session is not None:
             meta["lp_stats"] = session.stats.as_dict()
         return HeuristicResult(

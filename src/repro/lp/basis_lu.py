@@ -1,0 +1,193 @@
+"""LU-factorized simplex basis with product-form eta updates.
+
+The revised simplex (:mod:`repro.lp.revised`) never forms ``B^{-1}``:
+every iteration needs one FTRAN (solve ``B x = v``) and one BTRAN
+(solve ``B^T y = v``), and every pivot replaces exactly one basis
+column. :class:`LUBasis` supports exactly that access pattern:
+
+* a **base factorization** ``B_0 = P L U`` (``scipy.linalg.lu_factor``)
+  taken when the basis is loaded and periodically thereafter;
+* **product-form eta updates** for pivots: after column ``a_q`` replaces
+  basic position ``r``, with ``w = B_k^{-1} a_q`` (the FTRAN of the
+  entering column, which the simplex computes anyway for its ratio
+  test), ``B_{k+1}^{-1} = E_k B_k^{-1}`` where the elementary matrix
+  ``E_k`` is the identity except for column ``r`` — so an update is
+  O(m) storage and each later solve applies the eta in O(m);
+* **periodic refactorization**: the eta file is discarded and ``B`` is
+  refactorized from scratch every :attr:`refactor_every` updates (the
+  classical Bartels–Golub/Forrest–Tomlin compromise: eta files grow
+  and accumulate roundoff, so bounded-length files keep both the work
+  per solve and the error bounded), or eagerly whenever a pivot
+  element is too small for a stable eta.
+
+The column convention matches the bounded revised simplex: columns
+``[0, n)`` are the structural columns of a dense ``A``; columns
+``[n, n + m)`` are slack identity columns (coefficient ``+1`` in their
+row), so ``B`` is assembled without materialising ``[A | I]``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import scipy.linalg
+
+#: an eta pivot element smaller than this (relative to the eta column's
+#: magnitude) triggers an eager refactorization instead of an update
+_ETA_PIVOT_TOL = 1e-8
+
+#: absolute floor under which a pivot is unusable even right after a
+#: fresh factorization
+_SINGULAR_TOL = 1e-11
+
+
+class SingularBasisError(Exception):
+    """The requested basis is singular (or numerically so)."""
+
+
+class LUBasis:
+    """One simplex basis: LU base factorization + eta update file.
+
+    Parameters
+    ----------
+    A:
+        Dense structural columns (``m`` rows, ``n`` columns). Only read.
+    basis:
+        The ``m`` basic column indices (``< n`` structural, ``>= n``
+        slack). Copied; :meth:`replace_column` keeps it current.
+    refactor_every:
+        Maximum eta-file length before the next :meth:`replace_column`
+        triggers a refactorization.
+
+    Raises
+    ------
+    SingularBasisError
+        If the initial basis matrix does not factorize.
+    """
+
+    def __init__(self, A: np.ndarray, basis: np.ndarray, refactor_every: int = 64):
+        self._A = A
+        self._m = A.shape[0]
+        self._n = A.shape[1]
+        self.basis = np.asarray(basis, dtype=int).copy()
+        if self.basis.shape != (self._m,):
+            raise SingularBasisError(
+                f"basis must have {self._m} columns, got {self.basis.shape}"
+            )
+        self.refactor_every = int(refactor_every)
+        #: eta file: (pivot row r, eta column w = B^{-1} a_entering)
+        self._etas: "list[tuple[int, np.ndarray]]" = []
+        #: lifetime counters (surfaced in session stats / benchmarks)
+        self.n_refactor = 0
+        self.n_updates = 0
+        self._factorize()
+
+    # ------------------------------------------------------------------
+    def _basis_matrix(self) -> np.ndarray:
+        """Assemble the dense ``m x m`` basis matrix."""
+        B = np.empty((self._m, self._m))
+        struct = self.basis < self._n
+        if np.any(struct):
+            B[:, struct] = self._A[:, self.basis[struct]]
+        slack = np.nonzero(~struct)[0]
+        if slack.size:
+            B[:, slack] = 0.0
+            B[self.basis[slack] - self._n, slack] = 1.0
+        return B
+
+    def _factorize(self) -> None:
+        """(Re)factorize the current basis; drops the eta file."""
+        B = self._basis_matrix()
+        try:
+            with warnings.catch_warnings():
+                # lu_factor warns on exact singularity; the diagonal
+                # check below turns that into SingularBasisError anyway
+                warnings.simplefilter("ignore", scipy.linalg.LinAlgWarning)
+                lu, piv = scipy.linalg.lu_factor(B, check_finite=False)
+        except (scipy.linalg.LinAlgError, ValueError) as exc:
+            raise SingularBasisError(str(exc)) from exc
+        diag = np.abs(np.diag(lu))
+        if self._m and (not np.all(np.isfinite(lu)) or diag.min() <= _SINGULAR_TOL * max(1.0, diag.max())):
+            raise SingularBasisError("basis matrix is numerically singular")
+        self._lu = (lu, piv)
+        self._etas = []
+        self.n_refactor += 1
+
+    def refactorize(self) -> None:
+        """Public eager refactorization (drops the eta file)."""
+        self._factorize()
+
+    def matches(self, A: np.ndarray, basis: np.ndarray) -> bool:
+        """Is this the factorization of ``basis`` over the *same* ``A``?
+
+        Used by warm re-solves to skip the load-time factorization: a
+        session hands back the LUBasis of its previous solve, and when
+        the requested basis is unchanged (identical ``A`` object, equal
+        basic column set) the factorization is still valid as-is.
+        """
+        return (
+            self._A is A
+            and self.basis.shape == np.shape(basis)
+            and bool(np.array_equal(self.basis, basis))
+        )
+
+    @property
+    def updates_since_refactor(self) -> int:
+        return len(self._etas)
+
+    # ------------------------------------------------------------------
+    def column(self, j: int) -> np.ndarray:
+        """Column ``j`` of ``[A | I]`` (fresh array for slack columns)."""
+        if j < self._n:
+            return self._A[:, j]
+        col = np.zeros(self._m)
+        col[j - self._n] = 1.0
+        return col
+
+    def ftran(self, v: np.ndarray) -> np.ndarray:
+        """Solve ``B x = v`` (``v`` is not modified)."""
+        x = scipy.linalg.lu_solve(self._lu, v, check_finite=False)
+        for r, w in self._etas:
+            t = x[r] / w[r]
+            if t != 0.0:
+                x -= w * t
+            x[r] = t
+        return x
+
+    def btran(self, v: np.ndarray) -> np.ndarray:
+        """Solve ``B^T y = v`` (``v`` is not modified)."""
+        y = np.array(v, dtype=float, copy=True)
+        for r, w in reversed(self._etas):
+            yr = y[r]
+            y[r] = (yr - (w @ y - w[r] * yr)) / w[r]
+        return scipy.linalg.lu_solve(self._lu, y, trans=1, check_finite=False)
+
+    # ------------------------------------------------------------------
+    def replace_column(self, r: int, j: int, w: "np.ndarray | None" = None) -> None:
+        """Basis change: column ``j`` becomes basic in position ``r``.
+
+        ``w`` is the FTRAN of the entering column (``B^{-1} a_j``) under
+        the *current* factorization; when omitted it is recomputed. If
+        the eta pivot ``w[r]`` is too small for a stable product-form
+        update, or the eta file is full, the basis is refactorized from
+        scratch instead of updated.
+
+        Raises
+        ------
+        SingularBasisError
+            If the post-pivot basis does not factorize (the caller
+            chose a pivot that makes ``B`` singular).
+        """
+        if w is None:
+            w = self.ftran(self.column(j))
+        self.basis[r] = j
+        self.n_updates += 1
+        scale = float(np.max(np.abs(w))) if w.size else 0.0
+        if (
+            len(self._etas) >= self.refactor_every
+            or abs(w[r]) <= _ETA_PIVOT_TOL * max(1.0, scale)
+        ):
+            self._factorize()
+            return
+        self._etas.append((int(r), np.array(w, dtype=float, copy=True)))

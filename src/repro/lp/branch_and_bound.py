@@ -73,7 +73,10 @@ def _fractional_betas(instance: LPInstance, x: np.ndarray) -> "list[tuple[int, f
 
 
 def solve_branch_and_bound(
-    instance: LPInstance, max_nodes: int = 10_000, warm_start: bool = True
+    instance: LPInstance,
+    max_nodes: int = 10_000,
+    warm_start: bool = True,
+    engine: str = "revised",
 ) -> BranchAndBoundResult:
     """Best-first branch-and-bound over the integer betas.
 
@@ -87,20 +90,26 @@ def solve_branch_and_bound(
     warm_start:
         Solve child nodes through a warm-started
         :class:`~repro.lp.session.LPSession`, seeding each from its
-        parent's optimal basis. Applies only while the instance is small
-        enough for the dense tableau to win
-        (:func:`~repro.lp.session.prefer_session`, like the heuristics'
-        ``lp_backend="auto"``); ``False`` uses cold HiGHS per node.
+        parent's optimal basis — a child differs from its parent in one
+        beta's box bounds, so the revised engine's dual simplex usually
+        repairs the carried basis in a handful of pivots.
+        ``False`` uses cold HiGHS per node.
+    engine:
+        Simplex engine for the session (``"revised"`` or
+        ``"tableau"``). With ``"tableau"``, warm starting applies only
+        while the instance is small enough for the dense tableau to win
+        (:func:`~repro.lp.session.prefer_session`).
     """
     counter = itertools.count()  # tie-breaker: heapq needs total order
     incumbent: "LPSolution | None" = None
     incumbent_value = -math.inf
     nodes = 0
 
-    if warm_start and prefer_session(instance):
+    if warm_start and prefer_session(instance, engine):
         # The session owns (and mutates) a private bounds copy.
         session = LPSession(
-            instance.with_bounds(instance.lb.copy(), instance.ub.copy())
+            instance.with_bounds(instance.lb.copy(), instance.ub.copy()),
+            engine=engine,
         )
 
         def node_solve(lb, ub, parent_basis):

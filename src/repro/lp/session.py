@@ -10,25 +10,43 @@ exploits exactly that structure:
 * **in-place mutation** — ``solve(lb=..., ub=..., b_ub=...)`` writes the
   new data into the owned instance (no ``with_bounds`` copy, no
   ``build_lp`` re-assembly);
-* **presolve** — variables fixed by ``lb == ub`` (every beta an LPRR
-  iteration pins, permanently) are eliminated from the program, their
-  contribution folded into the RHS, and rows that became empty or can
-  never bind within the remaining box (e.g. connection-count rows once
-  all their betas are fixed) are dropped;
 * **warm start** — the optimal basis of the previous solve is carried
-  across calls (through the presolve's changing variable/row sets, via
-  original-coordinate keys) and seeds
-  :func:`repro.lp.simplex.simplex_solve`, which skips phase 1 whenever
-  the carried basis is still primal-feasible.
+  across calls (via original-coordinate keys, so tokens survive
+  engine-specific reformulation) and seeds the simplex engine, which
+  skips phase 1 whenever the carried basis is still usable.
+
+Two engines share this machinery (``engine=`` knob):
+
+* ``"revised"`` (default) — the bounded-variable revised simplex over
+  an LU-factorized basis (:mod:`repro.lp.revised`): upper bounds are
+  handled natively (no extra rows), each pivot costs one FTRAN/BTRAN
+  pair against the factorization instead of a dense tableau rewrite,
+  and a carried basis that bound/RHS edits left dual-feasible but
+  primal-infeasible (branch-and-bound children, iterated-LPRG
+  tightening) is repaired by *dual* simplex steps — no phase-1
+  restart. It always solves the **full** program: fixed variables are
+  frozen out of pricing rather than eliminated, so the carried basis
+  (and its live LU factorization, kept across solves) maps one-to-one
+  every time instead of going singular against a shrinking column
+  set. There is no instance-size cliff: the session path stays
+  preferable at every K (:func:`prefer_session`).
+* ``"tableau"`` — the legacy dense two-phase tableau
+  (:mod:`repro.lp.simplex`), kept as an arithmetic reference. Its warm
+  path **presolves**: variables fixed by ``lb == ub`` are eliminated
+  (their contribution folded into the RHS) and rows that can never
+  bind within the remaining box are dropped, because a narrower
+  tableau is the only way to keep O(m·n) pivot rewrites competitive.
+  The old :data:`AUTO_SIZE_LIMIT` policy applies to it, since past
+  ~200 columns+rows the tableau loses to a cold HiGHS call anyway.
 
 ``LPSession(instance, warm_start=False)`` is the escape hatch /
 reference: every solve then runs the *full* program cold (no presolve,
-no basis reuse) through the same bundled simplex, so warm-vs-cold output
-can be compared bitwise. HiGHS (:func:`repro.lp.scipy_backend.
-solve_lp_scipy`) stays the independent cross-check — the test-suite
-verifies session objective values against fresh cold HiGHS solves — and
-serves as the in-session fallback if the dense simplex ever hits its
-iteration limit.
+no basis reuse) through the same engine, so warm-vs-cold output can be
+compared bitwise. HiGHS (:func:`repro.lp.scipy_backend.solve_lp_scipy`)
+stays the independent cross-check — the test-suite verifies session
+objective values against fresh cold HiGHS solves — and serves as the
+in-session fallback if the simplex ever hits its iteration limit or
+goes numerically bad.
 """
 
 from __future__ import annotations
@@ -38,6 +56,7 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from repro.lp.builder import LPInstance
+from repro.lp.revised import revised_solve
 from repro.lp.scipy_backend import solve_lp_scipy
 from repro.lp.simplex import simplex_solve
 from repro.lp.solution import LPSolution
@@ -52,36 +71,80 @@ _REDUNDANT_TOL = 1e-9
 #: explicit None (= force a cold start for this call)
 _AUTO = object()
 
-#: largest ``n_vars + n_rows`` for which the dense-tableau session beats
-#: a cold HiGHS call per solve (measured on the reference LPRR sweep:
-#: ~1.8x faster at K=6, break-even near K=8, slower beyond)
+#: golden-ratio conjugate: ``frac(j * _PHI)`` is an equidistributed,
+#: deterministic pseudo-random stream over column indices — generic
+#: enough that no two vertices of an optimal face tie on the secondary
+#: objective it seeds
+_PHI = 0.6180339887498949
+
+
+def _canon_weights(ub: np.ndarray, orig_cols: np.ndarray) -> np.ndarray:
+    """Secondary-objective weights for the revised engine's vertex
+    canonicalization (:func:`repro.lp.revised._canonicalize`).
+
+    Keyed by *original* column index so the full cold program and every
+    presolve-reduced program canonicalize their shared optimal face to
+    the same point — that is what makes warm and cold session solves
+    report identical solutions on degenerate LPs. Columns with infinite
+    upper bound get weight zero (an optimal face can be unbounded along
+    them, and the heuristics' rounding decisions only consume the
+    finite-bounded betas anyway).
+    """
+    w = np.where(np.isfinite(ub), 1.0 + (orig_cols * _PHI) % 1.0, 0.0)
+    return w
+
+#: the simplex engines an :class:`LPSession` can run on
+LP_ENGINES = ("revised", "tableau")
+
+#: largest ``n_vars + n_rows`` for which the dense-**tableau** session
+#: beats a cold HiGHS call per solve (measured on the reference LPRR
+#: sweep: ~1.8x faster at K=6, break-even near K=8, slower beyond).
+#: Only consulted for ``engine="tableau"`` — the revised engine has no
+#: size cliff.
 AUTO_SIZE_LIMIT = 200
 
 
-def prefer_session(instance: LPInstance) -> bool:
+def _check_engine(engine: str) -> None:
+    if engine not in LP_ENGINES:
+        raise ValueError(
+            f"engine must be one of {LP_ENGINES}, got {engine!r}"
+        )
+
+
+def prefer_session(instance: LPInstance, engine: str = "revised") -> bool:
     """Should the ``lp_backend="auto"`` policy re-solve via a session?
 
-    The warm-started dense simplex wins while the tableau stays small;
-    past :data:`AUTO_SIZE_LIMIT` the O(m*n)-per-pivot dense updates lose
-    to a cold HiGHS call and the heuristics fall back to the legacy
-    rebuild-per-solve path.
+    With the revised engine (the default): always. Warm re-solves cost
+    a handful of FTRAN/BTRAN pivots against an LU-factorized basis, so
+    the session wins at every instance size — the old dense-tableau
+    size cliff is retired. With ``engine="tableau"`` the legacy
+    :data:`AUTO_SIZE_LIMIT` policy still applies: past it, O(m*n)
+    per-pivot tableau rewrites lose to a cold HiGHS call.
     """
-    return instance.n_vars + instance.n_rows <= AUTO_SIZE_LIMIT
+    _check_engine(engine)
+    if engine == "tableau":
+        return instance.n_vars + instance.n_rows <= AUTO_SIZE_LIMIT
+    return True
 
 
-def resolve_lp_backend(instance: LPInstance, lp_backend: str) -> str:
+def resolve_lp_backend(
+    instance: LPInstance, lp_backend: str, engine: str = "revised"
+) -> str:
     """Validate an ``lp_backend`` knob and resolve ``"auto"`` for ``instance``.
 
     Returns ``"session"`` or ``"scipy"``; raises ``ValueError`` on
     anything else. Shared by every session-consuming heuristic so the
-    auto policy lives in exactly one place.
+    auto policy lives in exactly one place; ``engine`` feeds the
+    :func:`prefer_session` decision (the tableau engine keeps its size
+    cliff, the revised engine does not).
     """
     if lp_backend not in ("auto", "session", "scipy"):
         raise ValueError(
             f"lp_backend must be 'auto', 'session' or 'scipy', got {lp_backend!r}"
         )
     if lp_backend == "auto":
-        return "session" if prefer_session(instance) else "scipy"
+        return "session" if prefer_session(instance, engine) else "scipy"
+    _check_engine(engine)
     return lp_backend
 
 
@@ -91,8 +154,13 @@ class SessionStats:
 
     ``iterations`` is the total simplex pivot count — the currency of
     the warm-start benchmark. ``n_warm`` counts solves whose carried
-    basis was accepted (phase 1 skipped); ``n_fallback`` counts HiGHS
-    rescues after an iteration-limited simplex run.
+    basis was accepted (phase 1 skipped); ``dual_steps`` the subset of
+    pivots taken by the revised engine's dual simplex (carried-basis
+    repairs after bound/RHS edits); ``n_fallback`` counts HiGHS rescues
+    after an iteration-limited or numerically stuck simplex run.
+    ``vars_eliminated``/``rows_dropped`` count the tableau path's
+    presolve work (always zero with the revised engine, which freezes
+    fixed variables instead of eliminating them).
     """
 
     n_solves: int = 0
@@ -100,6 +168,7 @@ class SessionStats:
     n_cold: int = 0
     n_fallback: int = 0
     iterations: int = 0
+    dual_steps: int = 0
     vars_eliminated: int = 0
     rows_dropped: int = 0
 
@@ -111,18 +180,29 @@ class Basis:
     """Opaque optimal-basis token, keyed in original-instance coordinates.
 
     Each key is ``('x', var)`` (structural variable), ``('r', row)``
-    (slack of an ``A_ub`` row) or ``('u', var)`` (slack of the implicit
-    upper-bound row of ``var``), so the token survives presolve reducing
-    the program to different variable/row subsets between solves.
+    (slack of an ``A_ub`` row) or — tableau engine only — ``('u', var)``
+    (slack of the explicit upper-bound row of ``var``), so the token
+    survives presolve reducing the program to different variable/row
+    subsets between solves.
+
+    The revised engine needs one more bit per nonbasic variable: whether
+    it rests at its lower or its upper bound. ``at_upper`` carries the
+    original indices of the at-upper variables; the tableau engine
+    ignores it (its nonbasic columns are always at value zero in shifted
+    coordinates), so tokens are forward-compatible across engines.
     """
 
-    __slots__ = ("keys",)
+    __slots__ = ("keys", "at_upper")
 
-    def __init__(self, keys):
+    def __init__(self, keys, at_upper=()):
         self.keys = tuple(keys)
+        self.at_upper = tuple(at_upper)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Basis({len(self.keys)} basic columns)"
+        return (
+            f"Basis({len(self.keys)} basic columns, "
+            f"{len(self.at_upper)} at upper)"
+        )
 
 
 class LPSession:
@@ -149,6 +229,17 @@ class LPSession:
         cache is active — i.e. inside a :class:`repro.api.Solver` — the
         cache's shared dense matrix is used; otherwise the instance is
         densified privately, as before.
+    engine:
+        ``"revised"`` (default) or ``"tableau"`` — see the module
+        docstring. One session uses one engine for its whole lifetime.
+    share_bases:
+        Opt in to the active build cache's cross-session basis store:
+        the first solve seeds from the last optimal basis any previous
+        sharing session published for the *same template* (same
+        platform/objective/payoffs), and each optimal solve publishes
+        back. Off by default because a seeded basis makes results
+        depend on batch history (degenerate LPs admit multiple optimal
+        vertices); a no-op outside an active cache.
     """
 
     def __init__(
@@ -157,21 +248,32 @@ class LPSession:
         warm_start: bool = True,
         max_iter: int = 100_000,
         dense_A: "np.ndarray | None" = None,
+        engine: str = "revised",
+        share_bases: bool = False,
     ):
+        _check_engine(engine)
         self.instance = instance
         self.warm_start = bool(warm_start)
         self.max_iter = int(max_iter)
+        self.engine = engine
         self.stats = SessionStats()
-        if dense_A is None:
-            from repro.lp.builder import active_build_cache
+        from repro.lp.builder import active_build_cache
 
-            cache = active_build_cache()
+        cache = active_build_cache()
+        if dense_A is None:
             if cache is not None:
                 dense_A = cache.dense_matrix(instance)
             else:
                 dense_A = np.asarray(instance.A_ub.toarray(), dtype=float)
         self._A = dense_A
         self._basis: "Basis | None" = None
+        #: live LU factorization of the last optimal basis (revised
+        #: engine): when the next solve carries the same basis, its
+        #: load-time refactorization is skipped entirely
+        self._lu = None
+        self._basis_store = cache if share_bases else None
+        if self._basis_store is not None:
+            self._basis = self._basis_store.stored_basis(instance)
 
     # ------------------------------------------------------------------
     @property
@@ -230,6 +332,8 @@ class LPSession:
         if cold or not self.warm_start:
             return self._solve_cold_reference()
         basis = self._basis if warm_basis is _AUTO else warm_basis
+        if self.engine == "revised":
+            return self._solve_revised(basis)
         return self._solve_reduced(basis)
 
     # ------------------------------------------------------------------
@@ -237,13 +341,26 @@ class LPSession:
         """Full program, no presolve, no basis: the bitwise reference."""
         inst = self.instance
         self._basis = None
-        res = simplex_solve(
-            inst.obj,
-            self._A,
-            inst.b_ub,
-            (inst.lb, inst.ub),
-            max_iter=self.max_iter,
-        )
+        self._lu = None
+        if self.engine == "revised":
+            n = inst.obj.shape[0]
+            res = revised_solve(
+                inst.obj,
+                self._A,
+                inst.b_ub,
+                (inst.lb, inst.ub),
+                max_iter=self.max_iter,
+                canon_weights=_canon_weights(inst.ub, np.arange(n)),
+            )
+            self.stats.dual_steps += res.dual_steps
+        else:
+            res = simplex_solve(
+                inst.obj,
+                self._A,
+                inst.b_ub,
+                (inst.lb, inst.ub),
+                max_iter=self.max_iter,
+            )
         self.stats.iterations += res.iterations
         self.stats.n_cold += 1
         if res.status == "infeasible":
@@ -262,10 +379,74 @@ class LPSession:
         """Cold HiGHS rescue after a numerically stuck simplex run."""
         self.stats.n_fallback += 1
         self._basis = None
+        self._lu = None
         return solve_lp_scipy(self.instance)
 
     # ------------------------------------------------------------------
+    def _solve_revised(self, warm_basis: "Basis | None") -> LPSolution:
+        """Warm path of the revised engine: the *full* program, always.
+
+        Unlike the tableau path, no presolve reduction happens here —
+        the bounded revised simplex handles fixed variables natively
+        (they are frozen out of pricing; a carried basic one is ejected
+        by a forced dual pivot), so the program's shape never changes
+        between solves. That is what makes the carried basis map
+        one-to-one every time (a reduced program's shrinking column set
+        regularly turned the carried basis singular) and lets the LU
+        factorization itself persist across solves.
+        """
+        inst = self.instance
+        n = inst.obj.shape[0]
+        m = inst.b_ub.shape[0]
+        init = init_up = None
+        if warm_basis is not None:
+            init, init_up = self._basis_arrays_revised(warm_basis, n, m)
+        res = revised_solve(
+            inst.obj,
+            self._A,
+            inst.b_ub,
+            (inst.lb, inst.ub),
+            max_iter=self.max_iter,
+            initial_basis=init,
+            initial_at_upper=init_up,
+            initial_lu=self._lu if init is not None else None,
+            canon_weights=_canon_weights(inst.ub, np.arange(n)),
+        )
+        self.stats.iterations += res.iterations
+        self.stats.dual_steps += res.dual_steps
+        if res.warm_started:
+            self.stats.n_warm += 1
+        else:
+            self.stats.n_cold += 1
+        if res.status == "infeasible":
+            self._basis = None
+            self._lu = None
+            raise InfeasibleError("LP infeasible (revised simplex)")
+        if res.status == "unbounded":
+            self._basis = None
+            self._lu = None
+            raise UnboundedError("LP unbounded (revised simplex)")
+        if res.status != "optimal" or res.x is None:
+            return self._fallback_scipy()
+        self._basis = self._basis_of_revised(res, n)
+        self._lu = res.lu
+        if self._basis_store is not None:
+            self._basis_store.store_basis(inst, self._basis)
+        return LPSolution(
+            x=np.asarray(res.x, dtype=float),
+            value=float(res.value),
+            index=inst.index,
+        )
+
+    # ------------------------------------------------------------------
     def _solve_reduced(self, warm_basis: "Basis | None") -> LPSolution:
+        """Warm path of the tableau engine: presolve, then the reduced LP.
+
+        Variables fixed by ``lb == ub`` are eliminated (their
+        contribution folded into the RHS), redundant rows dropped, and
+        the carried basis projected onto the surviving columns before
+        the dense tableau runs.
+        """
         inst = self.instance
         lb, ub, b, obj = inst.lb, inst.ub, inst.b_ub, inst.obj
         n = obj.shape[0]
@@ -302,7 +483,6 @@ class LPSession:
         init = None
         if warm_basis is not None:
             init = self._map_basis(warm_basis, act, keep_rows, ub_vars)
-
         res = simplex_solve(
             obj[act],
             A_act[keep_rows],
@@ -325,7 +505,11 @@ class LPSession:
         if res.status != "optimal" or res.x is None:
             return self._fallback_scipy()
 
-        self._basis = self._basis_of(res.basis, act, keep_rows, ub_vars, n_red, m_struct)
+        self._basis = self._basis_of(
+            res.basis, act, keep_rows, ub_vars, n_red, m_struct
+        )
+        if self._basis_store is not None and self._basis is not None:
+            self._basis_store.store_basis(inst, self._basis)
         x = np.empty(n, dtype=float)
         x[act] = res.x
         x[fix] = lb[fix]
@@ -405,6 +589,47 @@ class LPSession:
         if len(cols) != m_red:
             return None
         return np.asarray(cols, dtype=int)
+
+    @staticmethod
+    def _basis_arrays_revised(
+        basis: Basis, n: int, m: int
+    ) -> "tuple[np.ndarray | None, np.ndarray | None]":
+        """Decode a basis token for the full-program revised engine.
+
+        The revised path never reduces the program, so the mapping is
+        one-to-one: ``('x', var)`` is column ``var``, ``('r', row)`` is
+        slack column ``n + row``. A token from the tableau engine (with
+        ``('u', ...)`` keys, or a different basis size because of its
+        explicit upper-bound rows) decodes to ``(None, None)`` — one
+        cold start, after which the session carries revised tokens.
+        """
+        cols: list[int] = []
+        for kind, ident in basis.keys:
+            if kind == "x":
+                cols.append(int(ident))
+            elif kind == "r":
+                cols.append(n + int(ident))
+            else:  # 'u': tableau-engine ub-row slack, meaningless here
+                return None, None
+        if len(cols) != m or len(set(cols)) != m:
+            return None, None
+        basic = set(cols)
+        at_upper = np.zeros(n + m, dtype=bool)
+        for var in basis.at_upper:
+            v = int(var)
+            if v not in basic:
+                at_upper[v] = True
+        return np.asarray(cols, dtype=int), at_upper
+
+    @staticmethod
+    def _basis_of_revised(res, n: int) -> Basis:
+        """Translate a revised-engine result into an original-key token."""
+        keys = [
+            ("x", int(col)) if col < n else ("r", int(col - n))
+            for col in res.basis
+        ]
+        up = [int(j) for j in np.nonzero(res.at_upper[:n])[0]]
+        return Basis(keys, up)
 
     @staticmethod
     def _basis_of(

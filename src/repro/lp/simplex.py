@@ -37,8 +37,6 @@ from repro.util.errors import SolverError
 
 #: numerical tolerance for reduced costs / pivot eligibility
 _EPS = 1e-9
-#: primal-feasibility slack when validating a carried (warm-start) basis
-_WARM_FEAS_TOL = 1e-7
 
 
 @dataclass
@@ -106,7 +104,12 @@ def _run_phase(
         ratios[eligible] = rhs[eligible] / column[eligible]
         best = np.min(ratios)
         # Bland tie-break: among minimal ratios pick smallest basis index.
-        tied = np.nonzero(np.isclose(ratios, best, rtol=0.0, atol=1e-12))[0]
+        # The tie set must be collected with a *relative* tolerance — an
+        # absolute one (the old ``atol=1e-12``) misses ties between
+        # large-magnitude ratios, silently dropping rows from the tie
+        # set and with them Bland's anti-cycling guarantee.
+        tie_tol = _EPS * max(1.0, abs(best))
+        tied = np.nonzero(ratios <= best + tie_tol)[0]
         row = int(tied[np.argmin(basis[tied])])
         _pivot(T, basis, row, col)
     return "iteration_limit", max_iter
@@ -137,7 +140,13 @@ def _warm_tableau(
     if not np.all(np.isfinite(sol)):
         return None
     rhs = sol[:, -1]
-    if np.any(rhs < -_WARM_FEAS_TOL):
+    # Any negative basic value means the carried basis is not (exactly)
+    # primal-feasible here. Reject it and let the caller start cold:
+    # the old behaviour — clamping slightly-negative values to zero
+    # when they cleared a tolerance band — silently perturbed the
+    # starting point, so the "warm" solve ran on a tableau that did not
+    # satisfy B @ x_B = b.
+    if np.any(rhs < 0.0):
         return None
     # Ill-conditioned factorisations can "solve" with a huge residual;
     # only a basis that actually reproduces b is trusted.
@@ -145,7 +154,7 @@ def _warm_tableau(
         return None
     T = np.zeros((m + 1, n + m + 1))
     T[:m, :-1] = sol[:, :-1]
-    T[:m, -1] = np.maximum(rhs, 0.0)
+    T[:m, -1] = rhs
     return T, basis.copy()
 
 
@@ -266,7 +275,13 @@ def simplex_solve(
             iterations += its
             if status != "optimal":
                 return SimplexResult(status=status, iterations=iterations)
-            if T[-1, -1] > 1e-7:
+            # Residual artificial mass scales with the data: judge it
+            # relative to the RHS magnitude, or a well-scaled-but-large
+            # program (b in the 1e6 range, say) gets misclassified as
+            # infeasible by an absolute 1e-7 threshold — and a feasible
+            # tiny-scale one sneaks past it.
+            rhs_scale = max(1.0, float(np.max(np.abs(b_norm))))
+            if T[-1, -1] > 1e-7 * rhs_scale:
                 return SimplexResult(status="infeasible", iterations=iterations)
             # Drive any degenerate artificial out of the basis.
             art_set = set(art_cols)

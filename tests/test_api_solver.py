@@ -264,9 +264,12 @@ class TestSolverConfig:
             "eager_integer_fixing": False,
             "warm_start": False,
             "lp_backend": "auto",
+            "lp_engine": "revised",
+            "share_bases": False,
         }
         bnb = SolverConfig(method="bnb").method_kwargs()
         assert "lp_backend" not in bnb and bnb["warm_start"] is True
+        assert bnb["lp_engine"] == "revised" and "share_bases" not in bnb
 
 
 class TestMethodInfo:
@@ -290,7 +293,9 @@ class TestMethodInfo:
         either a typed sub-config field or a config-level LP knob."""
         heuristic = get_heuristic(method)
         opt_fields = {f.name for f in fields(options_class_for(method))}
-        config_level = {"warm_start", "lp_backend"} & set(heuristic.option_names)
+        config_level = {"warm_start", "lp_backend", "lp_engine", "share_bases"} & set(
+            heuristic.option_names
+        )
         assert opt_fields | config_level == set(heuristic.option_names)
 
     def test_cli_list_methods(self, capsys):

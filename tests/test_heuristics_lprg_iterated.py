@@ -68,8 +68,16 @@ class TestIteratedLPRG:
             solve(problem_factory(seed=0, n_clusters=3), "lprg-it", max_iters=0)
 
     def test_single_iteration_close_to_lprg(self, problem_factory):
+        """One iteration rounds one LP solution, like plain lprg.
+
+        Pinned to the scipy backend on both sides: degenerate LPs admit
+        multiple optimal vertices, and the session engine's canonical
+        vertex can legitimately round a few percent away from the one
+        HiGHS reports — the comparison is about the iteration
+        machinery, not LP tie-breaking.
+        """
         problem = problem_factory(seed=2, n_clusters=5)
-        one = solve(problem, "lprg-it", max_iters=1)
+        one = solve(problem, "lprg-it", max_iters=1, lp_backend="scipy")
         lprg = solve(problem, "lprg")
         assert one.value == pytest.approx(lprg.value, rel=0.05)
 

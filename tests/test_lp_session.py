@@ -10,13 +10,25 @@ bitwise warm/cold allocation identity on pinned seeds).
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 from hypothesis import given, settings, strategies as st
 
 from repro import SteadyStateProblem, solve
 from repro.heuristics.base import registry
-from repro.lp.builder import _COOBuilder, build_lp
+from repro.lp.builder import (
+    _COOBuilder,
+    LPBuildCache,
+    LPInstance,
+    build_lp,
+    use_build_cache,
+)
 from repro.lp.scipy_backend import solve_lp_scipy
-from repro.lp.session import AUTO_SIZE_LIMIT, LPSession, prefer_session
+from repro.lp.session import (
+    AUTO_SIZE_LIMIT,
+    LPSession,
+    prefer_session,
+    resolve_lp_backend,
+)
 from repro.lp.simplex import simplex_solve
 from repro.util.errors import InfeasibleError
 
@@ -158,10 +170,15 @@ class TestSessionMatchesColdHiGHS:
 class TestPresolve:
     def test_fixed_vars_eliminated_and_restored(self, problem_factory):
         """Round-trip: fixing every beta must shrink the solved program
-        but return a full-length x with the pinned values bit-exact."""
+        but return a full-length x with the pinned values bit-exact.
+
+        Presolve elimination is a tableau-engine feature (the revised
+        engine freezes fixed variables instead of eliminating them), so
+        this pins ``engine="tableau"``.
+        """
         problem = problem_factory(seed=0, n_clusters=5)
         instance = build_lp(problem)
-        session = LPSession(build_lp(problem))
+        session = LPSession(build_lp(problem), engine="tableau")
         solution = session.solve()
         n_alpha, n_beta = instance.index.n_alpha, instance.index.n_beta
         fixed_values = {}
@@ -317,13 +334,25 @@ class TestAutoBackendPolicy:
         result = solve(problem, "lprr", rng=0)
         assert result.meta["lp_backend"] == "session"
 
-    def test_large_instances_fall_back_to_scipy(self, problem_factory):
+    def test_large_instances_stay_on_session(self, problem_factory):
+        """The revised engine retired the dense-tableau size cliff:
+        auto keeps the session path even past the old limit."""
         problem = problem_factory(seed=0, n_clusters=12)
         instance = build_lp(problem)
-        if instance.n_vars + instance.n_rows <= AUTO_SIZE_LIMIT:
-            pytest.skip("generated instance unexpectedly small")
+        assert instance.n_vars + instance.n_rows > AUTO_SIZE_LIMIT
+        assert prefer_session(instance)
         result = solve(problem, "lprr", rng=0)
-        assert result.meta["lp_backend"] == "scipy"
+        assert result.meta["lp_backend"] == "session"
+
+    def test_tableau_engine_keeps_size_cliff(self, problem_factory):
+        """``engine="tableau"`` still honours AUTO_SIZE_LIMIT — O(m*n)
+        tableau rewrites lose to a cold HiGHS call past it."""
+        small = build_lp(problem_factory(seed=0, n_clusters=4))
+        large = build_lp(problem_factory(seed=0, n_clusters=12))
+        assert prefer_session(small, engine="tableau")
+        assert not prefer_session(large, engine="tableau")
+        assert resolve_lp_backend(large, "auto", engine="tableau") == "scipy"
+        assert resolve_lp_backend(large, "auto", engine="revised") == "session"
 
 
 class TestBoundsListCache:
@@ -384,3 +413,249 @@ class TestCOOBuilderSetMany:
         assert instance.has_row("local[1]")
         assert not instance.has_row("nonsense[0]")
         assert instance.row_labels[instance.row_id("local[2]")] == "local[2]"
+
+
+def _with_duplicate_rows(instance: LPInstance, k: int = 3) -> LPInstance:
+    """A copy of ``instance`` with its first ``k`` rows appended again —
+    an exactly rank-deficient row set (every duplicated row is redundant
+    and the optimal vertex is degenerate)."""
+    A = sp.vstack([instance.A_ub, instance.A_ub[:k]], format="csr")
+    b = np.concatenate([instance.b_ub, instance.b_ub[:k]])
+    labels = list(instance.row_labels) + [f"dup[{i}]" for i in range(k)]
+    return LPInstance(
+        obj=instance.obj.copy(),
+        A_ub=A,
+        b_ub=b,
+        lb=instance.lb.copy(),
+        ub=instance.ub.copy(),
+        index=instance.index,
+        row_labels=labels,
+    )
+
+
+class TestDegenerateAndRedundantLPs:
+    """Session solves of degenerate programs must agree with cold HiGHS.
+
+    Redundant rows make every basis that touches them singular-adjacent
+    and every vertex degenerate — exactly the regime where the old
+    tableau tolerances and a naive basis carry used to bite.
+    """
+
+    def test_redundant_rows_match_cold_highs(self, problem_factory):
+        problem = problem_factory(seed=1, n_clusters=5)
+        template = build_lp(problem)
+        session = LPSession(_with_duplicate_rows(template))
+        got = session.solve()
+        ref_inst = _with_duplicate_rows(template)
+        ref = solve_lp_scipy(ref_inst)
+        assert got.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+        # Warm re-solve on the redundant program after pinning a beta.
+        var = template.index.n_alpha
+        value = _floor_fix(got.x[var])
+        session.fix_variable(var, value)
+        got2 = session.solve()
+        ref_inst.lb[var] = ref_inst.ub[var] = value
+        ref_inst.invalidate_bounds()
+        ref2 = solve_lp_scipy(ref_inst)
+        assert got2.value == pytest.approx(ref2.value, rel=1e-6, abs=1e-6)
+        assert session.stats.n_warm >= 1
+
+    def test_degenerate_zero_capacity_rows(self, problem_factory):
+        """Zeroing local-traffic rows forces a degenerate vertex (many
+        constraints tight at 0); session must still match cold HiGHS."""
+        problem = problem_factory(seed=2, n_clusters=5)
+        instance = build_lp(problem)
+        K = problem.platform.n_clusters
+        b = instance.b_ub.copy()
+        for k in range(K):
+            b[instance.row_id(f"local[{k}]")] = 0.0
+        session = LPSession(build_lp(problem))
+        session.solve()
+        got = session.solve(b_ub=b)  # warm, on the degenerate program
+        ref_inst = build_lp(problem)
+        np.copyto(ref_inst.b_ub, b)
+        ref = solve_lp_scipy(ref_inst)
+        assert got.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+
+
+class TestWarmStartAfterBoundFlip:
+    def test_tightened_upper_bound_dual_repair(self, problem_factory):
+        """Cutting a basic variable's upper bound below its optimal value
+        leaves the carried basis primal-infeasible; the dual simplex must
+        repair it and land on the cold HiGHS optimum — deterministically
+        (an identically-driven second session reproduces x bit-for-bit)."""
+        problem = problem_factory(seed=3, n_clusters=5)
+        instance = build_lp(problem)
+
+        def drive():
+            session = LPSession(build_lp(problem))
+            first = session.solve()
+            n_alpha, n_beta = instance.index.n_alpha, instance.index.n_beta
+            betas = first.x[n_alpha : n_alpha + n_beta]
+            var = n_alpha + int(np.argmax(betas))
+            assert first.x[var] > 0.5  # something to cut
+            new_ub = float(first.x[var]) / 2.0
+            session.instance.ub[var] = new_ub
+            session.instance.invalidate_bounds()
+            return session, session.solve(), var, new_ub
+
+        session, got, var, new_ub = drive()
+        assert session.stats.n_warm >= 1
+        ref_inst = build_lp(problem)
+        ref_inst.ub[var] = new_ub
+        ref_inst.invalidate_bounds()
+        ref = solve_lp_scipy(ref_inst)
+        assert got.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+        _, again, _, _ = drive()
+        assert np.array_equal(got.x, again.x)
+
+    def test_bound_flip_lower_raised(self, problem_factory):
+        """Raising a lower bound above the optimum (forcing a beta up)
+        flips the active bound; warm re-solve must match cold HiGHS."""
+        problem = problem_factory(seed=4, n_clusters=5)
+        instance = build_lp(problem)
+        session = LPSession(build_lp(problem))
+        first = session.solve()
+        n_alpha = instance.index.n_alpha
+        # Force the first beta at least one unit above its LP value,
+        # staying within its (finite) route-capacity upper bound.
+        var = n_alpha
+        target = float(np.floor(first.x[var]) + 1.0)
+        if target > instance.ub[var]:
+            pytest.skip("route already saturated on this seed")
+        session.instance.lb[var] = target
+        session.instance.invalidate_bounds()
+        got = session.solve()
+        ref_inst = build_lp(problem)
+        ref_inst.lb[var] = target
+        ref_inst.invalidate_bounds()
+        ref = solve_lp_scipy(ref_inst)
+        assert got.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+
+
+class TestDualResolveEquivalence:
+    def test_rhs_tightening_uses_dual_steps(self, problem_factory):
+        """The B&B/lprg-it pattern — tighten one b_ub row, re-solve warm
+        — must take dual pivots (not a cold restart) and agree with a
+        fresh cold HiGHS solve.
+
+        Note: a *uniform* ``b_ub * 0.8`` shrink keeps the carried basis
+        primal-feasible (basic values just scale), so only an uneven cut
+        exercises the dual repair.
+        """
+        problem = problem_factory(seed=5, n_clusters=5)
+        instance = build_lp(problem)
+        session = LPSession(build_lp(problem))
+        session.solve()
+        shrunk = instance.b_ub.copy()
+        shrunk[instance.row_id("compute[0]")] *= 0.25
+        got = session.solve(b_ub=shrunk)
+        assert session.stats.n_warm == 1
+        assert session.stats.dual_steps > 0
+        ref_inst = build_lp(problem)
+        np.copyto(ref_inst.b_ub, shrunk)
+        ref = solve_lp_scipy(ref_inst)
+        assert got.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+
+    def test_uniform_shrink_stays_primal(self, problem_factory):
+        """The complementary case: a uniform RHS scale keeps the carried
+        basis primal-feasible — warm re-solve without any dual pivots."""
+        problem = problem_factory(seed=5, n_clusters=5)
+        instance = build_lp(problem)
+        session = LPSession(build_lp(problem))
+        session.solve()
+        got = session.solve(b_ub=instance.b_ub * 0.8)
+        assert session.stats.n_warm == 1
+        assert session.stats.dual_steps == 0
+        ref_inst = build_lp(problem)
+        np.copyto(ref_inst.b_ub, instance.b_ub * 0.8)
+        ref = solve_lp_scipy(ref_inst)
+        assert got.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+
+
+class TestEngineKnob:
+    def test_lprr_engine_recorded_and_valid(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=4)
+        revised = solve(problem, "lprr", rng=0)
+        tableau = solve(
+            problem, "lprr", rng=0, lp_engine="tableau", lp_backend="session"
+        )
+        assert revised.meta["lp_engine"] == "revised"
+        assert tableau.meta["lp_engine"] == "tableau"
+        assert problem.check(revised.allocation).ok
+        assert problem.check(tableau.allocation).ok
+
+    def test_bnb_engine_knob(self, problem_factory):
+        problem = problem_factory(seed=0, n_clusters=4)
+        revised = solve(problem, "bnb", lp_engine="revised")
+        tableau = solve(problem, "bnb", lp_engine="tableau")
+        assert revised.value == pytest.approx(tableau.value, rel=1e-6, abs=1e-6)
+
+    def test_config_validates_engine_and_sharing(self):
+        from repro.api import SolverConfig
+        from repro.util.errors import SolverError
+
+        assert SolverConfig(method="lprr").lp_engine == "revised"
+        with pytest.raises(SolverError, match="lp_engine"):
+            SolverConfig(method="lprr", lp_engine="bogus")
+        with pytest.raises(SolverError, match="share_bases"):
+            SolverConfig(method="lprr", share_bases=True, jobs=2)
+        cfg = SolverConfig.for_method("lprr", lp_engine="tableau", share_bases=True)
+        assert cfg.to_dict()["lp_engine"] == "tableau"
+        assert SolverConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_session_rejects_unknown_engine(self, problem_factory):
+        instance = build_lp(problem_factory(seed=0, n_clusters=4))
+        with pytest.raises(ValueError):
+            LPSession(instance, engine="bogus")
+
+
+class TestShareBases:
+    def test_seeds_across_sessions_same_template(self, problem_factory):
+        """Two sharing sessions on the same template: the second's first
+        solve warm-starts from the first's published basis and lands on
+        the identical canonical vertex."""
+        problem = problem_factory(seed=6, n_clusters=5)
+        cache = LPBuildCache()
+        with use_build_cache(cache):
+            s1 = LPSession(build_lp(problem), share_bases=True)
+            a = s1.solve()
+            s2 = LPSession(build_lp(problem), share_bases=True)
+            b = s2.solve()
+        assert cache.basis_stores >= 1
+        assert cache.basis_hits >= 1
+        assert s2.stats.n_warm == 1  # seeded, not cold
+        assert np.array_equal(a.x, b.x)
+        assert a.value == b.value
+
+    def test_off_by_default_and_outside_cache(self, problem_factory):
+        problem = problem_factory(seed=6, n_clusters=5)
+        cache = LPBuildCache()
+        with use_build_cache(cache):
+            s = LPSession(build_lp(problem))  # share_bases omitted
+            s.solve()
+        assert cache.basis_stores == 0
+        # Sharing without an active cache is a silent no-op.
+        lone = LPSession(build_lp(problem), share_bases=True)
+        lone.solve()
+        assert lone.stats.n_warm == 0
+
+    def test_solver_share_bases_end_to_end(self, problem_factory):
+        """Through the facade: a sharing Solver publishes bases to its
+        SolverState cache across calls and keeps allocations identical
+        to the non-sharing default (canonical vertices make the seeded
+        path arrive at the same answers)."""
+        from repro.api import Solver, SolverConfig
+
+        problem = problem_factory(seed=7, n_clusters=5)
+        sharing = Solver(SolverConfig.for_method("lprr", share_bases=True))
+        plain = Solver(SolverConfig.for_method("lprr"))
+        r1 = sharing.solve(problem, rng=0)
+        r2 = sharing.solve(problem, rng=0)
+        r_plain = plain.solve(problem, rng=0)
+        assert sharing.state.lp_cache.stats()["basis_stores"] > 0
+        assert sharing.state.lp_cache.stats()["basis_hits"] > 0
+        assert plain.state.lp_cache.stats()["basis_stores"] == 0
+        assert np.array_equal(r1.allocation.beta, r_plain.allocation.beta)
+        assert np.array_equal(r1.allocation.beta, r2.allocation.beta)
+        assert r1.value == r2.value == r_plain.value

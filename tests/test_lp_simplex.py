@@ -117,3 +117,89 @@ class TestOnPaperInstances:
                 inst.obj, inst.A_ub.toarray(), inst.b_ub, inst.bounds_list()
             )
             assert ours.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+
+
+class TestToleranceRegressions:
+    """Regression pins for the three scale-dependent tolerance bugs.
+
+    The tableau solver used (a) an absolute ``atol=1e-12`` when
+    collecting ratio-test ties, so large-magnitude ties were missed and
+    Bland's anti-cycling tie-break ran on a truncated tie set; (b) a
+    clamp ``max(rhs, 0)`` on slightly-negative carried-basis values,
+    silently perturbing the warm starting point; and (c) an absolute
+    ``1e-7`` threshold on the phase-1 residual, misclassifying feasible
+    badly-scaled programs as infeasible.
+    """
+
+    def test_degenerate_ties_at_large_magnitude(self):
+        """Beale-style degenerate LP, scaled so every ratio tie sits at
+        ~1e9: the relative tie test must still collect the full tie set
+        and the run must terminate at the optimum (no cycling)."""
+        s = 3.7e9
+        # Beale's classical cycling example (degenerate at the origin),
+        # with a bounding row to keep the optimum finite.
+        c = [0.75, -150.0, 0.02, -6.0]
+        A = [
+            [0.25, -60.0, -1.0 / 25.0, 9.0],
+            [0.5, -90.0, -1.0 / 50.0, 3.0],
+            [0.0, 0.0, 1.0, 0.0],
+        ]
+        b = [0.0, 0.0, 1.0]
+        ref = simplex_solve(c, A, b)
+        assert ref.ok
+        scaled = simplex_solve(c, A, [s * bi for bi in b],
+                               bounds=[(0, None)] * 4, max_iter=10_000)
+        assert scaled.ok
+        assert scaled.value == pytest.approx(s * ref.value, rel=1e-9)
+
+    def test_degenerate_redundant_rows_scaled(self):
+        """Many coincident constraints at a huge scale: every pivot's
+        ratio test is an all-tied, large-magnitude decision."""
+        s = 1.9e9
+        A = [[1.0, 1.0], [1.0, 1.0], [2.0, 2.0], [1.0, 0.0]]
+        b = [s, s, 2.0 * s, s]
+        res = simplex_solve([1.0, 1.0], A, b, max_iter=1000)
+        assert res.ok
+        assert res.value == pytest.approx(s, rel=1e-12)
+
+    def test_warm_negative_basic_rejected_not_clamped(self):
+        """A carried basis whose basic values go slightly negative must
+        be rejected (cold restart), not clamped onto the feasibility
+        boundary — the clamp reported a superoptimal value from an
+        infeasible starting tableau."""
+        c = [1.0, 1.0]
+        A = [[1.0, 1.0], [1.0, -1.0]]
+        eps = 1e-9
+        b = [2.0, 2.0 + eps]
+        # Basis {x, y}: B^{-1} b = [2 + eps/2, -eps/2] — y negative.
+        res = simplex_solve(c, A, b, initial_basis=np.array([0, 1]))
+        assert res.ok
+        assert not res.warm_started  # basis rejected, not repaired
+        assert res.value <= 2.0 + 1e-12
+        assert res.value == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("scale", [1.0, 1e6, 1e9])
+    def test_phase1_threshold_scales_with_rhs(self, problem_factory, scale):
+        """Rescaled program-(7) instances with pinned betas (so phase 1
+        actually runs) must agree with HiGHS on status and value at
+        every scale."""
+        problem = problem_factory(seed=0, n_clusters=4)
+        inst = build_lp(problem)
+        ref0 = solve_lp_scipy(inst)
+        n_alpha = inst.index.n_alpha
+        # Pin half the betas at their LP value, floored: lb == ub > 0
+        # shifts those rows' RHS negative, forcing artificials.
+        for i in range(n_alpha, inst.n_vars, 2):
+            v = float(np.floor(ref0.x[i]))
+            inst.lb[i] = inst.ub[i] = v
+        inst.invalidate_bounds()
+        inst.b_ub *= scale
+        inst.lb *= scale
+        inst.ub *= scale
+        inst.invalidate_bounds()
+        ref = solve_lp_scipy(inst)
+        ours = simplex_solve(
+            inst.obj, inst.A_ub.toarray(), inst.b_ub, inst.bounds_list()
+        )
+        assert ours.ok
+        assert ours.value == pytest.approx(ref.value, rel=1e-6)
