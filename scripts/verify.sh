@@ -45,6 +45,15 @@
 # resumed — are bitwise-identical to the serial fold; it refreshes
 # BENCH_shard_merge.json.
 #
+# The supervision step gates the fault-tolerance subsystem
+# (repro/util/faults.py + repro/distrib/supervise.py): the fault-plan,
+# supervision and recovery-property suites run explicitly, and the
+# fault-recovery smoke (bench_fault_recovery.py) asserts that injected
+# faults — transient task-error storms, shard kills with torn
+# checkpoint tails, stragglers — are healed by retry/resume/stealing
+# with the merged aggregate bitwise-identical to the fault-free serial
+# fold and bounded recovery cost; it refreshes BENCH_fault_recovery.json.
+#
 # Every BENCH_*.json gate is additionally verified to have been
 # (re)emitted by THIS run (require_fresh below): a benchmark that
 # silently skips, deselects, or exits before its assertions can no
@@ -130,6 +139,18 @@ echo
 echo "== benchmark smoke: sharded campaign merge =="
 python -m pytest -x -q -s benchmarks/bench_shard_merge.py
 require_fresh BENCH_shard_merge.json
+
+echo
+echo "== supervision: fault + recovery suites (must not be deselected) =="
+python -m pytest -x -q \
+    tests/test_faults.py \
+    tests/test_supervise.py \
+    tests/test_fault_recovery_property.py
+
+echo
+echo "== benchmark smoke: supervised fault recovery =="
+python -m pytest -x -q -s benchmarks/bench_fault_recovery.py
+require_fresh BENCH_fault_recovery.json
 
 echo
 echo "verify.sh: all checks passed"

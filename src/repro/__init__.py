@@ -103,7 +103,12 @@ from repro.platform import (
     save_platform,
     star_platform,
 )
-from repro.parallel import CampaignEngine, solve_many
+from repro.parallel import (
+    CampaignEngine,
+    QuarantineError,
+    RetryPolicy,
+    solve_many,
+)
 from repro.util.errors import (
     InfeasibleError,
     PlatformError,
@@ -164,6 +169,8 @@ __all__ = [
     "CampaignEngine",
     "solve_many",
     "SweepAccumulator",
+    "RetryPolicy",
+    "QuarantineError",
     # errors
     "InfeasibleError",
     "PlatformError",

@@ -40,6 +40,7 @@ from repro.api.scenarios import (
     scenario_registry,
 )
 from repro.api.solver import Solver, SolverState
+from repro.parallel.engine import QuarantineError, RetryPolicy, TaskFailure
 from repro.parallel.stream import SweepAccumulator
 
 __all__ = [
@@ -52,6 +53,9 @@ __all__ = [
     "MILPOptions",
     "BranchAndBoundOptions",
     "options_class_for",
+    "RetryPolicy",
+    "TaskFailure",
+    "QuarantineError",
     # solving
     "Solver",
     "SolverState",

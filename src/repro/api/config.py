@@ -19,13 +19,17 @@ shim translates its ``**kwargs``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.core.objectives import get_objective
 from repro.heuristics.base import get_heuristic, unknown_option_error
+from repro.parallel.engine import RetryPolicy
 from repro.util.errors import SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.distrib.supervise import SupervisionOptions
 
 #: backends accepted by the session-consuming heuristics (mirrors
 #: :func:`repro.lp.session.resolve_lp_backend`)
@@ -189,6 +193,27 @@ class SolverConfig:
         ``1`` (the default) runs shards one at a time, exactly like
         ``jobs=1`` means serial everywhere else; results are identical
         for any value.
+    retry:
+        A :class:`~repro.parallel.engine.RetryPolicy` switching campaign
+        execution (``solve_many``/``sweep``, and every shard of a
+        sharded sweep) to supervised mode: transient infrastructure
+        failures are retried with exponential backoff, deterministic
+        task errors are quarantined into a structured
+        :class:`~repro.parallel.engine.QuarantineError` report instead
+        of crashing the whole campaign, and an optional per-task
+        timeout bounds hung workers. Retries never change results:
+        task seeds are stateless functions of the task index, so a
+        re-executed task is bitwise the original. ``None`` (default)
+        keeps the legacy fail-fast behavior.
+    supervision:
+        A :class:`~repro.distrib.supervise.SupervisionOptions` driving a
+        sharded sweep through the
+        :class:`~repro.distrib.supervise.ShardSupervisor`: shard-level
+        retry/backoff and crash classification, optional shard
+        timeouts, and straggler detection with work stealing
+        (re-planning a slow shard's remaining task range into fresh
+        manifests mid-campaign). Requires ``shards > 1``. Bitwise
+        transparent for the same reason as ``retry``.
     options:
         The per-method typed sub-config; ``None`` means the method's
         defaults. Must be exactly the class of :func:`options_class_for`.
@@ -210,6 +235,8 @@ class SolverConfig:
     shards: int = 1
     shard_backend: str = "process"
     shard_dir: "str | None" = None
+    retry: "RetryPolicy | None" = None
+    supervision: "SupervisionOptions | None" = None
     options: "MethodOptions | None" = None
 
     def __post_init__(self):
@@ -297,6 +324,26 @@ class SolverConfig:
                 )
         elif self.resume and not self.checkpoint:
             raise SolverError("resume=True requires a checkpoint path")
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise SolverError(
+                f"retry must be a RetryPolicy or None, got {self.retry!r}"
+            )
+        if self.supervision is not None:
+            # lazy for the same reason as the backend-registry lookup:
+            # a plain solve never pulls in the distrib package
+            from repro.distrib.supervise import SupervisionOptions
+
+            if not isinstance(self.supervision, SupervisionOptions):
+                raise SolverError(
+                    f"supervision must be a SupervisionOptions or None, "
+                    f"got {self.supervision!r}"
+                )
+            if self.shards < 2:
+                raise SolverError(
+                    "supervision requires shards > 1 (the shard "
+                    "supervisor manages shard-level retry and stealing; "
+                    "use retry= for task-level supervision)"
+                )
         expected = options_class_for(self.method)
         if self.options is None:
             object.__setattr__(self, "options", expected())
@@ -381,6 +428,11 @@ class SolverConfig:
             "shards": self.shards,
             "shard_backend": self.shard_backend,
             "shard_dir": self.shard_dir,
+            "retry": None if self.retry is None else self.retry.to_dict(),
+            "supervision": (
+                None if self.supervision is None
+                else self.supervision.to_dict()
+            ),
             "options": self.options.to_dict(),
         }
 
@@ -390,6 +442,14 @@ class SolverConfig:
         data = dict(data)
         method = data.pop("method", "lprg")
         options = data.pop("options", None) or {}
+        retry = data.pop("retry", None)
+        if isinstance(retry, dict):
+            retry = RetryPolicy.from_dict(retry)
+        supervision = data.pop("supervision", None)
+        if isinstance(supervision, dict):
+            from repro.distrib.supervise import SupervisionOptions
+
+            supervision = SupervisionOptions.from_dict(supervision)
         heuristic = get_heuristic(method)
         config_names = {
             f.name for f in fields(cls) if f.name not in ("method", "options")
@@ -403,5 +463,9 @@ class SolverConfig:
             if key not in option_names:
                 raise unknown_option_error(key, heuristic.name, option_names)
         return cls(
-            method=heuristic.name, options=opts_cls(**options), **data
+            method=heuristic.name,
+            options=opts_cls(**options),
+            retry=retry,
+            supervision=supervision,
+            **data,
         )

@@ -139,6 +139,7 @@ class Solver:
                 _run_solve_task,
                 jobs=self.config.jobs,
                 chunk_size=self.config.chunk_size,
+                retry_policy=self.config.retry,
             )
         return self._engine
 
@@ -334,6 +335,8 @@ class Solver:
                 # for the backend's auto default)
                 jobs=config.jobs,
                 progress=reporter,
+                retry=config.retry,
+                supervision=config.supervision,
             )
 
         tasks = build_sweep_tasks(
@@ -387,7 +390,10 @@ class Solver:
                 )
 
         engine = CampaignEngine(
-            run_sweep_task, jobs=config.jobs, chunk_size=config.chunk_size
+            run_sweep_task,
+            jobs=config.jobs,
+            chunk_size=config.chunk_size,
+            retry_policy=config.retry,
         )
         try:
             with use_build_cache(self.state.lp_cache):

@@ -27,10 +27,15 @@ flags on the figure/headline subcommands; and the host-side CLI
 
 from repro.distrib.campaign import run_sharded_sweep
 from repro.distrib.executor import (
+    QUARANTINE_EXIT,
     SHARD_BACKENDS,
     InlineShardExecutor,
     ProcessShardExecutor,
+    ShardCancelled,
+    ShardCrashError,
     ShardExecutor,
+    ShardExitError,
+    ShardTimeoutError,
     SubprocessShardExecutor,
     available_shard_backends,
     get_shard_executor,
@@ -51,7 +56,16 @@ from repro.distrib.merge import (
     merge_accumulators,
     merge_shards,
 )
-from repro.distrib.runner import run_shard
+from repro.distrib.runner import read_heartbeat, run_shard, write_heartbeat
+from repro.distrib.supervise import (
+    ShardSupervisor,
+    SupervisionOptions,
+    SupervisionReport,
+    campaign_status,
+    classify_shard_failure,
+    shard_progress,
+    steal_shard,
+)
 
 __all__ = [
     # planning
@@ -78,4 +92,19 @@ __all__ = [
     "merge_accumulators",
     "load_shard_state",
     "concatenate_row_sinks",
+    # supervision
+    "ShardSupervisor",
+    "SupervisionOptions",
+    "SupervisionReport",
+    "campaign_status",
+    "shard_progress",
+    "steal_shard",
+    "classify_shard_failure",
+    "write_heartbeat",
+    "read_heartbeat",
+    "QUARANTINE_EXIT",
+    "ShardCrashError",
+    "ShardTimeoutError",
+    "ShardCancelled",
+    "ShardExitError",
 ]

@@ -46,6 +46,8 @@ def run_sharded_sweep(
     resume: bool = False,
     jobs: "int | None" = None,
     progress: "Callable[[int, int], None] | None" = None,
+    retry=None,
+    supervision=None,
 ) -> "SweepAccumulator":
     """Run one sweep campaign as ``n_shards`` shards and merge them.
 
@@ -56,6 +58,17 @@ def run_sharded_sweep(
     exactly associative. ``resume=True`` re-enters a previous campaign
     in ``shard_dir``: completed shards are validated and merged as-is,
     interrupted ones continue from their own checkpoints.
+
+    ``retry`` (a :class:`~repro.parallel.engine.RetryPolicy`) turns on
+    supervised task execution *inside* every shard; ``supervision`` (a
+    :class:`~repro.distrib.supervise.SupervisionOptions`) replaces the
+    plain batch dispatch with the :class:`~repro.distrib.supervise.
+    ShardSupervisor` — shard-level retry with backoff, quarantine
+    classification, optional shard timeouts and straggler stealing.
+    Neither changes a bit of the merged result; they change what
+    happens when the infrastructure misbehaves. Stealing re-plans
+    manifests mid-run, so the final merge re-reads the shard directory
+    instead of trusting the initial plan.
     """
     if n_shards < 1:
         raise ShardError(f"n_shards must be >= 1, got {n_shards}")
@@ -63,7 +76,7 @@ def run_sharded_sweep(
         raise ShardError(
             "resuming a sharded campaign requires a persistent shard_dir"
         )
-    executor = get_shard_executor(backend, jobs=jobs)
+    executor = get_shard_executor(backend, jobs=jobs, retry=retry)
     temp_dir = None
     if shard_dir is None:
         temp_dir = tempfile.TemporaryDirectory(prefix="repro-shards-")
@@ -83,7 +96,19 @@ def run_sharded_sweep(
             row_sink=row_sink,
         )
         paths = write_manifests(manifests, shard_dir)
-        executor.run(paths, resume=resume, progress=progress)
+        if supervision is not None:
+            from repro.distrib.supervise import ShardSupervisor
+
+            supervisor = ShardSupervisor(
+                executor, options=supervision, jobs=jobs
+            )
+            supervisor.run(paths, resume=resume, progress=progress)
+            # stealing may have re-planned the partition on disk
+            from repro.distrib.manifest import load_manifests
+
+            manifests = load_manifests(shard_dir)
+        else:
+            executor.run(paths, resume=resume, progress=progress)
         return merge_shards(manifests, row_sink=row_sink)
     finally:
         if temp_dir is not None:

@@ -21,12 +21,22 @@ detail, never a semantic one:
   artifact files out, which is exactly the contract a real multi-host
   dispatcher (SSH, SLURM, k8s jobs) would have.
 
+Besides the batch :meth:`ShardExecutor.run`, every backend exposes
+:meth:`ShardExecutor.run_one` — run a single shard with optional
+wall-clock ``timeout`` and cooperative ``cancel`` — which is what the
+supervisor (:mod:`repro.distrib.supervise`) schedules, retries, and
+preempts. Backends that can actually kill a running shard advertise
+``can_preempt = True`` (only ``subprocess`` and ``process`` here: an
+inline shard shares the caller's thread and cannot be stopped).
+
 New backends register with :func:`register_shard_backend`; resolve by
 name with :func:`get_shard_executor`.
 """
 
 from __future__ import annotations
 
+import difflib
+import json
 import os
 import subprocess
 import sys
@@ -34,11 +44,61 @@ import time
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.distrib.manifest import ShardError
+from repro.distrib.manifest import ShardError, ShardManifest
 from repro.distrib.runner import run_shard
+from repro.parallel.engine import RetryPolicy
+from repro.util.faults import InjectedShardKill
 
 #: built-in backend names, in reference-first order
 SHARD_BACKENDS = ("inline", "process", "subprocess")
+
+#: exit code of a ``shard run`` CLI whose campaign finished but
+#: quarantined deterministic task failures: the supervisor must not
+#: retry such a shard (re-running cannot help), unlike any other
+#: nonzero exit (crash/kill — transient, retry with resume)
+QUARANTINE_EXIT = 3
+
+
+class ShardCrashError(ShardError):
+    """A shard died for an *infrastructural* reason (process killed,
+    worker crash, injected kill): transient — retrying with resume is
+    the correct response."""
+
+
+class ShardTimeoutError(ShardCrashError):
+    """A shard exceeded its wall-clock budget and was killed."""
+
+
+class ShardCancelled(ShardCrashError):
+    """A shard was deliberately preempted (straggler steal) — control
+    flow for the supervisor, never a campaign failure by itself."""
+
+
+class ShardExitError(ShardError):
+    """A subprocess shard exited nonzero.
+
+    Carries the structured context a remote-host failure needs to be
+    debuggable from the parent: the manifest path, the exit code, and
+    the tail of the child's stderr (worker traceback included).
+    Whether it is transient is the *supervisor's* call: exit code
+    :data:`QUARANTINE_EXIT` marks quarantined deterministic task
+    errors, anything else a crash.
+    """
+
+    def __init__(self, manifest_path: str, returncode: int, stderr_tail: str):
+        self.manifest_path = str(manifest_path)
+        self.returncode = int(returncode)
+        self.stderr_tail = stderr_tail
+        super().__init__(
+            f"shard (manifest {manifest_path}) exited with code "
+            f"{returncode}:\n{stderr_tail}"
+        )
+
+    def __reduce__(self):
+        return (
+            ShardExitError,
+            (self.manifest_path, self.returncode, self.stderr_tail),
+        )
 
 
 def _default_jobs(n_shards: int) -> int:
@@ -58,14 +118,23 @@ class ShardExecutor:
     jobs:
         Concurrent shards for parallel backends (``None`` = auto, see
         :func:`_default_jobs`; ignored by ``inline``).
+    retry:
+        Optional :class:`~repro.parallel.engine.RetryPolicy` applied
+        *inside* each shard's engine (transient task retry +
+        quarantine); shard-level retry is the supervisor's job.
     """
 
     name = "abstract"
+    #: whether ``run_one`` honors ``timeout``/``cancel`` by killing the
+    #: running shard (required for straggler stealing)
+    can_preempt = False
 
-    def __init__(self, jobs: "int | None" = None):
+    def __init__(self, jobs: "int | None" = None,
+                 retry: "RetryPolicy | None" = None):
         if jobs is not None and jobs < 1:
             raise ShardError(f"executor jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.retry = retry
 
     def run(
         self,
@@ -82,6 +151,23 @@ class ShardExecutor:
         """
         raise NotImplementedError  # pragma: no cover - interface
 
+    def run_one(
+        self,
+        manifest_path: "str | Path",
+        resume: bool = False,
+        timeout: "float | None" = None,
+        cancel=None,
+    ) -> dict:
+        """Run a single shard; the supervisor's scheduling unit.
+
+        ``timeout`` bounds the shard's wall time and ``cancel`` (an
+        object with ``is_set()``, e.g. :class:`threading.Event`)
+        requests preemption — both only honored by backends with
+        ``can_preempt``; the base implementation runs to completion
+        regardless.
+        """
+        return self.run([manifest_path], resume=resume)[0]
+
     def _jobs_for(self, n_shards: int) -> int:
         return self.jobs if self.jobs is not None else _default_jobs(n_shards)
 
@@ -94,7 +180,7 @@ class InlineShardExecutor(ShardExecutor):
     def run(self, manifest_paths, resume=False, progress=None):
         summaries = []
         for done, path in enumerate(manifest_paths, start=1):
-            summaries.append(run_shard(path, resume=resume))
+            summaries.append(run_shard(path, resume=resume, retry=self.retry))
             if progress is not None:
                 progress(done, len(manifest_paths))
         return summaries
@@ -102,14 +188,15 @@ class InlineShardExecutor(ShardExecutor):
 
 def _run_shard_task(payload: tuple) -> dict:
     """Module-level (picklable) pool worker: one shard per task."""
-    manifest_path, resume = payload
-    return run_shard(manifest_path, resume=resume)
+    manifest_path, resume, retry = payload
+    return run_shard(manifest_path, resume=resume, retry=retry)
 
 
 class ProcessShardExecutor(ShardExecutor):
     """Local fan-out: shards are campaign-engine tasks on a process pool."""
 
     name = "process"
+    can_preempt = True
 
     def run(self, manifest_paths, resume=False, progress=None):
         from repro.parallel.engine import CampaignEngine
@@ -121,9 +208,51 @@ class ProcessShardExecutor(ShardExecutor):
             chunk_size=1,  # a shard is already a coarse unit of work
         )
         return engine.run(
-            [(p, resume) for p in paths],
+            [(p, resume, self.retry) for p in paths],
             progress=progress,
         )
+
+    def run_one(self, manifest_path, resume=False, timeout=None, cancel=None):
+        """One shard on its own single-worker pool: real process
+        isolation (an injected worker crash cannot take the supervisor
+        down) plus preemption by killing the pool's worker."""
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        path = str(manifest_path)
+        pool = ProcessPoolExecutor(max_workers=1)
+
+        def _kill_worker() -> None:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                proc.kill()
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            future = pool.submit(_run_shard_task, (path, resume, self.retry))
+            while True:
+                if cancel is not None and cancel.is_set():
+                    _kill_worker()
+                    raise ShardCancelled(f"shard run {path} cancelled")
+                if deadline is not None and time.monotonic() > deadline:
+                    _kill_worker()
+                    raise ShardTimeoutError(
+                        f"shard {path} exceeded the {timeout}s shard "
+                        "timeout and was killed"
+                    )
+                try:
+                    return future.result(timeout=0.05)
+                except TimeoutError:
+                    continue
+                except InjectedShardKill as exc:
+                    raise ShardCrashError(
+                        f"shard {path} died mid-run: {exc}"
+                    ) from exc
+                except BrokenProcessPool:
+                    raise ShardCrashError(
+                        f"shard worker process died running {path}"
+                    ) from None
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 class SubprocessShardExecutor(ShardExecutor):
@@ -136,6 +265,7 @@ class SubprocessShardExecutor(ShardExecutor):
     """
 
     name = "subprocess"
+    can_preempt = True
 
     #: stderr bytes echoed into the ShardError of a failed shard
     _STDERR_TAIL = 4000
@@ -151,6 +281,8 @@ class SubprocessShardExecutor(ShardExecutor):
         ]
         if resume:
             cmd.append("--resume")
+        if self.retry is not None:
+            cmd += ["--retry", json.dumps(self.retry.to_dict())]
         return cmd
 
     def _environment(self) -> dict:
@@ -165,6 +297,23 @@ class SubprocessShardExecutor(ShardExecutor):
         ]
         env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
         return env
+
+    @staticmethod
+    def _summary_from_artifacts(path: str) -> dict:
+        # the artifacts on disk are the ground truth; the summary is
+        # rebuilt from the manifest for symmetry with the in-process
+        # backends
+        manifest = ShardManifest.load(path)
+        return {
+            "shard_index": manifest.shard_index,
+            "n_shards": manifest.n_shards,
+            "task_start": manifest.task_start,
+            "task_stop": manifest.task_stop,
+            "n_tasks": manifest.n_shard_tasks,
+            "checkpoint_path": manifest.checkpoint_path,
+            "state_path": str(manifest.state_path),
+            "row_sink_path": manifest.row_sink_path,
+        }
 
     def run(self, manifest_paths, resume=False, progress=None):
         import tempfile
@@ -207,28 +356,13 @@ class SubprocessShardExecutor(ShardExecutor):
                     )
                     stderr_spool.close()
                     if proc.returncode != 0:
-                        failures.append(
-                            f"shard {index} (manifest {path}) exited with "
-                            f"code {proc.returncode}:\n"
-                            f"{stderr[-self._STDERR_TAIL:]}"
-                        )
+                        failures.append(ShardExitError(
+                            path,
+                            proc.returncode,
+                            stderr[-self._STDERR_TAIL:],
+                        ))
                         continue
-                    # the artifacts on disk are the ground truth; the
-                    # summary is rebuilt from the manifest for symmetry
-                    # with the in-process backends
-                    from repro.distrib.manifest import ShardManifest
-
-                    manifest = ShardManifest.load(path)
-                    summaries[index] = {
-                        "shard_index": manifest.shard_index,
-                        "n_shards": manifest.n_shards,
-                        "task_start": manifest.task_start,
-                        "task_stop": manifest.task_stop,
-                        "n_tasks": manifest.n_shard_tasks,
-                        "checkpoint_path": manifest.checkpoint_path,
-                        "state_path": str(manifest.state_path),
-                        "row_sink_path": manifest.row_sink_path,
-                    }
+                    summaries[index] = self._summary_from_artifacts(path)
                     done += 1
                     if progress is not None:
                         progress(done, len(paths))
@@ -239,10 +373,54 @@ class SubprocessShardExecutor(ShardExecutor):
                 proc.wait()
                 stderr_spool.close()
         if failures:
+            if len(failures) == 1:
+                raise failures[0]
             raise ShardError(
-                "subprocess shard backend failed:\n" + "\n".join(failures)
+                "subprocess shard backend failed:\n"
+                + "\n".join(str(f) for f in failures)
             )
         return summaries
+
+    def run_one(self, manifest_path, resume=False, timeout=None, cancel=None):
+        import tempfile
+
+        path = str(manifest_path)
+        stderr_spool = tempfile.TemporaryFile()
+        proc = subprocess.Popen(
+            self._command(path, resume),
+            stdout=subprocess.DEVNULL,
+            stderr=stderr_spool,
+            env=self._environment(),
+        )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            while proc.poll() is None:
+                if cancel is not None and cancel.is_set():
+                    proc.kill()
+                    proc.wait()
+                    raise ShardCancelled(
+                        f"shard run {path} cancelled (preempted)"
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    proc.kill()
+                    proc.wait()
+                    raise ShardTimeoutError(
+                        f"shard {path} exceeded the {timeout}s shard "
+                        "timeout and was killed"
+                    )
+                time.sleep(0.02)
+            if proc.returncode != 0:
+                stderr_spool.seek(0)
+                stderr = stderr_spool.read().decode("utf-8", errors="replace")
+                raise ShardExitError(
+                    path, proc.returncode, stderr[-self._STDERR_TAIL:]
+                )
+            return self._summary_from_artifacts(path)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - abort defense
+                proc.kill()
+                proc.wait()
+            stderr_spool.close()
 
 
 _BACKENDS: dict[str, type] = {
@@ -252,13 +430,26 @@ _BACKENDS: dict[str, type] = {
 }
 
 
-def register_shard_backend(name: str, executor_cls: type) -> None:
-    """Register a custom executor backend (e.g. an SSH dispatcher)."""
+def register_shard_backend(
+    name: str, executor_cls: type, replace: bool = False
+) -> None:
+    """Register a custom executor backend (e.g. an SSH dispatcher).
+
+    Duplicate names are refused unless ``replace=True``: silently
+    shadowing a built-in (or another extension) would reroute every
+    campaign that names the backend.
+    """
     if not issubclass(executor_cls, ShardExecutor):
         raise ShardError(
             f"{executor_cls!r} is not a ShardExecutor subclass"
         )
-    _BACKENDS[str(name)] = executor_cls
+    name = str(name)
+    if not replace and name in _BACKENDS:
+        raise ShardError(
+            f"shard backend {name!r} is already registered "
+            f"(to {_BACKENDS[name].__name__}); pass replace=True to override"
+        )
+    _BACKENDS[name] = executor_cls
 
 
 def available_shard_backends() -> list[str]:
@@ -266,13 +457,25 @@ def available_shard_backends() -> list[str]:
     return list(_BACKENDS)
 
 
-def get_shard_executor(name: str, jobs: "int | None" = None) -> ShardExecutor:
-    """Resolve a backend by name; unknown names list the valid ones."""
+def get_shard_executor(
+    name: str,
+    jobs: "int | None" = None,
+    retry: "RetryPolicy | None" = None,
+) -> ShardExecutor:
+    """Resolve a backend by name; unknown names list the valid ones
+    (with a did-you-mean for near misses)."""
     try:
         executor_cls = _BACKENDS[name]
     except KeyError:
+        close = difflib.get_close_matches(str(name), list(_BACKENDS), n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise ShardError(
-            f"unknown shard backend {name!r}; available: "
+            f"unknown shard backend {name!r}{hint}; available: "
             f"{', '.join(_BACKENDS)}"
         ) from None
-    return executor_cls(jobs=jobs)
+    kwargs: dict = {"jobs": jobs}
+    if retry is not None:
+        # only forwarded when set: third-party executors registered
+        # before the retry parameter existed keep working
+        kwargs["retry"] = retry
+    return executor_cls(**kwargs)

@@ -146,8 +146,14 @@ class ShardManifest:
     sweep_fingerprint` of the whole campaign — identical across the
     campaign's manifests, so the merge layer can refuse to combine
     shards of different campaigns. ``fingerprint`` additionally pins the
-    shard's own identity (index + task range), guarding each per-shard
-    checkpoint against resuming into the wrong slice.
+    shard's own identity (index + task-range *start*), guarding each
+    per-shard checkpoint against resuming into the wrong slice.
+    ``task_stop`` is deliberately **not** part of the fingerprint:
+    straggler re-planning (:func:`repro.distrib.supervise.steal_shard`)
+    shrinks a slow shard's range in place, and the truncated shard must
+    keep resuming from its own checkpoint — every record it already
+    wrote still belongs to the shrunken range's prefix, so identity is
+    ``(campaign, index, start)``, not the movable stop.
     """
 
     campaign: dict
@@ -183,10 +189,8 @@ class ShardManifest:
         return campaign_fingerprint(
             {
                 "campaign": self.campaign_fingerprint,
-                "n_shards": self.n_shards,
                 "shard_index": self.shard_index,
                 "task_start": self.task_start,
-                "task_stop": self.task_stop,
             }
         )
 
@@ -196,6 +200,23 @@ class ShardManifest:
         (see :class:`repro.parallel.checkpoint.CampaignCheckpoint`)."""
         path = Path(self.checkpoint_path)
         return path.with_name(path.name + ".state")
+
+    @property
+    def heartbeat_path(self) -> Path:
+        """Liveness/progress sidecar a running shard refreshes per task
+        (read by the supervisor's straggler detection and the
+        ``shard status`` CLI)."""
+        return Path(self.checkpoint_path).with_suffix(".heartbeat")
+
+    @property
+    def shard_dir(self) -> Path:
+        """The campaign directory every shard artifact lives in."""
+        return Path(self.checkpoint_path).parent
+
+    @property
+    def manifest_path(self) -> Path:
+        """This shard's canonical manifest file location."""
+        return manifest_path_for(self.shard_dir, self.shard_index)
 
     # ------------------------------------------------------------------
     def rebuild_sweep(self) -> dict:

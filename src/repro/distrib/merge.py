@@ -7,7 +7,7 @@ as O(accumulator) JSON) and, optionally, a row-sink file in task order.
 campaign — same campaign fingerprint, contiguous task coverage, every
 shard fully folded — and then:
 
-* combines the accumulator states in shard order through
+* combines the accumulator states in task order through
   :meth:`~repro.parallel.stream.SweepAccumulator.merge`, which is
   **exactly** associative (integer-exact counts/extrema/histogram bins
   and integer-mantissa moment sums), so the merged aggregate equals the
@@ -33,22 +33,20 @@ from repro.distrib.manifest import ShardError, ShardManifest
 from repro.parallel.stream import SweepAccumulator
 
 
-def load_shard_state(manifest: ShardManifest) -> dict:
-    """Read + validate one shard's accumulator-state sidecar.
+def _read_sidecar(manifest: ShardManifest) -> "tuple[dict | None, str | None]":
+    """Read one shard's sidecar: ``(state, problem)``.
 
-    Checks the sidecar exists, carries the shard's own fingerprint (so a
-    stale artifact from a re-planned campaign cannot slip in) and covers
-    the shard's full task range (an incomplete shard means a crashed or
-    still-running host — merging it would silently drop results).
+    ``problem`` is a human-oriented description when the shard is
+    merely *unfinished* (no sidecar yet, or folded fewer tasks than its
+    range) — conditions ``resume`` fixes. Genuine corruption (invalid
+    JSON, a foreign fingerprint) raises instead: no amount of resuming
+    makes a foreign artifact mergeable.
     """
     path = manifest.state_path
     try:
         record = json.loads(path.read_text())
     except FileNotFoundError:
-        raise ShardError(
-            f"shard {manifest.shard_index} has no state sidecar at {path}; "
-            "run the shard (or resume it) before merging"
-        ) from None
+        return None, f"no state sidecar at {path} (shard never ran)"
     except json.JSONDecodeError as exc:
         raise ShardError(
             f"shard {manifest.shard_index} state sidecar {path} is not "
@@ -64,10 +62,26 @@ def load_shard_state(manifest: ShardManifest) -> dict:
     state = record.get("state") or {}
     n_folded = int(state.get("n_folded", 0))
     if n_folded != manifest.n_shard_tasks:
+        return state, (
+            f"incomplete: folded {n_folded} of "
+            f"{manifest.n_shard_tasks} tasks"
+        )
+    return state, None
+
+
+def load_shard_state(manifest: ShardManifest) -> dict:
+    """Read + validate one shard's accumulator-state sidecar.
+
+    Checks the sidecar exists, carries the shard's own fingerprint (so a
+    stale artifact from a re-planned campaign cannot slip in) and covers
+    the shard's full task range (an incomplete shard means a crashed or
+    still-running host — merging it would silently drop results).
+    """
+    state, problem = _read_sidecar(manifest)
+    if problem is not None:
         raise ShardError(
-            f"shard {manifest.shard_index} is incomplete: folded "
-            f"{n_folded} of {manifest.n_shard_tasks} tasks; re-run it "
-            "with resume before merging"
+            f"shard {manifest.shard_index} is not mergeable — {problem}; "
+            "run the shard (or resume it) before merging"
         )
     return state
 
@@ -94,16 +108,23 @@ def merge_accumulators(
 
 
 def _validate_campaign(manifests: Sequence[ShardManifest]) -> list[ShardManifest]:
+    """Check the manifests form one complete campaign partition.
+
+    Validation is *coverage-based*, not index-based: the manifests must
+    share a campaign fingerprint and task count, carry distinct shard
+    indices, and their ranges — sorted by ``task_start`` — must tile
+    ``[0, n_tasks)`` exactly. Nothing requires the indices to be
+    ``0..N-1`` or the per-manifest ``n_shards`` bookkeeping to agree:
+    straggler re-planning (:func:`repro.distrib.supervise.steal_shard`)
+    legitimately refines the partition mid-campaign, appending
+    fresh-index manifests whose ranges split a victim's. Merge order is
+    task order, which is what makes the merged fold bitwise-serial.
+    """
     if not manifests:
         raise ShardError("cannot merge zero shard manifests")
-    ordered = sorted(manifests, key=lambda m: m.shard_index)
+    ordered = sorted(manifests, key=lambda m: (m.task_start, m.task_stop))
     first = ordered[0]
-    indices = [m.shard_index for m in ordered]
-    if indices != list(range(first.n_shards)):
-        raise ShardError(
-            f"expected shard indices 0..{first.n_shards - 1}, got {indices}"
-        )
-    expected_start = 0
+    seen_indices: dict[int, ShardManifest] = {}
     for manifest in ordered:
         if manifest.campaign_fingerprint != first.campaign_fingerprint:
             raise ShardError(
@@ -112,24 +133,37 @@ def _validate_campaign(manifests: Sequence[ShardManifest]) -> list[ShardManifest
                 f"{manifest.campaign_fingerprint!r} != "
                 f"{first.campaign_fingerprint!r})"
             )
-        if (manifest.n_shards, manifest.n_tasks) != (
-            first.n_shards, first.n_tasks
-        ):
+        if manifest.n_tasks != first.n_tasks:
             raise ShardError(
                 f"shard {manifest.shard_index} disagrees on the campaign "
-                f"shape ({manifest.n_shards} shards / {manifest.n_tasks} "
-                f"tasks vs {first.n_shards} / {first.n_tasks})"
+                f"shape ({manifest.n_tasks} tasks vs {first.n_tasks})"
             )
-        if manifest.task_start != expected_start:
+        if manifest.shard_index in seen_indices:
             raise ShardError(
-                f"shard ranges are not contiguous: shard "
-                f"{manifest.shard_index} starts at {manifest.task_start}, "
-                f"expected {expected_start}"
+                f"duplicate shard index {manifest.shard_index}: two "
+                "manifests would share the same artifact files"
+            )
+        seen_indices[manifest.shard_index] = manifest
+    expected_start = 0
+    for manifest in ordered:
+        if manifest.task_start > expected_start:
+            raise ShardError(
+                f"shard ranges leave a gap: tasks "
+                f"[{expected_start}, {manifest.task_start}) are covered by "
+                "no shard"
+            )
+        if manifest.task_start < expected_start:
+            raise ShardError(
+                f"shard ranges overlap: shard {manifest.shard_index} "
+                f"starts at {manifest.task_start} inside an already "
+                f"covered range (next uncovered task is {expected_start})"
             )
         expected_start = manifest.task_stop
     if expected_start != first.n_tasks:
         raise ShardError(
-            f"shard ranges cover {expected_start} of {first.n_tasks} tasks"
+            f"shard ranges cover only {expected_start} of {first.n_tasks} "
+            f"tasks: tasks [{expected_start}, {first.n_tasks}) are covered "
+            "by no shard"
         )
     return ordered
 
@@ -177,7 +211,27 @@ def merge_shards(
     or per-shard crash/resume pattern produced the artifacts.
     """
     ordered = _validate_campaign(manifests)
-    states = [load_shard_state(m) for m in ordered]
+    states = []
+    unfinished: list[tuple[ShardManifest, str]] = []
+    for manifest in ordered:
+        state, problem = _read_sidecar(manifest)
+        if problem is not None:
+            unfinished.append((manifest, problem))
+        else:
+            states.append(state)
+    if unfinished:
+        lines = []
+        for manifest, problem in unfinished:
+            lines.append(
+                f"  shard {manifest.shard_index} (tasks "
+                f"[{manifest.task_start}, {manifest.task_stop})): {problem}"
+                "\n    finish it with: python -m repro.experiments shard "
+                f"run {manifest.manifest_path} --resume"
+            )
+        raise ShardError(
+            f"campaign is incomplete: {len(unfinished)} of {len(ordered)} "
+            "shard(s) unfinished:\n" + "\n".join(lines)
+        )
     merged = merge_accumulators([s["aggregate"] for s in states])
     expected_tasks = ordered[0].n_tasks
     if merged.n_tasks != expected_tasks:  # pragma: no cover - defense

@@ -3,7 +3,7 @@
 :func:`run_shard` is the unit every executor backend (and the
 ``shard run`` CLI) drives: it rebuilds the shard's task slice from the
 manifest, runs it through the PR-1 :class:`~repro.parallel.engine.
-CampaignEngine` with the PR-4 streaming fold, and leaves three durable
+CampaignEngine` with the PR-4 streaming fold, and leaves durable
 artifacts next to the manifest:
 
 * ``shard-NNNN.ckpt`` — the incremental per-task checkpoint (JSON
@@ -11,36 +11,93 @@ artifacts next to the manifest:
 * ``shard-NNNN.ckpt.state`` — the accumulator-state sidecar written by
   the fold's final snapshot: the shard's entire aggregate as
   O(accumulator) JSON, which is all the merge layer ever reads;
+* ``shard-NNNN.heartbeat`` — a tiny liveness/progress record refreshed
+  after every folded task, so a supervisor (or ``shard status``) can
+  tell a working shard from a hung one without touching the checkpoint;
 * ``shard-NNNN.rows.jsonl``/``.csv`` — the shard's raw rows in task
   order (only when the campaign asked for a row sink).
 
 Every shard runs its tasks inline (``jobs=1`` semantics): the shard is
 the unit of parallelism, and keeping the intra-shard path identical to
 the serial reference keeps the determinism argument one-dimensional.
+
+Fault injection: when a :class:`~repro.util.faults.FaultPlan` is in
+force (explicit or ambient via ``REPRO_FAULT_PLAN``), task-scope
+faults are applied by the engine and shard-scope faults (``kill``,
+``stall``) by this module's progress hook — including torn-checkpoint
+corruption and sidecar loss, the two artifact-level failure modes
+resume must survive.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import json
+import os
+import time
+from pathlib import Path
 
 from repro.distrib.manifest import ShardManifest, ShardError
 from repro.parallel.checkpoint import CampaignCheckpoint
-from repro.parallel.engine import CampaignEngine
+from repro.parallel.engine import CampaignEngine, RetryPolicy
 from repro.parallel.stream import (
     StreamFold,
     SweepAccumulator,
     open_row_sink,
     snapshot_compatible,
 )
+from repro.util.faults import (
+    FaultPlan,
+    InjectedShardKill,
+    corrupt_checkpoint_tail,
+)
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from pathlib import Path
+
+def write_heartbeat(path: "str | Path", tasks_done: int, n_tasks: int) -> None:
+    """Atomically refresh a shard's liveness/progress sidecar."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps({
+        "tasks_done": int(tasks_done),
+        "n_tasks": int(n_tasks),
+        "time": time.time(),
+        "pid": os.getpid(),
+    }))
+    os.replace(tmp, path)
+
+
+def read_heartbeat(path: "str | Path") -> "dict | None":
+    """Load a heartbeat sidecar; ``None`` when absent or torn."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def _shard_attempt(manifest: ShardManifest) -> int:
+    """1-based attempt counter for this shard, persisted next to its
+    artifacts so injected shard faults can be attempt-scoped (``times``)
+    across process boundaries. Only consulted under a fault plan."""
+    path = Path(manifest.checkpoint_path).with_suffix(".attempts")
+    try:
+        prior = int(path.read_text())
+    except (FileNotFoundError, ValueError, OSError):
+        prior = 0
+    attempt = prior + 1
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(str(attempt))
+    except OSError:  # pragma: no cover - IO defense
+        pass
+    return attempt
 
 
 def run_shard(
     manifest: "ShardManifest | str | Path",
     resume: bool = False,
     snapshot_every: int = 32,
+    retry: "RetryPolicy | None" = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> dict:
     """Execute one shard to completion; returns a JSON-able summary.
 
@@ -50,11 +107,19 @@ def run_shard(
     any stale artifacts. Either way the call is idempotent once the
     shard completed: the artifacts on disk describe the same task slice
     with the same seeds, bit for bit.
+
+    ``retry`` switches the intra-shard engine to supervised mode
+    (transient-error retry + quarantine, see
+    :class:`~repro.parallel.engine.RetryPolicy`); ``fault_plan``
+    overrides the ambient ``REPRO_FAULT_PLAN`` injection plan.
     """
     if not isinstance(manifest, ShardManifest):
         manifest = ShardManifest.load(manifest)
     from repro.experiments.persistence import row_from_dict, row_to_dict
     from repro.parallel.sweep import run_sweep_task
+
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
 
     tasks = manifest.shard_tasks()
     task_ids = [t.task_id for t in tasks]
@@ -83,14 +148,54 @@ def run_shard(
         checkpoint=store,
         snapshot_every=snapshot_every,
     )
+
+    # shard-scope fault rules for this attempt (kill / stall), resolved
+    # once; the attempt counter is only persisted when a plan is active
+    shard_faults = []
+    if fault_plan is not None:
+        attempt = _shard_attempt(manifest)
+        shard_faults = fault_plan.shard_rules(manifest.shard_index, attempt)
+    stalled: set[int] = set()
+    heartbeat_path = manifest.heartbeat_path
+
+    def on_progress(tasks_done: int, n_tasks: int) -> None:
+        write_heartbeat(heartbeat_path, tasks_done, n_tasks)
+        for slot, rule in enumerate(shard_faults):
+            if tasks_done < rule.after_tasks:
+                continue
+            if rule.fault == "stall" and slot not in stalled:
+                stalled.add(slot)
+                if rule.seconds:
+                    time.sleep(rule.seconds)
+            elif rule.fault == "kill":
+                if rule.drop_state:
+                    manifest.state_path.unlink(missing_ok=True)
+                if rule.corrupt_tail:
+                    store.close()  # flush before tearing the tail
+                    corrupt_checkpoint_tail(manifest.checkpoint_path)
+                raise InjectedShardKill(
+                    f"injected kill: shard {manifest.shard_index} after "
+                    f"{tasks_done} tasks"
+                )
+
     try:
         if resume and store.saved_state is not None:
             fold.restore(store.saved_state)
         else:
             fold.start()
-        engine = CampaignEngine(run_sweep_task, jobs=1)
-        engine.run(tasks, task_ids=task_ids, checkpoint=store, consumer=fold)
+        write_heartbeat(heartbeat_path, 0, len(tasks))
+        engine = CampaignEngine(
+            run_sweep_task, jobs=1, retry_policy=retry, fault_plan=fault_plan
+        )
+        engine.run(
+            tasks,
+            task_ids=task_ids,
+            checkpoint=store,
+            consumer=fold,
+            progress=on_progress,
+        )
         aggregate = fold.finalize()  # final snapshot -> the state sidecar
+        write_heartbeat(heartbeat_path, len(tasks), len(tasks))
     finally:
         fold.sink.close()
         store.close()
@@ -106,6 +211,7 @@ def run_shard(
         "task_stop": manifest.task_stop,
         "n_tasks": len(tasks),
         "n_rows": aggregate.n_rows,
+        "retries": engine.last_retries,
         "checkpoint_path": str(manifest.checkpoint_path),
         "state_path": str(manifest.state_path),
         "row_sink_path": manifest.row_sink_path,

@@ -1,0 +1,578 @@
+"""Supervised shard execution: retry, timeout, quarantine, stealing.
+
+:class:`ShardSupervisor` wraps any executor backend's per-shard
+:meth:`~repro.distrib.executor.ShardExecutor.run_one` in the control
+loop a production campaign needs:
+
+* **bounded retry with backoff** — a shard that dies for an
+  *infrastructural* reason (worker crash, killed interpreter, injected
+  kill, shard timeout) is retried with ``resume=True`` up to the
+  policy's ``max_attempts``, so completed work is never recomputed and
+  a flaky host costs one resume, not one campaign;
+* **error classification** — a shard that fails *deterministically*
+  (its tasks raise; surfaced as a :class:`~repro.parallel.engine.
+  QuarantineError` inline or the :data:`~repro.distrib.executor.
+  QUARANTINE_EXIT` exit code from a subprocess shard) is quarantined:
+  the supervisor finishes every other shard and then raises one
+  structured :class:`~repro.parallel.engine.QuarantineError`, instead
+  of crashing the fleet on the first bug;
+* **straggler re-planning** — each running shard refreshes a heartbeat
+  sidecar per folded task; when one goes stale past
+  ``straggler_after`` seconds (hung host, injected stall), the
+  supervisor preempts it and :func:`steal_shard` splits its manifest
+  at the watermark: the finished prefix keeps the victim's artifacts
+  (resume replays them for free), the unfinished suffix becomes a
+  fresh-index :class:`~repro.distrib.manifest.ShardManifest` that any
+  idle slot picks up.
+
+Determinism under all of this is inherited, not re-argued: task seeds
+are derived from task *indices* (stateless ``SeedSequence`` spawning),
+re-executed tasks are pure functions of their payloads, and the merge
+algebra is exactly associative — so any schedule of crashes, retries
+and steals yields the same merged aggregate, bit for bit, as the
+fault-free serial fold (gated by the fault-recovery property test and
+``benchmarks/bench_fault_recovery.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.distrib.executor import (
+    QUARANTINE_EXIT,
+    ShardCancelled,
+    ShardCrashError,
+    ShardExecutor,
+    ShardExitError,
+    get_shard_executor,
+)
+from repro.distrib.manifest import (
+    ShardError,
+    ShardManifest,
+    load_manifests,
+    manifest_path_for,
+    shard_artifact_name,
+)
+from repro.distrib.merge import _read_sidecar
+from repro.distrib.runner import read_heartbeat
+from repro.parallel.engine import QuarantineError, RetryPolicy, TaskFailure
+from repro.util.faults import InjectedShardKill, is_transient_exception
+
+#: stderr marker a quarantined ``shard run`` CLI prints before exiting
+#: with QUARANTINE_EXIT, so the parent can recover the structured report
+QUARANTINE_REPORT_PREFIX = "QUARANTINE-REPORT: "
+
+
+@dataclass(frozen=True)
+class SupervisionOptions:
+    """Shard-level supervision knobs (see :class:`ShardSupervisor`).
+
+    Parameters
+    ----------
+    retry:
+        Shard-level :class:`~repro.parallel.engine.RetryPolicy`:
+        ``max_attempts`` total tries per shard, backoff between tries.
+        (Task-level retry *inside* a shard is configured separately,
+        via ``SolverConfig.retry`` / the executor's ``retry``.)
+    shard_timeout:
+        Wall-clock seconds a single shard attempt may run before being
+        killed and charged one failed attempt (``None`` disables;
+        needs a preempting backend).
+    straggler_after:
+        Heartbeat staleness, in seconds, after which a running shard is
+        declared a straggler and its remaining range is stolen
+        (``None`` disables stealing).
+    min_steal_tasks:
+        Only steal when at least this many tasks remain unfolded (a
+        straggler one task from done is cheaper to wait out).
+    poll_interval:
+        Supervisor scheduling/heartbeat-scan granularity in seconds.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    shard_timeout: "float | None" = None
+    straggler_after: "float | None" = None
+    min_steal_tasks: int = 1
+    poll_interval: float = 0.05
+
+    def __post_init__(self):
+        if not isinstance(self.retry, RetryPolicy):
+            raise ValueError(
+                f"supervision retry must be a RetryPolicy, got {self.retry!r}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be > 0, got {self.shard_timeout}"
+            )
+        if self.straggler_after is not None and self.straggler_after <= 0:
+            raise ValueError(
+                f"straggler_after must be > 0, got {self.straggler_after}"
+            )
+        if self.min_steal_tasks < 1:
+            raise ValueError(
+                f"min_steal_tasks must be >= 1, got {self.min_steal_tasks}"
+            )
+        if self.poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be > 0, got {self.poll_interval}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "retry": self.retry.to_dict(),
+            "shard_timeout": self.shard_timeout,
+            "straggler_after": self.straggler_after,
+            "min_steal_tasks": self.min_steal_tasks,
+            "poll_interval": self.poll_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SupervisionOptions":
+        known = {
+            "retry", "shard_timeout", "straggler_after", "min_steal_tasks",
+            "poll_interval",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown SupervisionOptions field(s): {', '.join(unknown)}"
+            )
+        kwargs = dict(data)
+        if isinstance(kwargs.get("retry"), dict):
+            kwargs["retry"] = RetryPolicy.from_dict(kwargs["retry"])
+        return cls(**kwargs)
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor did: per-shard outcomes, steals, retries."""
+
+    shards: list[dict] = field(default_factory=list)
+    steals: list[dict] = field(default_factory=list)
+    shard_retries: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "steals": self.steals,
+            "shard_retries": self.shard_retries,
+        }
+
+
+# ----------------------------------------------------------------------
+# status + stealing (also usable offline, without a supervisor)
+# ----------------------------------------------------------------------
+
+def shard_progress(manifest: ShardManifest) -> dict:
+    """One shard's observable progress, from its on-disk sidecars.
+
+    Never raises for unfinished/missing artifacts — this is the data
+    behind ``shard status`` and the supervisor's straggler scan; a
+    genuinely corrupt sidecar is reported in the ``problem`` field.
+    """
+    try:
+        state, problem = _read_sidecar(manifest)
+    except ShardError as exc:
+        state, problem = None, str(exc)
+    folded = int(state.get("n_folded", 0)) if state else 0
+    heartbeat = read_heartbeat(manifest.heartbeat_path)
+    heartbeat_age = (
+        max(0.0, time.time() - float(heartbeat["time"]))
+        if heartbeat and "time" in heartbeat
+        else None
+    )
+    return {
+        "shard_index": manifest.shard_index,
+        "task_start": manifest.task_start,
+        "task_stop": manifest.task_stop,
+        "n_tasks": manifest.n_shard_tasks,
+        "folded": folded,
+        "complete": problem is None,
+        "problem": problem,
+        "heartbeat": heartbeat,
+        "heartbeat_age": heartbeat_age,
+        "manifest_path": str(manifest.manifest_path),
+    }
+
+
+def campaign_status(shard_dir: "str | Path") -> list[dict]:
+    """Progress of every shard planned under ``shard_dir``."""
+    return [shard_progress(m) for m in load_manifests(shard_dir)]
+
+
+def steal_shard(
+    shard_dir: "str | Path",
+    shard_index: int,
+    stale_after: "float | None" = None,
+    force: bool = False,
+) -> "tuple[ShardManifest, ShardManifest | None]":
+    """Re-plan a shard's unfinished task range into a fresh manifest.
+
+    Reads the victim's accumulator-state sidecar to find its watermark
+    ``w`` (tasks durably folded), shrinks the victim's manifest in
+    place to ``[start, start + w)`` — its checkpoint still matches,
+    because shard identity excludes ``task_stop``, so a ``--resume``
+    replays the prefix for free — and writes a *new* manifest with a
+    fresh shard index covering ``[start + w, stop)``. Returns
+    ``(shrunken_victim, new_manifest)``; the second element is ``None``
+    when nothing remained to steal.
+
+    Safety: stealing from a shard that is still *running* would race
+    its artifact files. When ``stale_after`` is given, the victim's
+    heartbeat must be at least that old (or absent); ``force=True``
+    overrides — correct only when the caller already killed the victim
+    (as the supervisor does).
+    """
+    shard_dir = Path(shard_dir)
+    manifests = load_manifests(shard_dir)
+    by_index = {m.shard_index: m for m in manifests}
+    if shard_index not in by_index:
+        raise ShardError(
+            f"no shard {shard_index} under {shard_dir}; indices: "
+            f"{sorted(by_index)}"
+        )
+    victim = by_index[shard_index]
+
+    if not force and stale_after is not None:
+        heartbeat = read_heartbeat(victim.heartbeat_path)
+        if heartbeat and "time" in heartbeat:
+            age = time.time() - float(heartbeat["time"])
+            if age < stale_after:
+                raise ShardError(
+                    f"shard {shard_index} heartbeat is only {age:.1f}s old "
+                    f"(< {stale_after}s): it may still be running. Kill it "
+                    "first, or pass force to steal anyway"
+                )
+
+    try:
+        state, _problem = _read_sidecar(victim)
+    except ShardError:
+        state = None  # corrupt sidecar: nothing durable — steal it all
+    watermark = int(state.get("n_folded", 0)) if state else 0
+    watermark = max(0, min(watermark, victim.n_shard_tasks))
+    remaining = victim.n_shard_tasks - watermark
+
+    part_a = replace(victim, task_stop=victim.task_start + watermark)
+    part_a.save(manifest_path_for(shard_dir, victim.shard_index))
+    if remaining <= 0:
+        return part_a, None
+
+    new_index = max(by_index) + 1
+    sink_suffix = None
+    if victim.row_sink_path is not None:
+        sink_suffix = (
+            ".rows.csv"
+            if victim.row_sink_path.lower().endswith(".csv")
+            else ".rows.jsonl"
+        )
+    part_b = ShardManifest(
+        campaign=victim.campaign,
+        campaign_fingerprint=victim.campaign_fingerprint,
+        n_tasks=victim.n_tasks,
+        n_shards=new_index + 1,
+        shard_index=new_index,
+        task_start=victim.task_start + watermark,
+        task_stop=victim.task_stop,
+        checkpoint_path=str(
+            shard_dir / shard_artifact_name(new_index, ".ckpt")
+        ),
+        row_sink_path=(
+            None
+            if sink_suffix is None
+            else str(shard_dir / shard_artifact_name(new_index, sink_suffix))
+        ),
+    )
+    part_b.save(manifest_path_for(shard_dir, new_index))
+    return part_a, part_b
+
+
+# ----------------------------------------------------------------------
+# classification
+# ----------------------------------------------------------------------
+
+def classify_shard_failure(exc: BaseException) -> str:
+    """``"transient"`` (retry with resume) or ``"deterministic"``
+    (quarantine; retrying cannot help)."""
+    if isinstance(exc, ShardExitError):
+        return (
+            "deterministic" if exc.returncode == QUARANTINE_EXIT
+            else "transient"
+        )
+    if isinstance(exc, QuarantineError):
+        return "deterministic"
+    if isinstance(exc, (ShardCrashError, InjectedShardKill)):
+        return "transient"
+    if is_transient_exception(exc):
+        return "transient"
+    return "deterministic"
+
+
+def _quarantine_failures(unit_manifest: ShardManifest,
+                         exc: BaseException) -> list[TaskFailure]:
+    """Recover structured task failures from a quarantined shard."""
+    if isinstance(exc, QuarantineError):
+        return list(exc.failures)
+    if isinstance(exc, ShardExitError):
+        # the shard CLI printed the report as a marked JSON line
+        for line in reversed(exc.stderr_tail.splitlines()):
+            if line.startswith(QUARANTINE_REPORT_PREFIX):
+                try:
+                    records = json.loads(
+                        line[len(QUARANTINE_REPORT_PREFIX):]
+                    )
+                    return [
+                        TaskFailure(
+                            task_id=str(r.get("task_id", "?")),
+                            index=int(r.get("index", -1)),
+                            error=str(r.get("error", "")),
+                            traceback=str(r.get("traceback", "")),
+                            attempts=int(r.get("attempts", 1)),
+                        )
+                        for r in records
+                    ]
+                except (json.JSONDecodeError, TypeError, ValueError):
+                    break
+    return [TaskFailure(
+        task_id=f"shard-{unit_manifest.shard_index}",
+        index=-1,
+        error=repr(exc),
+        traceback=str(exc),
+        attempts=1,
+    )]
+
+
+# ----------------------------------------------------------------------
+# the supervisor
+# ----------------------------------------------------------------------
+
+class _Unit:
+    """One schedulable shard (possibly re-planned mid-campaign)."""
+
+    def __init__(self, manifest: ShardManifest):
+        self.manifest = manifest
+        self.cancel = threading.Event()
+        self.failures = 0
+        self.status = "pending"
+        self.error: "BaseException | None" = None
+        self.summary: "dict | None" = None
+        self.submitted_at = 0.0
+
+    @property
+    def path(self) -> str:
+        return str(self.manifest.manifest_path)
+
+
+class ShardSupervisor:
+    """Drive a planned campaign's shards to completion, supervised.
+
+    Parameters
+    ----------
+    executor:
+        A backend name (resolved via :func:`get_shard_executor`) or a
+        ready :class:`ShardExecutor` instance. Straggler stealing and
+        shard timeouts require a preempting backend
+        (``executor.can_preempt``); without one they are skipped.
+    options:
+        :class:`SupervisionOptions`; defaults are sensible for tests
+        (fast polling, 3 attempts, no timeout, no stealing).
+    jobs:
+        Concurrent shard slots (default: the executor's own sizing).
+    """
+
+    def __init__(
+        self,
+        executor: "ShardExecutor | str" = "process",
+        options: "SupervisionOptions | None" = None,
+        jobs: "int | None" = None,
+    ):
+        if isinstance(executor, str):
+            executor = get_shard_executor(executor, jobs=jobs)
+        if not isinstance(executor, ShardExecutor):
+            raise ShardError(
+                f"executor must be a ShardExecutor or backend name, got "
+                f"{executor!r}"
+            )
+        self.executor = executor
+        self.options = options if options is not None else SupervisionOptions()
+        self.jobs = jobs
+
+    # ------------------------------------------------------------------
+    def _drive_once(self, unit: _Unit, resume: bool) -> tuple:
+        try:
+            summary = self.executor.run_one(
+                unit.path,
+                resume=resume,
+                timeout=self.options.shard_timeout,
+                cancel=unit.cancel,
+            )
+        except ShardCancelled as exc:
+            return ("cancelled", exc)
+        except BaseException as exc:  # noqa: BLE001 - classified by caller
+            return ("error", exc)
+        return ("ok", summary)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        manifest_paths: "Sequence[str | Path]",
+        resume: bool = False,
+        progress: "Callable[[int, int], None] | None" = None,
+    ) -> SupervisionReport:
+        """Run every shard (re-planning as needed); returns the report.
+
+        Raises :class:`ShardError` when a shard exhausts its transient
+        retry budget, or :class:`~repro.parallel.engine.QuarantineError`
+        when every shard either completed or quarantined deterministic
+        task failures (all completable work *was* completed and is on
+        disk — resume after fixing the bug).
+        """
+        opts = self.options
+        units = [
+            _Unit(ShardManifest.load(p)) for p in manifest_paths
+        ]
+        shard_dir = units[0].manifest.shard_dir if units else None
+        report = SupervisionReport()
+        width = self.jobs if self.jobs is not None else (
+            self.executor._jobs_for(len(units))
+        )
+        width = max(1, width)
+        can_steal = (
+            opts.straggler_after is not None and self.executor.can_preempt
+        )
+
+        pool = ThreadPoolExecutor(max_workers=width)
+        futures: dict = {}
+
+        def submit(unit: _Unit, resume_flag: bool) -> None:
+            unit.cancel = threading.Event()
+            unit.status = "running"
+            unit.submitted_at = time.time()
+            futures[pool.submit(self._drive_once, unit, resume_flag)] = unit
+
+        def done_units() -> int:
+            return sum(
+                1 for u in units if u.status in ("done", "quarantined")
+            )
+
+        try:
+            for unit in units:
+                submit(unit, resume)
+            while futures:
+                ready, _ = futures_wait(
+                    futures,
+                    timeout=opts.poll_interval,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in ready:
+                    unit = futures.pop(future)
+                    kind, payload = future.result()
+                    if kind == "ok":
+                        unit.status = "done"
+                        unit.summary = payload
+                        if progress is not None:
+                            progress(done_units(), len(units))
+                        continue
+                    if kind == "cancelled":
+                        # the straggler scan preempted it: split its
+                        # manifest at the durable watermark and schedule
+                        # both halves
+                        part_a, part_b = steal_shard(
+                            shard_dir,
+                            unit.manifest.shard_index,
+                            force=True,
+                        )
+                        report.steals.append({
+                            "victim": unit.manifest.shard_index,
+                            "watermark": part_a.n_shard_tasks,
+                            "stolen": (
+                                part_b.n_shard_tasks if part_b else 0
+                            ),
+                            "new_shard": (
+                                part_b.shard_index if part_b else None
+                            ),
+                        })
+                        unit.manifest = part_a
+                        submit(unit, True)  # replays its prefix, finishes
+                        if part_b is not None:
+                            new_unit = _Unit(part_b)
+                            units.append(new_unit)
+                            submit(new_unit, False)
+                        continue
+                    exc = payload
+                    if classify_shard_failure(exc) == "deterministic":
+                        unit.status = "quarantined"
+                        unit.error = exc
+                        if progress is not None:
+                            progress(done_units(), len(units))
+                        continue
+                    unit.failures += 1
+                    if unit.failures >= opts.retry.max_attempts:
+                        unit.status = "failed"
+                        unit.error = exc
+                        continue
+                    report.shard_retries += 1
+                    delay = opts.retry.delay(unit.failures)
+                    if delay > 0:
+                        time.sleep(delay)
+                    submit(unit, True)  # resume: completed work is durable
+                if can_steal:
+                    now = time.time()
+                    for unit in units:
+                        if unit.status != "running" or unit.cancel.is_set():
+                            continue
+                        heartbeat = read_heartbeat(
+                            unit.manifest.heartbeat_path
+                        )
+                        last = (
+                            float(heartbeat["time"])
+                            if heartbeat and "time" in heartbeat
+                            else unit.submitted_at
+                        )
+                        if now - last <= opts.straggler_after:
+                            continue
+                        folded = (
+                            int(heartbeat.get("tasks_done", 0))
+                            if heartbeat else 0
+                        )
+                        remaining = unit.manifest.n_shard_tasks - folded
+                        if remaining >= opts.min_steal_tasks:
+                            unit.cancel.set()
+        finally:
+            for unit in units:  # abort: preempt whatever still runs
+                unit.cancel.set()
+            pool.shutdown(wait=True, cancel_futures=True)
+
+        for unit in units:
+            report.shards.append({
+                "shard_index": unit.manifest.shard_index,
+                "task_start": unit.manifest.task_start,
+                "task_stop": unit.manifest.task_stop,
+                "status": unit.status,
+                "failures": unit.failures,
+                "error": repr(unit.error) if unit.error else None,
+            })
+
+        failed = [u for u in units if u.status == "failed"]
+        if failed:
+            worst = failed[0]
+            raise ShardError(
+                f"supervised campaign failed: shard "
+                f"{worst.manifest.shard_index} still failing after "
+                f"{worst.failures} attempt(s); last error: {worst.error!r}"
+            ) from worst.error
+        quarantined = [u for u in units if u.status == "quarantined"]
+        if quarantined:
+            all_failures: list[TaskFailure] = []
+            for unit in quarantined:
+                all_failures.extend(
+                    _quarantine_failures(unit.manifest, unit.error)
+                )
+            raise QuarantineError(all_failures)
+        return report

@@ -151,14 +151,80 @@ def _add_checkpoint(parser: argparse.ArgumentParser) -> None:
 
 
 def _run_shard_command(args) -> int:
-    """The ``shard run`` / ``shard merge`` host-side plumbing."""
+    """The ``shard`` subcommand family: host-side campaign plumbing."""
     import json
 
     if args.shard_command == "run":
-        from repro.distrib import run_shard
+        import sys
 
-        summary = run_shard(args.manifest, resume=args.resume)
+        from repro.distrib import QUARANTINE_EXIT, run_shard
+        from repro.distrib.supervise import QUARANTINE_REPORT_PREFIX
+        from repro.parallel.engine import QuarantineError, RetryPolicy
+
+        retry = None
+        if getattr(args, "retry", None):
+            retry = RetryPolicy.from_dict(json.loads(args.retry))
+        try:
+            summary = run_shard(args.manifest, resume=args.resume, retry=retry)
+        except QuarantineError as exc:
+            # Structured quarantine hand-off: the supervisor (or any
+            # caller) re-parses this stderr line into TaskFailure
+            # records; the distinguished exit code marks the failure
+            # deterministic (retrying the shard cannot help).
+            report = [f.to_dict() for f in exc.failures]
+            print(
+                QUARANTINE_REPORT_PREFIX + json.dumps(report, sort_keys=True),
+                file=sys.stderr,
+            )
+            print(str(exc), file=sys.stderr)
+            return QUARANTINE_EXIT
         print(json.dumps(summary, sort_keys=True))
+        return 0
+    if args.shard_command == "status":
+        from repro.distrib import campaign_status
+
+        status = campaign_status(args.shard_dir)
+        if args.json:
+            print(json.dumps(status, sort_keys=True))
+            return 0
+        for entry in status:
+            state = "done" if entry["complete"] else (
+                entry["problem"] or "pending"
+            )
+            beat = entry["heartbeat_age"]
+            beat_txt = "-" if beat is None else f"{beat:.1f}s ago"
+            print(
+                f"  shard {entry['shard_index']:>4}  tasks "
+                f"[{entry['task_start']}, {entry['task_stop']})  folded "
+                f"{entry['folded']}/{entry['n_tasks']}  heartbeat "
+                f"{beat_txt}  {state}"
+            )
+        return 0
+    if args.shard_command == "steal":
+        from repro.distrib import steal_shard
+
+        part_a, part_b = steal_shard(
+            args.shard_dir,
+            args.shard_index,
+            stale_after=args.stale_after,
+            force=args.force,
+        )
+        if part_b is None:
+            print(
+                f"shard {args.shard_index} has no stealable remainder "
+                f"(trimmed to [{part_a.task_start}, {part_a.task_stop}))"
+            )
+            return 0
+        print(
+            f"split shard {args.shard_index}: kept tasks "
+            f"[{part_a.task_start}, {part_a.task_stop}), stole "
+            f"[{part_b.task_start}, {part_b.task_stop}) into new shard "
+            f"{part_b.shard_index}"
+        )
+        print(
+            f"run it with: python -m repro.experiments shard run "
+            f"{part_b.manifest_path}"
+        )
         return 0
     # shard merge
     from repro.distrib import load_manifests, merge_shards
@@ -281,8 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     ps = sub.add_parser(
         "shard",
-        help="multi-host campaign plumbing: run one shard manifest, or "
-        "merge a completed campaign's shards",
+        help="multi-host campaign plumbing: run one shard manifest, "
+        "inspect per-shard progress, steal a stuck shard's remaining "
+        "work, or merge a completed campaign's shards",
     )
     shard_sub = ps.add_subparsers(dest="shard_command", required=True)
     pr = shard_sub.add_parser(
@@ -296,6 +363,51 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="continue from the shard's own checkpoint instead of "
         "starting the shard fresh",
+    )
+    pr.add_argument(
+        "--retry",
+        metavar="JSON",
+        default=None,
+        help="RetryPolicy as a JSON object (see RetryPolicy.to_dict): "
+        "retry transient task failures inside the shard and quarantine "
+        "deterministic ones (exit code 3 + a QUARANTINE-REPORT stderr "
+        "line) instead of failing the shard",
+    )
+    pst = shard_sub.add_parser(
+        "status",
+        help="per-shard progress/liveness of one campaign directory "
+        "(heartbeats + checkpoint watermarks; no locks taken)",
+    )
+    pst.add_argument(
+        "shard_dir", help="campaign directory holding shard-*.manifest.json"
+    )
+    pst.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable: one JSON array instead of the table",
+    )
+    pw = shard_sub.add_parser(
+        "steal",
+        help="re-plan a dead/stuck shard: trim it to its checkpoint "
+        "watermark and move the remaining task range into a fresh shard "
+        "manifest (the merged result stays bitwise-identical)",
+    )
+    pw.add_argument(
+        "shard_dir", help="campaign directory holding shard-*.manifest.json"
+    )
+    pw.add_argument("shard_index", type=int, help="index of the shard to split")
+    pw.add_argument(
+        "--stale-after",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="refuse unless the shard's heartbeat is older than SECONDS "
+        "(liveness guard against stealing from a running shard)",
+    )
+    pw.add_argument(
+        "--force",
+        action="store_true",
+        help="steal even if the shard's heartbeat looks fresh",
     )
     pm = shard_sub.add_parser(
         "merge",

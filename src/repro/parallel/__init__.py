@@ -31,7 +31,13 @@ from repro.parallel.checkpoint import (
     CheckpointWarning,
     campaign_fingerprint,
 )
-from repro.parallel.engine import CampaignEngine, default_chunk_size
+from repro.parallel.engine import (
+    CampaignEngine,
+    QuarantineError,
+    RetryPolicy,
+    TaskFailure,
+    default_chunk_size,
+)
 from repro.parallel.stream import (
     CountAccumulator,
     CsvRowSink,
@@ -62,6 +68,9 @@ __all__ = [
     "solve_many",
     "CampaignEngine",
     "default_chunk_size",
+    "RetryPolicy",
+    "TaskFailure",
+    "QuarantineError",
     "CampaignCheckpoint",
     "CheckpointError",
     "CheckpointWarning",

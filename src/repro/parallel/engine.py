@@ -12,6 +12,9 @@ carry their own :class:`numpy.random.SeedSequence`, see
 
 Fault model
 -----------
+Without a :class:`RetryPolicy` (the default, and the historical
+behavior):
+
 * A task that *raises* is reported as a :class:`~repro.util.errors.
   SolverError` carrying the worker-side traceback; every task whose
   result reached the engine before the failure is recorded to the
@@ -22,16 +25,42 @@ Fault model
   affected tasks one-by-one up to ``max_task_retries`` times each, so a
   transient crash costs one retry while a task that reliably kills its
   worker surfaces as a :class:`SolverError` naming the task.
+
+With a :class:`RetryPolicy` the engine becomes supervised:
+
+* failures are *classified* (see :func:`repro.util.faults.
+  is_transient_exception`): transient infrastructure errors
+  (``OSError``/``TimeoutError``/injected transients) are retried with
+  exponential backoff up to ``max_attempts`` total attempts;
+* deterministic task errors are **quarantined** instead of crashing
+  the campaign (when ``quarantine=True``): the engine completes every
+  other task — all of them recorded/streamed as usual — and then
+  raises a structured :class:`QuarantineError` listing the failures;
+* a ``task_timeout`` bounds each pool chunk's wall time; an expired
+  chunk has its workers killed and is retried like a crash.
+
+Retries are bitwise-safe because tasks are pure: re-running a task
+with the same payload (same embedded seed) reproduces its result
+exactly, so neither retry count nor scheduling order can move a bit of
+campaign output.
+
+Deterministic faults can be *injected* for testing through a
+:class:`repro.util.faults.FaultPlan` — passed explicitly or ambient
+via the ``REPRO_FAULT_PLAN`` environment variable (which inherited
+environments carry into pool workers).
 """
 
 from __future__ import annotations
 
+import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.util.errors import SolverError
+from repro.util.faults import FaultPlan, is_transient_exception
 
 #: chunks per worker the default chunking aims for; >1 smooths load
 #: imbalance between cheap and expensive tasks.
@@ -45,21 +74,170 @@ def default_chunk_size(n_tasks: int, jobs: int) -> int:
     return max(1, -(-n_tasks // (jobs * _CHUNKS_PER_JOB)))
 
 
-def _run_chunk(worker, indexed_tasks):
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and error classification.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per task (first run + retries); transient failures
+        beyond this fail the campaign.
+    backoff / backoff_factor / max_backoff:
+        Sleep before retry ``k`` (1-based) is
+        ``min(backoff * backoff_factor**(k-1), max_backoff)`` seconds.
+        ``backoff=0`` disables sleeping (deterministic tests).
+    task_timeout:
+        Wall-clock seconds allowed per task on the pool path (a chunk
+        of ``n`` tasks gets ``n * task_timeout``). Expiry kills the
+        chunk's workers and counts as one failed attempt for its
+        tasks. ``None`` disables; the ``jobs=1`` inline path cannot
+        preempt and ignores it.
+    quarantine:
+        When ``True``, deterministic task errors do not abort the
+        campaign: the engine finishes every other task and raises one
+        :class:`QuarantineError` carrying the structured failures. When
+        ``False``, the first deterministic error aborts (legacy shape).
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+    task_timeout: "float | None" = None
+    quarantine: bool = True
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_backoff < 0:
+            raise ValueError(
+                f"max_backoff must be >= 0, got {self.max_backoff}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be > 0, got {self.task_timeout}"
+            )
+
+    def delay(self, failures: int) -> float:
+        """Backoff before the retry following the ``failures``-th failure."""
+        if self.backoff <= 0:
+            return 0.0
+        return min(
+            self.backoff * self.backoff_factor ** max(0, failures - 1),
+            self.max_backoff,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff": self.backoff,
+            "backoff_factor": self.backoff_factor,
+            "max_backoff": self.max_backoff,
+            "task_timeout": self.task_timeout,
+            "quarantine": self.quarantine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        known = {
+            "max_attempts", "backoff", "backoff_factor", "max_backoff",
+            "task_timeout", "quarantine",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown RetryPolicy field(s): {', '.join(unknown)}"
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One quarantined task: everything needed to debug it offline."""
+
+    task_id: str
+    index: int
+    error: str
+    traceback: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "index": self.index,
+            "error": self.error,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+
+class QuarantineError(SolverError):
+    """Deterministic task errors, reported after the campaign finished.
+
+    Raised once at the end of a supervised run whose
+    :class:`RetryPolicy` quarantines: every *other* task completed and
+    was recorded/streamed, so a resume after fixing the bug re-runs
+    only the quarantined tasks. ``failures`` holds the structured
+    :class:`TaskFailure` records.
+    """
+
+    def __init__(self, failures: "Sequence[TaskFailure]"):
+        self.failures = list(failures)
+        ids = ", ".join(repr(f.task_id) for f in self.failures)
+        first = self.failures[0] if self.failures else None
+        detail = f"; first error: {first.error}" if first else ""
+        super().__init__(
+            f"{len(self.failures)} task(s) quarantined after deterministic "
+            f"errors: {ids}{detail}"
+        )
+
+    def __reduce__(self):
+        # default exception pickling would re-call __init__ with the
+        # *message* — rebuild from the structured failures instead so
+        # the error survives a process-pool hop
+        return (QuarantineError, (self.failures,))
+
+    def report(self) -> list[dict]:
+        return [f.to_dict() for f in self.failures]
+
+
+def _run_chunk(worker, entries, fault_plan):
     """Worker-side driver: run one chunk, trapping per-task exceptions.
 
-    Returns ``(index, ("ok", result))`` or ``(index, ("err", repr,
-    traceback))`` tuples; exceptions are stringified because arbitrary
-    exception objects (and their tracebacks) do not survive pickling.
+    ``entries`` are ``(index, task_id, attempt, task)`` tuples. Returns
+    ``(index, ("ok", result))`` or ``(index, ("err", repr, traceback,
+    transient))`` tuples; exceptions are stringified because arbitrary
+    exception objects (and their tracebacks) do not survive pickling,
+    and classified worker-side (``transient``) while the live exception
+    is still at hand.
     """
     out = []
-    for index, task in indexed_tasks:
+    for index, task_id, attempt, task in entries:
         try:
+            if fault_plan is not None:
+                fault_plan.apply_task_faults(task_id, attempt)
             out.append((index, ("ok", worker(task))))
         except BaseException as exc:  # noqa: BLE001 - reported, not hidden
-            out.append((index, ("err", repr(exc), traceback.format_exc())))
-            break  # the engine fails the campaign on this error; the
-            # chunk's remaining tasks are abandoned unrun
+            out.append((
+                index,
+                (
+                    "err",
+                    repr(exc),
+                    traceback.format_exc(),
+                    is_transient_exception(exc),
+                ),
+            ))
+            break  # the engine decides this task's fate; the chunk's
+            # remaining tasks are handed back unrun
     return out
 
 
@@ -80,8 +258,17 @@ class CampaignEngine:
         :func:`default_chunk_size`.
     max_task_retries:
         How often a task whose worker process *died* is retried before
-        the campaign fails (task-raised exceptions are never retried —
-        they are deterministic).
+        the campaign fails, when no ``retry_policy`` is given
+        (task-raised exceptions are then never retried — they are
+        deterministic).
+    retry_policy:
+        Optional :class:`RetryPolicy` switching the engine to
+        supervised mode (transient retry + backoff, quarantine,
+        task timeout). ``None`` keeps the historical fault model.
+    fault_plan:
+        Optional :class:`~repro.util.faults.FaultPlan` injecting
+        deterministic faults; defaults to the ambient
+        ``REPRO_FAULT_PLAN`` plan when unset.
     """
 
     def __init__(
@@ -90,15 +277,28 @@ class CampaignEngine:
         jobs: int = 1,
         chunk_size: "int | None" = None,
         max_task_retries: int = 2,
+        retry_policy: "RetryPolicy | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise ValueError(
+                f"retry_policy must be a RetryPolicy, got {retry_policy!r}"
+            )
         self.worker = worker
         self.jobs = int(jobs)
         self.chunk_size = chunk_size
         self.max_task_retries = int(max_task_retries)
+        self.retry_policy = retry_policy
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
+        #: transient retries performed during the last ``run`` (observable
+        #: so tests and benchmarks can assert recovery stayed bounded)
+        self.last_retries = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -168,6 +368,7 @@ class CampaignEngine:
             else:
                 pending.append(i)
         total = len(tasks)
+        self.last_retries = 0
         if progress is not None and done:
             progress(done, total)
 
@@ -184,23 +385,70 @@ class CampaignEngine:
                 progress(done, total)
 
         if self.jobs == 1 or len(pending) <= 1:
-            for i in pending:
-                try:
-                    result = self.worker(tasks[i])
-                except Exception as exc:
-                    raise SolverError(
-                        f"campaign task {task_ids[i]!r} failed: {exc!r}"
-                    ) from exc
-                finish(i, result)
+            self._run_serial(tasks, task_ids, pending, finish)
             return results
 
         self._run_pool(tasks, task_ids, pending, finish, consumer)
         return results
 
     # ------------------------------------------------------------------
+    def _run_serial(self, tasks, task_ids, pending, finish) -> None:
+        """The inline reference path, with optional supervised retry."""
+        policy = self.retry_policy
+        quarantined: list[TaskFailure] = []
+        for i in pending:
+            failures = 0
+            while True:
+                try:
+                    if self.fault_plan is not None:
+                        self.fault_plan.apply_task_faults(
+                            task_ids[i], failures + 1
+                        )
+                    result = self.worker(tasks[i])
+                except Exception as exc:
+                    failures += 1
+                    transient = is_transient_exception(exc)
+                    if (
+                        policy is not None
+                        and transient
+                        and failures < policy.max_attempts
+                    ):
+                        self.last_retries += 1
+                        delay = policy.delay(failures)
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    if (
+                        policy is not None
+                        and policy.quarantine
+                        and not transient
+                    ):
+                        quarantined.append(TaskFailure(
+                            task_id=task_ids[i],
+                            index=i,
+                            error=repr(exc),
+                            traceback=traceback.format_exc(),
+                            attempts=failures,
+                        ))
+                        break  # complete the rest of the campaign
+                    attempts_note = (
+                        f" after {failures} attempts" if failures > 1 else ""
+                    )
+                    raise SolverError(
+                        f"campaign task {task_ids[i]!r} failed"
+                        f"{attempts_note}: {exc!r}"
+                    ) from exc
+                else:
+                    finish(i, result)
+                    break
+        if quarantined:
+            raise QuarantineError(quarantined)
+
+    # ------------------------------------------------------------------
     def _run_pool(self, tasks, task_ids, pending, finish, consumer=None) -> None:
         """Fan ``pending`` out over a process pool, rebuilding it when a
         worker dies and isolating repeat offenders."""
+        policy = self.retry_policy
         chunk_size = self.chunk_size or default_chunk_size(
             len(pending), self.jobs
         )
@@ -208,7 +456,15 @@ class CampaignEngine:
             pending[i : i + chunk_size]
             for i in range(0, len(pending), chunk_size)
         ]
+        # failed attempts per task, over every failure mode: worker
+        # crash, transient error, chunk timeout
         attempts = {i: 0 for i in pending}
+        crash_limit = (
+            policy.max_attempts - 1 if policy is not None
+            else self.max_task_retries
+        )
+        quarantined: list[TaskFailure] = []
+        quarantined_ix = set()
         # Backpressure for order-pinning consumers: while the consumer
         # buffers more than a few chunks' worth of out-of-order results
         # (one slow task holding the fold back), stop feeding the pool —
@@ -221,9 +477,20 @@ class CampaignEngine:
         def throttled() -> bool:
             return buffered is not None and buffered() > window
 
+        def fail_crashed(i: int, cause: str) -> None:
+            attempts[i] += 1
+            if attempts[i] > crash_limit:
+                raise SolverError(
+                    f"campaign task {task_ids[i]!r} {cause} "
+                    f"{attempts[i]} times"
+                ) from None
+
         pool = ProcessPoolExecutor(max_workers=self.jobs)
+        task_timeout = policy.task_timeout if policy is not None else None
+        timed_out: set[int] = set()
         try:
             futures = {}
+            deadlines: dict = {}
             while queue or futures:
                 while (
                     queue
@@ -233,48 +500,142 @@ class CampaignEngine:
                     and (not futures or not throttled())
                 ):
                     chunk = queue.pop(0)
-                    indexed = [(i, tasks[i]) for i in chunk]
-                    futures[pool.submit(_run_chunk, self.worker, indexed)] = chunk
-                ready, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    entries = [
+                        (i, task_ids[i], attempts[i] + 1, tasks[i])
+                        for i in chunk
+                    ]
+                    future = pool.submit(
+                        _run_chunk, self.worker, entries, self.fault_plan
+                    )
+                    futures[future] = chunk
+                    if task_timeout is not None:
+                        deadlines[future] = (
+                            time.monotonic() + task_timeout * len(chunk)
+                        )
+                if task_timeout is not None:
+                    now = time.monotonic()
+                    next_deadline = min(deadlines[f] for f in futures)
+                    ready, _ = wait(
+                        futures,
+                        timeout=max(0.0, next_deadline - now) + 0.01,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not ready:
+                        # A chunk exceeded its wall-time budget. The pool
+                        # API cannot preempt one worker, so kill them all:
+                        # every in-flight future then fails BrokenProcessPool
+                        # and the expired chunk (remembered in ``timed_out``)
+                        # is the one whose attempts are charged.
+                        expired = [
+                            f for f in futures
+                            if deadlines[f] <= time.monotonic()
+                        ]
+                        if expired:
+                            timed_out = set().union(
+                                *(set(futures[f]) for f in expired)
+                            )
+                            for proc in list(
+                                getattr(pool, "_processes", {}).values()
+                            ):
+                                proc.kill()
+                        continue
+                else:
+                    ready, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in ready:
                     chunk = futures.pop(future)
+                    deadlines.pop(future, None)
                     try:
                         outcomes = future.result()
                     except BrokenProcessPool:
-                        # Unknown which task killed the worker: drain the
-                        # other in-flight chunks back into the queue
-                        # (their results, if any, are recomputed — tasks
-                        # are pure), rebuild the pool, and retry the
-                        # suspects in single-task chunks to isolate the
-                        # killer. Restart the wait loop: the remaining
-                        # futures all belong to the dead pool.
-                        for other in list(futures):
-                            queue.append(futures.pop(other))
+                        # Unknown which task killed the worker (unless a
+                        # timeout was just enforced): drain the other
+                        # in-flight chunks back into the queue (their
+                        # results, if any, are recomputed — tasks are
+                        # pure), rebuild the pool, and retry the suspects
+                        # in single-task chunks to isolate the killer.
+                        # Restart the wait loop: the remaining futures
+                        # all belong to the dead pool.
+                        in_flight = [chunk] + [
+                            futures.pop(f) for f in list(futures)
+                        ]
+                        deadlines.clear()
                         pool.shutdown(wait=False, cancel_futures=True)
                         pool = ProcessPoolExecutor(max_workers=self.jobs)
+                        if timed_out:
+                            culprits, cause = sorted(timed_out), (
+                                f"exceeded its {task_timeout}s task timeout"
+                            )
+                        else:
+                            culprits, cause = chunk, (
+                                "killed its worker process"
+                            )
+                        culprit_set = set(culprits)
+                        timed_out = set()
+                        survivors = [
+                            [i for i in ch if i not in culprit_set]
+                            for ch in in_flight
+                        ]
                         retry = []
-                        for i in chunk:
-                            attempts[i] += 1
-                            if attempts[i] > self.max_task_retries:
-                                raise SolverError(
-                                    f"campaign task {task_ids[i]!r} killed its "
-                                    f"worker process {attempts[i]} times"
-                                ) from None
+                        for i in culprits:
+                            fail_crashed(i, cause)
                             retry.append([i])
-                        queue = retry + queue
+                        queue = retry + [s for s in survivors if s] + queue
                         break
                     for index, payload in outcomes:
                         if payload[0] == "ok":
                             finish(index, payload[1])
+                            continue
+                        # Tasks the chunk completed before the error were
+                        # just recorded above; the erroring task's fate
+                        # depends on classification + policy, and the
+                        # chunk's abandoned remainder goes back on the
+                        # queue.
+                        _, exc_repr, tb, transient = payload
+                        attempts[index] += 1
+                        processed = {ix for ix, _ in outcomes}
+                        abandoned = [
+                            i for i in chunk if i not in processed
+                        ]
+                        if abandoned:
+                            queue.append(abandoned)
+                        if (
+                            policy is not None
+                            and transient
+                            and attempts[index] < policy.max_attempts
+                        ):
+                            self.last_retries += 1
+                            delay = policy.delay(attempts[index])
+                            if delay > 0:
+                                # brief, bounded stall of the dispatch
+                                # loop; in-flight futures keep running
+                                time.sleep(delay)
+                            queue.insert(0, [index])
+                        elif (
+                            policy is not None
+                            and policy.quarantine
+                            and not transient
+                        ):
+                            if index not in quarantined_ix:
+                                quarantined_ix.add(index)
+                                quarantined.append(TaskFailure(
+                                    task_id=task_ids[index],
+                                    index=index,
+                                    error=exc_repr,
+                                    traceback=tb,
+                                    attempts=attempts[index],
+                                ))
                         else:
-                            # Tasks the chunk completed before the error
-                            # were just recorded above; the error itself
-                            # fails the campaign (task exceptions are
-                            # deterministic — retrying cannot help).
-                            _, exc_repr, tb = payload
+                            attempts_note = (
+                                f" after {attempts[index]} attempts"
+                                if attempts[index] > 1 else ""
+                            )
                             raise SolverError(
-                                f"campaign task {task_ids[index]!r} failed: "
-                                f"{exc_repr}\n--- worker traceback ---\n{tb}"
+                                f"campaign task {task_ids[index]!r} failed"
+                                f"{attempts_note}: {exc_repr}\n"
+                                f"--- worker traceback ---\n{tb}"
                             )
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+        if quarantined:
+            quarantined.sort(key=lambda f: f.index)
+            raise QuarantineError(quarantined)

@@ -1,0 +1,396 @@
+"""Deterministic fault injection: reproducible chaos for campaigns.
+
+Production-scale sweep campaigns die in ways unit tests rarely
+exercise: a worker process is OOM-killed mid-chunk, a shard host hangs,
+a checkpoint tail is torn by a power cut, a network hiccup surfaces as
+a transient ``OSError``. The supervision layer (engine retries,
+:mod:`repro.distrib.supervise`) exists to absorb exactly these events —
+and this module makes every one of them *injectable on demand and
+reproducible bit for bit*, so the recovery paths are tested as
+first-class code rather than by ad-hoc ``SIGKILL`` scripts.
+
+A :class:`FaultPlan` is a schema-validated list of :class:`FaultRule`
+entries. Whether a rule fires for a given task or shard is a pure
+function of the plan seed and the task/shard *identity* (task id string
+or shard index) — never of wall-clock time, pids, or iteration order —
+so the same plan produces the same faults whether the campaign runs
+serially, on a process pool, or across subprocess shards, and whether
+it is run today or replayed in CI next year.
+
+Fault kinds
+-----------
+task scope (applied by :class:`~repro.parallel.engine.CampaignEngine`
+just before the worker runs a task):
+
+* ``error``   — raise :class:`TransientFaultError` (classified
+  transient: the engine's retry policy absorbs it);
+* ``fatal``   — raise :class:`InjectedTaskError` (classified
+  deterministic: retried never, quarantined instead);
+* ``delay``   — sleep ``seconds`` (makes stragglers);
+* ``crash``   — ``os._exit``: kills the worker process (pool) or the
+  whole shard interpreter (subprocess backend).
+
+shard scope (applied by :func:`repro.distrib.runner.run_shard` as the
+shard folds tasks):
+
+* ``kill``    — after ``after_tasks`` folded tasks, die by raising
+  :class:`InjectedShardKill`; optionally corrupt the checkpoint tail
+  (``corrupt_tail``) and/or drop the state sidecar (``drop_state``)
+  first, simulating torn writes;
+* ``stall``   — after ``after_tasks`` folded tasks, sleep ``seconds``:
+  the shard's heartbeat goes stale and the supervisor's straggler
+  detection can steal its remaining range.
+
+Propagation
+-----------
+Plans travel as JSON files. Passing one explicitly works in-process;
+the environment variable :data:`FAULT_PLAN_ENV` (``REPRO_FAULT_PLAN``,
+holding the file path) reaches process-pool workers and subprocess
+shards through inherited environment, which is how one plan governs a
+whole multi-process campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.util.errors import ReproError
+
+#: environment variable naming the JSON fault-plan file for this run
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: schema version of the on-disk plan format
+FAULT_PLAN_VERSION = 1
+
+#: process exit code used by injected ``crash`` faults (distinctive, so
+#: a test asserting on it cannot confuse an injected crash with a real one)
+CRASH_EXIT_CODE = 73
+
+_TASK_FAULTS = ("error", "fatal", "delay", "crash")
+_SHARD_FAULTS = ("kill", "stall")
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed (schema, field, or value errors)."""
+
+
+class TransientFaultError(ReproError):
+    """Injected *transient* task failure — the retryable kind.
+
+    The engine classifies this like an infrastructure hiccup
+    (``OSError``/``TimeoutError``): with a retry policy, the task is
+    retried with backoff; without one, it fails the campaign.
+    """
+
+
+class InjectedTaskError(ReproError):
+    """Injected *deterministic* task failure — the non-retryable kind.
+
+    Stands in for a genuine bug in a task: retrying cannot help, so a
+    quarantining retry policy records it and completes the rest of the
+    campaign instead of crashing it.
+    """
+
+
+class InjectedShardKill(BaseException):
+    """Injected shard death, raised mid-run inside a shard.
+
+    Deliberately a ``BaseException``: nothing in the task path may
+    absorb it, exactly as nothing absorbs a real ``SIGKILL``. In a
+    subprocess shard it surfaces as a nonzero exit; inline it unwinds
+    to the supervisor, which classifies it as a transient crash.
+    """
+
+
+def _stable_hash(identity: "str | int") -> int:
+    """64-bit stable hash of a task/shard identity (never ``hash()``,
+    which is salted per-process and would break cross-process plans)."""
+    digest = hashlib.sha256(str(identity).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule; see the module docstring for fault kinds.
+
+    A rule targets either one exact identity (``match``: a task id such
+    as ``"2/0"`` or a shard index) or a deterministic pseudo-random
+    subset (``p``: each identity is in or out by a draw seeded from the
+    plan seed, the rule's position, and the identity — never the
+    clock). ``times`` bounds how many *attempts* the rule affects: with
+    ``times=1`` a retried task succeeds on its second attempt, which is
+    how recovery paths are exercised end-to-end.
+    """
+
+    scope: str                      # "task" | "shard"
+    fault: str                      # kind, see _TASK_FAULTS/_SHARD_FAULTS
+    match: "str | int | None" = None
+    p: "float | None" = None
+    times: int = 1
+    seconds: float = 0.0            # delay/stall duration
+    after_tasks: int = 0            # kill/stall trigger (tasks folded)
+    corrupt_tail: bool = False      # kill: append garbage to the checkpoint
+    drop_state: bool = False        # kill: unlink the state sidecar
+
+    def __post_init__(self):
+        if self.scope not in ("task", "shard"):
+            raise FaultError(
+                f"fault rule scope must be 'task' or 'shard', got "
+                f"{self.scope!r}"
+            )
+        valid = _TASK_FAULTS if self.scope == "task" else _SHARD_FAULTS
+        if self.fault not in valid:
+            raise FaultError(
+                f"unknown {self.scope} fault {self.fault!r}; valid: "
+                f"{', '.join(valid)}"
+            )
+        if (self.match is None) == (self.p is None):
+            raise FaultError(
+                f"fault rule needs exactly one of match= or p= "
+                f"(got match={self.match!r}, p={self.p!r})"
+            )
+        if self.p is not None and not 0.0 < float(self.p) <= 1.0:
+            raise FaultError(f"fault rule p must be in (0, 1], got {self.p}")
+        if self.times < 1:
+            raise FaultError(f"fault rule times must be >= 1, got {self.times}")
+        if self.seconds < 0:
+            raise FaultError(
+                f"fault rule seconds must be >= 0, got {self.seconds}"
+            )
+        if self.after_tasks < 0:
+            raise FaultError(
+                f"fault rule after_tasks must be >= 0, got {self.after_tasks}"
+            )
+        if (self.corrupt_tail or self.drop_state) and self.fault != "kill":
+            raise FaultError(
+                "corrupt_tail/drop_state only apply to shard 'kill' faults"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = {"scope": self.scope, "fault": self.fault}
+        if self.match is not None:
+            out["match"] = self.match
+        if self.p is not None:
+            out["p"] = self.p
+        if self.times != 1:
+            out["times"] = self.times
+        if self.seconds:
+            out["seconds"] = self.seconds
+        if self.after_tasks:
+            out["after_tasks"] = self.after_tasks
+        if self.corrupt_tail:
+            out["corrupt_tail"] = True
+        if self.drop_state:
+            out["drop_state"] = True
+        return out
+
+    _FIELDS = (
+        "scope", "fault", "match", "p", "times", "seconds", "after_tasks",
+        "corrupt_tail", "drop_state",
+    )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        if not isinstance(data, dict):
+            raise FaultError(f"fault rule must be an object, got {data!r}")
+        unknown = sorted(set(data) - set(cls._FIELDS))
+        if unknown:
+            raise FaultError(
+                f"unknown fault rule field(s): {', '.join(unknown)}"
+            )
+        kwargs = dict(data)
+        if "times" in kwargs:
+            kwargs["times"] = int(kwargs["times"])
+        if "seconds" in kwargs:
+            kwargs["seconds"] = float(kwargs["seconds"])
+        if "after_tasks" in kwargs:
+            kwargs["after_tasks"] = int(kwargs["after_tasks"])
+        if "p" in kwargs and kwargs["p"] is not None:
+            kwargs["p"] = float(kwargs["p"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, schema-versioned collection of :class:`FaultRule`.
+
+    The plan itself is stateless: callers pass the current *attempt*
+    number (1-based) for the task/shard at hand, and the plan answers
+    which rules fire — the answer depends only on ``(seed, rule,
+    identity, attempt)``.
+    """
+
+    seed: int = 0
+    rules: "tuple[FaultRule, ...]" = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise FaultError(f"not a FaultRule: {rule!r}")
+
+    # ------------------------------------------------------------------
+    def _fires(self, rule: FaultRule, rule_index: int,
+               identity: "str | int", attempt: int) -> bool:
+        if attempt > rule.times:
+            return False
+        if rule.match is not None:
+            return str(rule.match) == str(identity)
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=int(self.seed),
+                spawn_key=(rule_index, _stable_hash(identity)),
+            )
+        )
+        return bool(rng.random() < float(rule.p))
+
+    def _matching(self, scope: str, identity: "str | int",
+                  attempt: int) -> list[FaultRule]:
+        return [
+            rule
+            for i, rule in enumerate(self.rules)
+            if rule.scope == scope and self._fires(rule, i, identity, attempt)
+        ]
+
+    def task_rules(self, task_id: str, attempt: int = 1) -> list[FaultRule]:
+        """Task-scope rules firing for ``task_id`` on this attempt."""
+        return self._matching("task", task_id, attempt)
+
+    def shard_rules(self, shard_index: int, attempt: int = 1) -> list[FaultRule]:
+        """Shard-scope rules firing for ``shard_index`` on this attempt."""
+        return self._matching("shard", shard_index, attempt)
+
+    def apply_task_faults(self, task_id: str, attempt: int = 1) -> None:
+        """Inject this attempt's task faults (called by the engine,
+        worker-side, immediately before the task runs)."""
+        for rule in self.task_rules(task_id, attempt):
+            if rule.fault == "delay":
+                if rule.seconds:
+                    time.sleep(rule.seconds)
+            elif rule.fault == "crash":
+                os._exit(CRASH_EXIT_CODE)
+            elif rule.fault == "error":
+                raise TransientFaultError(
+                    f"injected transient fault: task {task_id!r} "
+                    f"(attempt {attempt})"
+                )
+            elif rule.fault == "fatal":
+                raise InjectedTaskError(
+                    f"injected deterministic fault: task {task_id!r} "
+                    f"(attempt {attempt})"
+                )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "kind": "fault-plan",
+            "version": FAULT_PLAN_VERSION,
+            "seed": int(self.seed),
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict) or data.get("kind") != "fault-plan":
+            raise FaultError(
+                f"not a fault plan (kind={data.get('kind') if isinstance(data, dict) else data!r})"
+            )
+        if data.get("version") != FAULT_PLAN_VERSION:
+            raise FaultError(
+                f"unsupported fault plan version {data.get('version')!r} "
+                f"(expected {FAULT_PLAN_VERSION})"
+            )
+        unknown = sorted(set(data) - {"kind", "version", "seed", "rules"})
+        if unknown:
+            raise FaultError(
+                f"unknown fault plan field(s): {', '.join(unknown)}"
+            )
+        rules = data.get("rules", [])
+        if not isinstance(rules, (list, tuple)):
+            raise FaultError(f"fault plan rules must be a list, got {rules!r}")
+        return cls(
+            seed=int(data.get("seed", 0)),
+            rules=tuple(FaultRule.from_dict(r) for r in rules),
+        )
+
+    def save(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "FaultPlan":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise FaultError(f"fault plan {path} does not exist") from None
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"fault plan {path} is not valid JSON: {exc}")
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The ambient plan, if :data:`FAULT_PLAN_ENV` names one.
+
+        This is how a plan reaches pool workers and subprocess shards:
+        they inherit the environment, read the same file, and derive
+        the same deterministic decisions.
+        """
+        path = os.environ.get(FAULT_PLAN_ENV)
+        if not path:
+            return None
+        return cls.load(path)
+
+
+def transient_exception_types() -> "tuple[type, ...]":
+    """Exception classes the retry machinery treats as transient."""
+    return (TransientFaultError, OSError, ConnectionError, TimeoutError)
+
+
+def is_transient_exception(exc: BaseException) -> bool:
+    """Classify an exception: retryable infrastructure failure or not.
+
+    The deliberately conservative rule: only failure modes that are
+    plausibly environmental (injected transients, OS/IO/timeout errors)
+    are transient; everything else — and in particular any
+    task-raised ``ValueError``/``SolverError``-style failure — is
+    deterministic, because a pure task given the same payload will
+    raise it again.
+    """
+    return isinstance(exc, transient_exception_types())
+
+
+def corrupt_checkpoint_tail(checkpoint_path: "str | Path",
+                            garbage: bytes = b'{"torn-wr') -> None:
+    """Append a torn half-record to a checkpoint file (kill faults).
+
+    Mimics a crash mid-``write``: the checkpoint's recovery path must
+    truncate back to the last valid record on resume.
+    """
+    path = Path(checkpoint_path)
+    if path.exists():
+        with path.open("ab") as fh:
+            fh.write(garbage)
+
+
+def summarize_rules(rules: "Iterable[FaultRule] | Sequence[FaultRule]") -> str:
+    """Human-oriented one-line summary, for logs and error messages."""
+    parts = []
+    for rule in rules:
+        target = (
+            f"match={rule.match!r}" if rule.match is not None
+            else f"p={rule.p}"
+        )
+        parts.append(f"{rule.scope}:{rule.fault}({target}, times={rule.times})")
+    return "; ".join(parts) or "<no rules>"

@@ -62,7 +62,11 @@ class TestConfigValidation:
             SolverConfig(shards=2, stream=True, chunk_size=10)
 
     def test_custom_registered_backend_passes_validation(self):
-        from repro.distrib import InlineShardExecutor, register_shard_backend
+        from repro.distrib import (
+            InlineShardExecutor,
+            ShardError,
+            register_shard_backend,
+        )
         from repro.distrib.executor import _BACKENDS
 
         class _Custom(InlineShardExecutor):
@@ -257,6 +261,75 @@ class TestExecutorFailureModes:
 
         with pytest.raises(ShardError, match="inline, process, subprocess"):
             get_shard_executor("osmosis")
+
+    def test_subprocess_failure_carries_exit_code_and_stderr(self, tmp_path):
+        """The raised error must hold the child's exit code, manifest
+        path and stderr tail as attributes — postmortems should not
+        need to re-run the shard to learn why it died."""
+        from repro.distrib import SubprocessShardExecutor
+        from repro.distrib.executor import ShardExitError
+
+        bad = tmp_path / "bad.manifest.json"
+        bad.write_text(json.dumps({"kind": "shard-manifest"}))  # no version
+        with pytest.raises(ShardExitError) as excinfo:
+            SubprocessShardExecutor(jobs=1).run([bad])
+        exc = excinfo.value
+        assert exc.manifest_path == str(bad)
+        assert exc.returncode not in (0, None)
+        assert "manifest" in exc.stderr_tail  # the child's actual complaint
+        assert str(bad) in str(exc) and str(exc.returncode) in str(exc)
+
+
+class TestBackendRegistry:
+    def test_duplicate_registration_is_refused_unless_replaced(self):
+        from repro.distrib import (
+            InlineShardExecutor,
+            ShardError,
+            register_shard_backend,
+        )
+        from repro.distrib.executor import _BACKENDS
+
+        class Variant(InlineShardExecutor):
+            pass
+
+        with pytest.raises(ShardError, match="already registered"):
+            register_shard_backend("inline", Variant)
+        assert _BACKENDS["inline"] is InlineShardExecutor  # untouched
+        register_shard_backend("variant", Variant)
+        try:
+            with pytest.raises(ShardError, match="already registered"):
+                register_shard_backend("variant", InlineShardExecutor)
+            register_shard_backend("variant", InlineShardExecutor,
+                                   replace=True)
+            assert _BACKENDS["variant"] is InlineShardExecutor
+        finally:
+            _BACKENDS.pop("variant", None)
+
+    def test_unknown_backend_suggests_near_miss(self):
+        from repro.distrib import ShardError, get_shard_executor
+
+        with pytest.raises(ShardError, match=r"did you mean 'process'\?"):
+            get_shard_executor("proces")
+
+    def test_available_backends_list_builtins_first(self):
+        from repro.distrib import (
+            InlineShardExecutor,
+            available_shard_backends,
+            register_shard_backend,
+        )
+        from repro.distrib.executor import _BACKENDS
+
+        assert available_shard_backends()[:3] == [
+            "inline", "process", "subprocess",
+        ]
+        register_shard_backend("aaa-custom", InlineShardExecutor)
+        try:
+            names = available_shard_backends()
+            # extensions sort after the built-ins, not alphabetically first
+            assert names[:3] == ["inline", "process", "subprocess"]
+            assert "aaa-custom" in names[3:]
+        finally:
+            _BACKENDS.pop("aaa-custom", None)
 
 
 class TestCli:

@@ -279,8 +279,8 @@ class TestMergeShardsOnDisk:
         manifests = _plan(tiny_campaign, tmp_path, 2)
         with pytest.raises(ShardError, match="zero shard manifests"):
             merge_shards([])
-        with pytest.raises(ShardError, match="shard indices"):
-            merge_shards(manifests[:1])  # missing shard 1
+        with pytest.raises(ShardError, match="covered by no shard"):
+            merge_shards(manifests[:1])  # missing shard 1's task range
         foreign = ShardManifest.from_dict(
             {**manifests[1].to_dict(), "campaign_fingerprint": "other"}
         )

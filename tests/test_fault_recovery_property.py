@@ -1,0 +1,183 @@
+"""Property: supervised recovery is invisible in the result.
+
+For ANY recoverable fault schedule (transient task errors, worker
+crashes, shard kills with torn checkpoint tails or dropped state
+sidecars, zero-second stalls), any shard count, and an optional
+mid-campaign steal of a killed shard, the supervised sharded campaign
+must converge to the **state-dict-exact** aggregate of the fault-free
+serial fold. Faults and recovery may only cost wall-clock time — never
+a bit of the result.
+
+Recoverable means: transient rules fire at most ``max_attempts - 1``
+times per identity and nothing injects a deterministic (quarantining)
+failure. Quarantine behaviour is pinned separately in
+``tests/test_supervise.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import warnings
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.distrib import (
+    InlineShardExecutor,
+    ShardSupervisor,
+    SupervisionOptions,
+    build_shard_manifests,
+    load_manifests,
+    merge_shards,
+    run_shard,
+    steal_shard,
+    write_manifests,
+)
+from repro.experiments import sample_settings
+from repro.experiments.config import DEFAULT_SCENARIO
+from repro.parallel import build_sweep_tasks
+from repro.parallel.checkpoint import CheckpointWarning
+from repro.parallel.engine import RetryPolicy
+from repro.parallel.stream import SweepAccumulator
+from repro.util.faults import FAULT_PLAN_ENV, FaultPlan, FaultRule
+from repro.util.rng import seed_sequence_of
+
+from tests.test_stream_equivalence import synthetic_task_rows
+
+MAX_ATTEMPTS = 3
+CAMPAIGN = dict(
+    settings=sample_settings(3, rng=13, k_values=[3, 4]),
+    scenario=DEFAULT_SCENARIO,
+    methods=("greedy",),
+    objectives=("maxmin",),
+    n_platforms=2,
+    root=seed_sequence_of(13),
+)
+N_TASKS = 6
+TASK_IDS = [f"{i}/{j}" for i in range(3) for j in range(2)]
+
+
+def fake_sweep_worker(task):
+    return synthetic_task_rows(
+        (task.setting_index, task.replicate, task.methods,
+         task.objectives, 99)
+    )
+
+
+def _reference_state() -> dict:
+    tasks = build_sweep_tasks(
+        CAMPAIGN["settings"], CAMPAIGN["scenario"], CAMPAIGN["methods"],
+        CAMPAIGN["objectives"], CAMPAIGN["n_platforms"], CAMPAIGN["root"],
+    )
+    acc = SweepAccumulator()
+    for task in tasks:
+        acc.fold_task(fake_sweep_worker(task))
+    return acc.state_dict()
+
+
+REFERENCE = _reference_state()
+
+
+# ----------------------------------------------------------------------
+# recoverable fault schedules
+# ----------------------------------------------------------------------
+
+@st.composite
+def task_rules(draw):
+    """Transient-only task rules that cannot exhaust MAX_ATTEMPTS."""
+    times = draw(st.integers(min_value=1, max_value=MAX_ATTEMPTS - 1))
+    if draw(st.booleans()):
+        return FaultRule(
+            scope="task", fault="error",
+            match=draw(st.sampled_from(TASK_IDS)), times=times,
+        )
+    return FaultRule(
+        scope="task", fault="error",
+        p=draw(st.sampled_from([0.25, 0.5, 0.9])), times=times,
+    )
+
+
+@st.composite
+def shard_rules(draw, n_shards):
+    kind = draw(st.sampled_from(["kill", "stall"]))
+    match = draw(st.integers(min_value=0, max_value=n_shards - 1))
+    if kind == "stall":
+        return FaultRule(
+            scope="shard", fault="stall", match=match, seconds=0.0,
+            after_tasks=draw(st.integers(min_value=0, max_value=2)),
+        )
+    return FaultRule(
+        scope="shard", fault="kill", match=match,
+        times=draw(st.integers(min_value=1, max_value=MAX_ATTEMPTS - 1)),
+        after_tasks=draw(st.integers(min_value=0, max_value=2)),
+        corrupt_tail=draw(st.booleans()),
+        drop_state=draw(st.booleans()),
+    )
+
+
+@st.composite
+def fault_schedules(draw):
+    n_shards = draw(st.integers(min_value=1, max_value=4))
+    rules = draw(st.lists(task_rules(), max_size=2))
+    rules += draw(st.lists(shard_rules(n_shards), max_size=2))
+    plan = FaultPlan(
+        seed=draw(st.integers(min_value=0, max_value=999)),
+        rules=tuple(rules),
+    )
+    steal_from = None
+    if n_shards > 1 and draw(st.booleans()):
+        steal_from = draw(st.integers(min_value=0, max_value=n_shards - 1))
+    return n_shards, plan, steal_from
+
+
+@hyp_settings(max_examples=25, deadline=None)
+@given(schedule=fault_schedules())
+def test_supervised_recovery_is_state_dict_exact(schedule):
+    n_shards, plan, steal_from = schedule
+    with pytest.MonkeyPatch.context() as mp, \
+            tempfile.TemporaryDirectory() as tmp, \
+            warnings.catch_warnings():
+        # recovery from an injected torn tail legitimately warns
+        warnings.simplefilter("ignore", CheckpointWarning)
+        mp.setattr("repro.parallel.sweep.run_sweep_task", fake_sweep_worker)
+        shard_dir = Path(tmp)
+        manifests = build_shard_manifests(
+            CAMPAIGN["settings"], CAMPAIGN["scenario"], CAMPAIGN["methods"],
+            CAMPAIGN["objectives"], CAMPAIGN["n_platforms"], CAMPAIGN["root"],
+            n_shards=n_shards, shard_dir=shard_dir,
+        )
+        write_manifests(manifests, shard_dir)
+
+        if steal_from is not None:
+            # Crash one shard mid-flight with a private plan, then
+            # re-plan its remainder into a fresh shard before the
+            # supervised run ever starts.
+            crash = FaultPlan(rules=(
+                FaultRule(scope="shard", fault="kill", match=steal_from,
+                          after_tasks=1, corrupt_tail=True),
+            ))
+            try:
+                run_shard(
+                    manifests[steal_from], snapshot_every=1, fault_plan=crash
+                )
+            except BaseException:
+                pass  # the injected kill (empty shards die of nothing)
+            steal_shard(shard_dir, steal_from, force=True)
+
+        mp.setenv(FAULT_PLAN_ENV, str(plan.save(shard_dir / "plan.json")))
+        supervisor = ShardSupervisor(
+            InlineShardExecutor(retry=RetryPolicy(
+                max_attempts=MAX_ATTEMPTS, backoff=0.0
+            )),
+            options=SupervisionOptions(retry=RetryPolicy(
+                max_attempts=MAX_ATTEMPTS, backoff=0.0
+            )),
+        )
+        current = load_manifests(shard_dir)
+        supervisor.run(
+            [m.manifest_path for m in current], resume=True
+        )
+        merged = merge_shards(load_manifests(shard_dir))
+        assert merged.state_dict() == REFERENCE

@@ -1,0 +1,222 @@
+"""Deterministic fault injection (repro.util.faults).
+
+The contract pinned here: whether a fault fires is a pure function of
+``(plan seed, rule, identity, attempt)`` — never of wall-clock, pids,
+process boundaries or iteration order — so a fault schedule is as
+reproducible as the campaign it torments. Plus the schema strictness
+(unknown fields refused, wrong-kind files refused) that keeps plans
+safe to version and ship around.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.util.errors import SolverError
+from repro.util.faults import (
+    CRASH_EXIT_CODE,
+    FAULT_PLAN_ENV,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    InjectedTaskError,
+    TransientFaultError,
+    corrupt_checkpoint_tail,
+    is_transient_exception,
+    summarize_rules,
+)
+
+
+class TestFaultRuleSchema:
+    def test_scope_and_fault_kind_are_validated(self):
+        with pytest.raises(FaultError, match="scope"):
+            FaultRule(scope="cluster", fault="error", match="x")
+        with pytest.raises(FaultError, match="unknown task fault"):
+            FaultRule(scope="task", fault="kill", match="x")
+        with pytest.raises(FaultError, match="unknown shard fault"):
+            FaultRule(scope="shard", fault="error", match=0)
+
+    def test_exactly_one_of_match_or_p(self):
+        with pytest.raises(FaultError, match="exactly one"):
+            FaultRule(scope="task", fault="error")
+        with pytest.raises(FaultError, match="exactly one"):
+            FaultRule(scope="task", fault="error", match="x", p=0.5)
+
+    def test_numeric_field_ranges(self):
+        with pytest.raises(FaultError, match="p must be"):
+            FaultRule(scope="task", fault="error", p=0.0)
+        with pytest.raises(FaultError, match="p must be"):
+            FaultRule(scope="task", fault="error", p=1.5)
+        with pytest.raises(FaultError, match="times"):
+            FaultRule(scope="task", fault="error", match="x", times=0)
+        with pytest.raises(FaultError, match="seconds"):
+            FaultRule(scope="task", fault="delay", match="x", seconds=-1)
+        with pytest.raises(FaultError, match="after_tasks"):
+            FaultRule(scope="shard", fault="kill", match=0, after_tasks=-1)
+
+    def test_corruption_flags_require_kill(self):
+        with pytest.raises(FaultError, match="kill"):
+            FaultRule(scope="task", fault="error", match="x", corrupt_tail=True)
+        with pytest.raises(FaultError, match="kill"):
+            FaultRule(scope="shard", fault="stall", match=0, drop_state=True)
+        FaultRule(scope="shard", fault="kill", match=0, corrupt_tail=True,
+                  drop_state=True)  # valid
+
+    def test_round_trip_is_minimal_and_exact(self):
+        rule = FaultRule(scope="shard", fault="kill", match=2, times=3,
+                         after_tasks=1, corrupt_tail=True)
+        clone = FaultRule.from_dict(rule.to_dict())
+        assert clone == rule
+        # defaults are omitted from the serialized form
+        assert FaultRule(scope="task", fault="error", p=0.5).to_dict() == {
+            "scope": "task", "fault": "error", "p": 0.5,
+        }
+
+    def test_unknown_rule_field_is_refused(self):
+        with pytest.raises(FaultError, match="unknown fault rule field"):
+            FaultRule.from_dict(
+                {"scope": "task", "fault": "error", "match": "x", "pct": 1}
+            )
+        with pytest.raises(FaultError, match="must be an object"):
+            FaultRule.from_dict(["task"])
+
+
+class TestFaultPlanSchema:
+    def test_plan_round_trips_through_disk(self, tmp_path):
+        plan = FaultPlan(seed=11, rules=(
+            FaultRule(scope="task", fault="error", p=0.25, times=2),
+            FaultRule(scope="shard", fault="kill", match=1, after_tasks=2),
+        ))
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_wrong_kind_version_and_fields_are_refused(self, tmp_path):
+        with pytest.raises(FaultError, match="not a fault plan"):
+            FaultPlan.from_dict({"kind": "other"})
+        with pytest.raises(FaultError, match="version"):
+            FaultPlan.from_dict({"kind": "fault-plan", "version": 99})
+        with pytest.raises(FaultError, match="unknown fault plan field"):
+            FaultPlan.from_dict({
+                "kind": "fault-plan", "version": 1, "extra": True,
+            })
+        bad = tmp_path / "bad.json"
+        bad.write_text("{torn")
+        with pytest.raises(FaultError, match="not valid JSON"):
+            FaultPlan.load(bad)
+        with pytest.raises(FaultError, match="does not exist"):
+            FaultPlan.load(tmp_path / "nope.json")
+
+    def test_rules_must_be_fault_rules(self):
+        with pytest.raises(FaultError, match="not a FaultRule"):
+            FaultPlan(rules=({"scope": "task"},))
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(scope="task", fault="error", match="0/0"),
+        ))
+        path = plan.save(tmp_path / "ambient.json")
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(path))
+        assert FaultPlan.from_env() == plan
+
+
+class TestDeterministicFiring:
+    def test_match_rules_hit_exactly_their_identity(self):
+        plan = FaultPlan(rules=(
+            FaultRule(scope="task", fault="fatal", match="2/0"),
+            FaultRule(scope="shard", fault="kill", match=3),
+        ))
+        assert [r.fault for r in plan.task_rules("2/0")] == ["fatal"]
+        assert plan.task_rules("2/1") == []
+        assert [r.fault for r in plan.shard_rules(3)] == ["kill"]
+        assert plan.shard_rules(2) == []
+
+    def test_times_bounds_attempts(self):
+        plan = FaultPlan(rules=(
+            FaultRule(scope="task", fault="error", match="a", times=2),
+        ))
+        assert plan.task_rules("a", attempt=1)
+        assert plan.task_rules("a", attempt=2)
+        assert plan.task_rules("a", attempt=3) == []
+
+    def test_probabilistic_selection_is_identity_stable(self):
+        """p-rules pick a fixed pseudo-random subset of identities —
+        the same subset on every evaluation, in every process (seeded
+        off sha256 of the identity, never the salted ``hash()``)."""
+        plan = FaultPlan(seed=7, rules=(
+            FaultRule(scope="task", fault="error", p=0.5),
+        ))
+        ids = [f"{i}/{j}" for i in range(40) for j in range(5)]
+        first = {t for t in ids if plan.task_rules(t)}
+        again = {t for t in ids if plan.task_rules(t)}
+        reloaded = FaultPlan.from_dict(plan.to_dict())
+        third = {t for t in ids if reloaded.task_rules(t)}
+        assert first == again == third
+        assert 0 < len(first) < len(ids)  # a real subset at p=0.5
+
+    def test_selection_depends_on_seed_and_rule_position(self):
+        ids = [str(i) for i in range(200)]
+        pick = lambda plan: {t for t in ids if plan.task_rules(t)}  # noqa: E731
+        rule = FaultRule(scope="task", fault="error", p=0.5)
+        assert pick(FaultPlan(seed=1, rules=(rule,))) != pick(
+            FaultPlan(seed=2, rules=(rule,))
+        )
+        # same seed, same rule, different position -> different draw
+        delay = FaultRule(scope="task", fault="delay", match="never")
+        shifted = FaultPlan(seed=1, rules=(delay, rule))
+        assert pick(FaultPlan(seed=1, rules=(rule,))) != pick(shifted)
+
+
+class TestApplication:
+    def test_error_and_fatal_raise_their_classes(self):
+        plan = FaultPlan(rules=(
+            FaultRule(scope="task", fault="error", match="t"),
+            FaultRule(scope="task", fault="fatal", match="f"),
+        ))
+        with pytest.raises(TransientFaultError, match="attempt 1"):
+            plan.apply_task_faults("t")
+        with pytest.raises(InjectedTaskError):
+            plan.apply_task_faults("f")
+        plan.apply_task_faults("untouched")  # no-op
+        plan.apply_task_faults("t", attempt=2)  # times=1: healed
+
+    def test_delay_rule_applies_without_raising(self):
+        plan = FaultPlan(rules=(
+            FaultRule(scope="task", fault="delay", match="d", seconds=0.0),
+        ))
+        plan.apply_task_faults("d")
+
+    def test_classification(self):
+        assert is_transient_exception(TransientFaultError("x"))
+        assert is_transient_exception(OSError("io"))
+        assert is_transient_exception(TimeoutError())
+        assert not is_transient_exception(InjectedTaskError("x"))
+        assert not is_transient_exception(ValueError("bug"))
+        assert not is_transient_exception(SolverError("bug"))
+
+    def test_crash_exit_code_is_distinctive(self):
+        assert CRASH_EXIT_CODE not in (0, 1, 2)
+
+    def test_corrupt_checkpoint_tail(self, tmp_path):
+        path = tmp_path / "shard.ckpt"
+        path.write_text(json.dumps({"kind": "record"}) + "\n")
+        before = path.read_bytes()
+        corrupt_checkpoint_tail(path)
+        after = path.read_bytes()
+        assert after.startswith(before) and len(after) > len(before)
+        # the tail is a torn half-record, not valid JSON
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(after[len(before):])
+        corrupt_checkpoint_tail(tmp_path / "absent.ckpt")  # no-op
+
+    def test_summarize_rules(self):
+        assert summarize_rules([]) == "<no rules>"
+        text = summarize_rules([
+            FaultRule(scope="task", fault="error", p=0.5),
+            FaultRule(scope="shard", fault="kill", match=1, times=2),
+        ])
+        assert "task:error(p=0.5" in text
+        assert "shard:kill(match=1, times=2)" in text
