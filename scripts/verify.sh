@@ -54,6 +54,14 @@
 # with the merged aggregate bitwise-identical to the fault-free serial
 # fold and bounded recovery cost; it refreshes BENCH_fault_recovery.json.
 #
+# The service step gates the resident-solver HTTP layer
+# (repro/service/): the jobstore, coalescer and end-to-end app suites
+# run explicitly, and the service smoke (bench_service.py) asserts a
+# same-platform request storm is served >= 95% from warm solvers,
+# >= 1000 sweep jobs held in flight all drain to done, and streamed
+# rows fold client-side bitwise into the serial jobs=1 reference; it
+# refreshes BENCH_service.json.
+#
 # Every BENCH_*.json gate is additionally verified to have been
 # (re)emitted by THIS run (require_fresh below): a benchmark that
 # silently skips, deselects, or exits before its assertions can no
@@ -151,6 +159,18 @@ echo
 echo "== benchmark smoke: supervised fault recovery =="
 python -m pytest -x -q -s benchmarks/bench_fault_recovery.py
 require_fresh BENCH_fault_recovery.json
+
+echo
+echo "== service layer: jobstore + coalescer + e2e suites (must not be deselected) =="
+python -m pytest -x -q \
+    tests/test_service_jobstore.py \
+    tests/test_service_coalescer.py \
+    tests/test_service_app.py
+
+echo
+echo "== benchmark smoke: resident solver service =="
+python -m pytest -x -q -s benchmarks/bench_service.py
+require_fresh BENCH_service.json
 
 echo
 echo "verify.sh: all checks passed"

@@ -27,6 +27,7 @@ from repro.api.config import (
     MILPOptions,
     MethodOptions,
     SolverConfig,
+    config_fingerprint,
     options_class_for,
 )
 from repro.api.report import SolveReport
@@ -53,6 +54,7 @@ __all__ = [
     "MILPOptions",
     "BranchAndBoundOptions",
     "options_class_for",
+    "config_fingerprint",
     "RetryPolicy",
     "TaskFailure",
     "QuarantineError",

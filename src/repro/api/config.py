@@ -18,6 +18,8 @@ shim translates its ``**kwargs``.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Any
 
@@ -469,3 +471,18 @@ class SolverConfig:
             supervision=supervision,
             **data,
         )
+
+
+def config_fingerprint(config: SolverConfig) -> str:
+    """Stable content hash of a :class:`SolverConfig`.
+
+    sha256 over the canonical (sorted-key, compact) JSON encoding of
+    :meth:`SolverConfig.to_dict` — equal configs hash equally across
+    processes and sessions, so the hash can key caches and service
+    routing (:class:`repro.service.SolverPool` keys warm solver
+    instances by platform fingerprint + this hash).
+    """
+    payload = json.dumps(
+        config.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -26,7 +26,8 @@ suite and by ``benchmarks/bench_api_reuse.py``).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+import threading
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.heuristics.base import get_heuristic
 from repro.lp.builder import LPBuildCache, use_build_cache
 from repro.parallel.engine import CampaignEngine
 from repro.platform.serialization import platform_fingerprint
+from repro.util.errors import SolverError
 from repro.util.rng import spawn_seed_sequences
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,6 +54,13 @@ class SolverState:
     re-does. The LP cache is installed around every solve via
     :func:`repro.lp.builder.use_build_cache` (outer-wins, so nested
     facade calls inside a batch share the batch's cache).
+
+    Thread safety: the state's own mutations (index adoption, counters)
+    hold an internal lock, and :class:`~repro.lp.builder.LPBuildCache`
+    locks its lookups — so one :class:`Solver` may serve concurrent
+    solves from many threads (the :mod:`repro.service` request path)
+    with bitwise-identical results: reuse hands out pristine template
+    copies, never shared mutable solve state.
     """
 
     #: retained platform memos (each pins its Platform via the cached
@@ -64,6 +73,12 @@ class SolverState:
         self.index_cache: dict = {}
         self.n_solves = 0
         self.index_adoptions = 0
+        self._lock = threading.RLock()
+
+    def record_solves(self, n: int = 1) -> None:
+        """Count ``n`` solves against this state (thread-safe)."""
+        with self._lock:
+            self.n_solves += n
 
     def adopt_platform(self, platform) -> None:
         """Share cached variable indices with ``platform``.
@@ -83,19 +98,21 @@ class SolverState:
             fingerprint = platform_fingerprint(platform)
         except Exception:  # unserialisable stand-in
             return
-        known = self.index_cache.setdefault(fingerprint, memo)
-        if known is not memo:
-            for key, index in known.items():
-                memo.setdefault(key, index)
-            self.index_adoptions += 1
-        while len(self.index_cache) > self.MAX_INDEX_ENTRIES:
-            del self.index_cache[next(iter(self.index_cache))]
+        with self._lock:
+            known = self.index_cache.setdefault(fingerprint, memo)
+            if known is not memo:
+                for key, index in known.items():
+                    memo.setdefault(key, index)
+                self.index_adoptions += 1
+            while len(self.index_cache) > self.MAX_INDEX_ENTRIES:
+                del self.index_cache[next(iter(self.index_cache))]
 
     def stats(self) -> dict:
         """Counter snapshot (merged into every :class:`SolveReport`)."""
         out = dict(self.lp_cache.stats())
-        out["n_solves"] = self.n_solves
-        out["index_adoptions"] = self.index_adoptions
+        with self._lock:
+            out["n_solves"] = self.n_solves
+            out["index_adoptions"] = self.index_adoptions
         return out
 
 
@@ -135,12 +152,14 @@ class Solver:
         if self._engine is None:
             from repro.parallel.batch import _run_solve_task
 
-            self._engine = CampaignEngine(
-                _run_solve_task,
-                jobs=self.config.jobs,
-                chunk_size=self.config.chunk_size,
-                retry_policy=self.config.retry,
-            )
+            with self.state._lock:
+                if self._engine is None:
+                    self._engine = CampaignEngine(
+                        _run_solve_task,
+                        jobs=self.config.jobs,
+                        chunk_size=self.config.chunk_size,
+                        retry_policy=self.config.retry,
+                    )
         return self._engine
 
     def _problem_for(self, problem: "SteadyStateProblem") -> "SteadyStateProblem":
@@ -164,7 +183,7 @@ class Solver:
         config = self.config
         heuristic = get_heuristic(config.method)
         problem = self._problem_for(problem)
-        self.state.n_solves += 1
+        self.state.record_solves(1)
         self.state.adopt_platform(problem.platform)
         with use_build_cache(self.state.lp_cache):
             result = heuristic.run(
@@ -182,6 +201,7 @@ class Solver:
         self,
         problems: "Sequence[SteadyStateProblem]",
         rng=None,
+        seeds: "Sequence[int | None] | None" = None,
     ) -> "list[SolveReport]":
         """Solve many independent problems; results in input order.
 
@@ -191,11 +211,38 @@ class Solver:
         function of ``(problems, config, rng)``, independent of ``jobs``
         and chunking. With ``jobs == 1`` the batch runs inline and every
         instance shares this solver's warm state.
+
+        ``seeds`` replaces the spawn derivation with *explicit*
+        per-instance seeds: instance ``i`` solves exactly as
+        ``solve(problems[i], rng=seeds[i])`` would (bitwise). This is
+        the contract the :mod:`repro.service` request coalescer builds
+        on — independent requests, each carrying its own seed, can be
+        batched through one ``solve_many`` call without changing any
+        response. ``seeds`` and ``rng`` are mutually exclusive; a
+        ``None`` entry draws fresh entropy for that instance (the
+        single-solve default).
         """
         from repro.parallel.batch import _SolveTask
+        from repro.util.errors import SolverError
 
         problems = [self._problem_for(p) for p in problems]
-        seeds = spawn_seed_sequences(self._rng_for(rng), len(problems))
+        if seeds is not None:
+            if rng is not None:
+                raise SolverError(
+                    "pass either rng (one batch seed, spawn-derived) or "
+                    "seeds (explicit per-instance seeds), not both"
+                )
+            seeds = list(seeds)
+            if len(seeds) != len(problems):
+                raise SolverError(
+                    f"{len(problems)} problems but {len(seeds)} seeds"
+                )
+            seed_seqs = [
+                np.random.SeedSequence(None if s is None else int(s))
+                for s in seeds
+            ]
+        else:
+            seed_seqs = spawn_seed_sequences(self._rng_for(rng), len(problems))
         kwargs = self.config.method_kwargs()
         tasks = [
             _SolveTask(
@@ -204,9 +251,9 @@ class Solver:
                 seed=s,
                 kwargs=dict(kwargs),
             )
-            for p, s in zip(problems, seeds)
+            for p, s in zip(problems, seed_seqs)
         ]
-        self.state.n_solves += len(problems)
+        self.state.record_solves(len(problems))
         for p in problems:
             self.state.adopt_platform(p.platform)
         with use_build_cache(self.state.lp_cache):
@@ -231,7 +278,8 @@ class Solver:
         objectives: "Sequence[str] | None" = None,
         n_platforms: "int | None" = None,
         rng=None,
-        progress: bool = False,
+        progress: "bool | Callable[[int, int], None]" = False,
+        on_rows: "Callable[[Sequence], None] | None" = None,
     ) -> "list[ExperimentRow] | SweepAccumulator":
         """Run a Section-6 style sweep over many grid points.
 
@@ -261,6 +309,19 @@ class Solver:
         exactly-associative merge — the returned aggregate (and the
         assembled ``row_sink``) are bitwise those of the unsharded
         serial sweep.
+
+        ``progress`` may be a callable ``(done, total)`` instead of the
+        printing boolean — the hook a supervising caller (the service
+        job runner) uses to surface live completion counts.
+
+        ``on_rows`` (requires ``stream=True``, incompatible with
+        ``shards > 1`` — sharded rows materialise in other processes)
+        registers a per-task row callback: every folded task's rows are
+        handed to it *in task-index order*, after they are written to
+        the ``row_sink``. This is the incremental streaming feed of the
+        :mod:`repro.service` ``/jobs/{id}/stream`` endpoint; the
+        callback observes exactly the rows (and order) of the serial
+        reference fold.
         """
         import time
 
@@ -287,6 +348,18 @@ class Solver:
         config = self.config
         if config.row_sink is not None:
             validate_row_sink_path(config.row_sink)  # fail before any work
+        if on_rows is not None:
+            if not config.stream:
+                raise SolverError(
+                    "on_rows requires stream=True (rows are only folded "
+                    "incrementally under streaming aggregation)"
+                )
+            if config.shards > 1:
+                raise SolverError(
+                    "on_rows is incompatible with shards > 1: sharded "
+                    "campaigns fold their rows inside the shard "
+                    "executors, not in this process"
+                )
         if scenario is None:
             scenario = DEFAULT_SCENARIO
         elif isinstance(scenario, str):
@@ -313,7 +386,9 @@ class Solver:
             from repro.distrib import run_sharded_sweep
 
             reporter = None
-            if progress:  # pragma: no cover - cosmetic
+            if callable(progress):
+                reporter = progress
+            elif progress:  # pragma: no cover - cosmetic
                 def reporter(done: int, total: int) -> None:
                     print(f"  [{done}/{total}] shards", flush=True)
 
@@ -366,10 +441,15 @@ class Solver:
 
         fold = None
         if config.stream:
+            sink = open_row_sink(config.row_sink)
+            if on_rows is not None:
+                from repro.parallel.stream import CallbackRowSink
+
+                sink = CallbackRowSink(on_rows, sink)
             fold = StreamFold(
                 SweepAccumulator(),
                 n_tasks=len(tasks),
-                sink=open_row_sink(config.row_sink),
+                sink=sink,
                 task_ids=task_ids,
                 checkpoint=store,
             )
@@ -379,7 +459,9 @@ class Solver:
                 fold.start()
 
         reporter = None
-        if progress:  # pragma: no cover - cosmetic
+        if callable(progress):
+            reporter = progress
+        elif progress:  # pragma: no cover - cosmetic
             start = time.perf_counter()
 
             def reporter(done: int, total: int) -> None:

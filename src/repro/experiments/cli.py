@@ -430,6 +430,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the merged aggregate tables as JSON to PATH",
     )
 
+    psv = sub.add_parser(
+        "serve",
+        help="run the resident solver service (repro.service) on the "
+        "bundled zero-dependency HTTP bridge",
+    )
+    psv.add_argument("--host", default="127.0.0.1")
+    psv.add_argument("--port", type=int, default=8175)
+    psv.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        metavar="N",
+        help="job-runner threads (concurrent sweeps/async solves)",
+    )
+    psv.add_argument(
+        "--job-store",
+        metavar="PATH",
+        default=None,
+        help="JSONL journal for job lifecycle state (survives restarts); "
+        "default keeps jobs in memory only",
+    )
+    psv.add_argument(
+        "--max-solvers",
+        type=int,
+        default=32,
+        metavar="N",
+        help="warm Solver instances kept in the LRU pool",
+    )
+    psv.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="how long a solve request waits for batchable company "
+        "before its solve_many batch dispatches",
+    )
+    psv.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
+
     sub.add_parser("grid", help="print the Table-1 parameter grid")
     return parser
 
@@ -475,6 +515,18 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.command == "shard":
         return _run_shard_command(args)
+    if args.command == "serve":
+        from repro.service import create_app
+        from repro.service.server import run_server
+
+        app = create_app(
+            job_store=args.job_store,
+            max_solvers=args.max_solvers,
+            max_workers=args.workers,
+            coalesce_window=args.coalesce_window,
+        )
+        run_server(app, host=args.host, port=args.port, verbose=not args.quiet)
+        return 0
     if args.command == "figure5":
         fig = figure5(
             k_values=tuple(args.k),

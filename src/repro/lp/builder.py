@@ -15,6 +15,7 @@ so assembly stays O(non-zeros) even for large ``K``.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
@@ -201,6 +202,14 @@ class LPBuildCache:
     one per instance — it is the facade's cross-call warm state. The
     counters feed ``benchmarks/bench_api_reuse.py``: ``cold_builds``
     counts actual assemblies, ``build_hits`` the assemblies avoided.
+
+    Thread safety: every lookup/insert/counter mutation holds an
+    internal re-entrant lock, so one cache may back concurrent solves
+    from many threads (the :mod:`repro.service` request path hammers a
+    pooled :class:`repro.api.Solver` this way). The lock guards only the
+    cache's own state — the returned template *copies* are private to
+    the caller, and the shared dense matrix is read-only by contract —
+    so solves themselves still run concurrently.
     """
 
     def __init__(self, max_entries: int = 64):
@@ -208,6 +217,7 @@ class LPBuildCache:
         self._templates: "dict[tuple, LPInstance]" = {}
         self._dense: "dict[int, tuple]" = {}
         self._bases: "dict[int, tuple]" = {}
+        self._lock = threading.RLock()
         self.build_hits = 0
         self.cold_builds = 0
         self.dense_hits = 0
@@ -242,20 +252,22 @@ class LPBuildCache:
         return (fingerprint, obj_fn.name, problem.payoffs.tobytes())
 
     def fetch(self, key: tuple) -> "LPInstance | None":
-        template = self._templates.get(key)
-        if template is None:
-            return None
-        self.build_hits += 1
-        return template.fresh_copy()
+        with self._lock:
+            template = self._templates.get(key)
+            if template is None:
+                return None
+            self.build_hits += 1
+            return template.fresh_copy()
 
     def store(self, key: "tuple | None", instance: LPInstance) -> None:
-        self.cold_builds += 1
-        if key is None:
-            return
-        self._templates[key] = instance.fresh_copy()
-        while len(self._templates) > self.max_entries:
-            oldest = next(iter(self._templates))
-            del self._templates[oldest]
+        with self._lock:
+            self.cold_builds += 1
+            if key is None:
+                return
+            self._templates[key] = instance.fresh_copy()
+            while len(self._templates) > self.max_entries:
+                oldest = next(iter(self._templates))
+                del self._templates[oldest]
 
     # ------------------------------------------------------------------
     def dense_matrix(self, instance: LPInstance) -> np.ndarray:
@@ -267,21 +279,22 @@ class LPBuildCache:
         Consumers only read the array (``simplex_solve`` copies into its
         own tableau), so sharing is safe.
         """
-        key = id(instance.A_ub)
-        entry = self._dense.get(key)
-        if entry is None or entry[0] is not instance.A_ub:
-            self.dense_builds += 1
-            entry = (
-                instance.A_ub,
-                np.asarray(instance.A_ub.toarray(), dtype=float),
-            )
-            self._dense[key] = entry
-            while len(self._dense) > self.max_entries:
-                oldest = next(iter(self._dense))
-                del self._dense[oldest]
-        else:
-            self.dense_hits += 1
-        return entry[1]
+        with self._lock:
+            key = id(instance.A_ub)
+            entry = self._dense.get(key)
+            if entry is None or entry[0] is not instance.A_ub:
+                self.dense_builds += 1
+                entry = (
+                    instance.A_ub,
+                    np.asarray(instance.A_ub.toarray(), dtype=float),
+                )
+                self._dense[key] = entry
+                while len(self._dense) > self.max_entries:
+                    oldest = next(iter(self._dense))
+                    del self._dense[oldest]
+            else:
+                self.dense_hits += 1
+            return entry[1]
 
     # ------------------------------------------------------------------
     def stored_basis(self, instance: LPInstance):
@@ -295,30 +308,33 @@ class LPBuildCache:
         basis makes results depend on what the cache solved before
         (degenerate LPs admit multiple optimal vertices).
         """
-        entry = self._bases.get(id(instance.A_ub))
-        if entry is None or entry[0] is not instance.A_ub:
-            return None
-        self.basis_hits += 1
-        return entry[1]
+        with self._lock:
+            entry = self._bases.get(id(instance.A_ub))
+            if entry is None or entry[0] is not instance.A_ub:
+                return None
+            self.basis_hits += 1
+            return entry[1]
 
     def store_basis(self, instance: LPInstance, basis) -> None:
         """Publish ``instance``'s latest optimal basis for later sessions."""
-        self._bases[id(instance.A_ub)] = (instance.A_ub, basis)
-        self.basis_stores += 1
-        while len(self._bases) > self.max_entries:
-            oldest = next(iter(self._bases))
-            del self._bases[oldest]
+        with self._lock:
+            self._bases[id(instance.A_ub)] = (instance.A_ub, basis)
+            self.basis_stores += 1
+            while len(self._bases) > self.max_entries:
+                oldest = next(iter(self._bases))
+                del self._bases[oldest]
 
     def stats(self) -> dict:
-        return {
-            "cold_builds": self.cold_builds,
-            "build_hits": self.build_hits,
-            "dense_builds": self.dense_builds,
-            "dense_hits": self.dense_hits,
-            "basis_hits": self.basis_hits,
-            "basis_stores": self.basis_stores,
-            "templates": len(self._templates),
-        }
+        with self._lock:
+            return {
+                "cold_builds": self.cold_builds,
+                "build_hits": self.build_hits,
+                "dense_builds": self.dense_builds,
+                "dense_hits": self.dense_hits,
+                "basis_hits": self.basis_hits,
+                "basis_stores": self.basis_stores,
+                "templates": len(self._templates),
+            }
 
 
 _ACTIVE_BUILD_CACHE: "ContextVar[LPBuildCache | None]" = ContextVar(

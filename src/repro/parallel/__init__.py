@@ -39,6 +39,7 @@ from repro.parallel.engine import (
     default_chunk_size,
 )
 from repro.parallel.stream import (
+    CallbackRowSink,
     CountAccumulator,
     CsvRowSink,
     JsonlRowSink,
@@ -87,6 +88,7 @@ __all__ = [
     "NullRowSink",
     "JsonlRowSink",
     "CsvRowSink",
+    "CallbackRowSink",
     "open_row_sink",
     "snapshot_compatible",
     "validate_row_sink_path",

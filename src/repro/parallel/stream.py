@@ -1029,6 +1029,41 @@ class CsvRowSink(_FileRowSink):
         self._writer.writerow(self._row_to_dict(row))
 
 
+class CallbackRowSink(RowSink):
+    """Tee sink: delegate to an inner sink, then hand each written batch
+    to a callback.
+
+    The streaming feed of the service layer: the fold writes rows
+    strictly in task-index order, so the callback observes exactly the
+    rows (and order) of the serial reference fold — after they are
+    durably in the inner sink, so a consumer that saw a batch can trust
+    the sink already holds it. Resume offsets are the inner sink's; a
+    resumed prefix is *not* replayed through the callback (it was
+    observed by the run that wrote it).
+    """
+
+    def __init__(self, callback: "Callable[[Sequence], None]", inner: RowSink):
+        self.callback = callback
+        self.inner = inner
+
+    @property
+    def path(self) -> "Path | None":  # the fold's sink identity check
+        return self.inner.path
+
+    def start(self, offset: "int | None" = None) -> None:
+        self.inner.start(offset)
+
+    def write_rows(self, rows: Sequence) -> None:
+        self.inner.write_rows(rows)
+        self.callback(rows)
+
+    def offset(self) -> int:
+        return self.inner.offset()
+
+    def close(self) -> None:
+        self.inner.close()
+
+
 def open_row_sink(path: "str | Path | None") -> RowSink:
     """Sink for ``path``: ``None`` discards, ``*.csv`` writes CSV,
     anything else JSON lines."""

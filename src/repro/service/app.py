@@ -1,0 +1,498 @@
+"""The resident solver service and its ASGI application factory.
+
+:class:`SolverService` is the HTTP-free core: it owns the warm
+:class:`~repro.service.pool.SolverPool`, the request
+:class:`~repro.service.coalescer.RequestCoalescer`, the job store, the
+event broker and a worker thread-pool, and exposes the operations the
+routes map onto. Everything it consumes and produces is plain JSON
+dicts, so it is directly drivable from tests and benchmarks without a
+socket in sight.
+
+Request/response contracts (see ``docs/architecture.md`` for the flow
+diagram):
+
+``POST /solve`` body::
+
+    {"scenario": "das2",        # platform scenario name (required)
+     "objective": "maxmin",     # optional; config.objective wins
+     "seed": 123,               # solve seed (int, optional)
+     "scenario_seed": 7,        # platform-build seed (default: seed)
+     "config": {...},           # partial SolverConfig dict
+     "async": false,            # true -> job instead of inline result
+     "coalesce": true}          # opt out of request batching
+
+The response is bitwise the report of::
+
+    Solver(cfg).solve(
+        build_scenario(name, objective, rng=default_rng(scenario_seed)),
+        rng=seed)
+
+independent of how many concurrent requests were coalesced into one
+``solve_many`` batch (the facade's explicit-seeds contract).
+
+``POST /sweep`` body::
+
+    {"settings": [{"K": 5, ...}, ...]   # explicit grid points, or:
+     "n_settings": 8, "k_values": [5, 10], "settings_seed": 0,
+     "scenario": "calibrated",  # sweep scenario name or Scenario dict
+     "methods": [...], "objectives": [...], "n_platforms": 3,
+     "seed": 42,                # campaign root seed
+     "config": {...},           # partial SolverConfig (stream forced on)
+     "hold": false}             # true -> create held, start explicitly
+
+Sweeps are always jobs; their rows stream over ``GET
+/jobs/{id}/stream`` as they fold (strict task-index order — the serial
+reference order). The *guaranteed-complete* streaming recipe: submit
+with ``"hold": true``, open the stream (the first ``status`` event
+confirms the subscription), then ``POST /jobs/{id}/start`` — every row
+of the campaign arrives on that stream.
+"""
+
+from __future__ import annotations
+
+import queue
+import re
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator
+
+import numpy as np
+
+from repro.api.config import SolverConfig, config_fingerprint
+from repro.api.scenarios import scenario_registry
+from repro.platform.serialization import platform_fingerprint
+from repro.service.asgi import AsgiApp
+from repro.service.coalescer import RequestCoalescer
+from repro.service.errors import ServiceError
+from repro.service.jobstore import JobRecord, JobStore, open_job_store
+from repro.service.pool import SolverPool
+from repro.service.sse import TERMINAL_EVENTS, JobEventBroker
+
+
+def _config_from(payload: dict, force_stream: bool = False) -> SolverConfig:
+    """Build the request's :class:`SolverConfig` (partial dicts fine)."""
+    data = dict(payload.get("config") or {})
+    if "method" not in data and payload.get("method") is not None:
+        data["method"] = payload["method"]
+    if force_stream:
+        data["stream"] = True
+    if int(data.get("shards", 1)) > 1:
+        raise ServiceError(
+            "shards > 1 is not available through the service: sharded "
+            "rows fold inside the shard executors and cannot stream"
+        )
+    return SolverConfig.from_dict(data)
+
+
+def _setting_from_dict(data: dict):
+    from repro.experiments.config import Setting
+
+    try:
+        k = data["K"] if "K" in data else data["k"]
+        return Setting(
+            k=int(k),
+            connectivity=float(data["connectivity"]),
+            heterogeneity=float(data["heterogeneity"]),
+            mean_g=float(data["mean_g"]),
+            mean_bw=float(data["mean_bw"]),
+            mean_maxcon=float(data["mean_maxcon"]),
+        )
+    except KeyError as exc:
+        raise ServiceError(f"setting is missing key {exc}") from None
+
+
+def _scenario_from(payload: dict) -> "tuple[object, str]":
+    """Resolve the sweep scenario and a stable pool-affinity key."""
+    import hashlib
+    import json as _json
+
+    from repro.experiments.config import DEFAULT_SCENARIO, Scenario
+
+    raw = payload.get("scenario")
+    if raw is None:
+        return DEFAULT_SCENARIO, "sweep:default"
+    if isinstance(raw, str):
+        try:
+            return scenario_registry().sweep_scenario(raw), f"sweep:{raw.lower()}"
+        except ValueError as exc:
+            raise ServiceError(str(exc), status=400) from None
+    if isinstance(raw, dict):
+        try:
+            scenario = Scenario(**raw)
+        except TypeError as exc:
+            raise ServiceError(f"bad scenario dict: {exc}") from None
+        digest = hashlib.sha256(
+            _json.dumps(raw, sort_keys=True).encode()
+        ).hexdigest()[:16]
+        return scenario, f"sweep:inline:{digest}"
+    raise ServiceError("scenario must be a name or a Scenario dict")
+
+
+class SolverService:
+    """The long-lived core behind the HTTP surface."""
+
+    def __init__(
+        self,
+        job_store: "JobStore | str | None" = None,
+        max_solvers: int = 32,
+        max_workers: int = 8,
+        coalesce_window: float = 0.005,
+        max_coalesce_batch: int = 64,
+    ):
+        if isinstance(job_store, JobStore):
+            self.jobs = job_store
+        else:
+            self.jobs = open_job_store(job_store)
+        self.pool = SolverPool(max_solvers=max_solvers)
+        self.coalescer = RequestCoalescer(
+            max_delay=coalesce_window, max_batch=max_coalesce_batch
+        )
+        self.broker = JobEventBroker()
+        self.executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-job"
+        )
+        self.started_at = time.time()
+        self._id_lock = threading.Lock()
+        self._next_id = self._seed_id_counter()
+        self._specs: "dict[str, dict]" = {}  # runtime-only sweep specs
+        self._closed = False
+
+    def _seed_id_counter(self) -> int:
+        """Continue numbering past any journal-loaded job ids."""
+        highest = 0
+        for record in self.jobs.list_jobs():
+            found = re.search(r"(\d+)$", record.job_id)
+            if found:
+                highest = max(highest, int(found.group(1)))
+        return highest
+
+    def new_job_id(self, kind: str) -> str:
+        with self._id_lock:
+            self._next_id += 1
+            return f"{kind}-{self._next_id:06d}"
+
+    # ------------------------------------------------------------------
+    # solve
+    # ------------------------------------------------------------------
+    def _build_solve(self, payload: dict):
+        name = payload.get("scenario")
+        if not isinstance(name, str):
+            raise ServiceError(
+                "solve request needs a 'scenario' platform-scenario name "
+                f"(one of {list(scenario_registry().names('platform'))})"
+            )
+        config = _config_from(payload)
+        seed = payload.get("seed")
+        if seed is not None:
+            seed = int(seed)
+        scenario_seed = payload.get("scenario_seed", seed)
+        objective = payload.get("objective") or config.objective or "maxmin"
+        try:
+            problem = scenario_registry().build_problem(
+                name,
+                objective=objective,
+                rng=np.random.default_rng(scenario_seed),
+            )
+        except ValueError as exc:
+            raise ServiceError(str(exc), status=400) from None
+        fingerprint = platform_fingerprint(problem.platform)
+        return problem, fingerprint, config, seed
+
+    def submit_solve(self, payload: dict) -> "tuple[str, dict]":
+        """Handle one ``POST /solve``; returns ``(kind, payload)`` with
+        kind ``"report"`` (synchronous) or ``"job"`` (``"async": true``).
+        """
+        self._check_open()
+        problem, fingerprint, config, seed = self._build_solve(payload)
+        solver = self.pool.solver_for(fingerprint, config)
+        coalesce = bool(payload.get("coalesce", True))
+        if coalesce:
+            future = self.coalescer.submit(
+                self.pool.key_for(fingerprint, config), solver, problem, seed
+            )
+        else:
+            future = self.executor.submit(solver.solve, problem, rng=seed)
+        if not payload.get("async", False):
+            return "report", future.result().to_dict()
+
+        job_id = self.new_job_id("solve")
+        self.jobs.create(
+            JobRecord(job_id, kind="solve", status="running", request=payload)
+        )
+
+        def finish(fut):
+            try:
+                report = fut.result()
+            except Exception as exc:  # noqa: BLE001 - job boundary
+                self._fail_job(job_id, exc)
+            else:
+                self.jobs.update(
+                    job_id, status="done", result={"report": report.to_dict()}
+                )
+                self.broker.publish(
+                    job_id, "done", {"job_id": job_id, "status": "done"}
+                )
+
+        future.add_done_callback(finish)
+        return "job", self.jobs.get(job_id).to_dict()
+
+    # ------------------------------------------------------------------
+    # sweep jobs
+    # ------------------------------------------------------------------
+    def submit_sweep(self, payload: dict) -> dict:
+        """Handle one ``POST /sweep``: create (and maybe start) a job."""
+        self._check_open()
+        scenario, scenario_key = _scenario_from(payload)
+        config = _config_from(payload, force_stream=True)
+        if payload.get("settings") is not None:
+            settings = [_setting_from_dict(d) for d in payload["settings"]]
+        elif payload.get("n_settings") is not None:
+            from repro.experiments.config import sample_settings
+
+            settings = sample_settings(
+                int(payload["n_settings"]),
+                rng=np.random.default_rng(payload.get("settings_seed", 0)),
+                k_values=payload.get("k_values"),
+            )
+        else:
+            raise ServiceError(
+                "sweep request needs 'settings' (explicit grid points) or "
+                "'n_settings' (sampled)"
+            )
+        if not settings:
+            raise ServiceError("sweep request has no settings")
+        seed = payload.get("seed")
+        spec = {
+            "settings": settings,
+            "scenario": scenario,
+            "pool_key": scenario_key,
+            "config": config,
+            "methods": payload.get("methods"),
+            "objectives": payload.get("objectives"),
+            "n_platforms": payload.get("n_platforms"),
+            "seed": None if seed is None else int(seed),
+        }
+        job_id = self.new_job_id("sweep")
+        hold = bool(payload.get("hold", False))
+        self.jobs.create(
+            JobRecord(
+                job_id,
+                kind="sweep",
+                status="held" if hold else "queued",
+                request=payload,
+                progress={"done": 0, "total": None},
+            )
+        )
+        with self._id_lock:
+            self._specs[job_id] = spec
+        if not hold:
+            self.executor.submit(self._run_sweep_job, job_id)
+        return self.jobs.get(job_id).to_dict()
+
+    def start_job(self, job_id: str) -> dict:
+        """Release a held job (``POST /jobs/{id}/start``)."""
+        self._check_open()
+        record = self.jobs.get(job_id)
+        if record.status != "held":
+            raise ServiceError(
+                f"job {job_id} is {record.status!r}, only held jobs can be "
+                "started",
+                status=409,
+            )
+        record = self.jobs.update(job_id, status="queued")
+        self.executor.submit(self._run_sweep_job, job_id)
+        return record.to_dict()
+
+    def _run_sweep_job(self, job_id: str) -> None:
+        with self._id_lock:
+            spec = self._specs.pop(job_id, None)
+        if spec is None:  # pragma: no cover - double-start guard
+            return
+        try:
+            self.jobs.update(job_id, status="running")
+            solver = self.pool.solver_for(spec["pool_key"], spec["config"])
+
+            from repro.experiments.persistence import row_to_dict
+
+            def on_rows(rows) -> None:
+                self.broker.publish(
+                    job_id, "rows", {"rows": [row_to_dict(r) for r in rows]}
+                )
+
+            def progress(done: int, total: int) -> None:
+                self.jobs.update(
+                    job_id, progress={"done": done, "total": total}
+                )
+                self.broker.publish(
+                    job_id, "progress", {"done": done, "total": total}
+                )
+
+            accumulator = solver.sweep(
+                spec["settings"],
+                scenario=spec["scenario"],
+                methods=spec["methods"],
+                objectives=spec["objectives"],
+                n_platforms=spec["n_platforms"],
+                rng=spec["seed"],
+                progress=progress,
+                on_rows=on_rows,
+            )
+            result = {
+                "tables": accumulator.tables(),
+                "accumulator_state": accumulator.state_dict(),
+            }
+            self.jobs.update(job_id, status="done", result=result)
+            self.broker.publish(
+                job_id, "done", {"job_id": job_id, "status": "done"}
+            )
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            self._fail_job(job_id, exc)
+
+    def _fail_job(self, job_id: str, exc: BaseException) -> None:
+        message = f"{type(exc).__name__}: {exc}"
+        self.jobs.update(job_id, status="failed", error=message)
+        self.broker.publish(
+            job_id, "failed", {"job_id": job_id, "status": "failed",
+                               "error": message}
+        )
+
+    # ------------------------------------------------------------------
+    # job inspection / streaming
+    # ------------------------------------------------------------------
+    def job_status(self, job_id: str) -> dict:
+        return self.jobs.get(job_id).status_dict()
+
+    def job_result(self, job_id: str) -> dict:
+        record = self.jobs.get(job_id)
+        if record.status != "done":
+            raise ServiceError(
+                f"job {job_id} is {record.status!r}"
+                + (f": {record.error}" if record.error else "")
+                + "; result only exists once done",
+                status=409,
+            )
+        return {
+            "job_id": record.job_id,
+            "kind": record.kind,
+            "result": record.result,
+        }
+
+    def list_jobs(self) -> "list[dict]":
+        return [record.status_dict() for record in self.jobs.list_jobs()]
+
+    def stream_events(
+        self, job_id: str, keepalive: float = 15.0
+    ) -> "Iterator[tuple[str, dict]]":
+        """Yield ``(event, data)`` pairs for a job until it terminates.
+
+        Subscribe-then-snapshot ordering closes the terminal race: the
+        runner updates the store *before* publishing its terminal event,
+        so either the snapshot already shows a terminal status (emit it
+        synthetically) or the queue is guaranteed to deliver it.
+        """
+        self.jobs.get(job_id)  # 404 before the response starts
+        subscription = self.broker.subscribe(job_id)
+        try:
+            record = self.jobs.get(job_id)
+            yield "status", record.status_dict()
+            if record.is_terminal:
+                data = {"job_id": job_id, "status": record.status}
+                if record.error:
+                    data["error"] = record.error
+                yield record.status, data
+                return
+            while True:
+                try:
+                    event = subscription.get(timeout=keepalive)
+                except queue.Empty:
+                    yield "keepalive", {}
+                    continue
+                name = event["event"]
+                data = {k: v for k, v in event.items() if k != "event"}
+                yield name, data
+                if name in TERMINAL_EVENTS:
+                    return
+        finally:
+            self.broker.unsubscribe(job_id, subscription)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        by_status: "dict[str, int]" = {}
+        for record in self.jobs.list_jobs():
+            by_status[record.status] = by_status.get(record.status, 0) + 1
+        return {
+            "uptime": time.time() - self.started_at,
+            "jobs": by_status,
+            "pool": self.pool.stats(),
+            "coalescer": self.coalescer.stats(),
+        }
+
+    def describe(self) -> dict:
+        """The ``/scenarios`` + ``/methods`` discovery payload pieces."""
+        from repro.core.solve import available_methods
+
+        registry = scenario_registry()
+        return {
+            "methods": list(available_methods()),
+            "scenarios": [
+                registry.info(name).as_dict() for name in registry.names()
+            ],
+        }
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is shut down", status=503)
+
+    def close(self) -> None:
+        """Drain workers and close the store (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.executor.shutdown(wait=True)
+        self.jobs.close()
+
+
+# ----------------------------------------------------------------------
+def create_app(
+    service: "SolverService | None" = None, **service_kwargs
+) -> AsgiApp:
+    """The zero-dependency ASGI application (any ASGI server hosts it).
+
+    The built app exposes the service as ``app.service`` and wires
+    ``service.close`` into ASGI lifespan shutdown.
+    """
+    from repro.service.routes import build_router
+
+    if service is None:
+        service = SolverService(**service_kwargs)
+    app = AsgiApp(build_router(service))
+    app.service = service
+    app.on_shutdown.append(service.close)
+    return app
+
+
+def create_fastapi_app(
+    service: "SolverService | None" = None, **service_kwargs
+):
+    """Optional FastAPI wrapper (the ``fastapi`` extra).
+
+    Mounts the canonical ASGI app inside a FastAPI shell so deployments
+    already composed of FastAPI routers can graft the solver service
+    in. Raises :class:`ServiceError` with an actionable message when
+    FastAPI is not installed — the plain :func:`create_app` result runs
+    under uvicorn/hypercorn just the same.
+    """
+    try:
+        from fastapi import FastAPI
+    except ImportError:
+        raise ServiceError(
+            "the 'fastapi' extra is not installed; use create_app() — the "
+            "plain ASGI app runs under any ASGI server without it",
+            status=500,
+        ) from None
+    asgi = create_app(service, **service_kwargs)
+    shell = FastAPI(title="repro solver service")
+    shell.mount("", asgi)
+    shell.state.repro_service = asgi.service
+    return shell

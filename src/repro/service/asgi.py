@@ -1,0 +1,226 @@
+"""A deliberately small ASGI toolkit (zero dependencies).
+
+The service must run in environments where FastAPI/Starlette are not
+installed, so this module provides just enough ASGI 3.0 plumbing for
+the routes in :mod:`repro.service.routes`: a request wrapper, JSON and
+streaming responses, a ``{param}``-pattern router, and an application
+object handling the ``http`` and ``lifespan`` scopes. Any ASGI server
+(uvicorn, hypercorn, the bundled stdlib bridge in
+:mod:`repro.service.server`) can host the resulting app.
+
+Handlers are plain *synchronous* callables ``handler(request,
+**params) -> Response`` — they block on solver work, so the app runs
+them (and iterates streaming bodies) on the event loop's default
+thread-pool executor, keeping the loop responsive while many requests
+stream concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from typing import Any, Callable, Iterable, Iterator
+from urllib.parse import parse_qsl
+
+from repro.service.errors import ServiceError
+
+
+class Request:
+    """One HTTP request: ASGI scope + fully-read body."""
+
+    def __init__(self, scope: dict, body: bytes = b""):
+        self.scope = scope
+        self.method: str = scope.get("method", "GET").upper()
+        self.path: str = scope.get("path", "/")
+        self.body = body
+        self.query: "dict[str, str]" = dict(
+            parse_qsl(scope.get("query_string", b"").decode("latin-1"))
+        )
+        self.headers: "dict[str, str]" = {
+            key.decode("latin-1").lower(): value.decode("latin-1")
+            for key, value in scope.get("headers", ())
+        }
+
+    def json(self) -> Any:
+        """The body parsed as JSON (empty body -> ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"invalid JSON body: {exc}", status=400)
+
+
+class Response:
+    """A buffered response; :meth:`json` builds the common case."""
+
+    def __init__(
+        self,
+        body: bytes = b"",
+        status: int = 200,
+        content_type: str = "application/octet-stream",
+        headers: "dict[str, str] | None" = None,
+    ):
+        self.body = body
+        self.status = int(status)
+        self.headers = dict(headers or {})
+        self.headers.setdefault("content-type", content_type)
+
+    @classmethod
+    def json(cls, data: Any, status: int = 200) -> "Response":
+        body = json.dumps(data, sort_keys=True).encode("utf-8")
+        return cls(body, status=status, content_type="application/json")
+
+
+class StreamingResponse(Response):
+    """A response whose body is produced incrementally.
+
+    ``chunks`` is a *synchronous* iterable of byte chunks (the SSE /
+    NDJSON generators of the stream endpoint); the app pulls it on the
+    executor so a slow producer never stalls the event loop.
+    """
+
+    def __init__(
+        self,
+        chunks: "Iterable[bytes]",
+        status: int = 200,
+        content_type: str = "application/octet-stream",
+        headers: "dict[str, str] | None" = None,
+    ):
+        super().__init__(b"", status, content_type, headers)
+        self.headers.setdefault("cache-control", "no-store")
+        self.chunks = chunks
+
+
+class Router:
+    """Method + ``/path/{param}/...`` pattern dispatch."""
+
+    def __init__(self):
+        self._routes: "list[tuple[str, re.Pattern, Callable]]" = []
+        self._paths: "set[str]" = set()
+
+    def add(self, method: str, pattern: str, handler: Callable) -> None:
+        regex = re.compile(
+            "^"
+            + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern)
+            + "$"
+        )
+        self._routes.append((method.upper(), regex, handler))
+        self._paths.add(pattern)
+
+    def match(self, method: str, path: str) -> "tuple[Callable, dict]":
+        """The handler and path params; raises :class:`ServiceError`
+        with 404 (no such path) or 405 (path exists, wrong method)."""
+        path_matched = False
+        for route_method, regex, handler in self._routes:
+            found = regex.match(path)
+            if found is None:
+                continue
+            path_matched = True
+            if route_method == method.upper():
+                return handler, found.groupdict()
+        if path_matched:
+            raise ServiceError(f"method {method} not allowed on {path}", 405)
+        raise ServiceError(f"no route for {path}", status=404)
+
+
+async def _read_body(receive) -> bytes:
+    parts = []
+    while True:
+        message = await receive()
+        if message["type"] == "http.disconnect":
+            break
+        parts.append(message.get("body", b""))
+        if not message.get("more_body", False):
+            break
+    return b"".join(parts)
+
+
+class AsgiApp:
+    """ASGI 3.0 application over a :class:`Router`.
+
+    ``on_shutdown`` callbacks run when the hosting server completes the
+    lifespan protocol (and are also invoked by
+    :meth:`repro.service.app.SolverService.close` for hosts that skip
+    lifespan, like the stdlib bridge and the test client).
+    """
+
+    def __init__(self, router: Router):
+        self.router = router
+        self.on_shutdown: "list[Callable[[], None]]" = []
+
+    async def __call__(self, scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - ws etc.
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+        await self._http(scope, receive, send)
+
+    async def _lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                for callback in self.on_shutdown:
+                    callback()
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _http(self, scope, receive, send) -> None:
+        body = await _read_body(receive)
+        request = Request(scope, body)
+        loop = asyncio.get_running_loop()
+        try:
+            handler, params = self.router.match(request.method, request.path)
+            response = await loop.run_in_executor(
+                None, lambda: handler(request, **params)
+            )
+        except ServiceError as exc:
+            response = Response.json({"error": str(exc)}, status=exc.status)
+        except Exception as exc:  # noqa: BLE001 - boundary translation
+            response = Response.json(
+                {"error": f"{type(exc).__name__}: {exc}"}, status=500
+            )
+        await self._send_response(loop, response, send)
+
+    async def _send_response(self, loop, response: Response, send) -> None:
+        headers = [
+            (key.encode("latin-1"), value.encode("latin-1"))
+            for key, value in response.headers.items()
+        ]
+        await send(
+            {
+                "type": "http.response.start",
+                "status": response.status,
+                "headers": headers,
+            }
+        )
+        if isinstance(response, StreamingResponse):
+            iterator: "Iterator[bytes]" = iter(response.chunks)
+            sentinel = object()
+            try:
+                while True:
+                    chunk = await loop.run_in_executor(
+                        None, next, iterator, sentinel
+                    )
+                    if chunk is sentinel:
+                        break
+                    await send(
+                        {
+                            "type": "http.response.body",
+                            "body": chunk,
+                            "more_body": True,
+                        }
+                    )
+            finally:
+                # a disconnected client must still release the
+                # generator's subscriptions (its finally blocks)
+                close = getattr(iterator, "close", None)
+                if close is not None:
+                    await loop.run_in_executor(None, close)
+            await send({"type": "http.response.body", "body": b""})
+            return
+        await send({"type": "http.response.body", "body": response.body})

@@ -1,0 +1,124 @@
+"""Batching of compatible concurrent solve requests.
+
+Under a request storm the service sees many independent ``POST /solve``
+bodies that all target the same platform fingerprint and config — i.e.
+the same pooled solver. Solving them one call at a time would still be
+warm, but batching them through one
+:meth:`~repro.api.Solver.solve_many` call amortises the per-call
+facade overhead and keeps one code path hot.
+
+The enabling contract lives in the facade (and is pinned by tests):
+``solve_many(problems, seeds=[s0, s1, ...])`` solves instance ``i``
+**bitwise-exactly** as ``solve(problems[i], rng=si)`` would. Batching
+is therefore invisible in the responses — any interleaving of requests
+produces byte-identical reports to unbatched execution, which is the
+Hypothesis property in ``tests/test_service_coalescer.py``.
+
+Mechanics: requests land in a per-key bucket; the first request of a
+bucket starts a dispatcher thread that waits up to ``max_delay``
+seconds (or until ``max_batch`` requests pile up), then atomically
+claims the bucket and runs one ``solve_many``. Each caller holds a
+:class:`concurrent.futures.Future` resolved with its own report.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Hashable, Sequence
+
+from repro.api.solver import Solver
+
+
+class _Bucket:
+    __slots__ = ("entries", "wake")
+
+    def __init__(self):
+        self.entries: list = []  # (problem, seed, Future)
+        self.wake = threading.Event()
+
+
+class RequestCoalescer:
+    """Batch same-key solve requests into single ``solve_many`` calls."""
+
+    def __init__(self, max_delay: float = 0.005, max_batch: int = 64):
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_delay = float(max_delay)
+        self.max_batch = int(max_batch)
+        self._buckets: "dict[Hashable, _Bucket]" = {}
+        self._lock = threading.Lock()
+        self.batches = 0
+        self.coalesced_requests = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        key: Hashable,
+        solver: Solver,
+        problem,
+        seed: "int | None" = None,
+    ) -> "Future":
+        """Enqueue one solve; the future resolves to its SolveReport.
+
+        ``key`` must imply the solver: all requests sharing a key are
+        executed on the one ``solver`` of the bucket's first request —
+        the pool's ``(fingerprint, config-hash)`` key has exactly that
+        property.
+        """
+        future: "Future" = Future()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            fresh = bucket is None
+            if fresh:
+                bucket = self._buckets[key] = _Bucket()
+            bucket.entries.append((problem, seed, future))
+            if len(bucket.entries) >= self.max_batch:
+                bucket.wake.set()
+        if fresh:
+            threading.Thread(
+                target=self._dispatch,
+                args=(key, bucket, solver),
+                name=f"coalesce-{key}",
+                daemon=True,
+            ).start()
+        return future
+
+    # ------------------------------------------------------------------
+    def _claim(self, key: Hashable, bucket: _Bucket) -> Sequence:
+        """Atomically detach the bucket; later submits start a new one."""
+        with self._lock:
+            if self._buckets.get(key) is bucket:
+                del self._buckets[key]
+            return list(bucket.entries)
+
+    def _dispatch(self, key: Hashable, bucket: _Bucket, solver: Solver) -> None:
+        bucket.wake.wait(self.max_delay)
+        entries = self._claim(key, bucket)
+        problems = [problem for problem, _, _ in entries]
+        seeds = [seed for _, seed, _ in entries]
+        try:
+            reports = solver.solve_many(problems, seeds=seeds)
+        except BaseException as exc:  # one bad batch fails all its callers
+            for _, _, future in entries:
+                future.set_exception(exc)
+            return
+        with self._lock:
+            self.batches += 1
+            self.coalesced_requests += len(entries)
+            self.largest_batch = max(self.largest_batch, len(entries))
+        for (_, _, future), report in zip(entries, reports):
+            future.set_result(report)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "coalesced_requests": self.coalesced_requests,
+                "largest_batch": self.largest_batch,
+                "pending_buckets": len(self._buckets),
+            }

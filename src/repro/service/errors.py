@@ -1,0 +1,31 @@
+"""Service-layer errors.
+
+One exception type carries the HTTP status a handler should answer
+with, so route code raises domain errors and the dispatch layer owns
+the wire translation — handlers never build error responses by hand.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import SolverError
+
+
+class ServiceError(SolverError):
+    """A request the service cannot honour, with its HTTP status.
+
+    Subclasses :class:`~repro.util.errors.SolverError` so facade
+    validation failures and service-level failures share one except
+    clause at the dispatch boundary.
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = int(status)
+
+
+class JobNotFound(ServiceError):
+    """Unknown job id (HTTP 404)."""
+
+    def __init__(self, job_id: str):
+        super().__init__(f"unknown job {job_id!r}", status=404)
+        self.job_id = job_id

@@ -1,0 +1,222 @@
+"""Job lifecycle records and pluggable stores.
+
+A job is one asynchronous unit of service work (a held/async solve, a
+sweep). Its :class:`JobRecord` moves through::
+
+    held -> queued -> running -> done | failed | cancelled
+
+(``held`` only when the client asked for a two-phase start, the
+guaranteed-complete streaming recipe). Stores are pluggable behind the
+tiny :class:`JobStore` interface:
+
+* :class:`MemoryJobStore` — a locked dict, the default;
+* :class:`JsonlJobStore` — the same, journaled to disk: every
+  transition appends one JSON line, load replays the journal (last
+  record per job wins), and compaction rewrites the live records
+  through a temp file + :func:`os.replace` — the same atomic-sidecar
+  discipline as :class:`repro.parallel.CampaignCheckpoint`, so a crash
+  mid-compaction never loses the journal.
+
+Jobs found ``running``/``queued`` when a journal is loaded belong to a
+dead process; they are marked ``interrupted`` so clients polling across
+a restart see a terminal status instead of a forever-pending job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+
+from repro.service.errors import JobNotFound, ServiceError
+
+JOB_STATUSES = (
+    "held", "queued", "running", "done", "failed", "cancelled", "interrupted",
+)
+TERMINAL_STATUSES = ("done", "failed", "cancelled", "interrupted")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's full lifecycle state (immutable snapshot).
+
+    ``request`` echoes the sanitized request body that created the job;
+    ``result`` holds the JSON result payload once terminal;
+    ``progress`` is ``{"done": n, "total": m}`` while a sweep runs.
+    """
+
+    job_id: str
+    kind: str  # "solve" | "sweep"
+    status: str = "queued"
+    request: dict = field(default_factory=dict)
+    result: "dict | None" = None
+    error: "str | None" = None
+    progress: dict = field(default_factory=dict)
+    created_at: float = 0.0
+    updated_at: float = 0.0
+
+    def __post_init__(self):
+        if self.status not in JOB_STATUSES:
+            raise ServiceError(
+                f"unknown job status {self.status!r} "
+                f"(expected one of {JOB_STATUSES})"
+            )
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def status_dict(self) -> dict:
+        """The ``/jobs/{id}/status`` payload: everything but the result."""
+        out = self.to_dict()
+        out.pop("result")
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRecord":
+        return cls(**data)
+
+
+class JobStore:
+    """Minimal store interface the service layer codes against."""
+
+    def create(self, record: JobRecord) -> None:
+        raise NotImplementedError
+
+    def get(self, job_id: str) -> JobRecord:
+        raise NotImplementedError
+
+    def update(self, job_id: str, **changes) -> JobRecord:
+        raise NotImplementedError
+
+    def list_jobs(self) -> "list[JobRecord]":
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class MemoryJobStore(JobStore):
+    """Locked in-memory store (the default; nothing survives restart)."""
+
+    def __init__(self):
+        self._records: "dict[str, JobRecord]" = {}
+        self._lock = threading.RLock()
+
+    def create(self, record: JobRecord) -> None:
+        now = time.time()
+        record = replace(record, created_at=now, updated_at=now)
+        with self._lock:
+            if record.job_id in self._records:
+                raise ServiceError(
+                    f"duplicate job id {record.job_id!r}", status=409
+                )
+            self._records[record.job_id] = record
+        self._persist(record)
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            try:
+                return self._records[job_id]
+            except KeyError:
+                raise JobNotFound(job_id) from None
+
+    def update(self, job_id: str, **changes) -> JobRecord:
+        with self._lock:
+            record = self.get(job_id)
+            record = replace(record, updated_at=time.time(), **changes)
+            self._records[job_id] = record
+        self._persist(record)
+        return record
+
+    def list_jobs(self) -> "list[JobRecord]":
+        with self._lock:
+            return sorted(
+                self._records.values(), key=lambda r: (r.created_at, r.job_id)
+            )
+
+    def _persist(self, record: JobRecord) -> None:
+        """Hook for journaling subclasses; the memory store drops it."""
+
+
+class JsonlJobStore(MemoryJobStore):
+    """Journal-backed store: append-per-transition, replay-on-load.
+
+    The journal is human-greppable JSONL (one full record per
+    transition). :meth:`compact` rewrites it down to one line per live
+    job atomically; :meth:`close` compacts as a courtesy.
+    """
+
+    def __init__(self, path: "str | Path"):
+        super().__init__()
+        self.path = Path(path)
+        self._io_lock = threading.Lock()
+        self._fh = None
+        self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = JobRecord.from_dict(json.loads(line))
+                self._records[record.job_id] = record
+        # Non-terminal jobs belonged to a process that is gone.
+        for job_id, record in list(self._records.items()):
+            if not record.is_terminal:
+                self._records[job_id] = replace(
+                    record,
+                    status="interrupted",
+                    error="service restarted while the job was pending",
+                    updated_at=time.time(),
+                )
+
+    def _persist(self, record: JobRecord) -> None:
+        if self._fh is None:  # during _load-time interruption marking
+            return
+        line = json.dumps(record.to_dict(), sort_keys=True)
+        with self._io_lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def compact(self) -> None:
+        """Rewrite the journal to one line per live job, atomically."""
+        with self._lock:
+            records = self.list_jobs()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with self._io_lock:
+            with tmp.open("w", encoding="utf-8") as fh:
+                for record in records:
+                    fh.write(json.dumps(record.to_dict(), sort_keys=True))
+                    fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            if self._fh is not None:
+                self._fh.close()
+            os.replace(tmp, self.path)
+            self._fh = self.path.open("a", encoding="utf-8")
+
+    def close(self) -> None:
+        self.compact()
+        with self._io_lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+def open_job_store(path: "str | Path | None") -> JobStore:
+    """``None`` -> in-memory store, a path -> JSONL-journaled store."""
+    if path is None:
+        return MemoryJobStore()
+    return JsonlJobStore(path)

@@ -1,0 +1,105 @@
+"""Warm :class:`~repro.api.Solver` instances keyed by what they cache.
+
+The whole point of a resident service is that the second request from a
+platform is cheaper than the first: the facade's
+:class:`~repro.api.solver.SolverState` holds the LP template cache, the
+dense-matrix memo and the variable-index adoption map, all keyed by
+platform fingerprint. The pool keeps one warm ``Solver`` per
+
+    (platform fingerprint, config fingerprint)
+
+pair — the platform fingerprint scopes *what* is cached, the
+:func:`~repro.api.config.config_fingerprint` scopes *how it solves*
+(two configs may produce different results, so they must never share a
+report-stamping solver). Eviction is LRU with a bounded size; each
+``Solver`` additionally bounds its own index cache, so total memory is
+capped on both axes.
+
+Solvers handed out are shared across threads — safe because
+``SolverState`` and :class:`~repro.lp.builder.LPBuildCache` lock their
+mutations and reuse is value-transparent (pristine template copies,
+never shared solve state).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+from repro.api.config import SolverConfig, config_fingerprint
+from repro.api.solver import Solver
+
+
+class SolverPool:
+    """Bounded LRU pool of warm solvers (thread-safe)."""
+
+    def __init__(
+        self,
+        max_solvers: int = 32,
+        solver_factory: "Callable[[SolverConfig], Solver]" = Solver,
+    ):
+        if max_solvers < 1:
+            raise ValueError(f"max_solvers must be >= 1, got {max_solvers}")
+        self.max_solvers = int(max_solvers)
+        self._factory = solver_factory
+        self._solvers: "OrderedDict[tuple[str, str], Solver]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.pool_hits = 0
+        self.pool_misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def key_for(self, fingerprint: str, config: SolverConfig) -> "tuple[str, str]":
+        return (str(fingerprint), config_fingerprint(config))
+
+    def solver_for(self, fingerprint: str, config: SolverConfig) -> Solver:
+        """The warm solver for this platform/config pair (made if cold).
+
+        ``fingerprint`` is any stable identity of the workload's cache
+        affinity — :func:`~repro.platform.serialization.
+        platform_fingerprint` for explicit-platform solves, a scenario
+        key for registry-built ones.
+        """
+        key = self.key_for(fingerprint, config)
+        with self._lock:
+            solver = self._solvers.get(key)
+            if solver is not None:
+                self._solvers.move_to_end(key)
+                self.pool_hits += 1
+                return solver
+            self.pool_misses += 1
+            solver = self._factory(config)
+            self._solvers[key] = solver
+            while len(self._solvers) > self.max_solvers:
+                self._solvers.popitem(last=False)
+                self.evictions += 1
+            return solver
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._solvers)
+
+    def stats(self) -> dict:
+        """Pool counters plus the pooled solvers' cache counters, summed.
+
+        The summed ``build_hits``/``cold_builds`` pair is the service's
+        warm-reuse story in two numbers (gated by
+        ``benchmarks/bench_service.py``).
+        """
+        with self._lock:
+            solvers = list(self._solvers.values())
+            out = {
+                "size": len(self._solvers),
+                "max_solvers": self.max_solvers,
+                "pool_hits": self.pool_hits,
+                "pool_misses": self.pool_misses,
+                "evictions": self.evictions,
+            }
+        aggregate: "dict[str, int]" = {}
+        for solver in solvers:
+            for key, value in solver.state.stats().items():
+                aggregate[key] = aggregate.get(key, 0) + int(value)
+        out["solver_totals"] = aggregate
+        return out

@@ -1,0 +1,123 @@
+"""HTTP route table: thin glue from paths to the service core.
+
+Every handler parses nothing but transport concerns (path params, the
+``?format=`` switch); request-body interpretation lives in
+:class:`~repro.service.app.SolverService`, which is what the tests and
+benchmarks drive directly.
+
+Routes
+------
+======  =========================  ==========================================
+GET     /healthz                   liveness probe
+GET     /stats                     pool / coalescer / job counters
+GET     /methods                   registered solve methods
+GET     /scenarios                 registered scenarios (platform + sweep)
+POST    /solve                     solve one scenario (sync, or async job)
+POST    /sweep                     submit a sweep job
+GET     /jobs                      all job status records
+GET     /jobs/{job_id}/status      one job's status record
+GET     /jobs/{job_id}/result      terminal result (409 until done)
+POST    /jobs/{job_id}/start       release a held job
+GET     /jobs/{job_id}/stream      SSE (default) or ``?format=ndjson``
+======  =========================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.service.asgi import Request, Response, Router, StreamingResponse
+from repro.service.errors import ServiceError
+from repro.service.sse import format_ndjson, format_sse, sse_keepalive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.app import SolverService
+
+
+def build_router(service: "SolverService") -> Router:
+    router = Router()
+
+    def healthz(request: Request) -> Response:
+        return Response.json({"status": "ok"})
+
+    def stats(request: Request) -> Response:
+        return Response.json(service.stats())
+
+    def methods(request: Request) -> Response:
+        return Response.json({"methods": service.describe()["methods"]})
+
+    def scenarios(request: Request) -> Response:
+        return Response.json({"scenarios": service.describe()["scenarios"]})
+
+    def solve(request: Request) -> Response:
+        kind, payload = service.submit_solve(request.json())
+        if kind == "job":
+            return Response.json({"job": payload}, status=202)
+        return Response.json({"report": payload})
+
+    def sweep(request: Request) -> Response:
+        return Response.json({"job": service.submit_sweep(request.json())},
+                             status=202)
+
+    def jobs(request: Request) -> Response:
+        return Response.json({"jobs": service.list_jobs()})
+
+    def job_status(request: Request, job_id: str) -> Response:
+        return Response.json(service.job_status(job_id))
+
+    def job_result(request: Request, job_id: str) -> Response:
+        return Response.json(service.job_result(job_id))
+
+    def job_start(request: Request, job_id: str) -> Response:
+        return Response.json({"job": service.start_job(job_id)})
+
+    def job_stream(request: Request, job_id: str) -> Response:
+        wire = request.query.get("format", "sse")
+        if wire not in ("sse", "ndjson"):
+            raise ServiceError(f"unknown stream format {wire!r}")
+        try:
+            keepalive = float(request.query.get("keepalive", 15.0))
+        except ValueError:
+            raise ServiceError("keepalive must be a number") from None
+        events = service.stream_events(job_id, keepalive=keepalive)
+        # Force the 404 check before the response status goes out: the
+        # generator body only runs on first next().
+        first = next(events, None)
+
+        def chunks():
+            try:
+                for name, data in _chain(first, events):
+                    if name == "keepalive":
+                        if wire == "sse":
+                            yield sse_keepalive()
+                        continue
+                    if wire == "sse":
+                        yield format_sse(name, data)
+                    else:
+                        yield format_ndjson(name, data)
+            finally:
+                events.close()
+
+        content_type = (
+            "text/event-stream" if wire == "sse" else "application/x-ndjson"
+        )
+        return StreamingResponse(chunks(), content_type=content_type)
+
+    router.add("GET", "/healthz", healthz)
+    router.add("GET", "/stats", stats)
+    router.add("GET", "/methods", methods)
+    router.add("GET", "/scenarios", scenarios)
+    router.add("POST", "/solve", solve)
+    router.add("POST", "/sweep", sweep)
+    router.add("GET", "/jobs", jobs)
+    router.add("GET", "/jobs/{job_id}/status", job_status)
+    router.add("GET", "/jobs/{job_id}/result", job_result)
+    router.add("POST", "/jobs/{job_id}/start", job_start)
+    router.add("GET", "/jobs/{job_id}/stream", job_stream)
+    return router
+
+
+def _chain(first, rest):
+    if first is not None:
+        yield first
+    yield from rest

@@ -1,0 +1,183 @@
+"""In-process ASGI test client (no sockets, no server).
+
+Drives the app's ``__call__`` directly, one :func:`asyncio.run` per
+request — the same exchange shape the stdlib bridge produces, minus
+the TCP. Buffered requests return a :class:`TestResponse`; streaming
+endpoints are consumed through :meth:`AsgiTestClient.stream`, which
+runs the exchange on a background thread and hands chunks over a
+queue, so a test can interleave stream reads with further requests
+(the held-job recipe: open stream, read the ``status`` event, POST
+``start``, then drain).
+
+This is also the load harness of ``benchmarks/bench_service.py`` — a
+thousand concurrent in-process requests exercise every lock the
+service has without socket fd limits distorting the measurement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import threading
+from typing import Any, Iterator
+
+from repro.service.sse import parse_sse
+
+
+class TestResponse:
+    def __init__(self, status: int, headers: "dict[str, str]", body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        return json.loads(self.body)
+
+
+class _StreamHandle:
+    """One open streaming response being produced on a worker thread."""
+
+    _DONE = object()
+
+    def __init__(self):
+        self._chunks: "queue.Queue" = queue.Queue()
+        self.status: "int | None" = None
+        self.headers: "dict[str, str]" = {}
+        self._started = threading.Event()
+        self._disconnect = threading.Event()
+
+    def iter_chunks(self, timeout: float = 60.0) -> "Iterator[bytes]":
+        while True:
+            chunk = self._chunks.get(timeout=timeout)
+            if chunk is self._DONE:
+                return
+            yield chunk
+
+    def iter_events(self, timeout: float = 60.0) -> "Iterator[tuple[str, dict]]":
+        """SSE frames as ``(event, data)`` pairs."""
+        return parse_sse(self.iter_chunks(timeout=timeout))
+
+    def iter_ndjson(self, timeout: float = 60.0) -> "Iterator[dict]":
+        buffer = b""
+        for chunk in self.iter_chunks(timeout=timeout):
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    yield json.loads(line)
+
+    def close(self) -> None:
+        """Simulate the client disconnecting."""
+        self._disconnect.set()
+
+
+class AsgiTestClient:
+    """Synchronous driver for one ASGI app."""
+
+    def __init__(self, app):
+        self.app = app
+
+    # ------------------------------------------------------------------
+    def _scope(self, method: str, path: str) -> dict:
+        if "?" in path:
+            path, _, query = path.partition("?")
+        else:
+            query = ""
+        return {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "scheme": "http",
+            "path": path,
+            "query_string": query.encode("latin-1"),
+            "headers": [(b"host", b"testclient")],
+            "client": ("testclient", 0),
+            "server": ("testclient", 80),
+        }
+
+    def request(
+        self, method: str, path: str, json_body: Any = None
+    ) -> TestResponse:
+        body = b"" if json_body is None else json.dumps(json_body).encode()
+        scope = self._scope(method, path)
+        received = {"status": None, "headers": {}, "chunks": []}
+
+        async def run():
+            messages = [
+                {"type": "http.request", "body": body, "more_body": False}
+            ]
+
+            async def receive():
+                if messages:
+                    return messages.pop(0)
+                return {"type": "http.disconnect"}
+
+            async def send(message):
+                if message["type"] == "http.response.start":
+                    received["status"] = message["status"]
+                    received["headers"] = {
+                        key.decode("latin-1"): value.decode("latin-1")
+                        for key, value in message.get("headers", ())
+                    }
+                elif message["type"] == "http.response.body":
+                    received["chunks"].append(message.get("body", b""))
+
+            await self.app(scope, receive, send)
+
+        asyncio.run(run())
+        return TestResponse(
+            received["status"], received["headers"], b"".join(received["chunks"])
+        )
+
+    def get(self, path: str) -> TestResponse:
+        return self.request("GET", path)
+
+    def post(self, path: str, json_body: Any = None) -> TestResponse:
+        return self.request("POST", path, json_body)
+
+    # ------------------------------------------------------------------
+    def stream(self, path: str, timeout: float = 60.0) -> _StreamHandle:
+        """Open a streaming GET; chunks arrive as the app emits them.
+
+        Returns once the response status line is in (so a 404 is
+        observable immediately via ``handle.status``).
+        """
+        handle = _StreamHandle()
+        scope = self._scope("GET", path)
+
+        async def run():
+            async def receive():
+                return {"type": "http.disconnect"}
+
+            async def send(message):
+                if handle._disconnect.is_set():
+                    raise ConnectionResetError("test client closed stream")
+                if message["type"] == "http.response.start":
+                    handle.status = message["status"]
+                    handle.headers = {
+                        key.decode("latin-1"): value.decode("latin-1")
+                        for key, value in message.get("headers", ())
+                    }
+                    handle._started.set()
+                elif message["type"] == "http.response.body":
+                    chunk = message.get("body", b"")
+                    if chunk:
+                        handle._chunks.put(chunk)
+
+            await self.app(scope, receive, send)
+
+        def worker():
+            try:
+                asyncio.run(run())
+            except ConnectionResetError:
+                pass
+            finally:
+                handle._started.set()  # error-before-start still unblocks
+                handle._chunks.put(handle._DONE)
+
+        threading.Thread(target=worker, daemon=True).start()
+        if not handle._started.wait(timeout):
+            raise TimeoutError(f"no response status within {timeout}s: {path}")
+        return handle

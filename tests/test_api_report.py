@@ -1,0 +1,88 @@
+"""SolveReport JSON round-trip (the service result-endpoint contract).
+
+``to_dict`` must produce a payload that survives an actual JSON
+encode/decode cycle and rebuilds — via ``from_dict`` — into a report
+whose ``to_dict`` is *equal*, including exact float bits (shortest-repr
+JSON round-trips doubles losslessly).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import PlatformSpec, SteadyStateProblem, generate_platform
+from repro.api import Solver, SolverConfig, SolveReport
+
+
+def _problem(seed: int = 11) -> SteadyStateProblem:
+    spec = PlatformSpec(
+        n_clusters=4, connectivity=0.6, heterogeneity=0.4,
+        mean_g=250.0, mean_bw=30.0, mean_max_connect=10.0,
+        speed_heterogeneity=0.4,
+    )
+    return SteadyStateProblem(generate_platform(spec, rng=seed),
+                              objective="maxmin")
+
+
+@pytest.mark.parametrize("method", ["greedy", "lprg", "lp"])
+def test_roundtrip_through_real_json(method):
+    report = Solver(SolverConfig(method=method)).solve(_problem(), rng=3)
+    encoded = json.dumps(report.to_dict())
+    rebuilt = SolveReport.from_dict(json.loads(encoded))
+    assert rebuilt.to_dict() == report.to_dict()
+
+
+def test_roundtrip_preserves_base_fields_bitwise():
+    report = Solver(SolverConfig(method="greedy")).solve(_problem(), rng=7)
+    rebuilt = SolveReport.from_dict(json.loads(json.dumps(report.to_dict())))
+    assert rebuilt.method == report.method
+    assert rebuilt.objective == report.objective
+    assert rebuilt.value == report.value  # exact float equality
+    assert rebuilt.n_lp_solves == report.n_lp_solves
+    assert np.array_equal(rebuilt.allocation.alpha, report.allocation.alpha)
+    assert np.array_equal(rebuilt.allocation.beta, report.allocation.beta)
+    assert rebuilt.allocation.alpha.dtype == report.allocation.alpha.dtype
+    assert rebuilt.allocation.beta.dtype == report.allocation.beta.dtype
+
+
+def test_roundtrip_config_and_cache_stats():
+    config = SolverConfig.for_method("lprg", seed=5, warm_start=False)
+    report = Solver(config).solve(_problem(), rng=1)
+    rebuilt = SolveReport.from_dict(report.to_dict())
+    assert rebuilt.config == config
+    assert rebuilt.cache_stats == report.cache_stats
+    assert rebuilt.cache_stats["n_solves"] == 1
+
+
+def test_lp_stats_survive_when_present():
+    report = Solver(SolverConfig(method="lprg")).solve(_problem(), rng=2)
+    data = report.to_dict()
+    rebuilt = SolveReport.from_dict(json.loads(json.dumps(data)))
+    assert rebuilt.lp_stats == report.lp_stats
+    if report.lp_stats is not None:
+        assert rebuilt.meta == {"lp_stats": report.lp_stats}
+
+
+def test_meta_is_projected_not_carried():
+    """Only lp_stats survives serialization; raw meta objects do not."""
+    report = Solver(SolverConfig(method="greedy")).solve(_problem(), rng=4)
+    report.meta["raw_object"] = object()  # never JSON-serializable
+    data = report.to_dict()
+    json.dumps(data)  # would raise if meta leaked wholesale
+    assert "raw_object" not in data
+    rebuilt = SolveReport.from_dict(data)
+    assert "raw_object" not in rebuilt.meta
+
+
+def test_none_allocation_and_none_config_roundtrip():
+    report = SolveReport(
+        method="lp", objective="maxmin", value=1.5, allocation=None,
+        runtime=0.0, n_lp_solves=1,
+    )
+    rebuilt = SolveReport.from_dict(json.loads(json.dumps(report.to_dict())))
+    assert rebuilt.allocation is None
+    assert rebuilt.config is None
+    assert rebuilt.to_dict() == report.to_dict()

@@ -15,7 +15,7 @@ import pytest
 
 MANIFEST = Path(__file__).resolve().parent / "data" / "api_surface.json"
 
-PINNED_MODULES = ["repro", "repro.api", "repro.distrib"]
+PINNED_MODULES = ["repro", "repro.api", "repro.distrib", "repro.service"]
 
 
 def load_manifest() -> dict:

@@ -47,6 +47,12 @@ class TestExamples:
         assert "cumulative payoff" in out
         assert "adaptive" in out
 
+    def test_service_client(self, capsys):
+        _load("service_client").main()
+        out = capsys.readouterr().out
+        assert "terminal event: done" in out
+        assert "matches the server aggregate: True" in out
+
     def test_reproduce_figures_tiny(self, capsys):
         # Drive the figure script at minimal scale via its module API.
         module = _load("reproduce_figures")

@@ -1,0 +1,178 @@
+"""Request-coalescing correctness: batching must be invisible.
+
+The coalescer's whole contract is that N concurrent solve requests
+answered through one ``solve_many(problems, seeds=...)`` batch are
+**bitwise-identical** to answering each alone. The Hypothesis property
+drives random request mixes (seeds, problems, arrival interleavings,
+batch windows) through a shared coalescer and compares every response
+against its serial ``solve(problem, rng=seed)`` reference.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PlatformSpec, SteadyStateProblem, generate_platform
+from repro.api import Solver, SolverConfig
+from repro.service import RequestCoalescer
+
+CONFIG = SolverConfig(method="greedy")
+
+_SPEC = PlatformSpec(
+    n_clusters=4, connectivity=0.6, heterogeneity=0.4,
+    mean_g=250.0, mean_bw=30.0, mean_max_connect=10.0,
+    speed_heterogeneity=0.4,
+)
+PROBLEMS = [
+    SteadyStateProblem(generate_platform(_SPEC, rng=seed), objective=obj)
+    for seed, obj in ((11, "maxmin"), (11, "sum"), (22, "maxmin"))
+]
+
+
+def _signature(report):
+    return (
+        report.value,
+        report.n_lp_solves,
+        report.allocation.alpha.tobytes(),
+        report.allocation.beta.tobytes(),
+    )
+
+
+def _reference(problem_index: int, seed: int):
+    report = Solver(CONFIG).solve(PROBLEMS[problem_index], rng=seed)
+    return _signature(report)
+
+
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=len(PROBLEMS) - 1),
+            st.integers(min_value=0, max_value=50),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    stagger=st.lists(
+        st.sampled_from([0.0, 0.0, 0.0005, 0.002]), min_size=12, max_size=12
+    ),
+    max_delay=st.sampled_from([0.0, 0.002, 0.01]),
+    max_batch=st.sampled_from([1, 3, 64]),
+)
+@settings(max_examples=20, deadline=None)
+def test_any_interleaving_matches_serial_reference(
+    requests, stagger, max_delay, max_batch
+):
+    coalescer = RequestCoalescer(max_delay=max_delay, max_batch=max_batch)
+    solver = Solver(CONFIG)
+    futures = []
+
+    def submit(problem_index: int, seed: int, delay: float):
+        time.sleep(delay)
+        return coalescer.submit(
+            "key", solver, PROBLEMS[problem_index], seed
+        )
+
+    threads = []
+    results: "list" = [None] * len(requests)
+
+    def worker(i, problem_index, seed, delay):
+        future = submit(problem_index, seed, delay)
+        results[i] = _signature(future.result(timeout=60))
+
+    for i, (problem_index, seed) in enumerate(requests):
+        thread = threading.Thread(
+            target=worker, args=(i, problem_index, seed, stagger[i])
+        )
+        threads.append(thread)
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+
+    for (problem_index, seed), signature in zip(requests, results):
+        assert signature == _reference(problem_index, seed), (
+            "coalesced response differs from the serial solve"
+        )
+
+
+def test_storm_coalesces_into_few_batches():
+    """A same-instant storm actually batches (and still answers right)."""
+    coalescer = RequestCoalescer(max_delay=0.05, max_batch=128)
+    solver = Solver(CONFIG)
+    n = 24
+    barrier = threading.Barrier(n)
+    signatures: "list" = [None] * n
+
+    def worker(i):
+        barrier.wait()
+        future = coalescer.submit("key", solver, PROBLEMS[0], 7)
+        signatures[i] = _signature(future.result(timeout=60))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+
+    expected = _reference(0, 7)
+    assert all(s == expected for s in signatures)
+    stats = coalescer.stats()
+    assert stats["coalesced_requests"] == n
+    assert stats["batches"] < n  # real coalescing happened
+    assert stats["largest_batch"] >= 2
+
+
+def test_batch_matches_one_explicit_solve_many_call():
+    """The storm's responses equal one hand-built solve_many batch."""
+    solver = Solver(CONFIG)
+    seeds = [3, 14, 15, 9, 26]
+    problems = [PROBLEMS[i % len(PROBLEMS)] for i in range(len(seeds))]
+    batch = Solver(CONFIG).solve_many(problems, seeds=seeds)
+
+    coalescer = RequestCoalescer(max_delay=0.05, max_batch=len(seeds))
+    futures = [
+        coalescer.submit("key", solver, problem, seed)
+        for problem, seed in zip(problems, seeds)
+    ]
+    for future, report in zip(futures, batch):
+        assert _signature(future.result(timeout=60)) == _signature(report)
+
+
+def test_distinct_keys_never_share_a_batch():
+    coalescer = RequestCoalescer(max_delay=0.02, max_batch=64)
+    solver_a, solver_b = Solver(CONFIG), Solver(CONFIG)
+    fa = coalescer.submit("a", solver_a, PROBLEMS[0], 1)
+    fb = coalescer.submit("b", solver_b, PROBLEMS[1], 2)
+    assert _signature(fa.result(timeout=60)) == _reference(0, 1)
+    assert _signature(fb.result(timeout=60)) == _reference(1, 2)
+    assert coalescer.stats()["batches"] == 2
+
+
+def test_failing_batch_propagates_to_every_caller():
+    class Boom(Exception):
+        pass
+
+    class FailingSolver:
+        def solve_many(self, problems, seeds=None):
+            raise Boom("bad batch")
+
+    coalescer = RequestCoalescer(max_delay=0.02, max_batch=8)
+    futures = [
+        coalescer.submit("k", FailingSolver(), PROBLEMS[0], i)
+        for i in range(3)
+    ]
+    for future in futures:
+        with pytest.raises(Boom):
+            future.result(timeout=60)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        RequestCoalescer(max_delay=-1)
+    with pytest.raises(ValueError):
+        RequestCoalescer(max_batch=0)

@@ -1,0 +1,150 @@
+"""Job store lifecycle, journaling and crash-recovery semantics."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service import (
+    JobNotFound,
+    JobRecord,
+    JsonlJobStore,
+    MemoryJobStore,
+    ServiceError,
+    open_job_store,
+)
+
+
+def test_memory_store_lifecycle():
+    store = MemoryJobStore()
+    store.create(JobRecord("sweep-000001", kind="sweep"))
+    record = store.get("sweep-000001")
+    assert record.status == "queued"
+    assert record.created_at > 0
+    updated = store.update("sweep-000001", status="running")
+    assert updated.status == "running"
+    assert store.get("sweep-000001").status == "running"
+    assert updated.updated_at >= updated.created_at
+
+
+def test_memory_store_unknown_and_duplicate():
+    store = MemoryJobStore()
+    with pytest.raises(JobNotFound):
+        store.get("nope")
+    store.create(JobRecord("a-1", kind="solve"))
+    with pytest.raises(ServiceError):
+        store.create(JobRecord("a-1", kind="solve"))
+
+
+def test_record_rejects_unknown_status():
+    with pytest.raises(ServiceError):
+        JobRecord("x", kind="solve", status="sideways")
+
+
+def test_status_dict_hides_result():
+    record = JobRecord("x", kind="solve", status="done", result={"big": 1})
+    assert "result" not in record.status_dict()
+    assert record.to_dict()["result"] == {"big": 1}
+
+
+def test_list_jobs_ordered_by_creation():
+    store = MemoryJobStore()
+    for i in range(5):
+        store.create(JobRecord(f"job-{i}", kind="solve"))
+    assert [r.job_id for r in store.list_jobs()] == [
+        f"job-{i}" for i in range(5)
+    ]
+
+
+def test_jsonl_store_journals_every_transition(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    store = JsonlJobStore(path)
+    store.create(JobRecord("sweep-000001", kind="sweep"))
+    store.update("sweep-000001", status="running")
+    store.update("sweep-000001", status="done", result={"ok": True})
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [l["status"] for l in lines] == ["queued", "running", "done"]
+
+
+def test_jsonl_store_replays_last_record_wins(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    store = JsonlJobStore(path)
+    store.create(JobRecord("a-1", kind="solve"))
+    store.update("a-1", status="done", result={"value": 3})
+    store.create(JobRecord("a-2", kind="sweep"))
+    store.update("a-2", status="failed", error="boom")
+    del store  # no close: simulate an unclean exit (journal is flushed)
+
+    reloaded = JsonlJobStore(path)
+    assert reloaded.get("a-1").status == "done"
+    assert reloaded.get("a-1").result == {"value": 3}
+    assert reloaded.get("a-2").status == "failed"
+    assert reloaded.get("a-2").error == "boom"
+
+
+def test_jsonl_store_marks_pending_jobs_interrupted_on_load(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    store = JsonlJobStore(path)
+    store.create(JobRecord("a-1", kind="sweep"))
+    store.update("a-1", status="running")
+    store.create(JobRecord("a-2", kind="sweep", status="held"))
+
+    reloaded = JsonlJobStore(path)
+    assert reloaded.get("a-1").status == "interrupted"
+    assert reloaded.get("a-1").is_terminal
+    assert reloaded.get("a-2").status == "interrupted"
+
+
+def test_jsonl_compaction_is_atomic_and_lossless(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    store = JsonlJobStore(path)
+    for i in range(4):
+        store.create(JobRecord(f"job-{i}", kind="solve"))
+        store.update(f"job-{i}", status="done", result={"i": i})
+    assert len(path.read_text().splitlines()) == 8
+    store.compact()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 4  # one line per live job
+    assert not (tmp_path / "jobs.jsonl.tmp").exists()
+    # the journal still appends after compaction
+    store.update("job-0", status="done", result={"i": 100})
+    reloaded = JsonlJobStore(path)
+    assert reloaded.get("job-0").result == {"i": 100}
+    assert len(reloaded.list_jobs()) == 4
+
+
+def test_close_compacts(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    store = JsonlJobStore(path)
+    store.create(JobRecord("a-1", kind="solve"))
+    store.update("a-1", status="done", result={})
+    store.close()
+    assert len(path.read_text().splitlines()) == 1
+
+
+def test_open_job_store_dispatch(tmp_path):
+    assert isinstance(open_job_store(None), MemoryJobStore)
+    assert isinstance(open_job_store(tmp_path / "j.jsonl"), JsonlJobStore)
+
+
+def test_concurrent_updates_do_not_tear(tmp_path):
+    store = JsonlJobStore(tmp_path / "jobs.jsonl")
+    store.create(JobRecord("a-1", kind="sweep", progress={"done": 0}))
+
+    def bump(i):
+        store.update("a-1", progress={"done": i})
+
+    threads = [
+        threading.Thread(target=bump, args=(i,)) for i in range(32)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # every journal line is valid JSON (no interleaved writes)
+    lines = (tmp_path / "jobs.jsonl").read_text().splitlines()
+    assert len(lines) == 33
+    for line in lines:
+        json.loads(line)
