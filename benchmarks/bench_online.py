@@ -1,0 +1,133 @@
+"""Online re-scheduling subsystem: incremental re-solve vs from-scratch.
+
+PR 9 keeps a solved steady-state program *current* while the platform
+drifts: every :class:`~repro.dynamic.events.PlatformEvent` is classified
+(RHS-only / bound-only / structural), applied in place to a live
+:class:`~repro.lp.session.LPSession`, and re-solved from the carried
+basis — with a from-scratch oracle re-solving the identical mutated
+instance cold after every event. This benchmark is the regression gate
+for that subsystem:
+
+* the incremental answer must be **bitwise-identical** to the oracle's
+  at every event, across **every registered event-trace family** (the
+  gate enumerates the scenario registry, so a newly registered family
+  is gated automatically);
+* on the drift family — the RHS fast path's home turf — the warm path
+  must spend at least **40% fewer simplex iterations** than the
+  from-scratch oracle;
+* replaying the same scenario/trace pair from a fresh solver must
+  reproduce the identical report ``state_dict`` (the saved-trace
+  replay contract).
+
+Results land in ``BENCH_online.json`` (repo root) so the perf
+trajectory is machine-trackable from this PR on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import DynamicOptions, Solver, SolverConfig, scenario_registry
+
+from benchmarks.conftest import banner, full_scale
+
+#: minimum drift-family iteration reduction the warm path must deliver
+MIN_DRIFT_REDUCTION = 0.40
+DRIFT_FAMILY = "drift-heavy"
+SCENARIO = "table1-small"
+
+_OUT = Path(__file__).resolve().parents[1] / "BENCH_online.json"
+
+
+def _run(family: str, seed: int):
+    config = SolverConfig(dynamic=DynamicOptions(replay=False))
+    return Solver(config).run_online(SCENARIO, family, rng=seed)
+
+
+def _sweep(families, seeds) -> dict:
+    out = {"scenario": SCENARIO, "seeds": list(seeds), "families": {}}
+    for family in families:
+        row = {
+            "warm_iterations": 0,
+            "oracle_iterations": 0,
+            "n_events": 0,
+            "oracle_match_runs": 0,
+            "runs": 0,
+            "by_classification": {},
+            "mean_reoptimize_seconds": 0.0,
+            "replay_exact": True,
+        }
+        for seed in seeds:
+            report = _run(family, seed)
+            summary = report.summary()
+            assert summary["all_oracle_match"] is True, (
+                f"bitwise oracle mismatch: family={family} seed={seed}"
+            )
+            row["runs"] += 1
+            row["oracle_match_runs"] += 1
+            row["warm_iterations"] += summary["warm_iterations"]
+            row["oracle_iterations"] += summary["oracle_iterations"]
+            row["n_events"] += summary["n_events"]
+            row["mean_reoptimize_seconds"] += summary["mean_reoptimize_seconds"]
+            for cls, count in summary["by_classification"].items():
+                row["by_classification"][cls] = (
+                    row["by_classification"].get(cls, 0) + count
+                )
+        # The replay contract: a fresh solver on the same names + rng
+        # reproduces the identical fingerprint.
+        row["replay_exact"] = (
+            _run(family, seeds[0]).state_dict()
+            == _run(family, seeds[0]).state_dict()
+        )
+        row["mean_reoptimize_seconds"] /= max(1, row["runs"])
+        row["iteration_reduction"] = 1.0 - (
+            row["warm_iterations"] / row["oracle_iterations"]
+        )
+        out["families"][family] = row
+    return out
+
+
+def test_online_regression(benchmark):
+    families = scenario_registry().names("events")
+    assert DRIFT_FAMILY in families
+    seeds = list(range(6)) if full_scale() else list(range(3))
+    data = benchmark.pedantic(
+        _sweep, args=(families, seeds), rounds=1, iterations=1
+    )
+
+    banner(
+        "PR 9 / online re-scheduling: incremental LP re-solve vs oracle",
+        "Every event mutates the live session in place; the carried basis "
+        "must cut simplex work while staying bitwise-equal to a cold solve.",
+    )
+    print(f"{'family':>14} {'events':>7} {'iters cold':>11} "
+          f"{'iters warm':>11} {'saved':>7} {'ms/event':>9} {'bitwise':>8}")
+    for family, row in data["families"].items():
+        print(f"{family:>14} {row['n_events']:>7} "
+              f"{row['oracle_iterations']:>11} {row['warm_iterations']:>11} "
+              f"{row['iteration_reduction']:>6.0%} "
+              f"{1e3 * row['mean_reoptimize_seconds']:>9.2f} "
+              f"{row['oracle_match_runs']}/{row['runs']:>4}")
+    drift = data["families"][DRIFT_FAMILY]
+    print(f"drift-family iteration reduction "
+          f"{drift['iteration_reduction']:.0%} "
+          f"(gate: >={MIN_DRIFT_REDUCTION:.0%})")
+
+    payload = {
+        "bench": "online",
+        "full_scale": full_scale(),
+        "min_drift_reduction_gate": MIN_DRIFT_REDUCTION,
+        "results": data,
+    }
+    _OUT.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    print(f"wrote {_OUT.name}")
+
+    # Regression gates.
+    for family, row in data["families"].items():
+        assert row["oracle_match_runs"] == row["runs"]
+        assert row["replay_exact"] is True, f"replay drifted: {family}"
+        assert row["warm_iterations"] <= row["oracle_iterations"], family
+    assert drift["iteration_reduction"] >= MIN_DRIFT_REDUCTION, (
+        f"drift reduction {drift['iteration_reduction']:.1%} below gate"
+    )

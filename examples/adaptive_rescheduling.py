@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Adaptability: re-computing the periodic schedule as resources drift.
+"""Adaptability: incremental re-scheduling as resources drift.
 
 The paper's third argument for steady-state scheduling (Section 1):
 "Because the schedule is periodic, it is possible to dynamically record
@@ -10,12 +10,17 @@ resource availability variations, which is the common case on
 non-dedicated Grid platforms."
 
 This example simulates exactly that: cluster speeds and local-link
-capacities follow a random walk (external load on a shared platform);
-an *adaptive* scheduler re-runs LPRG every epoch on the observed
-capacities, while a *static* scheduler keeps the epoch-0 allocation and
-scales it down just enough to stay feasible. The adaptive schedule
-consistently recovers most of the per-epoch LP bound; the static one
-decays as the platform drifts away from its assumptions.
+capacities follow a random walk (external load on a shared platform),
+encoded as a :func:`repro.dynamic.drift_trace` of ``cpu-drift`` /
+``bw-drift`` events. An *adaptive* :class:`repro.dynamic.
+OnlineScheduler` absorbs each event as an in-place RHS edit on a live
+``LPSession`` and re-solves from the carried basis — a handful of
+simplex pivots instead of a from-scratch solve (the scheduler's
+built-in oracle re-solves cold after every event, so the pivot savings
+are measured against a real baseline, and every incremental answer is
+checked bitwise against it). A *static* scheduler keeps the epoch-0
+allocation and scales it down just enough to stay feasible; it decays
+as the platform drifts away from its assumptions.
 
 Run:  python examples/adaptive_rescheduling.py
 """
@@ -23,32 +28,15 @@ Run:  python examples/adaptive_rescheduling.py
 import numpy as np
 
 from repro import (
-    Cluster,
+    DynamicOptions,
     Platform,
     PlatformSpec,
     SteadyStateProblem,
     generate_platform,
-    solve,
 )
 from repro.core.allocation import Allocation
+from repro.dynamic import OnlineScheduler, drift_trace
 from repro.util.tables import TextTable
-
-
-def perturb(platform: Platform, rng: np.random.Generator, drift: float = 0.25) -> Platform:
-    """One epoch of resource drift: speeds and g wander multiplicatively."""
-    clusters = []
-    for c in platform.clusters:
-        factor_s = float(np.exp(rng.normal(0.0, drift)))
-        factor_g = float(np.exp(rng.normal(0.0, drift)))
-        clusters.append(
-            Cluster(c.name, speed=c.speed * factor_s, g=c.g * factor_g, router=c.router)
-        )
-    return Platform(
-        clusters,
-        platform.routers,
-        list(platform.links.values()),
-        routes={pair: platform.route(*pair) for pair in platform.routed_pairs()},
-    )
 
 
 def feasible_scaling(platform: Platform, alloc: Allocation) -> float:
@@ -77,45 +65,56 @@ def feasible_scaling(platform: Platform, alloc: Allocation) -> float:
 
 def main() -> None:
     rng = np.random.default_rng(99)
+    n_clusters = 8
     spec = PlatformSpec(
-        n_clusters=8, connectivity=0.5, heterogeneity=0.5,
+        n_clusters=n_clusters, connectivity=0.5, heterogeneity=0.5,
         mean_g=250.0, mean_bw=40.0, mean_max_connect=10.0,
         speed_heterogeneity=0.5,
     )
     platform = generate_platform(spec, rng=rng)
-    payoffs = rng.uniform(0.8, 1.2, 8)
+    payoffs = rng.uniform(0.8, 1.2, n_clusters)
+    problem = SteadyStateProblem(platform, payoffs, objective="maxmin")
 
-    # Epoch 0: both strategies start from the same LPRG schedule.
-    problem0 = SteadyStateProblem(platform, payoffs, objective="maxmin")
-    static_alloc = solve(problem0, "lprg").allocation
+    # The drifting platform, as a deterministic event timeline.
+    trace = drift_trace(n_clusters, n_events=12, seed=17, magnitude=0.25)
+
+    # The adaptive scheduler re-solves the live LPSession after every
+    # event; replay is off (we only need values here), the oracle stays
+    # on so each warm re-solve is priced against — and bitwise-checked
+    # against — a from-scratch solve.
+    scheduler = OnlineScheduler(
+        problem, options=DynamicOptions(replay=False, check_oracle=True)
+    )
+    static_alloc = scheduler.allocation
 
     table = TextTable(
-        ["epoch", "LP bound", "adaptive LPRG", "static (scaled)",
-         "adaptive %", "static %"],
+        ["event", "LP bound", "adaptive", "static (scaled)",
+         "adaptive %", "static %", "warm pivots", "cold pivots"],
         float_fmt=".1f",
     )
     adaptive_total = static_total = bound_total = 0.0
-    current = platform
-    for epoch in range(8):
-        problem = SteadyStateProblem(current, payoffs, objective="maxmin")
-        bound = solve(problem, "lp").value
-        adaptive = solve(problem, "lprg").value
-        theta = feasible_scaling(current, static_alloc)
+    records = []
+    for i, event in enumerate(trace):
+        record = scheduler.step(event)
+        records.append(record)
+        drifted = scheduler.platform
+        theta = feasible_scaling(drifted, static_alloc)
         scaled = Allocation(static_alloc.alpha * theta, static_alloc.beta.copy())
-        assert problem.check(scaled).ok
-        static_value = problem.objective_value(scaled)
-
+        static_value = SteadyStateProblem(
+            drifted, payoffs, objective="maxmin"
+        ).objective_value(scaled)
+        bound = record.value
         table.add_row(
             [
-                epoch, bound, adaptive, static_value,
-                100.0 * adaptive / bound if bound else 0.0,
+                i, bound, record.alloc_value, static_value,
+                100.0 * record.alloc_value / bound if bound else 0.0,
                 100.0 * static_value / bound if bound else 0.0,
+                record.warm_iterations, record.oracle_iterations,
             ]
         )
-        adaptive_total += adaptive
+        adaptive_total += record.alloc_value
         static_total += static_value
         bound_total += bound
-        current = perturb(current, rng)
 
     print(table.render())
     print()
@@ -125,10 +124,19 @@ def main() -> None:
         f"static {static_total:.0f} "
         f"({100 * static_total / bound_total:.1f}%)"
     )
+    warm = sum(r.warm_iterations for r in records)
+    cold = sum(r.oracle_iterations for r in records)
+    matches = all(r.oracle_match for r in records)
+    print(
+        f"re-solve cost: {warm} warm pivots vs {cold} from-scratch "
+        f"({100.0 * (1.0 - warm / cold):.1f}% fewer); "
+        f"bitwise oracle match: {matches}"
+    )
     print()
-    print("Re-solving each period costs one LP (milliseconds, Figure 7)")
-    print("and keeps the schedule near the bound; a frozen schedule decays")
-    print("as the platform drifts - the paper's adaptability argument.")
+    print("Each event is one or two RHS edits on the live LP; the carried")
+    print("basis absorbs them in a few dual-simplex pivots, so adapting")
+    print("costs far less than the (already cheap) from-scratch solve -")
+    print("the paper's adaptability argument, made incremental.")
 
 
 if __name__ == "__main__":

@@ -62,6 +62,13 @@
 # rows fold client-side bitwise into the serial jobs=1 reference; it
 # refreshes BENCH_service.json.
 #
+# The dynamic step gates the online re-scheduling subsystem
+# (repro/dynamic/): the trace, scheduler and exactness-property suites
+# run explicitly, and the online smoke (bench_online.py) asserts every
+# incremental re-solve is bitwise-identical to the from-scratch oracle
+# across every registered event-trace family, with >= 40% fewer simplex
+# iterations on drift traces; it refreshes BENCH_online.json.
+#
 # Every BENCH_*.json gate is additionally verified to have been
 # (re)emitted by THIS run (require_fresh below): a benchmark that
 # silently skips, deselects, or exits before its assertions can no
@@ -171,6 +178,18 @@ echo
 echo "== benchmark smoke: resident solver service =="
 python -m pytest -x -q -s benchmarks/bench_service.py
 require_fresh BENCH_service.json
+
+echo
+echo "== online re-scheduling: dynamic suites (must not be deselected) =="
+python -m pytest -x -q \
+    tests/test_dynamic_trace.py \
+    tests/test_dynamic_online.py \
+    tests/test_dynamic_property.py
+
+echo
+echo "== benchmark smoke: online incremental re-solve =="
+python -m pytest -x -q -s benchmarks/bench_online.py
+require_fresh BENCH_online.json
 
 echo
 echo "verify.sh: all checks passed"

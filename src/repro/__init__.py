@@ -73,6 +73,13 @@ from repro.api import (
     scenario_info,
     scenario_registry,
 )
+from repro.dynamic import (
+    DisruptionReport,
+    DynamicOptions,
+    EventTrace,
+    OnlineScheduler,
+    PlatformEvent,
+)
 from repro.core import (
     Allocation,
     Application,
@@ -137,6 +144,12 @@ __all__ = [
     "available_scenarios",
     "scenario_info",
     "build_scenario",
+    # dynamic re-scheduling
+    "DynamicOptions",
+    "EventTrace",
+    "PlatformEvent",
+    "OnlineScheduler",
+    "DisruptionReport",
     # core
     "Allocation",
     "Application",

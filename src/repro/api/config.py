@@ -32,6 +32,7 @@ from repro.util.errors import SolverError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.distrib.supervise import SupervisionOptions
+    from repro.dynamic.options import DynamicOptions
 
 #: backends accepted by the session-consuming heuristics (mirrors
 #: :func:`repro.lp.session.resolve_lp_backend`)
@@ -216,6 +217,12 @@ class SolverConfig:
         (re-planning a slow shard's remaining task range into fresh
         manifests mid-campaign). Requires ``shards > 1``. Bitwise
         transparent for the same reason as ``retry``.
+    dynamic:
+        A :class:`~repro.dynamic.options.DynamicOptions` configuring
+        :meth:`repro.api.Solver.run_online` (online re-scheduling over
+        an event trace): simulation replay, oracle checking. ``None``
+        (default) applies the :class:`DynamicOptions` defaults; the
+        knob has no effect on static ``solve``/``sweep`` calls.
     options:
         The per-method typed sub-config; ``None`` means the method's
         defaults. Must be exactly the class of :func:`options_class_for`.
@@ -239,6 +246,7 @@ class SolverConfig:
     shard_dir: "str | None" = None
     retry: "RetryPolicy | None" = None
     supervision: "SupervisionOptions | None" = None
+    dynamic: "DynamicOptions | None" = None
     options: "MethodOptions | None" = None
 
     def __post_init__(self):
@@ -346,6 +354,15 @@ class SolverConfig:
                     "supervisor manages shard-level retry and stealing; "
                     "use retry= for task-level supervision)"
                 )
+        if self.dynamic is not None:
+            # lazy like supervision: static solves never import dynamic
+            from repro.dynamic.options import DynamicOptions
+
+            if not isinstance(self.dynamic, DynamicOptions):
+                raise SolverError(
+                    f"dynamic must be a DynamicOptions or None, "
+                    f"got {self.dynamic!r}"
+                )
         expected = options_class_for(self.method)
         if self.options is None:
             object.__setattr__(self, "options", expected())
@@ -435,6 +452,9 @@ class SolverConfig:
                 None if self.supervision is None
                 else self.supervision.to_dict()
             ),
+            "dynamic": (
+                None if self.dynamic is None else self.dynamic.to_dict()
+            ),
             "options": self.options.to_dict(),
         }
 
@@ -452,6 +472,11 @@ class SolverConfig:
             from repro.distrib.supervise import SupervisionOptions
 
             supervision = SupervisionOptions.from_dict(supervision)
+        dynamic = data.pop("dynamic", None)
+        if isinstance(dynamic, dict):
+            from repro.dynamic.options import DynamicOptions
+
+            dynamic = DynamicOptions.from_dict(dynamic)
         heuristic = get_heuristic(method)
         config_names = {
             f.name for f in fields(cls) if f.name not in ("method", "options")
@@ -469,6 +494,7 @@ class SolverConfig:
             options=opts_cls(**options),
             retry=retry,
             supervision=supervision,
+            dynamic=dynamic,
             **data,
         )
 

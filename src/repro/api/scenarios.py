@@ -15,14 +15,19 @@ True
 >>> build_scenario("das2").n_clusters
 5
 
-Two kinds coexist under one namespace:
+Three kinds coexist under one namespace:
 
 * ``"platform"`` scenarios build a concrete
   :class:`~repro.core.problem.SteadyStateProblem` (preset testbeds,
   synthetic stress topologies, random Table-1 families);
 * ``"sweep"`` scenarios yield the :class:`~repro.experiments.config.
   Scenario` record a Section-6 sweep runs under, resolvable by name in
-  ``Solver.sweep(..., scenario="calibrated")``.
+  ``Solver.sweep(..., scenario="calibrated")``;
+* ``"events"`` scenarios yield the :class:`~repro.dynamic.events.
+  EventTrace` an online re-scheduling run replays, instantiated
+  against a concrete problem's platform (the trace must know the
+  cluster count and backbone-link names), resolvable by name in
+  ``Solver.run_online(..., events="drift-heavy")``.
 """
 
 from __future__ import annotations
@@ -58,10 +63,12 @@ class ScenarioRegistry:
     Platform factories have signature ``factory(rng) -> (Platform,
     payoffs | None)`` (``None`` payoffs mean one payoff-1 application
     per cluster); sweep factories take no arguments and return a
-    :class:`repro.experiments.config.Scenario`.
+    :class:`repro.experiments.config.Scenario`; events factories have
+    signature ``factory(problem, rng) -> EventTrace`` (the trace is
+    shaped by the problem's cluster count and backbone links).
     """
 
-    _KINDS = ("platform", "sweep")
+    _KINDS = ("platform", "sweep", "events")
 
     def __init__(self):
         self._entries: dict[str, tuple[ScenarioInfo, Callable]] = {}
@@ -147,6 +154,22 @@ class ScenarioRegistry:
             )
         return factory()
 
+    def event_trace(self, name: str, problem, rng=None) -> "EventTrace":
+        """Instantiate the named events scenario against ``problem``.
+
+        The factory sees the problem (cluster count, backbone-link
+        names) and an RNG from which it derives the trace seed — so the
+        trace is reproducible from ``rng`` yet still a plain,
+        JSON-serialisable :class:`~repro.dynamic.events.EventTrace`.
+        """
+        info, factory = self._get(name)
+        if info.kind != "events":
+            raise ValueError(
+                f"scenario {info.name!r} is a {info.kind!r} scenario, not an "
+                "events scenario; use build_problem() or sweep_scenario()"
+            )
+        return factory(problem, ensure_rng(rng))
+
 
 # ----------------------------------------------------------------------
 # built-in scenarios
@@ -219,6 +242,36 @@ def _hotspot_factory(rng):
     return Platform(clusters, routers, links), payoffs
 
 
+def _events_factory(family: str) -> Callable:
+    """A builtin event-trace family, shaped by the target problem.
+
+    The factory derives the trace seed from the caller's RNG — one
+    ``integers`` draw — so ``Solver.run_online(..., events=name)`` is
+    reproducible from a single seed while the trace itself stays a
+    plain seeded :class:`~repro.dynamic.events.EventTrace` that can be
+    saved, reloaded and replayed bit-for-bit.
+    """
+
+    def factory(problem, rng):
+        from repro.dynamic.events import (
+            churn_trace,
+            drift_trace,
+            failure_storm_trace,
+        )
+
+        seed = int(rng.integers(2**31 - 1))
+        k = problem.n_clusters
+        if family == "drift-heavy":
+            return drift_trace(k, n_events=12, seed=seed)
+        if family == "failure-storm":
+            return failure_storm_trace(
+                k, tuple(problem.platform.links), n_storms=4, seed=seed
+            )
+        return churn_trace(k, n_cycles=3, seed=seed)
+
+    return factory
+
+
 def _register_builtins(registry: ScenarioRegistry) -> None:
     for preset, blurb in (
         ("grid5000", "Grid'5000-flavoured 9-site national backbone"),
@@ -275,6 +328,31 @@ def _register_builtins(registry: ScenarioRegistry) -> None:
         description="paper-literal sweep (equal speeds and payoffs; "
         "trivially optimal, kept for the triviality demonstration)",
         tags=("section-6",),
+    )
+
+    registry.register(
+        "drift-heavy",
+        _events_factory("drift-heavy"),
+        kind="events",
+        description="12 lognormal CPU/bandwidth drift events (RHS-only "
+        "fast path; the warm-start showcase trace)",
+        tags=("dynamic",),
+    )
+    registry.register(
+        "failure-storm",
+        _events_factory("failure-storm"),
+        kind="events",
+        description="4 sequential link/node failure+recovery storms "
+        "(RHS and bound mutations under heavy degeneracy)",
+        tags=("dynamic",),
+    )
+    registry.register(
+        "churn",
+        _events_factory("churn"),
+        kind="events",
+        description="3 application depart+arrive cycles (structural "
+        "rebuilds through the LP template cache)",
+        tags=("dynamic",),
     )
 
 

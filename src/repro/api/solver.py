@@ -497,6 +497,67 @@ class Solver:
         return [row for rows in per_task for row in rows]
 
     # ------------------------------------------------------------------
+    def run_online(self, scenario, events, rng=None):
+        """Re-schedule a scenario online while an event trace perturbs it.
+
+        The facade entry of the :mod:`repro.dynamic` subsystem:
+
+        * ``scenario`` — a :class:`~repro.core.problem.SteadyStateProblem`
+          or a registered *platform* scenario name (``"das2"``,
+          ``"table1-small"``, ...);
+        * ``events`` — an :class:`~repro.dynamic.events.EventTrace` or a
+          registered *events* scenario name (``"drift-heavy"``,
+          ``"failure-storm"``, ``"churn"``), instantiated against the
+          scenario's platform;
+        * ``rng`` — overrides the config's ``seed``; two stateless
+          spawn children derive the scenario build and the trace
+          generation, so a report is a pure function of
+          ``(scenario, events, config, rng)``.
+
+        The run honors ``config.dynamic`` (:class:`~repro.dynamic.
+        options.DynamicOptions`), ``config.lp_engine`` (must be
+        ``"revised"``) and ``config.warm_start`` (``False`` re-solves
+        cold at every event — same answers, no pivot savings), and
+        shares this solver's LP build cache, so structural churn events
+        rebuilding a previously seen payoff mix hit the template cache.
+        Returns a :class:`~repro.dynamic.online.DisruptionReport`.
+        """
+        from repro.api.scenarios import scenario_registry
+        from repro.dynamic.events import EventTrace
+        from repro.dynamic.online import OnlineScheduler
+
+        build_seed, trace_seed = spawn_seed_sequences(self._rng_for(rng), 2)
+        if isinstance(scenario, str):
+            problem = scenario_registry().build_problem(
+                scenario,
+                objective=self.config.objective or "maxmin",
+                rng=np.random.default_rng(build_seed),
+            )
+        else:
+            problem = self._problem_for(scenario)
+        if isinstance(events, str):
+            trace = scenario_registry().event_trace(
+                events, problem, rng=np.random.default_rng(trace_seed)
+            )
+        elif isinstance(events, EventTrace):
+            trace = events
+        else:
+            raise SolverError(
+                f"events must be an EventTrace or a registered events-"
+                f"scenario name, got {events!r}"
+            )
+        self.state.record_solves(1)
+        self.state.adopt_platform(problem.platform)
+        with use_build_cache(self.state.lp_cache):
+            scheduler = OnlineScheduler(
+                problem,
+                options=self.config.dynamic,
+                engine=self.config.lp_engine,
+                warm_start=self.config.warm_start,
+            )
+            return scheduler.run(trace)
+
+    # ------------------------------------------------------------------
     def solve_scenario(self, name: str, rng=None) -> SolveReport:
         """Build a registered platform scenario by name and solve it.
 

@@ -1,0 +1,45 @@
+"""Online steady-state re-scheduling: dynamic platforms and app churn.
+
+The seventh subsystem (see ``docs/architecture.md``): deterministic
+:class:`EventTrace` timelines (drift, failure/recovery, application
+churn) applied to a live schedule by an :class:`OnlineScheduler` that
+classifies each event as RHS-only / bound-only / structural, re-solves
+incrementally through the warm :class:`repro.lp.session.LPSession`
+path, verifies every answer bitwise against a from-scratch oracle, and
+replays the result through ``schedule``/``simulation`` into a
+:class:`DisruptionReport`.
+"""
+
+from repro.dynamic.events import (
+    EVENT_KINDS,
+    EVENT_TRACE_VERSION,
+    EventTrace,
+    EventTraceError,
+    PlatformEvent,
+    churn_trace,
+    drift_trace,
+    failure_storm_trace,
+)
+from repro.dynamic.online import (
+    CLASSIFICATIONS,
+    DisruptionRecord,
+    DisruptionReport,
+    OnlineScheduler,
+)
+from repro.dynamic.options import DynamicOptions
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_TRACE_VERSION",
+    "CLASSIFICATIONS",
+    "EventTrace",
+    "EventTraceError",
+    "PlatformEvent",
+    "DynamicOptions",
+    "DisruptionRecord",
+    "DisruptionReport",
+    "OnlineScheduler",
+    "churn_trace",
+    "drift_trace",
+    "failure_storm_trace",
+]

@@ -1,0 +1,403 @@
+"""Deterministic platform/application event timelines for online runs.
+
+The paper solves a *static* snapshot of program (7); a real Grid
+drifts while the schedule is live: CPU speeds and local link
+capacities wander, backbone links and whole clusters fail and come
+back, applications arrive and depart. An :class:`EventTrace` is the
+schema-validated, seed-generated description of one such timeline —
+the dynamic twin of :class:`repro.util.faults.FaultPlan`: a trace is a
+pure function of its generator arguments (never of wall-clock time or
+iteration order), travels as JSON, and replays bit-for-bit wherever it
+is loaded.
+
+Event kinds (the ``kind`` discriminator of :class:`PlatformEvent`):
+
+======================  ======================================  ==========
+kind                    meaning                                 target
+======================  ======================================  ==========
+``cpu-drift``           cluster speed ``s_k`` scales by factor  cluster k
+``bw-drift``            local capacity ``g_k`` scales by factor cluster k
+``node-fail``           cluster drops out (speed = g = 0)       cluster k
+``node-recover``        cluster returns at its drifted values   cluster k
+``link-fail``           backbone link goes dark                 link name
+``link-recover``        backbone link returns                   link name
+``app-arrive``          application joins with ``payoff``       cluster k
+``app-depart``          application leaves (payoff -> 0)        cluster k
+======================  ======================================  ==========
+
+How each kind maps onto the LP re-solve machinery — RHS-only edit,
+bound-only pin/release, or structural rebuild — is the
+:class:`repro.dynamic.online.OnlineScheduler`'s business; the trace is
+pure data.
+
+Three generator families mirror the registry names (``drift-heavy``,
+``failure-storm``, ``churn``): :func:`drift_trace`,
+:func:`failure_storm_trace` and :func:`churn_trace`. Each emits a
+timeline that is *consistent by construction* (recoveries always follow
+their failure, departures target live applications), so the scheduler's
+strict apply-time validation never trips on a generated trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.util.errors import ReproError
+from repro.util.faults import _stable_hash
+
+#: schema version of the on-disk trace format
+EVENT_TRACE_VERSION = 1
+
+#: every recognised event kind
+EVENT_KINDS = (
+    "cpu-drift",
+    "bw-drift",
+    "node-fail",
+    "node-recover",
+    "link-fail",
+    "link-recover",
+    "app-arrive",
+    "app-depart",
+)
+
+_DRIFT_KINDS = ("cpu-drift", "bw-drift")
+_CLUSTER_KINDS = (
+    "cpu-drift", "bw-drift", "node-fail", "node-recover",
+    "app-arrive", "app-depart",
+)
+_LINK_KINDS = ("link-fail", "link-recover")
+
+
+class EventTraceError(ReproError):
+    """An event trace is malformed (schema, field, or value errors)."""
+
+
+@dataclass(frozen=True)
+class PlatformEvent:
+    """One timestamped platform/application change.
+
+    ``target`` is a cluster index (int) for cluster-scoped kinds and a
+    backbone-link name (str) for link-scoped kinds. ``factor`` is the
+    multiplicative drift (required, positive, for the two drift kinds;
+    forbidden elsewhere); ``payoff`` is the arriving application's
+    payoff (required, positive, for ``app-arrive``; forbidden
+    elsewhere).
+    """
+
+    time: float
+    kind: str
+    target: "int | str"
+    factor: "float | None" = None
+    payoff: "float | None" = None
+
+    def __post_init__(self):
+        if self.kind not in EVENT_KINDS:
+            raise EventTraceError(
+                f"unknown event kind {self.kind!r}; valid: "
+                f"{', '.join(EVENT_KINDS)}"
+            )
+        if not (np.isfinite(self.time) and self.time >= 0.0):
+            raise EventTraceError(
+                f"event time must be finite and >= 0, got {self.time!r}"
+            )
+        if self.kind in _CLUSTER_KINDS:
+            if not isinstance(self.target, (int, np.integer)) or isinstance(
+                self.target, bool
+            ):
+                raise EventTraceError(
+                    f"{self.kind} target must be a cluster index, got "
+                    f"{self.target!r}"
+                )
+            if int(self.target) < 0:
+                raise EventTraceError(
+                    f"{self.kind} target must be >= 0, got {self.target}"
+                )
+        else:
+            if not isinstance(self.target, str) or not self.target:
+                raise EventTraceError(
+                    f"{self.kind} target must be a backbone link name, got "
+                    f"{self.target!r}"
+                )
+        if self.kind in _DRIFT_KINDS:
+            if self.factor is None or not (
+                np.isfinite(self.factor) and float(self.factor) > 0.0
+            ):
+                raise EventTraceError(
+                    f"{self.kind} needs a positive finite factor, got "
+                    f"{self.factor!r}"
+                )
+        elif self.factor is not None:
+            raise EventTraceError(
+                f"factor only applies to drift events, not {self.kind!r}"
+            )
+        if self.kind == "app-arrive":
+            if self.payoff is None or not (
+                np.isfinite(self.payoff) and float(self.payoff) > 0.0
+            ):
+                raise EventTraceError(
+                    f"app-arrive needs a positive finite payoff, got "
+                    f"{self.payoff!r}"
+                )
+        elif self.payoff is not None:
+            raise EventTraceError(
+                f"payoff only applies to app-arrive events, not {self.kind!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out: dict = {
+            "time": float(self.time),
+            "kind": self.kind,
+            "target": (
+                self.target if isinstance(self.target, str) else int(self.target)
+            ),
+        }
+        if self.factor is not None:
+            out["factor"] = float(self.factor)
+        if self.payoff is not None:
+            out["payoff"] = float(self.payoff)
+        return out
+
+    _FIELDS = ("time", "kind", "target", "factor", "payoff")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlatformEvent":
+        if not isinstance(data, dict):
+            raise EventTraceError(f"event must be an object, got {data!r}")
+        unknown = sorted(set(data) - set(cls._FIELDS))
+        if unknown:
+            raise EventTraceError(
+                f"unknown event field(s): {', '.join(unknown)}"
+            )
+        kwargs = dict(data)
+        if "time" in kwargs:
+            kwargs["time"] = float(kwargs["time"])
+        if kwargs.get("factor") is not None:
+            kwargs["factor"] = float(kwargs["factor"])
+        if kwargs.get("payoff") is not None:
+            kwargs["payoff"] = float(kwargs["payoff"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class EventTrace:
+    """A seeded, schema-versioned, time-ordered event timeline.
+
+    ``seed`` records the generator seed for provenance (a loaded trace
+    replays identically whether or not the generator is re-run);
+    ``events`` must be sorted by non-decreasing time — the order the
+    :class:`~repro.dynamic.online.OnlineScheduler` applies them in.
+    """
+
+    seed: int = 0
+    events: "tuple[PlatformEvent, ...]" = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, PlatformEvent):
+                raise EventTraceError(f"not a PlatformEvent: {event!r}")
+        times = [event.time for event in self.events]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise EventTraceError(
+                "event trace must be sorted by non-decreasing time"
+            )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "kind": "event-trace",
+            "version": EVENT_TRACE_VERSION,
+            "seed": int(self.seed),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EventTrace":
+        if not isinstance(data, dict) or data.get("kind") != "event-trace":
+            raise EventTraceError(
+                "not an event trace (kind="
+                f"{data.get('kind') if isinstance(data, dict) else data!r})"
+            )
+        if data.get("version") != EVENT_TRACE_VERSION:
+            raise EventTraceError(
+                f"unsupported event trace version {data.get('version')!r} "
+                f"(expected {EVENT_TRACE_VERSION})"
+            )
+        unknown = sorted(set(data) - {"kind", "version", "seed", "events"})
+        if unknown:
+            raise EventTraceError(
+                f"unknown event trace field(s): {', '.join(unknown)}"
+            )
+        events = data.get("events", [])
+        if not isinstance(events, (list, tuple)):
+            raise EventTraceError(
+                f"event trace events must be a list, got {events!r}"
+            )
+        return cls(
+            seed=int(data.get("seed", 0)),
+            events=tuple(PlatformEvent.from_dict(e) for e in events),
+        )
+
+    def save(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "EventTrace":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise EventTraceError(f"event trace {path} does not exist") from None
+        except json.JSONDecodeError as exc:
+            raise EventTraceError(
+                f"event trace {path} is not valid JSON: {exc}"
+            )
+        return cls.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# generator families
+# ----------------------------------------------------------------------
+
+def _family_rng(family: str, seed: int) -> np.random.Generator:
+    """The family's deterministic stream: seeded exactly like fault
+    plans — ``SeedSequence(entropy=seed, spawn_key=(hash(family),))`` —
+    so two families at the same seed never share draws."""
+    return np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=int(seed), spawn_key=(_stable_hash(family),)
+        )
+    )
+
+
+def drift_trace(
+    n_clusters: int,
+    n_events: int = 12,
+    seed: int = 0,
+    magnitude: float = 0.3,
+) -> EventTrace:
+    """A drift-dominated timeline: speeds and local capacities wander.
+
+    Each event scales one cluster's ``s_k`` or ``g_k`` by a log-normal
+    factor ``exp(N(0, magnitude))`` clipped to ``[1/4, 4]`` — pure RHS
+    edits, the warm-start fast path's home turf.
+    """
+    if n_clusters < 1:
+        raise EventTraceError(f"n_clusters must be >= 1, got {n_clusters}")
+    if n_events < 0:
+        raise EventTraceError(f"n_events must be >= 0, got {n_events}")
+    rng = _family_rng("drift-heavy", seed)
+    events = []
+    t = 0.0
+    for _ in range(n_events):
+        t += float(rng.uniform(0.5, 1.5))
+        kind = "cpu-drift" if rng.random() < 0.5 else "bw-drift"
+        factor = float(np.clip(np.exp(rng.normal(0.0, magnitude)), 0.25, 4.0))
+        events.append(
+            PlatformEvent(
+                time=t,
+                kind=kind,
+                target=int(rng.integers(n_clusters)),
+                factor=factor,
+            )
+        )
+    return EventTrace(seed=int(seed), events=tuple(events))
+
+
+def failure_storm_trace(
+    n_clusters: int,
+    link_names: "Sequence[str] | Iterable[str]",
+    n_storms: int = 4,
+    seed: int = 0,
+) -> EventTrace:
+    """A failure-storm timeline: things break, then come back.
+
+    Each storm fails one backbone link (bound-only pin of every
+    variable routed through it) or one cluster (RHS zeroing), and
+    recovers it before the next storm starts — sequential by
+    construction, so the scheduler's strict fail/recover pairing always
+    holds.
+    """
+    if n_clusters < 1:
+        raise EventTraceError(f"n_clusters must be >= 1, got {n_clusters}")
+    if n_storms < 0:
+        raise EventTraceError(f"n_storms must be >= 0, got {n_storms}")
+    links = tuple(link_names)
+    rng = _family_rng("failure-storm", seed)
+    events = []
+    t = 0.0
+    for _ in range(n_storms):
+        t += float(rng.uniform(0.5, 1.5))
+        down = float(rng.uniform(0.5, 2.0))
+        if links and rng.random() < 0.7:
+            name = links[int(rng.integers(len(links)))]
+            events.append(PlatformEvent(time=t, kind="link-fail", target=name))
+            events.append(
+                PlatformEvent(time=t + down, kind="link-recover", target=name)
+            )
+        else:
+            k = int(rng.integers(n_clusters))
+            events.append(PlatformEvent(time=t, kind="node-fail", target=k))
+            events.append(
+                PlatformEvent(time=t + down, kind="node-recover", target=k)
+            )
+        t += down
+    return EventTrace(seed=int(seed), events=tuple(events))
+
+
+def churn_trace(
+    n_clusters: int,
+    n_cycles: int = 3,
+    seed: int = 0,
+    payoff_low: float = 0.5,
+    payoff_high: float = 2.0,
+) -> EventTrace:
+    """An application-churn timeline: apps depart and new ones arrive.
+
+    Each cycle departs the application of one cluster and re-arrives a
+    replacement with a fresh payoff drawn from ``[payoff_low,
+    payoff_high]`` — structural events (the maxmin row set changes), so
+    every cycle exercises the :class:`~repro.lp.builder.LPBuildCache`
+    rebuild path. Cycles are sequential: each departure targets a live
+    application.
+    """
+    if n_clusters < 1:
+        raise EventTraceError(f"n_clusters must be >= 1, got {n_clusters}")
+    if n_cycles < 0:
+        raise EventTraceError(f"n_cycles must be >= 0, got {n_cycles}")
+    if not 0.0 < payoff_low <= payoff_high:
+        raise EventTraceError(
+            f"need 0 < payoff_low <= payoff_high, got "
+            f"({payoff_low}, {payoff_high})"
+        )
+    rng = _family_rng("churn", seed)
+    events = []
+    t = 0.0
+    for _ in range(n_cycles):
+        t += float(rng.uniform(0.5, 1.5))
+        k = int(rng.integers(n_clusters))
+        gap = float(rng.uniform(0.25, 1.0))
+        payoff = float(rng.uniform(payoff_low, payoff_high))
+        events.append(PlatformEvent(time=t, kind="app-depart", target=k))
+        events.append(
+            PlatformEvent(
+                time=t + gap, kind="app-arrive", target=k, payoff=payoff
+            )
+        )
+        t += gap
+    return EventTrace(seed=int(seed), events=tuple(events))

@@ -16,6 +16,8 @@ Examples
     python -m repro.experiments shard merge campaign/  # assemble tables
     python -m repro.experiments trends --settings 12 \\
         --checkpoint trends.ckpt --resume
+    python -m repro.experiments online --scenario table1-small \\
+        --events drift-heavy --json report.json   # dynamic re-scheduling
     python -m repro.experiments grid          # print Table 1
     python -m repro.experiments --list-methods     # registry metadata
     python -m repro.experiments --list-scenarios   # scenario registry
@@ -470,6 +472,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-request logging"
     )
 
+    po = sub.add_parser(
+        "online",
+        help="online re-scheduling: replay a dynamic event trace "
+        "(drift, failures, churn) against a live schedule with "
+        "incremental LP re-solves",
+    )
+    po.add_argument(
+        "--scenario",
+        default="table1-small",
+        help="registered platform scenario to schedule",
+    )
+    po.add_argument(
+        "--events",
+        default="drift-heavy",
+        help="registered events scenario (drift-heavy, failure-storm, "
+        "churn) or a path to a saved EventTrace *.json",
+    )
+    po.add_argument(
+        "--cold",
+        action="store_true",
+        help="re-solve from scratch at every event (identical answers; "
+        "the no-warm-start baseline)",
+    )
+    po.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip the simulator replay after each event (LP metrics only)",
+    )
+    po.add_argument(
+        "--no-oracle",
+        action="store_true",
+        help="skip the from-scratch oracle solve after each event",
+    )
+    po.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the full DisruptionReport as JSON to PATH",
+    )
+    po.add_argument("--seed", type=int, default=7, help="RNG seed")
+
     sub.add_parser("grid", help="print the Table-1 parameter grid")
     return parser
 
@@ -596,6 +639,42 @@ def main(argv: "list[str] | None" = None) -> int:
             f"\nLPR failure stats: mean ratio {stats['mean_ratio']:.3f}, "
             f"zero fraction {stats['zero_fraction']:.3f}"
         )
+    elif args.command == "online":
+        import json as _json
+        from pathlib import Path
+
+        from repro.api import Solver, SolverConfig
+        from repro.dynamic import DynamicOptions, EventTrace
+
+        options = DynamicOptions(
+            replay=not args.no_replay, check_oracle=not args.no_oracle
+        )
+        solver = Solver(
+            SolverConfig(warm_start=not args.cold, dynamic=options)
+        )
+        events = args.events
+        if events.endswith(".json"):
+            events = EventTrace.load(events)
+        report = solver.run_online(args.scenario, events, rng=args.seed)
+        s = report.summary()
+        print(f"online re-scheduling: {args.scenario} x {args.events}")
+        print(f"  events applied      {s['n_events']}  {s['by_classification']}")
+        print(f"  warm iterations     {s['warm_iterations']}")
+        if s["oracle_iterations"] is not None:
+            print(f"  oracle iterations   {s['oracle_iterations']}")
+            print(f"  iteration reduction {s['iteration_reduction']:.1%}")
+            match = "all bitwise" if s["all_oracle_match"] else "MISMATCH"
+            print(f"  oracle match        {match}")
+        print(
+            f"  mean re-optimize    {s['mean_reoptimize_seconds'] * 1e3:.2f} ms"
+        )
+        print(f"  mean churn          {s['mean_churn']:.3f}")
+        print(f"  mean deficit        {s['mean_throughput_deficit']:.3f}")
+        print(f"  value {s['initial_value']:.4f} -> {s['final_value']:.4f}")
+        if args.json:
+            Path(args.json).write_text(
+                _json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+            )
     elif args.command == "grid":
         print("Table 1 parameter grid:")
         for name, values in PAPER_GRID.items():

@@ -78,19 +78,26 @@ _AUTO = object()
 _PHI = 0.6180339887498949
 
 
-def _canon_weights(ub: np.ndarray, orig_cols: np.ndarray) -> np.ndarray:
+def _canon_weights(
+    ub: np.ndarray, orig_cols: np.ndarray, all_columns: bool = False
+) -> np.ndarray:
     """Secondary-objective weights for the revised engine's vertex
     canonicalization (:func:`repro.lp.revised._canonicalize`).
 
     Keyed by *original* column index so the full cold program and every
     presolve-reduced program canonicalize their shared optimal face to
     the same point — that is what makes warm and cold session solves
-    report identical solutions on degenerate LPs. Columns with infinite
-    upper bound get weight zero (an optimal face can be unbounded along
-    them, and the heuristics' rounding decisions only consume the
-    finite-bounded betas anyway).
+    report identical solutions on degenerate LPs. By default columns
+    with infinite upper bound get weight zero (an optimal face can be
+    unbounded along them, and the heuristics' rounding decisions only
+    consume the finite-bounded betas anyway); ``all_columns`` weights
+    every structural column — only sound when the caller knows the
+    optimal face is bounded along all of them, as program-(7) faces are
+    (the compute rows cap the alphas, the maxmin rows cap ``t``).
     """
-    w = np.where(np.isfinite(ub), 1.0 + (orig_cols * _PHI) % 1.0, 0.0)
+    w = 1.0 + (orig_cols * _PHI) % 1.0
+    if not all_columns:
+        w = np.where(np.isfinite(ub), w, 0.0)
     return w
 
 #: the simplex engines an :class:`LPSession` can run on
@@ -240,6 +247,16 @@ class LPSession:
         back. Off by default because a seeded basis makes results
         depend on batch history (degenerate LPs admit multiple optimal
         vertices); a no-op outside an active cache.
+    canon:
+        Which structural columns the vertex-canonicalization pass
+        weights. ``"betas"`` (default) weights only finite-bounded
+        columns — always safe. ``"all"`` also weights infinite-ub
+        columns (alphas, ``t``) so degenerate faces with free alpha
+        directions — e.g. a failed node leaving surplus capacity
+        elsewhere — still canonicalize to a unique vertex; only sound
+        when every optimal face is bounded along every column, which
+        holds for program (7). The online re-scheduler's warm/oracle
+        bitwise contract relies on it.
     """
 
     def __init__(
@@ -250,12 +267,18 @@ class LPSession:
         dense_A: "np.ndarray | None" = None,
         engine: str = "revised",
         share_bases: bool = False,
+        canon: str = "betas",
     ):
         _check_engine(engine)
+        if canon not in ("betas", "all"):
+            raise ValueError(
+                f'canon must be "betas" or "all", got {canon!r}'
+            )
         self.instance = instance
         self.warm_start = bool(warm_start)
         self.max_iter = int(max_iter)
         self.engine = engine
+        self.canon = canon
         self.stats = SessionStats()
         from repro.lp.builder import active_build_cache
 
@@ -266,6 +289,10 @@ class LPSession:
             else:
                 dense_A = np.asarray(instance.A_ub.toarray(), dtype=float)
         self._A = dense_A
+        #: original bounds of currently pinned variables, snapshotted at
+        #: *first* fix time so fail -> fail -> recover sequences restore
+        #: the true pre-pin box (first-pin-wins)
+        self._pinned_bounds: dict[int, tuple[float, float]] = {}
         self._basis: "Basis | None" = None
         #: live LU factorization of the last optimal basis (revised
         #: engine): when the next solve carries the same basis, its
@@ -282,9 +309,73 @@ class LPSession:
         return self._basis
 
     def fix_variable(self, var: int, value: float) -> None:
-        """Pin ``x[var] = value`` for all subsequent solves."""
+        """Pin ``x[var] = value`` for all subsequent solves.
+
+        The variable's current ``(lb, ub)`` box is snapshotted on the
+        *first* pin so :meth:`release_variable` can restore it; re-pinning
+        an already-pinned variable moves the pin but keeps the original
+        snapshot (first-pin-wins).
+        """
+        var = int(var)
         inst = self.instance
+        self._pinned_bounds.setdefault(
+            var, (float(inst.lb[var]), float(inst.ub[var]))
+        )
         inst.lb[var] = inst.ub[var] = float(value)
+        inst.invalidate_bounds()
+
+    def release_variable(self, var: int) -> None:
+        """Undo :meth:`fix_variable`: restore the pre-pin ``(lb, ub)`` box.
+
+        Raises ``ValueError`` if ``var`` is not currently pinned by this
+        session — releasing twice (or releasing a variable fixed by raw
+        array writes) is a bookkeeping bug worth surfacing, not a no-op.
+        """
+        var = int(var)
+        try:
+            lo, hi = self._pinned_bounds.pop(var)
+        except KeyError:
+            raise ValueError(
+                f"variable {var} was not pinned via fix_variable; "
+                "nothing to release"
+            ) from None
+        inst = self.instance
+        inst.lb[var] = lo
+        inst.ub[var] = hi
+        inst.invalidate_bounds()
+
+    @property
+    def pinned_variables(self) -> tuple:
+        """Indices currently pinned via :meth:`fix_variable` (sorted)."""
+        return tuple(sorted(self._pinned_bounds))
+
+    # ------------------------------------------------------------------
+    def set_rhs(self, rows, values) -> None:
+        """Sparse in-place RHS update: ``b_ub[rows] = values``.
+
+        The incremental-mutation primitive for online re-scheduling —
+        a drift event touches one or two rows, so rewriting the whole
+        ``b_ub`` array (the ``solve(b_ub=...)`` path) both obscures the
+        edit and costs O(m) per event. ``values`` broadcasts.
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=int))
+        self.instance.b_ub[rows] = values
+
+    def set_bounds(self, cols, lb=None, ub=None) -> None:
+        """Sparse in-place bound update on a handful of variables.
+
+        Writes ``lb[cols]``/``ub[cols]`` (either may be omitted) and
+        invalidates the instance's cached bounds list. ``lb``/``ub``
+        broadcast across ``cols``.
+        """
+        if lb is None and ub is None:
+            return
+        cols = np.atleast_1d(np.asarray(cols, dtype=int))
+        inst = self.instance
+        if lb is not None:
+            inst.lb[cols] = lb
+        if ub is not None:
+            inst.ub[cols] = ub
         inst.invalidate_bounds()
 
     # ------------------------------------------------------------------
@@ -350,7 +441,9 @@ class LPSession:
                 inst.b_ub,
                 (inst.lb, inst.ub),
                 max_iter=self.max_iter,
-                canon_weights=_canon_weights(inst.ub, np.arange(n)),
+                canon_weights=_canon_weights(
+                    inst.ub, np.arange(n), self.canon == "all"
+                ),
             )
             self.stats.dual_steps += res.dual_steps
         else:
@@ -410,7 +503,9 @@ class LPSession:
             initial_basis=init,
             initial_at_upper=init_up,
             initial_lu=self._lu if init is not None else None,
-            canon_weights=_canon_weights(inst.ub, np.arange(n)),
+            canon_weights=_canon_weights(
+                inst.ub, np.arange(n), self.canon == "all"
+            ),
         )
         self.stats.iterations += res.iterations
         self.stats.dual_steps += res.dual_steps

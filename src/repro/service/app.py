@@ -304,6 +304,40 @@ class SolverService:
         self.executor.submit(self._run_sweep_job, job_id)
         return record.to_dict()
 
+    def restart_job(self, job_id: str) -> dict:
+        """Resubmit a terminal job (``POST /jobs/{id}/restart``).
+
+        Jobs found ``running``/``queued`` when a journal is replayed are
+        marked ``interrupted`` — the in-flight work died with the old
+        process and cannot be resumed mid-stream. Restart is the
+        explicit recovery path: the journaled ``request`` that created
+        the job is resubmitted *as a new job* (fresh id, fresh
+        lifecycle), and the old record stays in the history untouched.
+        Non-terminal jobs 409 — they are still owned by a live worker;
+        so do jobs whose journal predates request echoing (nothing to
+        resubmit from).
+        """
+        self._check_open()
+        record = self.jobs.get(job_id)
+        if not record.is_terminal:
+            raise ServiceError(
+                f"job {job_id} is {record.status!r}; only terminal jobs "
+                "(done/failed/cancelled/interrupted) can be restarted",
+                status=409,
+            )
+        if not record.request:
+            raise ServiceError(
+                f"job {job_id} has no journaled request to resubmit",
+                status=409,
+            )
+        if record.kind == "sweep":
+            payload = self.submit_sweep(record.request)
+        else:
+            _, payload = self.submit_solve({**record.request, "async": True})
+        payload = dict(payload)
+        payload["restarted_from"] = job_id
+        return payload
+
     def _run_sweep_job(self, job_id: str) -> None:
         with self._id_lock:
             spec = self._specs.pop(job_id, None)

@@ -18,6 +18,7 @@ GET     /jobs                      all job status records
 GET     /jobs/{job_id}/status      one job's status record
 GET     /jobs/{job_id}/result      terminal result (409 until done)
 POST    /jobs/{job_id}/start       release a held job
+POST    /jobs/{job_id}/restart     resubmit a terminal job as a new job
 GET     /jobs/{job_id}/stream      SSE (default) or ``?format=ndjson``
 ======  =========================  ==========================================
 """
@@ -71,6 +72,9 @@ def build_router(service: "SolverService") -> Router:
     def job_start(request: Request, job_id: str) -> Response:
         return Response.json({"job": service.start_job(job_id)})
 
+    def job_restart(request: Request, job_id: str) -> Response:
+        return Response.json({"job": service.restart_job(job_id)}, status=202)
+
     def job_stream(request: Request, job_id: str) -> Response:
         wire = request.query.get("format", "sse")
         if wire not in ("sse", "ndjson"):
@@ -113,6 +117,7 @@ def build_router(service: "SolverService") -> Router:
     router.add("GET", "/jobs/{job_id}/status", job_status)
     router.add("GET", "/jobs/{job_id}/result", job_result)
     router.add("POST", "/jobs/{job_id}/start", job_start)
+    router.add("POST", "/jobs/{job_id}/restart", job_restart)
     router.add("GET", "/jobs/{job_id}/stream", job_stream)
     return router
 

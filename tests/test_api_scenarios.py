@@ -30,9 +30,14 @@ class TestBuiltins:
     def test_kind_filter(self):
         platform_names = available_scenarios("platform")
         sweep_names = available_scenarios("sweep")
+        events_names = available_scenarios("events")
         assert "das2" in platform_names and "das2" not in sweep_names
         assert "calibrated" in sweep_names and "calibrated" not in platform_names
-        assert set(platform_names) | set(sweep_names) == set(available_scenarios())
+        assert "drift-heavy" in events_names
+        assert "drift-heavy" not in platform_names
+        assert set(platform_names) | set(sweep_names) | set(
+            events_names
+        ) == set(available_scenarios())
 
     def test_info(self):
         info = scenario_info("hotspot")

@@ -1,7 +1,8 @@
 """Public-API surface snapshot.
 
 ``tests/data/api_surface.json`` is the checked-in manifest of what
-``repro``, ``repro.api`` and ``repro.distrib`` export. Any addition,
+``repro`` and its pinned subpackages (``repro.api``, ``repro.distrib``,
+``repro.dynamic``, ``repro.service``) export. Any addition,
 rename or removal fails here first, forcing the change to be
 deliberate: update the manifest in the same commit (and mention the
 surface change in CHANGES.md). ``scripts/verify.sh`` runs this file as
@@ -15,7 +16,9 @@ import pytest
 
 MANIFEST = Path(__file__).resolve().parent / "data" / "api_surface.json"
 
-PINNED_MODULES = ["repro", "repro.api", "repro.distrib", "repro.service"]
+PINNED_MODULES = [
+    "repro", "repro.api", "repro.distrib", "repro.dynamic", "repro.service",
+]
 
 
 def load_manifest() -> dict:

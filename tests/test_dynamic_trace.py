@@ -1,0 +1,180 @@
+"""Event-trace layer: schema validation, JSON round-trips, seeded
+generator determinism.
+
+The trace file format is a contract (``EVENT_TRACE_VERSION``): anything
+a generator can emit must survive ``to_dict -> json -> from_dict``
+unchanged, and anything malformed must fail loudly with an
+:class:`EventTraceError` naming the offending field.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dynamic import (
+    EVENT_KINDS,
+    EVENT_TRACE_VERSION,
+    EventTrace,
+    EventTraceError,
+    PlatformEvent,
+    churn_trace,
+    drift_trace,
+    failure_storm_trace,
+)
+
+LINKS = ("bb0", "bb1", "bb2")
+
+
+def _families(seed: int):
+    return {
+        "drift": drift_trace(5, n_events=10, seed=seed),
+        "storm": failure_storm_trace(5, LINKS, n_storms=4, seed=seed),
+        "churn": churn_trace(5, n_cycles=3, seed=seed),
+    }
+
+
+class TestPlatformEvent:
+    def test_valid_kinds_are_exactly_the_published_tuple(self):
+        assert set(EVENT_KINDS) == {
+            "cpu-drift", "bw-drift", "node-fail", "node-recover",
+            "link-fail", "link-recover", "app-arrive", "app-depart",
+        }
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EventTraceError, match="unknown event kind"):
+            PlatformEvent(time=0.0, kind="meteor-strike", target=0)
+
+    @pytest.mark.parametrize("time", [-1.0, float("nan"), float("inf")])
+    def test_bad_time_rejected(self, time):
+        with pytest.raises(EventTraceError, match="time"):
+            PlatformEvent(time=time, kind="cpu-drift", target=0, factor=1.1)
+
+    def test_cluster_kinds_need_int_targets(self):
+        with pytest.raises(EventTraceError, match="cluster index"):
+            PlatformEvent(time=0.0, kind="node-fail", target="c3")
+        with pytest.raises(EventTraceError, match="cluster index"):
+            PlatformEvent(time=0.0, kind="cpu-drift", target=True, factor=2.0)
+
+    def test_link_kinds_need_str_targets(self):
+        with pytest.raises(EventTraceError, match="backbone link name"):
+            PlatformEvent(time=0.0, kind="link-fail", target=3)
+
+    def test_drift_needs_positive_factor(self):
+        with pytest.raises(EventTraceError, match="factor"):
+            PlatformEvent(time=0.0, kind="cpu-drift", target=0)
+        with pytest.raises(EventTraceError, match="factor"):
+            PlatformEvent(time=0.0, kind="bw-drift", target=0, factor=-0.5)
+
+    def test_factor_forbidden_off_drift(self):
+        with pytest.raises(EventTraceError, match="factor"):
+            PlatformEvent(time=0.0, kind="node-fail", target=0, factor=2.0)
+
+    def test_arrive_needs_payoff_and_others_forbid_it(self):
+        with pytest.raises(EventTraceError, match="payoff"):
+            PlatformEvent(time=0.0, kind="app-arrive", target=0)
+        with pytest.raises(EventTraceError, match="payoff"):
+            PlatformEvent(time=0.0, kind="app-depart", target=0, payoff=1.0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(EventTraceError, match="unknown event field"):
+            PlatformEvent.from_dict(
+                {"time": 0.0, "kind": "node-fail", "target": 0, "sev": 9}
+            )
+
+
+class TestEventTrace:
+    def test_must_be_time_sorted(self):
+        a = PlatformEvent(time=2.0, kind="node-fail", target=0)
+        b = PlatformEvent(time=1.0, kind="node-recover", target=0)
+        with pytest.raises(EventTraceError, match="sorted"):
+            EventTrace(seed=0, events=(a, b))
+
+    def test_rejects_non_events(self):
+        with pytest.raises(EventTraceError, match="not a PlatformEvent"):
+            EventTrace(seed=0, events=({"kind": "node-fail"},))
+
+    def test_from_dict_rejects_wrong_kind_and_version(self):
+        good = drift_trace(3, n_events=2, seed=0).to_dict()
+        with pytest.raises(EventTraceError, match="not an event trace"):
+            EventTrace.from_dict({**good, "kind": "platform"})
+        with pytest.raises(EventTraceError, match="version"):
+            EventTrace.from_dict({**good, "version": EVENT_TRACE_VERSION + 1})
+        with pytest.raises(EventTraceError, match="unknown event trace field"):
+            EventTrace.from_dict({**good, "comment": "hi"})
+
+    @pytest.mark.parametrize("family", ["drift", "storm", "churn"])
+    def test_json_round_trip_is_identity(self, family):
+        trace = _families(seed=11)[family]
+        wire = json.dumps(trace.to_dict())
+        back = EventTrace.from_dict(json.loads(wire))
+        assert back == trace
+
+    def test_save_load_round_trip(self, tmp_path):
+        trace = failure_storm_trace(4, LINKS, n_storms=3, seed=5)
+        path = trace.save(tmp_path / "trace.json")
+        assert EventTrace.load(path) == trace
+        data = json.loads(path.read_text())
+        assert data["kind"] == "event-trace"
+        assert data["version"] == EVENT_TRACE_VERSION
+        assert data["seed"] == 5
+
+    def test_load_missing_and_malformed(self, tmp_path):
+        with pytest.raises(EventTraceError, match="does not exist"):
+            EventTrace.load(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(EventTraceError, match="not valid JSON"):
+            EventTrace.load(bad)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("family", ["drift", "storm", "churn"])
+    def test_seeded_determinism(self, family):
+        assert _families(3)[family] == _families(3)[family]
+        assert _families(3)[family] != _families(4)[family]
+
+    def test_drift_events_are_pure_rhs_material(self):
+        trace = drift_trace(6, n_events=20, seed=9)
+        assert len(trace) == 20
+        for event in trace:
+            assert event.kind in ("cpu-drift", "bw-drift")
+            assert 0.25 <= event.factor <= 4.0
+            assert 0 <= int(event.target) < 6
+
+    def test_storm_failures_strictly_pair_with_recoveries(self):
+        trace = failure_storm_trace(6, LINKS, n_storms=8, seed=1)
+        down: set = set()
+        for event in trace:
+            if event.kind in ("link-fail", "node-fail"):
+                assert event.target not in down
+                down.add(event.target)
+            else:
+                assert event.target in down
+                down.discard(event.target)
+        assert not down
+
+    def test_churn_departs_before_rearriving(self):
+        trace = churn_trace(5, n_cycles=6, seed=2)
+        live = {k: True for k in range(5)}
+        for event in trace:
+            k = int(event.target)
+            if event.kind == "app-depart":
+                assert live[k]
+                live[k] = False
+            else:
+                assert event.kind == "app-arrive"
+                assert not live[k]
+                assert event.payoff > 0
+                live[k] = True
+
+    def test_generator_argument_validation(self):
+        with pytest.raises(EventTraceError):
+            drift_trace(0)
+        with pytest.raises(EventTraceError):
+            drift_trace(3, n_events=-1)
+        with pytest.raises(EventTraceError):
+            failure_storm_trace(0, LINKS)
+        with pytest.raises(EventTraceError):
+            churn_trace(3, payoff_low=0.0)

@@ -7,6 +7,7 @@ reproduce_figures) are exercised at reduced scale.
 """
 
 import importlib.util
+import re
 import sys
 from pathlib import Path
 
@@ -46,6 +47,15 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "cumulative payoff" in out
         assert "adaptive" in out
+        # The incremental path must genuinely beat from-scratch solves,
+        # and every warm answer must match the cold oracle bitwise.
+        match = re.search(
+            r"re-solve cost: (\d+) warm pivots vs (\d+) from-scratch", out
+        )
+        assert match, out
+        warm, cold = int(match.group(1)), int(match.group(2))
+        assert warm < cold
+        assert "bitwise oracle match: True" in out
 
     def test_service_client(self, capsys):
         _load("service_client").main()

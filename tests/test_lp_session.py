@@ -659,3 +659,91 @@ class TestShareBases:
         assert np.array_equal(r1.allocation.beta, r_plain.allocation.beta)
         assert np.array_equal(r1.allocation.beta, r2.allocation.beta)
         assert r1.value == r2.value == r_plain.value
+
+
+class TestMutationApi:
+    """The sparse in-place mutation surface added for online
+    re-scheduling: pin/release with first-pin-wins snapshots, sparse
+    RHS/bound edits, and the ``canon`` vertex-canonicalization knob."""
+
+    def test_release_restores_the_pre_pin_box(self, problem_factory):
+        problem = problem_factory(seed=3, n_clusters=4)
+        session = LPSession(build_lp(problem))
+        baseline = session.solve()
+        var = session.instance.index.n_alpha  # first beta
+        lo, hi = session.instance.lb[var], session.instance.ub[var]
+        session.fix_variable(var, 0.0)
+        pinned = session.solve()
+        assert pinned.x[var] == 0.0
+        assert session.pinned_variables == (var,)
+        session.release_variable(var)
+        assert session.pinned_variables == ()
+        assert session.instance.lb[var] == lo
+        assert session.instance.ub[var] == hi
+        released = session.solve()
+        assert released.value == pytest.approx(baseline.value, rel=1e-9)
+
+    def test_repinning_keeps_the_first_snapshot(self, problem_factory):
+        problem = problem_factory(seed=3, n_clusters=4)
+        session = LPSession(build_lp(problem))
+        var = session.instance.index.n_alpha
+        lo, hi = session.instance.lb[var], session.instance.ub[var]
+        session.fix_variable(var, 0.0)
+        session.fix_variable(var, 1.0)  # move the pin; snapshot stays
+        assert session.instance.lb[var] == session.instance.ub[var] == 1.0
+        session.release_variable(var)
+        assert session.instance.lb[var] == lo
+        assert session.instance.ub[var] == hi
+
+    def test_release_of_unpinned_variable_raises(self, problem_factory):
+        session = LPSession(build_lp(problem_factory(seed=0, n_clusters=3)))
+        with pytest.raises(ValueError, match="not pinned"):
+            session.release_variable(0)
+        session.fix_variable(0, 0.0)
+        session.release_variable(0)
+        with pytest.raises(ValueError, match="not pinned"):
+            session.release_variable(0)  # double release surfaces too
+
+    def test_set_rhs_matches_cold_solve_of_edited_program(self, problem_factory):
+        problem = problem_factory(seed=1, n_clusters=4)
+        session = LPSession(build_lp(problem))
+        session.solve()
+        session.set_rhs([0, 2], [session.instance.b_ub[0] * 0.5,
+                                 session.instance.b_ub[2] * 0.25])
+        got = session.solve()
+        ref_inst = build_lp(problem)
+        ref_inst.b_ub[0] *= 0.5
+        ref_inst.b_ub[2] *= 0.25
+        ref = solve_lp_scipy(ref_inst)
+        assert got.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+
+    def test_set_bounds_matches_cold_solve_of_edited_program(self, problem_factory):
+        problem = problem_factory(seed=1, n_clusters=4)
+        session = LPSession(build_lp(problem))
+        solution = session.solve()
+        var = int(np.argmax(solution.x))
+        cap = solution.x[var] / 2.0
+        session.set_bounds([var], ub=cap)
+        got = session.solve()
+        assert got.x[var] <= cap + 1e-9
+        ref_inst = build_lp(problem)
+        ref_inst.ub[var] = cap
+        ref = solve_lp_scipy(ref_inst)
+        assert got.value == pytest.approx(ref.value, rel=1e-6, abs=1e-6)
+
+    def test_canon_knob_validated_and_value_preserving(self, problem_factory):
+        problem = problem_factory(seed=5, n_clusters=4)
+        with pytest.raises(ValueError, match="canon"):
+            LPSession(build_lp(problem), canon="bogus")
+        default = LPSession(build_lp(problem)).solve()
+        full = LPSession(build_lp(problem), canon="all").solve()
+        # The secondary objective only picks a vertex on the optimal
+        # face; the primary value is untouched.
+        assert full.value == pytest.approx(default.value, rel=1e-9)
+
+    def test_canon_all_is_deterministic(self, problem_factory):
+        problem = problem_factory(seed=5, n_clusters=4)
+        first = LPSession(build_lp(problem), canon="all").solve()
+        second = LPSession(build_lp(problem), canon="all").solve()
+        assert first.value == second.value
+        assert np.array_equal(first.x, second.x)

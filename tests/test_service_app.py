@@ -315,7 +315,62 @@ def test_job_endpoints_404(client):
     assert client.get("/jobs/nope/status").status == 404
     assert client.get("/jobs/nope/result").status == 404
     assert client.post("/jobs/nope/start").status == 404
+    assert client.post("/jobs/nope/restart").status == 404
     assert client.stream("/jobs/nope/stream").status == 404
+
+
+def test_restart_rejects_non_terminal_jobs(client):
+    job = client.post("/sweep", {**SWEEP_BODY, "hold": True}).json()["job"]
+    response = client.post(f"/jobs/{job['job_id']}/restart")
+    assert response.status == 409  # held: still owned by a live worker
+
+
+def test_restart_terminal_job_resubmits_as_new_job(client):
+    job = client.post("/sweep", SWEEP_BODY).json()["job"]
+    _drain_stream(client, job["job_id"])
+    response = client.post(f"/jobs/{job['job_id']}/restart")
+    assert response.status == 202
+    new = response.json()["job"]
+    assert new["job_id"] != job["job_id"]
+    assert new["restarted_from"] == job["job_id"]
+    events = _drain_stream(client, new["job_id"])
+    assert events[-1][0] == "done"
+    # Same journaled request, same seed: runtime-free tables are bitwise.
+    first = client.get(f"/jobs/{job['job_id']}/result").json()["result"]
+    second = client.get(f"/jobs/{new['job_id']}/result").json()["result"]
+    assert _tables_sans_runtime(first["tables"]) == _tables_sans_runtime(
+        second["tables"]
+    )
+
+
+def test_restart_recovers_interrupted_job_after_journal_replay(tmp_path):
+    from repro.service.jobstore import JobRecord
+
+    journal = tmp_path / "jobs.jsonl"
+    # A journal whose last line shows the job mid-flight: the process
+    # died before any terminal transition was appended.
+    record = JobRecord(
+        "sweep-000007", kind="sweep", status="running", request=SWEEP_BODY
+    )
+    journal.write_text(json.dumps(record.to_dict()) + "\n", encoding="utf-8")
+
+    app = create_app(job_store=str(journal), max_workers=2)
+    client = AsgiTestClient(app)
+    try:
+        status = client.get("/jobs/sweep-000007/status").json()
+        assert status["status"] == "interrupted"
+        # Interrupted jobs never resume implicitly...
+        assert client.get("/jobs/sweep-000007/result").status == 409
+        # ...recovery is the explicit restart, from the journaled request.
+        new = client.post("/jobs/sweep-000007/restart").json()["job"]
+        assert new["restarted_from"] == "sweep-000007"
+        assert new["job_id"] != "sweep-000007"
+        events = _drain_stream(client, new["job_id"])
+        assert events[-1][0] == "done"
+        result = client.get(f"/jobs/{new['job_id']}/result").json()["result"]
+        assert "tables" in result
+    finally:
+        app.service.close()
 
 
 def test_failed_sweep_reports_failure(client, tmp_path):
