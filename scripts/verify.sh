@@ -69,6 +69,14 @@
 # across every registered event-trace family, with >= 40% fewer simplex
 # iterations on drift traces; it refreshes BENCH_online.json.
 #
+# The telemetry step gates the observability subsystem (repro/obs/):
+# the trace, metrics, invisibility and service-observability suites run
+# explicitly, and the telemetry smoke (bench_telemetry.py) asserts the
+# disabled no-op path costs < 1% of a warm LPRR solve, fully-enabled
+# tracing+metrics stays within 5% of the disabled chain, and results
+# (solve values, sweep accumulator states) are bitwise-identical with
+# telemetry on, off, or mixed; it refreshes BENCH_telemetry.json.
+#
 # Every BENCH_*.json gate is additionally verified to have been
 # (re)emitted by THIS run (require_fresh below): a benchmark that
 # silently skips, deselects, or exits before its assertions can no
@@ -190,6 +198,21 @@ echo
 echo "== benchmark smoke: online incremental re-solve =="
 python -m pytest -x -q -s benchmarks/bench_online.py
 require_fresh BENCH_online.json
+
+echo
+echo "== observability: telemetry suites (must not be deselected) =="
+python -m pytest -x -q \
+    tests/test_obs_trace.py \
+    tests/test_obs_metrics.py \
+    tests/test_obs_invisibility.py \
+    tests/test_obs_logging_and_timing.py \
+    tests/test_distrib_heartbeat.py \
+    tests/test_service_observability.py
+
+echo
+echo "== benchmark smoke: telemetry overhead =="
+python -m pytest -x -q -s benchmarks/bench_telemetry.py
+require_fresh BENCH_telemetry.json
 
 echo
 echo "verify.sh: all checks passed"

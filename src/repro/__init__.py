@@ -67,6 +67,7 @@ from repro.api import (
     Solver,
     SolverConfig,
     SweepAccumulator,
+    TelemetryOptions,
     available_scenarios,
     build_scenario,
     register_scenario,
@@ -136,6 +137,7 @@ __all__ = [
     "Solver",
     "SolverConfig",
     "SolveReport",
+    "TelemetryOptions",
     # scenario registry
     "ScenarioRegistry",
     "ScenarioInfo",

@@ -31,6 +31,7 @@ from repro.api.config import (
     options_class_for,
 )
 from repro.api.report import SolveReport
+from repro.obs.options import TelemetryOptions
 from repro.api.scenarios import (
     ScenarioInfo,
     ScenarioRegistry,
@@ -55,6 +56,7 @@ __all__ = [
     "BranchAndBoundOptions",
     "options_class_for",
     "config_fingerprint",
+    "TelemetryOptions",
     "RetryPolicy",
     "TaskFailure",
     "QuarantineError",

@@ -33,6 +33,7 @@ from repro.util.errors import SolverError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.distrib.supervise import SupervisionOptions
     from repro.dynamic.options import DynamicOptions
+    from repro.obs.options import TelemetryOptions
 
 #: backends accepted by the session-consuming heuristics (mirrors
 #: :func:`repro.lp.session.resolve_lp_backend`)
@@ -223,6 +224,15 @@ class SolverConfig:
         an event trace): simulation replay, oracle checking. ``None``
         (default) applies the :class:`DynamicOptions` defaults; the
         knob has no effect on static ``solve``/``sweep`` calls.
+    telemetry:
+        A :class:`~repro.obs.options.TelemetryOptions` switching on the
+        solver-owned span tracer (with optional JSONL export) and
+        metrics registry. ``None`` (default) means no telemetry is
+        collected by the solver itself — ambient tracers installed by
+        ``use_tracer`` (the CLI ``trace`` wrapper, the service job
+        tracer) still observe it. Telemetry never changes results: see
+        the determinism-invisibility contract in
+        ``docs/architecture.md``.
     options:
         The per-method typed sub-config; ``None`` means the method's
         defaults. Must be exactly the class of :func:`options_class_for`.
@@ -247,6 +257,7 @@ class SolverConfig:
     retry: "RetryPolicy | None" = None
     supervision: "SupervisionOptions | None" = None
     dynamic: "DynamicOptions | None" = None
+    telemetry: "TelemetryOptions | None" = None
     options: "MethodOptions | None" = None
 
     def __post_init__(self):
@@ -363,6 +374,14 @@ class SolverConfig:
                     f"dynamic must be a DynamicOptions or None, "
                     f"got {self.dynamic!r}"
                 )
+        if self.telemetry is not None:
+            from repro.obs.options import TelemetryOptions
+
+            if not isinstance(self.telemetry, TelemetryOptions):
+                raise SolverError(
+                    f"telemetry must be a TelemetryOptions or None, "
+                    f"got {self.telemetry!r}"
+                )
         expected = options_class_for(self.method)
         if self.options is None:
             object.__setattr__(self, "options", expected())
@@ -455,6 +474,9 @@ class SolverConfig:
             "dynamic": (
                 None if self.dynamic is None else self.dynamic.to_dict()
             ),
+            "telemetry": (
+                None if self.telemetry is None else self.telemetry.to_dict()
+            ),
             "options": self.options.to_dict(),
         }
 
@@ -477,6 +499,11 @@ class SolverConfig:
             from repro.dynamic.options import DynamicOptions
 
             dynamic = DynamicOptions.from_dict(dynamic)
+        telemetry = data.pop("telemetry", None)
+        if isinstance(telemetry, dict):
+            from repro.obs.options import TelemetryOptions
+
+            telemetry = TelemetryOptions.from_dict(telemetry)
         heuristic = get_heuristic(method)
         config_names = {
             f.name for f in fields(cls) if f.name not in ("method", "options")
@@ -495,6 +522,7 @@ class SolverConfig:
             retry=retry,
             supervision=supervision,
             dynamic=dynamic,
+            telemetry=telemetry,
             **data,
         )
 

@@ -27,6 +27,8 @@ suite and by ``benchmarks/bench_api_reuse.py``).
 from __future__ import annotations
 
 import threading
+import time
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -35,6 +37,7 @@ from repro.api.config import SolverConfig
 from repro.api.report import SolveReport
 from repro.heuristics.base import get_heuristic
 from repro.lp.builder import LPBuildCache, use_build_cache
+from repro.obs.trace import current_tracer, use_tracer
 from repro.parallel.engine import CampaignEngine
 from repro.platform.serialization import platform_fingerprint
 from repro.util.errors import SolverError
@@ -136,6 +139,20 @@ class Solver:
         self.config = config if config is not None else SolverConfig()
         self.state = SolverState()
         self._engine: "CampaignEngine | None" = None
+        self.tracer = None
+        self.metrics = None
+        self._trace_sink = None
+        telemetry = self.config.telemetry
+        if telemetry is not None and telemetry.trace:
+            from repro.obs.trace import JsonlTraceSink, Tracer
+
+            self.tracer = Tracer()
+            if telemetry.trace_path is not None:
+                self._trace_sink = JsonlTraceSink(telemetry.trace_path)
+        if telemetry is not None and telemetry.metrics:
+            from repro.obs.metrics import MetricsRegistry
+
+            self.metrics = MetricsRegistry()
 
     @classmethod
     def for_method(cls, method: str = "lprg", **kwargs) -> "Solver":
@@ -172,6 +189,49 @@ class Solver:
     def _rng_for(self, rng):
         return rng if rng is not None else self.config.seed
 
+    @contextmanager
+    def _observed(self, name: str, **attrs):
+        """Open a top-level telemetry span around one facade operation.
+
+        Installs the solver-owned tracer when ``config.telemetry`` asks
+        for one (outer-wins: an ambient tracer from the CLI ``trace``
+        wrapper or a service job keeps collecting instead), yields the
+        open span (the shared null span when tracing is off everywhere),
+        and on exit flushes finished trees to the configured JSONL sink
+        and folds the operation into the solver metrics registry.
+        Telemetry state never feeds back into the solve itself.
+        """
+        start = time.perf_counter() if self.metrics is not None else 0.0
+        if self.tracer is not None:
+            installer = use_tracer(self.tracer)
+        else:
+            installer = None
+        try:
+            if installer is not None:
+                installer.__enter__()
+            tracer = current_tracer()
+            with tracer.span(name, **attrs) as span:
+                yield span
+        finally:
+            if installer is not None:
+                installer.__exit__(None, None, None)
+                if self._trace_sink is not None:
+                    self._trace_sink.write(self.tracer)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_solver_operations_total",
+                    help="Facade operations by kind.",
+                    labels={"op": name},
+                ).inc()
+                self.metrics.histogram(
+                    "repro_solver_operation_seconds",
+                    help="Facade operation latency.",
+                    labels={"op": name},
+                    lo=0.0,
+                    hi=60.0,
+                    n_bins=64,
+                ).observe(time.perf_counter() - start)
+
     # ------------------------------------------------------------------
     def solve(self, problem: "SteadyStateProblem", rng=None) -> SolveReport:
         """Solve one problem under this solver's configuration.
@@ -185,13 +245,23 @@ class Solver:
         problem = self._problem_for(problem)
         self.state.record_solves(1)
         self.state.adopt_platform(problem.platform)
-        with use_build_cache(self.state.lp_cache):
-            result = heuristic.run(
-                problem, rng=self._rng_for(rng), **config.method_kwargs()
-            )
-            # Defensive: every public entry point re-validates.
-            if result.allocation is not None:
-                problem.check(result.allocation).raise_if_invalid()
+        with self._observed(
+            "solve", method=config.method, objective=problem.objective.name
+        ) as span:
+            with use_build_cache(self.state.lp_cache):
+                result = heuristic.run(
+                    problem, rng=self._rng_for(rng), **config.method_kwargs()
+                )
+                # Defensive: every public entry point re-validates.
+                if result.allocation is not None:
+                    problem.check(result.allocation).raise_if_invalid()
+            lp_stats = result.meta.get("lp_stats")
+            if lp_stats is not None:
+                span.set(
+                    iterations=lp_stats.get("iterations"),
+                    n_warm=lp_stats.get("n_warm"),
+                    n_cold=lp_stats.get("n_cold"),
+                )
         return SolveReport.from_result(
             result, config=config, cache_stats=self.state.stats()
         )
@@ -256,8 +326,9 @@ class Solver:
         self.state.record_solves(len(problems))
         for p in problems:
             self.state.adopt_platform(p.platform)
-        with use_build_cache(self.state.lp_cache):
-            results = self.engine.run(tasks)
+        with self._observed("solve_many", n_problems=len(problems)):
+            with use_build_cache(self.state.lp_cache):
+                results = self.engine.run(tasks)
         # Each task ran through a throwaway per-call Solver (inline ones
         # fed this solver's cache via the outer-wins context; pooled
         # ones ran in their worker process), so re-stamp the reports
@@ -323,8 +394,6 @@ class Solver:
         callback observes exactly the rows (and order) of the serial
         reference fold.
         """
-        import time
-
         from repro.api.scenarios import scenario_registry
         from repro.experiments.config import DEFAULT_SCENARIO
         from repro.experiments.persistence import row_from_dict, row_to_dict
@@ -478,14 +547,20 @@ class Solver:
             retry_policy=config.retry,
         )
         try:
-            with use_build_cache(self.state.lp_cache):
-                per_task = engine.run(
-                    tasks,
-                    task_ids=task_ids,
-                    checkpoint=store,
-                    progress=reporter,
-                    consumer=fold,
-                )
+            with self._observed(
+                "campaign",
+                n_tasks=len(tasks),
+                jobs=config.jobs,
+                stream=bool(config.stream),
+            ):
+                with use_build_cache(self.state.lp_cache):
+                    per_task = engine.run(
+                        tasks,
+                        task_ids=task_ids,
+                        checkpoint=store,
+                        progress=reporter,
+                        consumer=fold,
+                    )
             if fold is not None:
                 # Final snapshot must land before the checkpoint closes.
                 return fold.finalize()
@@ -548,14 +623,15 @@ class Solver:
             )
         self.state.record_solves(1)
         self.state.adopt_platform(problem.platform)
-        with use_build_cache(self.state.lp_cache):
-            scheduler = OnlineScheduler(
-                problem,
-                options=self.config.dynamic,
-                engine=self.config.lp_engine,
-                warm_start=self.config.warm_start,
-            )
-            return scheduler.run(trace)
+        with self._observed("online", n_events=len(trace)):
+            with use_build_cache(self.state.lp_cache):
+                scheduler = OnlineScheduler(
+                    problem,
+                    options=self.config.dynamic,
+                    engine=self.config.lp_engine,
+                    warm_start=self.config.warm_start,
+                )
+                return scheduler.run(trace)
 
     # ------------------------------------------------------------------
     def solve_scenario(self, name: str, rng=None) -> SolveReport:

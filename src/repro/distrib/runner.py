@@ -52,16 +52,31 @@ from repro.util.faults import (
 )
 
 
-def write_heartbeat(path: "str | Path", tasks_done: int, n_tasks: int) -> None:
-    """Atomically refresh a shard's liveness/progress sidecar."""
+def write_heartbeat(
+    path: "str | Path",
+    tasks_done: int,
+    n_tasks: int,
+    metrics: "dict | None" = None,
+) -> None:
+    """Atomically refresh a shard's liveness/progress sidecar.
+
+    ``metrics`` (optional) is a
+    :meth:`repro.obs.metrics.MetricsRegistry.state_dict` snapshot — a
+    live view of the shard's counters and latency histograms that the
+    supervisor (and ``shard status --metrics``) can merge exactly across
+    shards.
+    """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps({
+    payload = {
         "tasks_done": int(tasks_done),
         "n_tasks": int(n_tasks),
         "time": time.time(),
         "pid": os.getpid(),
-    }))
+    }
+    if metrics is not None:
+        payload["metrics"] = metrics
+    tmp.write_text(json.dumps(payload))
     os.replace(tmp, path)
 
 
@@ -158,8 +173,33 @@ def run_shard(
     stalled: set[int] = set()
     heartbeat_path = manifest.heartbeat_path
 
+    # Live shard metrics, snapshotted into every heartbeat so the
+    # supervisor and `shard status --metrics` can merge them exactly
+    # across shards (observability only — never part of result state).
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    folded_counter = registry.counter(
+        "repro_shard_tasks_folded_total",
+        help="Tasks folded into the shard accumulator.",
+    )
+    task_seconds = registry.histogram(
+        "repro_shard_task_seconds",
+        help="Wall time between successive folded tasks.",
+        lo=0.0,
+        hi=30.0,
+        n_bins=64,
+    )
+    last_tick = [time.perf_counter()]
+
     def on_progress(tasks_done: int, n_tasks: int) -> None:
-        write_heartbeat(heartbeat_path, tasks_done, n_tasks)
+        now = time.perf_counter()
+        folded_counter.inc()
+        task_seconds.observe(now - last_tick[0])
+        last_tick[0] = now
+        write_heartbeat(
+            heartbeat_path, tasks_done, n_tasks, metrics=registry.state_dict()
+        )
         for slot, rule in enumerate(shard_faults):
             if tasks_done < rule.after_tasks:
                 continue
@@ -183,7 +223,9 @@ def run_shard(
             fold.restore(store.saved_state)
         else:
             fold.start()
-        write_heartbeat(heartbeat_path, 0, len(tasks))
+        write_heartbeat(
+            heartbeat_path, 0, len(tasks), metrics=registry.state_dict()
+        )
         engine = CampaignEngine(
             run_sweep_task, jobs=1, retry_policy=retry, fault_plan=fault_plan
         )
@@ -195,7 +237,10 @@ def run_shard(
             progress=on_progress,
         )
         aggregate = fold.finalize()  # final snapshot -> the state sidecar
-        write_heartbeat(heartbeat_path, len(tasks), len(tasks))
+        write_heartbeat(
+            heartbeat_path, len(tasks), len(tasks),
+            metrics=registry.state_dict(),
+        )
     finally:
         fold.sink.close()
         store.close()

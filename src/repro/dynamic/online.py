@@ -89,6 +89,8 @@ from repro.lp.builder import (
     use_build_cache,
 )
 from repro.lp.session import Basis, LPSession
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import current_tracer
 from repro.platform.cluster import Cluster
 from repro.platform.topology import Platform
 from repro.util.errors import SolverError
@@ -317,6 +319,10 @@ class OnlineScheduler:
         self._failed_links: set[str] = set()
         self._cache = active_build_cache() or LPBuildCache()
         self._records: list[DisruptionRecord] = []
+        # Observability only: per-event re-optimization latency and churn
+        # series. Never serialised into report state dicts (see the
+        # determinism-invisibility contract in docs/architecture.md).
+        self.metrics = MetricsRegistry()
         self._build_sessions()
         solution = self._extract(self._session, self._solve_incremental())
         self._solution = solution
@@ -682,6 +688,39 @@ class OnlineScheduler:
     # ------------------------------------------------------------------
     def step(self, event: PlatformEvent) -> DisruptionRecord:
         """Apply one event, re-solve incrementally, measure everything."""
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span("event", kind=event.kind, time=event.time) as span:
+                record = self._step(event)
+                span.set(
+                    classification=record.classification,
+                    warm_iterations=record.warm_iterations,
+                    churn=record.churn,
+                )
+        else:
+            record = self._step(event)
+        self.metrics.counter(
+            "repro_online_events_total",
+            help="Events applied, by classification.",
+            labels={"classification": record.classification},
+        ).inc()
+        self.metrics.histogram(
+            "repro_online_reoptimize_seconds",
+            help="Per-event incremental re-optimization latency.",
+            lo=0.0,
+            hi=1.0,
+            n_bins=64,
+        ).observe(record.reoptimize_seconds)
+        self.metrics.histogram(
+            "repro_online_churn",
+            help="Per-event allocation churn (relative L1 drift).",
+            lo=0.0,
+            hi=2.0,
+            n_bins=64,
+        ).observe(record.churn)
+        return record
+
+    def _step(self, event: PlatformEvent) -> DisruptionRecord:
         t0 = time.perf_counter()
         classification = self._apply(event)
         warm_before = self._session.stats.iterations

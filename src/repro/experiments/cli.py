@@ -186,8 +186,24 @@ def _run_shard_command(args) -> int:
         from repro.distrib import campaign_status
 
         status = campaign_status(args.shard_dir)
+        merged = None
+        if args.metrics:
+            from repro.obs.metrics import MetricsRegistry
+
+            # Heartbeat snapshots merge exactly in any order (the
+            # SweepAccumulator contract), so this is the campaign's
+            # true cumulative view, not an approximation.
+            merged = MetricsRegistry()
+            for entry in status:
+                snapshot = (entry.get("heartbeat") or {}).get("metrics")
+                if snapshot:
+                    merged.merge(MetricsRegistry.from_state(snapshot))
         if args.json:
-            print(json.dumps(status, sort_keys=True))
+            if merged is not None:
+                payload = {"shards": status, "metrics": merged.state_dict()}
+            else:
+                payload = status
+            print(json.dumps(payload, sort_keys=True))
             return 0
         for entry in status:
             state = "done" if entry["complete"] else (
@@ -201,6 +217,11 @@ def _run_shard_command(args) -> int:
                 f"{entry['folded']}/{entry['n_tasks']}  heartbeat "
                 f"{beat_txt}  {state}"
             )
+        if merged is not None:
+            from repro.obs.metrics import render_prometheus
+
+            print()
+            print(render_prometheus(merged), end="")
         return 0
     if args.shard_command == "steal":
         from repro.distrib import steal_shard
@@ -388,6 +409,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="machine-readable: one JSON array instead of the table",
     )
+    pst.add_argument(
+        "--metrics",
+        action="store_true",
+        help="merge the live metric snapshots from every shard "
+        "heartbeat (exactly, in any order) and append them in "
+        "Prometheus text form (with --json: a 'metrics' state dict)",
+    )
     pw = shard_sub.add_parser(
         "steal",
         help="re-plan a dead/stuck shard: trim it to its checkpoint "
@@ -513,6 +541,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     po.add_argument("--seed", type=int, default=7, help="RNG seed")
 
+    ptr = sub.add_parser(
+        "trace",
+        help="run any other subcommand under a structured tracer and "
+        "dump the span trees as JSON lines (timings only — the wrapped "
+        "command's output is bitwise-unchanged)",
+    )
+    ptr.add_argument(
+        "--out",
+        metavar="PATH",
+        default="trace.jsonl",
+        help="JSONL file receiving one span tree per line "
+        "(default: trace.jsonl)",
+    )
+    ptr.add_argument(
+        "cmd",
+        nargs=argparse.REMAINDER,
+        help="the subcommand to wrap, e.g. `trace -- figure7 --k 10`",
+    )
+
     sub.add_parser("grid", help="print the Table-1 parameter grid")
     return parser
 
@@ -535,6 +582,29 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error(
             "a subcommand is required (or --list-methods/--list-scenarios)"
         )
+    if args.command == "trace":
+        from repro.obs.trace import JsonlTraceSink, Tracer, use_tracer
+
+        rest = list(args.cmd)
+        if rest and rest[0] == "--":
+            rest = rest[1:]
+        if not rest:
+            parser.error(
+                "trace needs a subcommand to wrap, e.g. "
+                "`trace -- figure7 --k 10`"
+            )
+        if rest[0] == "trace":
+            parser.error("trace cannot wrap itself")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            code = main(rest)
+        spans = tracer.to_dicts()
+        JsonlTraceSink(args.out).write_many(spans)
+        print(
+            f"trace: wrote {len(spans)} span tree(s) to {args.out}",
+            file=sys.stderr,
+        )
+        return code
     if args.command != "shard":
         if getattr(args, "resume", False):
             if getattr(args, "shards", 1) > 1:

@@ -386,6 +386,31 @@ def build_lp(
         pi_k * base_k`` so ``t`` bounds the combined value; under SUM the
         base is a constant and changes nothing.
     """
+    from repro.obs.trace import current_tracer
+
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _build_lp(problem, objective, base_throughputs)
+    cache = active_build_cache()
+    hits_before = cache.stats()["build_hits"] if cache is not None else 0
+    with tracer.span("lp_build") as span:
+        instance = _build_lp(problem, objective, base_throughputs)
+        span.set(
+            cache_hit=(
+                cache is not None
+                and cache.stats()["build_hits"] > hits_before
+            ),
+            n_vars=int(instance.obj.shape[0]),
+            n_rows=int(instance.b_ub.shape[0]),
+        )
+    return instance
+
+
+def _build_lp(
+    problem: SteadyStateProblem,
+    objective: "str | Objective | None" = None,
+    base_throughputs: "np.ndarray | None" = None,
+) -> LPInstance:
     platform = problem.platform
     obj_fn = get_objective(objective) if objective is not None else problem.objective
     payoffs = problem.payoffs

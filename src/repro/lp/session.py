@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.lp.builder import LPInstance
 from repro.lp.revised import revised_solve
+from repro.obs.trace import current_tracer
 from repro.lp.scipy_backend import solve_lp_scipy
 from repro.lp.simplex import simplex_solve
 from repro.lp.solution import LPSolution
@@ -420,6 +421,27 @@ class LPSession:
             np.copyto(inst.b_ub, b_ub)
 
         self.stats.n_solves += 1
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "session_resolve", engine=self.engine
+            ) as span:
+                iterations_before = self.stats.iterations
+                if cold or not self.warm_start:
+                    span.set(warm=False)
+                    solution = self._solve_cold_reference()
+                else:
+                    basis = self._basis if warm_basis is _AUTO else warm_basis
+                    span.set(warm=basis is not None)
+                    if self.engine == "revised":
+                        solution = self._solve_revised(basis)
+                    else:
+                        solution = self._solve_reduced(basis)
+                span.set(
+                    iterations=self.stats.iterations - iterations_before,
+                    n_solves=self.stats.n_solves,
+                )
+            return solution
         if cold or not self.warm_start:
             return self._solve_cold_reference()
         basis = self._basis if warm_basis is _AUTO else warm_basis

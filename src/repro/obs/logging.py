@@ -1,0 +1,38 @@
+"""Library-logging hygiene for the ``repro`` package.
+
+Importing this module (it is imported by :mod:`repro` itself) attaches a
+:class:`logging.NullHandler` to the *package* root logger ``repro`` — and
+only there.  The library never configures the *process* root logger, never
+installs formatters or levels, and never calls ``basicConfig``: an
+application that wants ``repro`` log output opts in with its own handler
+on ``logging.getLogger("repro")`` (or any ancestor), exactly as the
+stdlib logging HOWTO prescribes for libraries.
+
+Every ``repro.*`` module gets its logger with :func:`get_logger`, which
+simply namespaces the name under ``repro.`` so the single NullHandler
+covers the whole tree.
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: The package root logger.  One NullHandler here silences the
+#: "No handlers could be found" complaint for the whole ``repro.*`` tree
+#: without touching the process root logger.
+package_logger = logging.getLogger("repro")
+
+if not any(isinstance(h, logging.NullHandler) for h in package_logger.handlers):
+    package_logger.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the ``repro`` package root.
+
+    ``get_logger(__name__)`` from any ``repro.*`` module returns the
+    module's own logger; a bare name like ``"service"`` is prefixed so it
+    still lives under the package root (``repro.service``).
+    """
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,397 @@
+"""Mergeable metrics: counters, gauges, histograms, and a registry.
+
+The metric primitives are built on the same exact-arithmetic machinery
+that makes :class:`~repro.parallel.stream.SweepAccumulator` merges
+bitwise-deterministic: counters are Python integers, histogram bins are
+the fixed-bin :class:`~repro.parallel.stream.QuantileAccumulator` and
+histogram sums are integer-mantissa
+:class:`~repro.parallel.stream._ExactSum` totals.  ``merge`` is
+therefore **exactly** associative and commutative — worker- and
+shard-level registries (snapshotted into heartbeat sidecars, carried
+through checkpoint/resume) merge into campaign totals in any order and
+produce bit-identical state.
+
+:func:`render_prometheus` serialises a registry in the Prometheus text
+exposition format (``# HELP`` / ``# TYPE`` / samples, cumulative ``le``
+buckets) for the service's ``GET /metrics`` endpoint.
+
+Metric *values* may be timings (request latency, re-optimization
+seconds): that is fine precisely because registries live outside result
+state dicts — see the determinism-invisibility contract in
+``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.parallel.stream import QuantileAccumulator, _ExactSum
+from repro.util.errors import SolverError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+]
+
+STATE_VERSION = 1
+
+
+def _label_key(labels: "dict | None") -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in (labels or {}).items()))
+
+
+class Counter:
+    """Monotonic integer counter — thread-safe, exactly mergeable."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0):
+        self._value = int(value)
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise SolverError(f"counters only go up, got inc({n})")
+        with self._lock:
+            self._value += int(n)
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def merge(self, other: "Counter") -> None:
+        self.inc(other.value)
+
+    def state(self) -> int:
+        return self.value
+
+    @classmethod
+    def from_state(cls, state) -> "Counter":
+        return cls(int(state))
+
+
+class Gauge:
+    """Last-written float value — thread-safe; merge keeps the max.
+
+    A gauge is instantaneous, so there is no canonical merge; taking the
+    max is deterministic and order-independent, which is what the
+    shard-status merge needs (e.g. "deepest resident pool across
+    shards").
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: float = 0.0):
+        self._value = float(value)
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is below it (atomic)."""
+        with self._lock:
+            self._value = max(self._value, float(value))
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def merge(self, other: "Gauge") -> None:
+        other_value = other.value
+        with self._lock:
+            self._value = max(self._value, other_value)
+
+    def state(self) -> float:
+        return self.value
+
+    @classmethod
+    def from_state(cls, state) -> "Gauge":
+        return cls(float(state))
+
+
+class Histogram:
+    """Fixed-bin histogram: exact counts + exact sum, thread-safe.
+
+    Observations land in :class:`QuantileAccumulator` bins (pure
+    arithmetic, no data-dependent boundaries) and the running total is
+    an :class:`_ExactSum`, so merging per-worker histograms in any order
+    reproduces the sequential fold bit for bit.  Non-finite observations
+    are tallied by the sketch (NaN/overflow counters) but excluded from
+    the sum.
+    """
+
+    __slots__ = ("sketch", "_sum", "_lock")
+
+    def __init__(self, lo: float = 0.0, hi: float = 2.0, n_bins: int = 32):
+        self.sketch = QuantileAccumulator(lo=lo, hi=hi, n_bins=n_bins)
+        self._sum = _ExactSum()
+        self._lock = threading.Lock()
+
+    def observe(self, x: float) -> None:
+        x = float(x)
+        with self._lock:
+            self.sketch.update(x)
+            if math.isfinite(x):
+                self._sum.add(x)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self.sketch.count + self.sketch.n_nan
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum.num / (1 << self._sum.scale)
+
+    def quantile(self, q: float) -> float:
+        with self._lock:
+            return self.sketch.quantile(q)
+
+    def merge(self, other: "Histogram") -> None:
+        with other._lock:
+            other_sketch = QuantileAccumulator.from_state(other.sketch.state_dict())
+            other_sum = _ExactSum.from_state(other._sum.state())
+        with self._lock:
+            self.sketch.merge(other_sketch)
+            self._sum.merge(other_sum)
+
+    def state_dict(self) -> dict:
+        with self._lock:
+            return {
+                "sketch": self.sketch.state_dict(),
+                "sum": self._sum.state(),
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Histogram":
+        sketch = QuantileAccumulator.from_state(state["sketch"])
+        out = cls(lo=sketch.lo, hi=sketch.hi, n_bins=sketch.n_bins)
+        out.sketch = sketch
+        out._sum = _ExactSum.from_state(state["sum"])
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named metric families, each a set of label-keyed children.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: instrumented
+    code calls them on the hot path and gets the same child back for the
+    same ``(name, labels)``.  Registries serialise (``state_dict``) into
+    heartbeat sidecars and merge exactly (``merge``), mirroring the
+    ``SweepAccumulator`` contract.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> {"kind", "help", "children": {label_key: metric}}
+        self._families: dict = {}
+
+    # -- get-or-create accessors ---------------------------------------
+    def _family(self, name: str, kind: str, help: str) -> dict:
+        family = self._families.get(name)
+        if family is None:
+            family = {"kind": kind, "help": help, "children": {}}
+            self._families[name] = family
+        elif family["kind"] != kind:
+            raise SolverError(
+                f"metric {name!r} already registered as {family['kind']}, "
+                f"not {kind}"
+            )
+        elif help and not family["help"]:
+            family["help"] = help
+        return family
+
+    def counter(self, name: str, help: str = "", labels: "dict | None" = None) -> Counter:
+        key = _label_key(labels)
+        with self._lock:
+            children = self._family(name, "counter", help)["children"]
+            child = children.get(key)
+            if child is None:
+                child = children[key] = Counter()
+            return child
+
+    def gauge(self, name: str, help: str = "", labels: "dict | None" = None) -> Gauge:
+        key = _label_key(labels)
+        with self._lock:
+            children = self._family(name, "gauge", help)["children"]
+            child = children.get(key)
+            if child is None:
+                child = children[key] = Gauge()
+            return child
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: "dict | None" = None,
+        lo: float = 0.0,
+        hi: float = 2.0,
+        n_bins: int = 32,
+    ) -> Histogram:
+        key = _label_key(labels)
+        with self._lock:
+            children = self._family(name, "histogram", help)["children"]
+            child = children.get(key)
+            if child is None:
+                child = children[key] = Histogram(lo=lo, hi=hi, n_bins=n_bins)
+            return child
+
+    # -- merge / serialisation -----------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (exact, order-independent)."""
+        with other._lock:
+            other_families = {
+                name: {
+                    "kind": fam["kind"],
+                    "help": fam["help"],
+                    "children": dict(fam["children"]),
+                }
+                for name, fam in other._families.items()
+            }
+        for name, fam in other_families.items():
+            with self._lock:
+                family = self._family(name, fam["kind"], fam["help"])
+                children = family["children"]
+                for key, metric in fam["children"].items():
+                    mine = children.get(key)
+                    if mine is None:
+                        kind = fam["kind"]
+                        if kind == "histogram":
+                            mine = children[key] = Histogram(
+                                lo=metric.sketch.lo,
+                                hi=metric.sketch.hi,
+                                n_bins=metric.sketch.n_bins,
+                            )
+                        else:
+                            mine = children[key] = _KINDS[kind]()
+                    mine.merge(metric)
+
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot (heartbeats, checkpoints)."""
+        with self._lock:
+            families = {}
+            for name, fam in sorted(self._families.items()):
+                children = [
+                    {
+                        "labels": [list(pair) for pair in key],
+                        "state": (
+                            metric.state_dict()
+                            if fam["kind"] == "histogram"
+                            else metric.state()
+                        ),
+                    }
+                    for key, metric in sorted(fam["children"].items())
+                ]
+                families[name] = {
+                    "kind": fam["kind"],
+                    "help": fam["help"],
+                    "children": children,
+                }
+            return {"version": STATE_VERSION, "families": families}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetricsRegistry":
+        if state.get("version") != STATE_VERSION:
+            raise SolverError(
+                f"unsupported metrics state version: {state.get('version')!r}"
+            )
+        out = cls()
+        for name, fam in state["families"].items():
+            kind = fam["kind"]
+            if kind not in _KINDS:
+                raise SolverError(f"unknown metric kind {kind!r} for {name!r}")
+            family = out._family(name, kind, fam.get("help", ""))
+            for child in fam["children"]:
+                key = tuple(tuple(pair) for pair in child["labels"])
+                if kind == "histogram":
+                    metric = Histogram.from_state(child["state"])
+                else:
+                    metric = _KINDS[kind].from_state(child["state"])
+                family["children"][key] = metric
+        return out
+
+    # -- introspection --------------------------------------------------
+    def families(self) -> dict:
+        """``{name: {"kind", "help", "children": {label_key: metric}}}``
+        snapshot — children dicts are copies, metrics are live objects."""
+        with self._lock:
+            return {
+                name: {
+                    "kind": fam["kind"],
+                    "help": fam["help"],
+                    "children": dict(fam["children"]),
+                }
+                for name, fam in self._families.items()
+            }
+
+
+def _format_value(x: float) -> str:
+    if x != x:
+        return "NaN"
+    if x == math.inf:
+        return "+Inf"
+    if x == -math.inf:
+        return "-Inf"
+    if isinstance(x, int) or float(x).is_integer():
+        return str(int(x))
+    return repr(float(x))
+
+
+def _labels_text(key: tuple, extra: "tuple | None" = None) -> str:
+    pairs = list(key) + list(extra or ())
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Serialise a registry in the Prometheus text exposition format.
+
+    Counters and gauges emit one sample per label set; histograms emit
+    cumulative ``_bucket{le=...}`` samples over their fixed bins plus
+    ``_sum`` and ``_count``.  Families and label sets are emitted in
+    sorted order, so output is deterministic.
+    """
+    lines: list[str] = []
+    for name, fam in sorted(registry.families().items()):
+        kind = fam["kind"]
+        if fam["help"]:
+            lines.append(f"# HELP {name} {fam['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for key, metric in sorted(fam["children"].items()):
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_labels_text(key)} {_format_value(metric.value)}"
+                )
+                continue
+            sketch = metric.sketch
+            width = (sketch.hi - sketch.lo) / sketch.n_bins
+            cumulative = sketch.n_under
+            for i, c in enumerate(sketch.counts):
+                cumulative += c
+                edge = sketch.lo + (i + 1) * width
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_labels_text(key, (('le', _format_value(edge)),))}"
+                    f" {cumulative}"
+                )
+            total = cumulative + sketch.n_over + sketch.n_nan
+            lines.append(
+                f"{name}_bucket{_labels_text(key, (('le', '+Inf'),))} {total}"
+            )
+            lines.append(f"{name}_sum{_labels_text(key)} {_format_value(metric.sum)}")
+            lines.append(f"{name}_count{_labels_text(key)} {total}")
+    return "\n".join(lines) + "\n"

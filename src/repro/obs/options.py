@@ -1,0 +1,83 @@
+"""Facade knobs for telemetry.
+
+:class:`TelemetryOptions` rides on ``SolverConfig(telemetry=...)``
+exactly like :class:`repro.dynamic.options.DynamicOptions` rides on
+``SolverConfig(dynamic=...)``: a frozen, validated, dict-round-trippable
+record — no ``**kwargs`` funnels.
+
+Telemetry is observability only: whatever these knobs say, result
+values, accumulator state dicts and seeds are bit-identical (the
+determinism-invisibility contract, pinned by
+``tests/test_obs_invisibility.py`` and gated by
+``benchmarks/bench_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import SolverError
+
+
+@dataclass(frozen=True)
+class TelemetryOptions:
+    """Telemetry knobs of one :class:`repro.api.solver.Solver`.
+
+    Parameters
+    ----------
+    trace:
+        Collect a structured span tree (``solve → lp_build →
+        session_resolve → simplex``, ``campaign → chunk → task``,
+        ``online → event``) on a solver-owned
+        :class:`~repro.obs.trace.Tracer`, exposed as ``solver.tracer``.
+        Off by default: the disabled path is a no-op tracer whose
+        overhead is gated below 1%.
+    trace_path:
+        When set (requires ``trace=True``), finished span trees are
+        appended to this JSONL file after every top-level operation.
+    metrics:
+        Maintain a solver-owned
+        :class:`~repro.obs.metrics.MetricsRegistry` (exposed as
+        ``solver.metrics``) with per-operation counters and latency
+        histograms.
+    """
+
+    trace: bool = False
+    trace_path: "str | None" = None
+    metrics: bool = False
+
+    def __post_init__(self):
+        if not isinstance(self.trace, bool):
+            raise SolverError(f"trace must be a bool, got {self.trace!r}")
+        if not isinstance(self.metrics, bool):
+            raise SolverError(f"metrics must be a bool, got {self.metrics!r}")
+        if self.trace_path is not None and not isinstance(self.trace_path, str):
+            raise SolverError(
+                f"trace_path must be a string path or None, got "
+                f"{self.trace_path!r}"
+            )
+        if self.trace_path is not None and not self.trace:
+            raise SolverError("trace_path requires trace=True")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.trace,
+            "trace_path": self.trace_path,
+            "metrics": self.metrics,
+        }
+
+    _FIELDS = ("trace", "trace_path", "metrics")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetryOptions":
+        if not isinstance(data, dict):
+            raise SolverError(
+                f"telemetry options must be an object, got {data!r}"
+            )
+        unknown = sorted(set(data) - set(cls._FIELDS))
+        if unknown:
+            raise SolverError(
+                f"unknown telemetry option(s): {', '.join(unknown)}"
+            )
+        return cls(**data)

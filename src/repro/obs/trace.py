@@ -1,0 +1,242 @@
+"""Structured tracing: span trees with a zero-overhead no-op path.
+
+A :class:`Tracer` records a tree of named :class:`Span`\\ s — ``solve →
+lp_build → session_resolve → simplex`` for a facade solve, ``campaign →
+chunk → task`` for a sweep, ``online → event`` for the dynamic
+scheduler.  Spans carry monotonic-clock durations plus free-form
+attributes (pivot counts, cache hits, task ids); :class:`JsonlTraceSink`
+exports finished trees as JSON lines.
+
+The tracer is *ambient*: instrumented code asks :func:`current_tracer`
+for the active tracer instead of threading one through every call.  The
+pattern mirrors ``repro.lp.builder.use_build_cache`` — a ``ContextVar``
+with outer-wins nesting, so a CLI-level ``trace`` wrapper sees spans
+from every layer while a solver-owned tracer defers to it.
+
+When no tracer is installed, :func:`current_tracer` returns
+:data:`NOOP_TRACER`, whose ``span()`` hands back one shared, attribute-
+free null span.  Hot paths additionally guard on ``tracer.enabled`` so
+the disabled cost is one ``ContextVar`` read and one attribute check —
+benchmarked under 1% on a warm LP re-solve chain by
+``benchmarks/bench_telemetry.py``.
+
+Durations never enter result state dicts: tracing is observability only
+(see the determinism-invisibility contract in ``docs/architecture.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = [
+    "JsonlTraceSink",
+    "NOOP_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
+]
+
+
+class Span:
+    """One timed node in a trace tree.
+
+    Created by :meth:`Tracer.span` and used as a context manager; entering
+    attaches it to the active tree (parent = innermost open span on this
+    thread) and starts the clock, exiting stops it.  ``set(**attrs)``
+    attaches attributes at any point while the span is alive.
+    """
+
+    __slots__ = ("name", "attrs", "children", "duration", "_tracer", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.name = str(name)
+        self.attrs = dict(attrs)
+        self.children: list[Span] = []
+        self.duration: "float | None" = None
+        self._tracer = tracer
+        self._start: "float | None" = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span; returns ``self`` for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation of the span subtree."""
+        out: dict = {"name": self.name, "duration_seconds": self.duration}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, duration={self.duration}, attrs={self.attrs})"
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects span trees.  ``enabled`` is always ``True`` here; the
+    disabled path is :class:`NullTracer`, not a flag on this class, so the
+    hot-path guard stays a plain attribute read.
+
+    Thread-safe: each thread nests spans on its own stack (concurrent
+    service requests or engine workers each build their own subtree), and
+    completed roots append to one shared list.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span bookkeeping (called by Span.__enter__/__exit__) ----------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    # -- public surface ------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        """Open a new span; use as ``with tracer.span("solve", k=v) as sp:``."""
+        return Span(self, name, attrs)
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-compatible list of completed root span trees."""
+        with self._lock:
+            return [root.to_dict() for root in self._roots]
+
+    def drain(self) -> list[dict]:
+        """Like :meth:`to_dicts` but clears the collected roots."""
+        with self._lock:
+            roots, self._roots = self._roots, []
+        return [root.to_dict() for root in roots]
+
+
+class NullTracer:
+    """The disabled tracer: every ``span()`` is the same null span."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def to_dicts(self) -> list[dict]:
+        return []
+
+    def drain(self) -> list[dict]:
+        return []
+
+
+#: Shared singleton returned by :func:`current_tracer` when no tracer is
+#: installed — never collects anything.
+NOOP_TRACER = NullTracer()
+
+_ACTIVE_TRACER: "ContextVar[Tracer | None]" = ContextVar(
+    "repro_tracer", default=None
+)
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The ambient tracer for this context (:data:`NOOP_TRACER` if none)."""
+    tracer = _ACTIVE_TRACER.get()
+    return tracer if tracer is not None else NOOP_TRACER
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Install ``tracer`` as the ambient tracer for the block.
+
+    Outer-wins nesting, mirroring ``use_build_cache``: if a tracer is
+    already active (a CLI ``trace`` wrapper, a service job tracer), the
+    inner request is a no-op and the existing tracer keeps collecting —
+    so the outermost observer sees the whole tree.
+    """
+    current = _ACTIVE_TRACER.get()
+    if current is not None:
+        yield current
+        return
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)
+
+
+class JsonlTraceSink:
+    """Append span trees to a JSONL file, one root span per line.
+
+    Writes are line-buffered appends guarded by a lock, so concurrent
+    flushes from service worker threads interleave at line granularity.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+
+    def write_many(self, span_dicts: "list[dict]") -> int:
+        """Append each span dict as one JSON line; returns lines written."""
+        if not span_dicts:
+            return 0
+        payload = "".join(
+            json.dumps(d, sort_keys=True, default=str) + "\n" for d in span_dicts
+        )
+        with self._lock, open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(payload)
+        return len(span_dicts)
+
+    def write(self, tracer: "Tracer") -> int:
+        """Drain ``tracer`` into the file (convenience wrapper)."""
+        return self.write_many(tracer.drain())

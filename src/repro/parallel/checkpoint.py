@@ -47,12 +47,29 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import warnings
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.util.errors import ReproError
+
+# Plain stdlib getLogger, not repro.obs.get_logger: this module sits
+# below repro.obs in the import graph (obs.metrics builds on
+# repro.parallel.stream, which imports this module). __name__ is already
+# namespaced under the "repro" root logger, whose NullHandler
+# repro.obs.logging installs.
+logger = logging.getLogger(__name__)
+
+
+def _warn(message: str, stacklevel: int) -> None:
+    """Surface a recoverable checkpoint anomaly on both channels:
+    the stdlib warning (tests and callers filter on
+    :class:`CheckpointWarning`) and the module logger (operators
+    aggregating library logs)."""
+    logger.warning(message)
+    warnings.warn(message, CheckpointWarning, stacklevel=stacklevel + 1)
 
 
 class CheckpointError(ReproError):
@@ -168,11 +185,10 @@ class CampaignCheckpoint:
             except json.JSONDecodeError:
                 # Trailing partial line from an interrupted write: drop
                 # it (and anything after) — those tasks simply re-run.
-                warnings.warn(
+                _warn(
                     f"{self.path}:{lineno}: dropping truncated/corrupt "
                     "record (and any records after it); the affected "
                     "tasks will be recomputed",
-                    CheckpointWarning,
                     stacklevel=3,
                 )
                 break
@@ -203,11 +219,10 @@ class CampaignCheckpoint:
                     # A structurally-valid line whose payload cannot be
                     # decoded (crash mid-write through a buffering layer,
                     # manual edit): recoverable exactly like truncation.
-                    warnings.warn(
+                    _warn(
                         f"{self.path}:{lineno}: dropping undecodable task "
                         f"record ({exc!r}) and any records after it; the "
                         "affected tasks will be recomputed",
-                        CheckpointWarning,
                         stacklevel=3,
                     )
                     break
@@ -235,10 +250,9 @@ class CampaignCheckpoint:
         try:
             record = json.loads(self.state_path.read_text())
         except (OSError, json.JSONDecodeError):
-            warnings.warn(
+            _warn(
                 f"{self.state_path}: unreadable snapshot sidecar; the "
                 "resume falls back to task-record replay",
-                CheckpointWarning,
                 stacklevel=4,
             )
             return
@@ -268,11 +282,10 @@ class CampaignCheckpoint:
         except Exception:
             compatible = False
         if not compatible:
-            warnings.warn(
+            _warn(
                 f"{self.state_path}: snapshot is incompatible with this "
                 "version (stale state format?); discarding it and "
                 "replaying task records instead",
-                CheckpointWarning,
                 stacklevel=4,
             )
             self.saved_state = None
@@ -289,11 +302,10 @@ class CampaignCheckpoint:
         n_folded = int(self.saved_state.get("n_folded", 0))
         prefix = self.ordered_task_ids[:n_folded]
         if any(task_id not in self.completed for task_id in prefix):
-            warnings.warn(
+            _warn(
                 f"{self.path}: snapshot covers {n_folded} tasks but the "
                 "checkpoint records do not; discarding the snapshot and "
                 "replaying task records instead",
-                CheckpointWarning,
                 stacklevel=4,
             )
             self.saved_state = None

@@ -394,6 +394,9 @@ class CampaignEngine:
     # ------------------------------------------------------------------
     def _run_serial(self, tasks, task_ids, pending, finish) -> None:
         """The inline reference path, with optional supervised retry."""
+        from repro.obs.trace import current_tracer
+
+        tracer = current_tracer()
         policy = self.retry_policy
         quarantined: list[TaskFailure] = []
         for i in pending:
@@ -404,7 +407,15 @@ class CampaignEngine:
                         self.fault_plan.apply_task_faults(
                             task_ids[i], failures + 1
                         )
-                    result = self.worker(tasks[i])
+                    if tracer.enabled:
+                        with tracer.span(
+                            "task", task_id=str(task_ids[i]), index=i
+                        ) as span:
+                            result = self.worker(tasks[i])
+                            if failures:
+                                span.set(attempts=failures + 1)
+                    else:
+                        result = self.worker(tasks[i])
                 except Exception as exc:
                     failures += 1
                     transient = is_transient_exception(exc)
@@ -448,6 +459,9 @@ class CampaignEngine:
     def _run_pool(self, tasks, task_ids, pending, finish, consumer=None) -> None:
         """Fan ``pending`` out over a process pool, rebuilding it when a
         worker dies and isolating repeat offenders."""
+        from repro.obs.trace import current_tracer
+
+        tracer = current_tracer()
         policy = self.retry_policy
         chunk_size = self.chunk_size or default_chunk_size(
             len(pending), self.jobs
@@ -491,6 +505,7 @@ class CampaignEngine:
         try:
             futures = {}
             deadlines: dict = {}
+            submitted: dict = {}
             while queue or futures:
                 while (
                     queue
@@ -508,6 +523,7 @@ class CampaignEngine:
                         _run_chunk, self.worker, entries, self.fault_plan
                     )
                     futures[future] = chunk
+                    submitted[future] = time.perf_counter()
                     if task_timeout is not None:
                         deadlines[future] = (
                             time.monotonic() + task_timeout * len(chunk)
@@ -544,6 +560,16 @@ class CampaignEngine:
                 for future in ready:
                     chunk = futures.pop(future)
                     deadlines.pop(future, None)
+                    chunk_start = submitted.pop(future, None)
+                    if tracer.enabled and chunk_start is not None:
+                        # Chunk bodies run in worker processes, out of the
+                        # ambient tracer's reach; the recorded duration is
+                        # the submit-to-completion wall time seen here.
+                        with tracer.span(
+                            "chunk", n_tasks=len(chunk), first_index=chunk[0]
+                        ) as chunk_span:
+                            pass
+                        chunk_span.duration = time.perf_counter() - chunk_start
                     try:
                         outcomes = future.result()
                     except BrokenProcessPool:
@@ -559,6 +585,7 @@ class CampaignEngine:
                             futures.pop(f) for f in list(futures)
                         ]
                         deadlines.clear()
+                        submitted.clear()
                         pool.shutdown(wait=False, cancel_futures=True)
                         pool = ProcessPoolExecutor(max_workers=self.jobs)
                         if timed_out:

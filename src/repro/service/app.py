@@ -54,6 +54,7 @@ import queue
 import re
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterator
 
@@ -61,6 +62,8 @@ import numpy as np
 
 from repro.api.config import SolverConfig, config_fingerprint
 from repro.api.scenarios import scenario_registry
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.obs.trace import Tracer, use_tracer
 from repro.platform.serialization import platform_fingerprint
 from repro.service.asgi import AsgiApp
 from repro.service.coalescer import RequestCoalescer
@@ -132,6 +135,10 @@ def _scenario_from(payload: dict) -> "tuple[object, str]":
 class SolverService:
     """The long-lived core behind the HTTP surface."""
 
+    #: per-job traces retained in memory (LRU; traces are debugging
+    #: artifacts, not results — old ones are droppable)
+    MAX_TRACES = 256
+
     def __init__(
         self,
         job_store: "JobStore | str | None" = None,
@@ -144,18 +151,35 @@ class SolverService:
             self.jobs = job_store
         else:
             self.jobs = open_job_store(job_store)
-        self.pool = SolverPool(max_solvers=max_solvers)
+        # One registry for the whole process: the pool, the coalescer
+        # and the request layer all register their families here, so
+        # ``GET /metrics`` is a single consistent snapshot.
+        self.metrics = MetricsRegistry()
+        self.pool = SolverPool(max_solvers=max_solvers, metrics=self.metrics)
         self.coalescer = RequestCoalescer(
-            max_delay=coalesce_window, max_batch=max_coalesce_batch
+            max_delay=coalesce_window,
+            max_batch=max_coalesce_batch,
+            metrics=self.metrics,
+        )
+        self._solves_counter = self.metrics.counter(
+            "repro_solves_total",
+            help="Solve reports produced (sync and async).",
+        )
+        self._lp_iterations = self.metrics.counter(
+            "repro_lp_iterations_total",
+            help="Simplex iterations spent across all solve reports.",
         )
         self.broker = JobEventBroker()
         self.executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-job"
         )
-        self.started_at = time.time()
+        self.started_at = time.time()  # wall clock: display only
+        self._started_monotonic = time.monotonic()  # uptime arithmetic
         self._id_lock = threading.Lock()
         self._next_id = self._seed_id_counter()
         self._specs: "dict[str, dict]" = {}  # runtime-only sweep specs
+        self._trace_lock = threading.Lock()
+        self._traces: "OrderedDict[str, list]" = OrderedDict()
         self._closed = False
 
     def _seed_id_counter(self) -> int:
@@ -207,16 +231,25 @@ class SolverService:
         problem, fingerprint, config, seed = self._build_solve(payload)
         solver = self.pool.solver_for(fingerprint, config)
         coalesce = bool(payload.get("coalesce", True))
+        wants_async = bool(payload.get("async", False))
+        job_id = self.new_job_id("solve") if wants_async else None
         if coalesce:
             future = self.coalescer.submit(
                 self.pool.key_for(fingerprint, config), solver, problem, seed
             )
+        elif job_id is not None:
+            # Uncoalesced async solves get a per-job trace (a coalesced
+            # batch is shared across callers, so it has no single owner).
+            future = self.executor.submit(
+                self._traced_call, job_id, solver.solve, problem, rng=seed
+            )
         else:
             future = self.executor.submit(solver.solve, problem, rng=seed)
-        if not payload.get("async", False):
-            return "report", future.result().to_dict()
+        if not wants_async:
+            report = future.result()
+            self._record_report(report)
+            return "report", report.to_dict()
 
-        job_id = self.new_job_id("solve")
         self.jobs.create(
             JobRecord(job_id, kind="solve", status="running", request=payload)
         )
@@ -227,6 +260,7 @@ class SolverService:
             except Exception as exc:  # noqa: BLE001 - job boundary
                 self._fail_job(job_id, exc)
             else:
+                self._record_report(report)
                 self.jobs.update(
                     job_id, status="done", result={"report": report.to_dict()}
                 )
@@ -236,6 +270,30 @@ class SolverService:
 
         future.add_done_callback(finish)
         return "job", self.jobs.get(job_id).to_dict()
+
+    def _record_report(self, report) -> None:
+        """Fold one finished report into the service counters."""
+        self._solves_counter.inc()
+        lp_stats = report.lp_stats or {}
+        iterations = int(lp_stats.get("iterations", 0))
+        if iterations > 0:
+            self._lp_iterations.inc(iterations)
+
+    def _traced_call(self, job_id: str, fn, *args, **kwargs):
+        """Run ``fn`` under a fresh per-job tracer; retain its trees."""
+        tracer = Tracer()
+        try:
+            with use_tracer(tracer):
+                return fn(*args, **kwargs)
+        finally:
+            self._store_trace(job_id, tracer.to_dicts())
+
+    def _store_trace(self, job_id: str, trace: list) -> None:
+        with self._trace_lock:
+            self._traces[job_id] = trace
+            self._traces.move_to_end(job_id)
+            while len(self._traces) > self.MAX_TRACES:
+                self._traces.popitem(last=False)
 
     # ------------------------------------------------------------------
     # sweep jobs
@@ -343,6 +401,14 @@ class SolverService:
             spec = self._specs.pop(job_id, None)
         if spec is None:  # pragma: no cover - double-start guard
             return
+        tracer = Tracer()
+        with use_tracer(tracer):
+            try:
+                self._execute_sweep(job_id, spec)
+            finally:
+                self._store_trace(job_id, tracer.to_dicts())
+
+    def _execute_sweep(self, job_id: str, spec: dict) -> None:
         try:
             self.jobs.update(job_id, status="running")
             solver = self.pool.solver_for(spec["pool_key"], spec["config"])
@@ -456,11 +522,43 @@ class SolverService:
         for record in self.jobs.list_jobs():
             by_status[record.status] = by_status.get(record.status, 0) + 1
         return {
-            "uptime": time.time() - self.started_at,
+            # monotonic arithmetic: immune to wall-clock steps (NTP)
+            "uptime": time.monotonic() - self._started_monotonic,
             "jobs": by_status,
             "pool": self.pool.stats(),
             "coalescer": self.coalescer.stats(),
         }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition).
+
+        Job-status gauges are refreshed from the store at render time;
+        everything else is served live from the shared registry.
+        """
+        by_status: "dict[str, int]" = {}
+        for record in self.jobs.list_jobs():
+            by_status[record.status] = by_status.get(record.status, 0) + 1
+        for status in ("queued", "running", "done", "failed", *by_status):
+            self.metrics.gauge(
+                "repro_jobs",
+                help="Jobs by status.",
+                labels={"status": status},
+            ).set(by_status.get(status, 0))
+        return render_prometheus(self.metrics)
+
+    def job_trace(self, job_id: str) -> dict:
+        """The retained span trees for a job (``GET /jobs/{id}/trace``)."""
+        record = self.jobs.get(job_id)  # 404 on unknown jobs first
+        with self._trace_lock:
+            trace = self._traces.get(job_id)
+        if trace is None:
+            raise ServiceError(
+                f"job {job_id} has no retained trace (status "
+                f"{record.status!r}; traces cover jobs executed by this "
+                "process and are evicted oldest-first)",
+                status=404,
+            )
+        return {"job_id": job_id, "trace": trace}
 
     def describe(self) -> dict:
         """The ``/scenarios`` + ``/methods`` discovery payload pieces."""

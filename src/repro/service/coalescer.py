@@ -19,6 +19,11 @@ bucket starts a dispatcher thread that waits up to ``max_delay``
 seconds (or until ``max_batch`` requests pile up), then atomically
 claims the bucket and runs one ``solve_many``. Each caller holds a
 :class:`concurrent.futures.Future` resolved with its own report.
+
+Batch counters are :class:`repro.obs.metrics.Counter` instances (plus a
+batch-size :class:`~repro.obs.metrics.Histogram`) registered in the
+owning service's metrics registry, so they are cumulative, race-free
+under concurrent dispatchers, and exported by ``GET /metrics``.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from concurrent.futures import Future
 from typing import Hashable, Sequence
 
 from repro.api.solver import Solver
+from repro.obs.metrics import MetricsRegistry
 
 
 class _Bucket:
@@ -41,7 +47,12 @@ class _Bucket:
 class RequestCoalescer:
     """Batch same-key solve requests into single ``solve_many`` calls."""
 
-    def __init__(self, max_delay: float = 0.005, max_batch: int = 64):
+    def __init__(
+        self,
+        max_delay: float = 0.005,
+        max_batch: int = 64,
+        metrics: "MetricsRegistry | None" = None,
+    ):
         if max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {max_delay}")
         if max_batch < 1:
@@ -50,9 +61,27 @@ class RequestCoalescer:
         self.max_batch = int(max_batch)
         self._buckets: "dict[Hashable, _Bucket]" = {}
         self._lock = threading.Lock()
-        self.batches = 0
-        self.coalesced_requests = 0
-        self.largest_batch = 0
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = registry
+        self.batches = registry.counter(
+            "repro_coalesce_batches_total",
+            help="solve_many batches dispatched by the coalescer.",
+        )
+        self.coalesced_requests = registry.counter(
+            "repro_coalesce_requests_total",
+            help="Requests that travelled inside a coalesced batch.",
+        )
+        self.batch_size = registry.histogram(
+            "repro_coalesce_batch_size",
+            help="Requests per dispatched batch.",
+            lo=0.0,
+            hi=float(self.max_batch + 1),
+            n_bins=min(64, self.max_batch + 1),
+        )
+        self._largest_batch = registry.gauge(
+            "repro_coalesce_largest_batch",
+            help="Largest batch dispatched so far.",
+        )
 
     # ------------------------------------------------------------------
     def submit(
@@ -106,19 +135,24 @@ class RequestCoalescer:
             for _, _, future in entries:
                 future.set_exception(exc)
             return
-        with self._lock:
-            self.batches += 1
-            self.coalesced_requests += len(entries)
-            self.largest_batch = max(self.largest_batch, len(entries))
+        self.batches.inc()
+        self.coalesced_requests.inc(len(entries))
+        self.batch_size.observe(len(entries))
+        self._largest_batch.set_max(len(entries))
         for (_, _, future), report in zip(entries, reports):
             future.set_result(report)
 
     # ------------------------------------------------------------------
+    @property
+    def largest_batch(self) -> int:
+        return int(self._largest_batch.value)
+
     def stats(self) -> dict:
         with self._lock:
-            return {
-                "batches": self.batches,
-                "coalesced_requests": self.coalesced_requests,
-                "largest_batch": self.largest_batch,
-                "pending_buckets": len(self._buckets),
-            }
+            pending = len(self._buckets)
+        return {
+            "batches": self.batches.value,
+            "coalesced_requests": self.coalesced_requests.value,
+            "largest_batch": self.largest_batch,
+            "pending_buckets": pending,
+        }

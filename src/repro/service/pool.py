@@ -19,6 +19,12 @@ Solvers handed out are shared across threads — safe because
 ``SolverState`` and :class:`~repro.lp.builder.LPBuildCache` lock their
 mutations and reuse is value-transparent (pristine template copies,
 never shared solve state).
+
+Hit/miss/eviction counters are :class:`repro.obs.metrics.Counter`
+instances registered in the owning service's metrics registry (or a
+private one for standalone pools): cumulative, thread-safe under their
+own locks, and served verbatim by both ``GET /stats`` and the
+Prometheus ``GET /metrics`` endpoint.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import Callable
 
 from repro.api.config import SolverConfig, config_fingerprint
 from repro.api.solver import Solver
+from repro.obs.metrics import MetricsRegistry
 
 
 class SolverPool:
@@ -38,6 +45,7 @@ class SolverPool:
         self,
         max_solvers: int = 32,
         solver_factory: "Callable[[SolverConfig], Solver]" = Solver,
+        metrics: "MetricsRegistry | None" = None,
     ):
         if max_solvers < 1:
             raise ValueError(f"max_solvers must be >= 1, got {max_solvers}")
@@ -45,9 +53,23 @@ class SolverPool:
         self._factory = solver_factory
         self._solvers: "OrderedDict[tuple[str, str], Solver]" = OrderedDict()
         self._lock = threading.RLock()
-        self.pool_hits = 0
-        self.pool_misses = 0
-        self.evictions = 0
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = registry
+        self.pool_hits = registry.counter(
+            "repro_pool_hits_total",
+            help="Requests served by an already-warm pooled solver.",
+        )
+        self.pool_misses = registry.counter(
+            "repro_pool_misses_total",
+            help="Requests that had to build a cold solver.",
+        )
+        self.evictions = registry.counter(
+            "repro_pool_evictions_total",
+            help="Warm solvers evicted by the LRU bound.",
+        )
+        self._size_gauge = registry.gauge(
+            "repro_pool_size", help="Resident warm solvers."
+        )
 
     # ------------------------------------------------------------------
     def key_for(self, fingerprint: str, config: SolverConfig) -> "tuple[str, str]":
@@ -66,14 +88,15 @@ class SolverPool:
             solver = self._solvers.get(key)
             if solver is not None:
                 self._solvers.move_to_end(key)
-                self.pool_hits += 1
+                self.pool_hits.inc()
                 return solver
-            self.pool_misses += 1
+            self.pool_misses.inc()
             solver = self._factory(config)
             self._solvers[key] = solver
             while len(self._solvers) > self.max_solvers:
                 self._solvers.popitem(last=False)
-                self.evictions += 1
+                self.evictions.inc()
+            self._size_gauge.set(len(self._solvers))
             return solver
 
     # ------------------------------------------------------------------
@@ -90,13 +113,14 @@ class SolverPool:
         """
         with self._lock:
             solvers = list(self._solvers.values())
-            out = {
-                "size": len(self._solvers),
-                "max_solvers": self.max_solvers,
-                "pool_hits": self.pool_hits,
-                "pool_misses": self.pool_misses,
-                "evictions": self.evictions,
-            }
+            size = len(self._solvers)
+        out = {
+            "size": size,
+            "max_solvers": self.max_solvers,
+            "pool_hits": self.pool_hits.value,
+            "pool_misses": self.pool_misses.value,
+            "evictions": self.evictions.value,
+        }
         aggregate: "dict[str, int]" = {}
         for solver in solvers:
             for key, value in solver.state.stats().items():

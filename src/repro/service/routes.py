@@ -10,6 +10,7 @@ Routes
 ======  =========================  ==========================================
 GET     /healthz                   liveness probe
 GET     /stats                     pool / coalescer / job counters
+GET     /metrics                   Prometheus text exposition
 GET     /methods                   registered solve methods
 GET     /scenarios                 registered scenarios (platform + sweep)
 POST    /solve                     solve one scenario (sync, or async job)
@@ -17,15 +18,22 @@ POST    /sweep                     submit a sweep job
 GET     /jobs                      all job status records
 GET     /jobs/{job_id}/status      one job's status record
 GET     /jobs/{job_id}/result      terminal result (409 until done)
+GET     /jobs/{job_id}/trace       retained span trees for one job
 POST    /jobs/{job_id}/start       release a held job
 POST    /jobs/{job_id}/restart     resubmit a terminal job as a new job
 GET     /jobs/{job_id}/stream      SSE (default) or ``?format=ndjson``
 ======  =========================  ==========================================
+
+Every handler is wrapped with a per-route latency histogram and request
+counter (``repro_request_seconds`` / ``repro_requests_total``) recorded
+into the service's shared metrics registry — so ``GET /metrics``
+describes the request traffic that produced it.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import time
+from typing import TYPE_CHECKING, Callable
 
 from repro.service.asgi import Request, Response, Router, StreamingResponse
 from repro.service.errors import ServiceError
@@ -34,15 +42,47 @@ from repro.service.sse import format_ndjson, format_sse, sse_keepalive
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.app import SolverService
 
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 def build_router(service: "SolverService") -> Router:
     router = Router()
+
+    def add(method: str, pattern: str, handler: Callable) -> None:
+        """Register ``handler`` wrapped with per-route observation."""
+
+        def observed(request: Request, **params) -> Response:
+            start = time.perf_counter()
+            try:
+                return handler(request, **params)
+            finally:
+                service.metrics.counter(
+                    "repro_requests_total",
+                    help="HTTP requests handled, by route.",
+                    labels={"route": pattern, "method": method},
+                ).inc()
+                service.metrics.histogram(
+                    "repro_request_seconds",
+                    help="HTTP handler latency, by route.",
+                    labels={"route": pattern, "method": method},
+                    lo=0.0,
+                    hi=10.0,
+                    n_bins=64,
+                ).observe(time.perf_counter() - start)
+
+        router.add(method, pattern, observed)
 
     def healthz(request: Request) -> Response:
         return Response.json({"status": "ok"})
 
     def stats(request: Request) -> Response:
         return Response.json(service.stats())
+
+    def metrics(request: Request) -> Response:
+        return Response(
+            service.metrics_text().encode("utf-8"),
+            content_type=PROMETHEUS_CONTENT_TYPE,
+        )
 
     def methods(request: Request) -> Response:
         return Response.json({"methods": service.describe()["methods"]})
@@ -68,6 +108,9 @@ def build_router(service: "SolverService") -> Router:
 
     def job_result(request: Request, job_id: str) -> Response:
         return Response.json(service.job_result(job_id))
+
+    def job_trace(request: Request, job_id: str) -> Response:
+        return Response.json(service.job_trace(job_id))
 
     def job_start(request: Request, job_id: str) -> Response:
         return Response.json({"job": service.start_job(job_id)})
@@ -107,18 +150,20 @@ def build_router(service: "SolverService") -> Router:
         )
         return StreamingResponse(chunks(), content_type=content_type)
 
-    router.add("GET", "/healthz", healthz)
-    router.add("GET", "/stats", stats)
-    router.add("GET", "/methods", methods)
-    router.add("GET", "/scenarios", scenarios)
-    router.add("POST", "/solve", solve)
-    router.add("POST", "/sweep", sweep)
-    router.add("GET", "/jobs", jobs)
-    router.add("GET", "/jobs/{job_id}/status", job_status)
-    router.add("GET", "/jobs/{job_id}/result", job_result)
-    router.add("POST", "/jobs/{job_id}/start", job_start)
-    router.add("POST", "/jobs/{job_id}/restart", job_restart)
-    router.add("GET", "/jobs/{job_id}/stream", job_stream)
+    add("GET", "/healthz", healthz)
+    add("GET", "/stats", stats)
+    add("GET", "/metrics", metrics)
+    add("GET", "/methods", methods)
+    add("GET", "/scenarios", scenarios)
+    add("POST", "/solve", solve)
+    add("POST", "/sweep", sweep)
+    add("GET", "/jobs", jobs)
+    add("GET", "/jobs/{job_id}/status", job_status)
+    add("GET", "/jobs/{job_id}/result", job_result)
+    add("GET", "/jobs/{job_id}/trace", job_trace)
+    add("POST", "/jobs/{job_id}/start", job_start)
+    add("POST", "/jobs/{job_id}/restart", job_restart)
+    add("GET", "/jobs/{job_id}/stream", job_stream)
     return router
 
 

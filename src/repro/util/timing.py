@@ -1,57 +1,11 @@
-"""Wall-clock timing helpers used by the Figure-7 running-time study."""
+"""Legacy shim — the timing utilities live in :mod:`repro.obs.timing`.
+
+Kept so existing imports (``from repro.util.timing import Timer``)
+keep working; new code should import from :mod:`repro.obs`.
+"""
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
+from repro.obs.timing import Timer, timed
 
-
-@dataclass
-class Timer:
-    """Accumulating wall-clock timer.
-
-    Example
-    -------
-    >>> t = Timer()
-    >>> with t.measure():
-    ...     sum(range(1000))
-    499500
-    >>> t.total >= 0.0
-    True
-    """
-
-    total: float = 0.0
-    count: int = 0
-    laps: list = field(default_factory=list)
-
-    @contextmanager
-    def measure(self):
-        start = time.perf_counter()
-        try:
-            yield self
-        finally:
-            lap = time.perf_counter() - start
-            self.total += lap
-            self.count += 1
-            self.laps.append(lap)
-
-    @property
-    def mean(self) -> float:
-        """Mean lap duration in seconds (0.0 before any lap)."""
-        return self.total / self.count if self.count else 0.0
-
-    def reset(self) -> None:
-        self.total = 0.0
-        self.count = 0
-        self.laps.clear()
-
-
-@contextmanager
-def timed(sink: "dict[str, float]", key: str):
-    """Record the duration of a block into ``sink[key]`` (accumulating)."""
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        sink[key] = sink.get(key, 0.0) + (time.perf_counter() - start)
+__all__ = ["Timer", "timed"]

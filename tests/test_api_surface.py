@@ -2,7 +2,8 @@
 
 ``tests/data/api_surface.json`` is the checked-in manifest of what
 ``repro`` and its pinned subpackages (``repro.api``, ``repro.distrib``,
-``repro.dynamic``, ``repro.service``) export. Any addition,
+``repro.dynamic``, ``repro.obs``, ``repro.service``) export. Any
+addition,
 rename or removal fails here first, forcing the change to be
 deliberate: update the manifest in the same commit (and mention the
 surface change in CHANGES.md). ``scripts/verify.sh`` runs this file as
@@ -17,7 +18,8 @@ import pytest
 MANIFEST = Path(__file__).resolve().parent / "data" / "api_surface.json"
 
 PINNED_MODULES = [
-    "repro", "repro.api", "repro.distrib", "repro.dynamic", "repro.service",
+    "repro", "repro.api", "repro.distrib", "repro.dynamic", "repro.obs",
+    "repro.service",
 ]
 
 

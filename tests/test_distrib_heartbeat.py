@@ -1,0 +1,135 @@
+"""Heartbeat sidecars: torn-file tolerance and the status schemas."""
+
+import json
+
+import pytest
+
+from repro.distrib import build_shard_manifests, run_shard
+from repro.distrib.manifest import write_manifests
+from repro.distrib.runner import read_heartbeat, write_heartbeat
+from repro.experiments.cli import main
+from repro.experiments.config import DEFAULT_SCENARIO, sample_settings
+from repro.util.rng import seed_sequence_of
+
+
+class TestReadHeartbeat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "shard-0000.heartbeat"
+        write_heartbeat(path, 3, 10)
+        data = read_heartbeat(path)
+        assert data["tasks_done"] == 3
+        assert data["n_tasks"] == 10
+        assert isinstance(data["time"], float)
+        assert isinstance(data["pid"], int)
+        assert "metrics" not in data
+
+    def test_metrics_snapshot_round_trips(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("repro_shard_tasks_folded_total").inc(5)
+        path = tmp_path / "shard-0000.heartbeat"
+        write_heartbeat(path, 5, 9, metrics=registry.state_dict())
+        data = read_heartbeat(path)
+        merged = MetricsRegistry.from_state(data["metrics"])
+        assert merged.counter("repro_shard_tasks_folded_total").value == 5
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert read_heartbeat(tmp_path / "nope.heartbeat") is None
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "",  # zero-length (crash between open and write)
+            '{"tasks_done": 3, "n_ta',  # torn mid-write
+            '{"tasks_done":',  # torn mid-value
+            "not json at all",
+            "[1, 2, 3]",  # valid JSON, wrong shape
+            '"just a string"',
+        ],
+    )
+    def test_torn_or_bogus_content_is_none(self, tmp_path, content):
+        path = tmp_path / "shard-0000.heartbeat"
+        path.write_text(content)
+        assert read_heartbeat(path) is None
+
+    def test_unreadable_path_is_none(self, tmp_path):
+        # a directory where a file is expected: read_text raises OSError
+        path = tmp_path / "shard-0000.heartbeat"
+        path.mkdir()
+        assert read_heartbeat(path) is None
+
+
+@pytest.fixture(scope="module")
+def campaign_dir(tmp_path_factory):
+    shard_dir = tmp_path_factory.mktemp("campaign")
+    settings = sample_settings(2, rng=4, k_values=[3])
+    manifests = build_shard_manifests(
+        settings, DEFAULT_SCENARIO, ("greedy",), ("maxmin",), 1,
+        seed_sequence_of(4), n_shards=2, shard_dir=shard_dir,
+    )
+    write_manifests(manifests, shard_dir)
+    for manifest in manifests:
+        run_shard(manifest)
+    return shard_dir
+
+
+class TestShardStatusJson:
+    def test_schema(self, campaign_dir, capsys):
+        assert main(["shard", "status", str(campaign_dir), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert isinstance(status, list) and len(status) == 2
+        for entry in status:
+            assert set(entry) >= {
+                "shard_index", "task_start", "task_stop", "n_tasks",
+                "folded", "complete", "problem", "heartbeat",
+                "heartbeat_age", "manifest_path",
+            }
+            assert entry["complete"] is True
+            assert entry["folded"] == entry["n_tasks"]
+            assert entry["heartbeat"]["tasks_done"] == entry["n_tasks"]
+            assert entry["heartbeat_age"] >= 0.0
+
+    def test_metrics_flag_merges_shard_snapshots(self, campaign_dir, capsys):
+        assert main(
+            ["shard", "status", str(campaign_dir), "--json", "--metrics"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"shards", "metrics"}
+        from repro.obs.metrics import MetricsRegistry
+
+        merged = MetricsRegistry.from_state(payload["metrics"])
+        folded = merged.counter("repro_shard_tasks_folded_total").value
+        assert folded == sum(e["folded"] for e in payload["shards"])
+
+    def test_metrics_flag_renders_prometheus_in_table_mode(
+        self, campaign_dir, capsys
+    ):
+        assert main(["shard", "status", str(campaign_dir), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_shard_tasks_folded_total counter" in out
+        assert "repro_shard_task_seconds_bucket" in out
+
+    def test_status_survives_a_torn_heartbeat(self, campaign_dir, capsys):
+        heartbeat = campaign_dir / "shard-0000.heartbeat"
+        original = heartbeat.read_text()
+        try:
+            heartbeat.write_text(original[: len(original) // 2])
+            assert main(
+                ["shard", "status", str(campaign_dir), "--json", "--metrics"]
+            ) == 0
+            payload = json.loads(capsys.readouterr().out)
+            torn = [
+                e for e in payload["shards"] if e["shard_index"] == 0
+            ][0]
+            assert torn["heartbeat"] is None
+            assert torn["heartbeat_age"] is None
+            # the torn shard contributes nothing; the other still merges
+            from repro.obs.metrics import MetricsRegistry
+
+            merged = MetricsRegistry.from_state(payload["metrics"])
+            assert merged.counter(
+                "repro_shard_tasks_folded_total"
+            ).value == 1
+        finally:
+            heartbeat.write_text(original)

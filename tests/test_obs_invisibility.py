@@ -1,0 +1,101 @@
+"""Telemetry is provably invisible to results.
+
+The tentpole contract of the observability subsystem: turning tracing
+and metrics on, off, or on for only some of the workers **never**
+changes a result bit. Timestamps live in spans and metric values only —
+they are excluded from result state dicts by construction — so the
+accumulator state (minus the measured ``runtime_groups``, which differ
+between *any* two runs of the same plan, telemetry or not) and solve
+reports must be identical across every telemetry configuration.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Solver, SolverConfig, TelemetryOptions, build_scenario
+from repro.experiments.config import sample_settings
+
+SETTINGS = sample_settings(1, rng=0, k_values=[3])
+
+
+def scrub(state: dict) -> str:
+    """Canonical accumulator state minus the wall-clock runtime groups."""
+    return json.dumps(
+        {k: v for k, v in state.items() if k != "runtime_groups"},
+        sort_keys=True,
+    )
+
+
+def sweep_state(telemetry: "TelemetryOptions | None", jobs: int = 1) -> str:
+    config = SolverConfig(stream=True, jobs=jobs, telemetry=telemetry)
+    accumulator = Solver(config).sweep(
+        SETTINGS, methods=("lprr",), objectives=("maxmin",),
+        n_platforms=2, rng=7,
+    )
+    return scrub(accumulator.state_dict())
+
+
+@pytest.fixture(scope="module")
+def baseline() -> str:
+    return sweep_state(None)
+
+
+@settings(max_examples=8, deadline=None)
+@given(trace=st.booleans(), metrics=st.booleans(), jobs=st.sampled_from([1, 2]))
+def test_sweep_state_is_bitwise_identical_under_any_telemetry(
+    trace, metrics, jobs, baseline
+):
+    telemetry = (
+        TelemetryOptions(trace=trace, metrics=metrics)
+        if (trace or metrics)
+        else None
+    )
+    assert sweep_state(telemetry, jobs=jobs) == baseline
+
+
+def test_solve_report_identical_with_and_without_telemetry(tmp_path):
+    problem = build_scenario("das2", rng=np.random.default_rng(3))
+
+    def report(telemetry):
+        config = SolverConfig(method="lprr", telemetry=telemetry)
+        return Solver(config).solve(problem, rng=3)
+
+    plain = report(None)
+    traced = report(
+        TelemetryOptions(
+            trace=True,
+            trace_path=str(tmp_path / "trace.jsonl"),
+            metrics=True,
+        )
+    )
+    assert traced.value == plain.value
+    assert np.array_equal(traced.allocation.alpha, plain.allocation.alpha)
+    assert np.array_equal(traced.allocation.beta, plain.allocation.beta)
+    assert traced.lp_stats == plain.lp_stats
+    # and the telemetry side really did observe the solve
+    assert (tmp_path / "trace.jsonl").exists()
+
+
+def test_mixed_telemetry_within_one_process(baseline):
+    """Alternating telemetry per call leaves every result untouched."""
+    states = [
+        sweep_state(TelemetryOptions(trace=True)),
+        sweep_state(None),
+        sweep_state(TelemetryOptions(metrics=True)),
+        sweep_state(TelemetryOptions(trace=True, metrics=True)),
+    ]
+    assert all(state == baseline for state in states)
+
+
+def test_telemetry_state_never_enters_result_dicts(tmp_path):
+    """No span, tracer, or registry object leaks into report meta."""
+    telemetry = TelemetryOptions(trace=True, metrics=True)
+    solver = Solver(SolverConfig(method="lprr", telemetry=telemetry))
+    report = solver.solve(build_scenario("das2", rng=np.random.default_rng(1)))
+    payload = json.dumps(report.to_dict())  # JSON-safe end to end
+    for forbidden in ("Tracer", "Span", "MetricsRegistry"):
+        assert forbidden not in payload

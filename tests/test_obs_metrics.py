@@ -1,0 +1,172 @@
+"""Mergeable metrics: exactness, state round-trips, Prometheus text."""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from repro.util.errors import SolverError
+
+finite_floats = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def build_registry(observations) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_ops_total", labels={"op": "solve"})
+    gauge = registry.gauge("repro_depth")
+    histogram = registry.histogram("repro_seconds", lo=0.0, hi=2.0, n_bins=16)
+    for x in observations:
+        counter.inc()
+        # gauges merge as max, so only max-style gauges (high-water
+        # marks over a nonnegative domain) are exactly mergeable
+        gauge.set_max(x)
+        histogram.observe(x)
+    return registry
+
+
+class TestPrimitives:
+    def test_counter_is_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+        with pytest.raises(SolverError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_set_max(self):
+        gauge = Gauge()
+        gauge.set(2.5)
+        gauge.set_max(1.0)
+        assert gauge.value == 2.5
+        gauge.set_max(7.0)
+        assert gauge.value == 7.0
+
+    def test_histogram_counts_sum_quantile(self):
+        histogram = Histogram(lo=0.0, hi=10.0, n_bins=10)
+        for x in (1.0, 2.0, 3.0):
+            histogram.observe(x)
+        assert histogram.count == 3
+        assert histogram.sum == 6.0
+        assert 0.0 <= histogram.quantile(0.5) <= 10.0
+
+    def test_histogram_nan_counted_but_not_summed(self):
+        histogram = Histogram()
+        histogram.observe(float("nan"))
+        histogram.observe(1.0)
+        assert histogram.count == 2
+        assert histogram.sum == 1.0
+
+    def test_counter_inc_is_thread_safe(self):
+        counter = Counter()
+
+        def spin():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", labels={"k": "v"})
+        b = registry.counter("c", labels={"k": "v"})
+        assert a is b
+        assert registry.counter("c", labels={"k": "w"}) is not a
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(SolverError, match="already registered"):
+            registry.gauge("x")
+
+    def test_state_round_trip_is_bitwise(self):
+        registry = build_registry([0.25, 1.5, 0.125, 3.0])
+        state = registry.state_dict()
+        clone = MetricsRegistry.from_state(json.loads(json.dumps(state)))
+        assert clone.state_dict() == state
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        xs=st.lists(finite_floats, max_size=20),
+        ys=st.lists(finite_floats, max_size=20),
+        zs=st.lists(finite_floats, max_size=20),
+    )
+    def test_merge_is_exactly_associative(self, xs, ys, zs):
+        """(A + B) + C == A + (B + C), bitwise, via state dicts."""
+        def merged(order):
+            total = MetricsRegistry()
+            for part in order:
+                total.merge(build_registry(part))
+            return total.state_dict()
+
+        left = merged([xs, ys, zs])
+        right = merged([zs, ys, xs])
+        sequential = build_registry(xs + ys + zs)
+        # shard-merge in any order == the one-process fold, bit for bit
+        assert left == right == sequential.state_dict()
+
+    def test_merge_accepts_unseen_families(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        b.counter("only_in_b").inc(2)
+        b.histogram("h", lo=0.0, hi=4.0, n_bins=8).observe(1.0)
+        a.merge(b)
+        assert a.counter("only_in_b").value == 2
+        assert a.histogram("h", lo=0.0, hi=4.0, n_bins=8).count == 1
+
+
+class TestPrometheusText:
+    def test_families_and_samples_render(self):
+        registry = build_registry([0.5, 1.0, 5.0])
+        registry.counter("repro_ops_total", labels={"op": "sweep"}).inc(2)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_ops_total counter" in text
+        assert 'repro_ops_total{op="solve"} 3' in text
+        assert 'repro_ops_total{op="sweep"} 2' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 5" in text  # high-water mark of 0.5/1.0/5.0
+        assert "# TYPE repro_seconds histogram" in text
+        assert 'repro_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_seconds_sum 6.5" in text
+        assert "repro_seconds_count 3" in text
+
+    def test_buckets_are_cumulative_and_end_at_total(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", lo=0.0, hi=4.0, n_bins=4)
+        for x in (0.5, 1.5, 2.5, 9.0):  # 9.0 overflows the last bin
+            histogram.observe(x)
+        lines = [
+            l for l in render_prometheus(registry).splitlines()
+            if l.startswith("h_bucket")
+        ]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4  # +Inf bucket includes the overflow
+
+    def test_output_is_deterministic(self):
+        a = MetricsRegistry()
+        a.counter("z").inc()
+        a.counter("a", labels={"x": "2"}).inc()
+        a.counter("a", labels={"x": "1"}).inc()
+        assert render_prometheus(a) == render_prometheus(
+            MetricsRegistry.from_state(a.state_dict())
+        )
+        lines = render_prometheus(a).splitlines()
+        assert lines.index('a{x="1"} 1') < lines.index('a{x="2"} 1')
